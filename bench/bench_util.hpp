@@ -1,0 +1,81 @@
+#pragma once
+// Shared helpers for the figure/table reproduction benches: TOP/s math,
+// geometric-mean accumulation, and aligned table printing.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace magicube::bench {
+
+inline double tops(std::uint64_t useful_ops, double seconds) {
+  return static_cast<double>(useful_ops) / seconds / 1e12;
+}
+
+/// Geometric mean with max tracking (the paper reports "on average
+/// (geometric mean) ... (up to ...)").
+struct GeoMean {
+  double log_sum = 0.0;
+  std::size_t n = 0;
+  double max_value = 0.0;
+
+  void add(double v) {
+    if (v <= 0.0) return;
+    log_sum += std::log(v);
+    n += 1;
+    if (v > max_value) max_value = v;
+  }
+  double mean() const { return n == 0 ? 0.0 : std::exp(log_sum / n); }
+};
+
+/// Minimal fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print() const {
+    std::vector<std::size_t> w(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      w[c] = headers_[c].size();
+    }
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size() && c < w.size(); ++c) {
+        if (r[c].size() > w[c]) w[c] = r[c].size();
+      }
+    }
+    auto line = [&](const std::vector<std::string>& cells) {
+      std::printf("|");
+      for (std::size_t c = 0; c < w.size(); ++c) {
+        std::printf(" %-*s |", static_cast<int>(w[c]),
+                    c < cells.size() ? cells[c].c_str() : "");
+      }
+      std::printf("\n");
+    };
+    line(headers_);
+    std::printf("|");
+    for (std::size_t c = 0; c < w.size(); ++c) {
+      std::printf("%s|", std::string(w[c] + 2, '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+}  // namespace magicube::bench

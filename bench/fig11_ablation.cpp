@@ -1,0 +1,65 @@
+// E1 — Fig. 11: ablation of the SpMM optimizations on one DLMC matrix
+// (scalar shape 256 x 2304, dilated by V, N = 512): basic -> conflict-free
+// -> +prefetch -> +column-index shuffling, for sparsity {0.7, 0.9},
+// precisions {L16-R8, L8-R8, L8-R4, L4-R4} and V {2, 8}. TOP/s counted on
+// useful (logical-precision) operations, as the paper plots.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/api.hpp"
+#include "dlmc/dlmc.hpp"
+
+using namespace magicube;
+
+int main() {
+  std::printf(
+      "== E1 / Fig. 11: SpMM optimization ablation (M=256, K=2304, N=512) "
+      "==\n\n");
+  const std::size_t n = 512;
+  const core::SpmmVariant variants[] = {
+      core::SpmmVariant::basic, core::SpmmVariant::conflict_free,
+      core::SpmmVariant::conflict_free_prefetch, core::SpmmVariant::full};
+  const PrecisionPair precisions[] = {precision::L16R8, precision::L8R8,
+                                      precision::L8R4, precision::L4R4};
+
+  for (double sparsity : {0.7, 0.9}) {
+    std::printf("-- sparsity = %.1f --\n", sparsity);
+    bench::Table table({"precision", "V", "basic", "conflict-free",
+                        "cf+prefetch", "cf+pf+shuffle", "shuffle gain"});
+    for (const auto prec : precisions) {
+      for (int v : {2, 8}) {
+        const auto spec = dlmc::ablation_matrix(sparsity);
+        const auto pattern = dlmc::instantiate(spec, v);
+        std::vector<std::string> row = {to_string(prec), std::to_string(v)};
+        double prev = 0.0, with_shuffle = 0.0, without_shuffle = 0.0;
+        for (const auto variant : variants) {
+          core::SpmmConfig cfg;
+          cfg.precision = prec;
+          cfg.variant = variant;
+          const auto run = core::spmm_estimate(pattern, n, cfg);
+          const double t =
+              bench::tops(core::spmm_useful_ops(pattern, n),
+                          simt::estimate_seconds(simt::a100(), run));
+          row.push_back(bench::fmt(t, 2));
+          if (variant == core::SpmmVariant::conflict_free_prefetch) {
+            without_shuffle = t;
+          }
+          if (variant == core::SpmmVariant::full) with_shuffle = t;
+          prev = t;
+        }
+        (void)prev;
+        // The shuffle column only moves on the int4 datapath.
+        row.push_back(bench::fmt(with_shuffle / without_shuffle, 2) + "x");
+        table.add_row(std::move(row));
+      }
+    }
+    table.print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected shape (paper): every step helps; index shuffling gives the\n"
+      "largest jump on the 4-bit RHS datapaths (paper: ~1.45x for L4-R4,\n"
+      "V=8, sparsity 0.7 after all other optimizations).\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// E4 — Fig. 14: SpMM speedup over cublasHgemm (dense fp16) across the DLMC
+// collection: cuBLAS fp16/int8, cuSPARSE-like Blocked-ELL fp16/int8,
+// vectorSparse-like fp16, Magicube {L16-R8, L8-R8, L8-R4, L4-R4};
+// V x N panels, sparsity sweep. Also prints the headline geomeans of §V-B.
+
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+
+#include "baselines/cusparse_like.hpp"
+#include "baselines/dense_gemm.hpp"
+#include "baselines/vector_sparse_like.hpp"
+#include "bench_util.hpp"
+#include "common/thread_pool.hpp"
+#include "core/api.hpp"
+#include "dlmc/dlmc.hpp"
+
+using namespace magicube;
+
+namespace {
+
+constexpr const char* kSchemes[] = {
+    "cuBLAS(fp16)",   "cuBLAS(int8)",     "cuSPARSE(fp16)",
+    "cuSPARSE(int8)", "vectorSparse(f16)", "Magicube L16-R8",
+    "Magicube L8-R8", "Magicube L8-R4",   "Magicube L4-R4"};
+constexpr std::size_t kNumSchemes = std::size(kSchemes);
+
+/// Seconds per scheme for one dilated matrix.
+void scheme_seconds(const sparse::BlockPattern& pattern, std::size_t n,
+                    double out[kNumSchemes]) {
+  const simt::DeviceSpec& dev = simt::a100();
+  const std::size_t m = pattern.rows, k = pattern.cols;
+  out[0] = simt::estimate_seconds(dev, baselines::dense_gemm_fp16_estimate(
+                                           m, n, k));
+  out[1] = simt::estimate_seconds(dev, baselines::dense_gemm_int8_estimate(
+                                           m, n, k));
+  // Blocked-ELL with the same element density (8x8 blocks).
+  const std::uint64_t bell_blocks =
+      (m / 8) * static_cast<std::uint64_t>(std::lround(
+                    (1.0 - pattern.sparsity()) *
+                    static_cast<double>(k) / 8.0));
+  out[2] = simt::estimate_seconds(
+      dev, baselines::bell_spmm_estimate(m, n, k, bell_blocks, false));
+  out[3] = simt::estimate_seconds(
+      dev, baselines::bell_spmm_estimate(m, n, k, bell_blocks, true));
+  out[4] = simt::estimate_seconds(dev,
+                                  baselines::vs_spmm_estimate(pattern, n));
+  const PrecisionPair mc[] = {precision::L16R8, precision::L8R8,
+                              precision::L8R4, precision::L4R4};
+  for (std::size_t i = 0; i < std::size(mc); ++i) {
+    core::SpmmConfig cfg;
+    cfg.precision = mc[i];
+    cfg.variant = core::SpmmVariant::full;
+    out[5 + i] =
+        simt::estimate_seconds(dev, core::spmm_estimate(pattern, n, cfg));
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== E4 / Fig. 14: SpMM speedup over cuBLAS fp16 (geomean over "
+              "the DLMC slice) ==\n\n");
+
+  // Headline accumulators (V=8, N=256 panel, all 1,536 matrices).
+  bench::GeoMean vs_cusparse_int8, vs_cublas_int8, l16r8_vs_vectorsparse;
+
+  constexpr std::size_t kNs[] = {128, 256};
+  for (int v : {2, 4, 8}) {
+    // geo[n][scheme][sparsity]
+    std::vector<std::vector<std::vector<bench::GeoMean>>> geo(
+        2, std::vector<std::vector<bench::GeoMean>>(
+               kNumSchemes,
+               std::vector<bench::GeoMean>(dlmc::sparsity_levels().size())));
+    std::mutex mu;
+    for (std::size_t si = 0; si < dlmc::sparsity_levels().size(); ++si) {
+      const auto specs = dlmc::collection(dlmc::sparsity_levels()[si]);
+      parallel_for(specs.size(), [&](std::size_t i) {
+        const auto pattern = dlmc::instantiate(specs[i], v);
+        for (std::size_t ni = 0; ni < 2; ++ni) {
+          double secs[kNumSchemes];
+          scheme_seconds(pattern, kNs[ni], secs);
+          std::lock_guard<std::mutex> lock(mu);
+          for (std::size_t s = 0; s < kNumSchemes; ++s) {
+            geo[ni][s][si].add(secs[0] / secs[s]);  // vs cuBLAS fp16
+          }
+          if (v == 8 && kNs[ni] == 256) {
+            vs_cusparse_int8.add(secs[3] / secs[6]);   // L8R8 / cuSPARSE i8
+            vs_cublas_int8.add(secs[1] / secs[6]);     // L8R8 / cuBLAS i8
+            l16r8_vs_vectorsparse.add(secs[4] / secs[5]);
+          }
+        }
+      });
+    }
+    for (std::size_t ni = 0; ni < 2; ++ni) {
+      bench::Table table({"scheme", "s=0.5", "s=0.7", "s=0.8", "s=0.9",
+                          "s=0.95", "s=0.98"});
+      for (std::size_t s = 0; s < kNumSchemes; ++s) {
+        std::vector<std::string> row = {kSchemes[s]};
+        for (std::size_t si = 0; si < dlmc::sparsity_levels().size(); ++si) {
+          row.push_back(bench::fmt(geo[ni][s][si].mean(), 2));
+        }
+        table.add_row(std::move(row));
+      }
+      std::printf("-- V = %d, N = %zu --\n", v, kNs[ni]);
+      table.print();
+      std::printf("\n");
+    }
+  }
+
+  std::printf("Headline comparisons (V=8, N=256, all matrices; paper values "
+              "in brackets):\n");
+  std::printf("  Magicube(L8-R8) vs cuSPARSE(int8): geomean %.2fx, "
+              "max %.2fx   [1.44x, 2.37x]\n",
+              vs_cusparse_int8.mean(), vs_cusparse_int8.max_value);
+  std::printf("  Magicube(L8-R8) vs cuBLAS(int8):   geomean %.2fx, "
+              "max %.2fx   [2.88x, 15.26x]\n",
+              vs_cublas_int8.mean(), vs_cublas_int8.max_value);
+  std::printf("  Magicube(L16-R8) vs vectorSparse:  geomean %.2fx, "
+              "max %.2fx   [2.50x, 5.27x]\n",
+              l16r8_vs_vectorsparse.mean(),
+              l16r8_vs_vectorsparse.max_value);
+  return 0;
+}

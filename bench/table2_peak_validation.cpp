@@ -1,0 +1,114 @@
+// E8 — Table II validation: the simulated device must reproduce the
+// published A100 peaks that calibrate every other experiment, and the
+// google-benchmark cases below measure the host-side cost of the analytic
+// estimators themselves (they must stay cheap enough for the 1,536-matrix
+// sweeps).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/api.hpp"
+#include "dlmc/dlmc.hpp"
+
+namespace {
+
+using namespace magicube;
+
+void print_peak_table() {
+  const simt::DeviceSpec& dev = simt::a100();
+  std::printf("== E8 / Table II: simulated-device peak validation ==\n");
+  std::printf("device: %s\n\n", dev.name.c_str());
+
+  bench::Table table({"datapath", "published peak", "modeled peak", "error"});
+  struct Row {
+    const char* name;
+    double published_tops;
+    std::uint64_t mma_count;
+    int which;  // 0=fp16, 1=int8, 2=int4
+  } rows[] = {
+      {"fp16 tensor core (TFLOP/s)", 312.0, 50'000'000, 0},
+      {"int8 tensor core (TOP/s)", 624.0, 100'000'000, 1},
+      {"int4 tensor core (TOP/s)", 1248.0, 100'000'000, 2},
+  };
+  for (const auto& r : rows) {
+    simt::KernelRun run;
+    run.launch = {static_cast<std::uint64_t>(dev.sm_count) * 8, 4, 0};
+    run.kernel_launches = 0;
+    std::uint64_t ops = 0;
+    if (r.which == 0) {
+      run.counters.mma_fp16 = r.mma_count;
+      ops = r.mma_count * 4096;
+    } else if (r.which == 1) {
+      run.counters.mma_int8 = r.mma_count;
+      ops = r.mma_count * 2048;
+    } else {
+      run.counters.mma_int4 = r.mma_count;
+      ops = r.mma_count * 4096;
+    }
+    const double modeled = bench::tops(ops, simt::estimate_seconds(dev, run));
+    table.add_row({r.name, bench::fmt(r.published_tops, 0),
+                   bench::fmt(modeled, 1),
+                   bench::fmt(100.0 * (modeled / r.published_tops - 1.0), 2) +
+                       "%"});
+  }
+
+  // Memory bandwidth check: a pure streaming kernel.
+  {
+    simt::KernelRun run;
+    run.launch = {static_cast<std::uint64_t>(dev.sm_count) * 8, 4, 0};
+    run.kernel_launches = 0;
+    const std::uint64_t bytes = 64ull << 30;
+    run.counters.gmem_load_sectors = bytes / 32;
+    run.counters.dram_bytes = bytes;
+    const double gbps = static_cast<double>(bytes) /
+                        simt::estimate_seconds(dev, run) / 1e9;
+    table.add_row({"HBM2e bandwidth (GB/s)", bench::fmt(1555.0, 0),
+                   bench::fmt(gbps, 0),
+                   bench::fmt(100.0 * (gbps / 1555.0 - 1.0), 2) + "%"});
+  }
+  table.print();
+  std::printf("\n");
+}
+
+// Host-side throughput of the analytic estimators (must stay cheap: the
+// Fig. 12 sweep calls them ~32k times).
+void BM_SpmmEstimate(benchmark::State& state) {
+  Rng rng(1);
+  const auto pattern = sparse::make_uniform_pattern(
+      2048, 2304, 8, 0.9, rng);
+  core::SpmmConfig cfg{precision::L8R8, core::SpmmVariant::full};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::spmm_estimate(pattern, 256, cfg));
+  }
+}
+BENCHMARK(BM_SpmmEstimate);
+
+void BM_SddmmEstimate(benchmark::State& state) {
+  Rng rng(2);
+  const auto pattern = sparse::make_uniform_pattern(
+      2048, 2048, 8, 0.9, rng);
+  core::SddmmConfig cfg{precision::L8R8, false, 2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::sddmm_estimate(pattern, 128, cfg));
+  }
+}
+BENCHMARK(BM_SddmmEstimate);
+
+void BM_PatternInstantiation(benchmark::State& state) {
+  const auto spec = dlmc::collection(0.9, 4)[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dlmc::instantiate(spec, 8));
+  }
+}
+BENCHMARK(BM_PatternInstantiation);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_peak_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

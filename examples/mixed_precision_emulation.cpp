@@ -1,0 +1,72 @@
+// Example: algebraic mixed-precision emulation (paper §IV-D).
+//
+// Walks through the plane decomposition of signed integers (top chunk
+// signed, lower chunks unsigned), shows that every emulated SpMM precision
+// pair reproduces the exact integer product, and demonstrates the
+// tensor-core utilization win of *stacked* mma for short vectors
+// (Fig. 10b): with V=4, the two planes of an L16-R8 operand share one mma.
+
+#include <cstdio>
+
+#include "core/api.hpp"
+
+using namespace magicube;
+
+int main() {
+  // 1. Scalar decomposition, exactly the paper's example: -19 = -2*16 + 13.
+  std::int32_t chunks[4];
+  quant::decompose_value(-19, Scalar::s8, 4, chunks);
+  std::printf("decompose(-19, s8 -> 4-bit chunks): lo=%d (unsigned), hi=%d "
+              "(signed); check: %d*16 + %d = %d\n\n",
+              chunks[0], chunks[1], chunks[1], chunks[0],
+              chunks[1] * 16 + chunks[0]);
+
+  // 2. Every emulated pair is exact.
+  Rng rng(99);
+  const std::size_t m = 64, k = 96, n = 128;
+  const auto pattern = sparse::make_uniform_pattern(m, k, 8, 0.7, rng);
+  const PrecisionPair pairs[] = {precision::L16R16, precision::L16R8,
+                                 precision::L16R4,  precision::L12R4,
+                                 precision::L8R4};
+  std::printf("%-8s %-7s %-9s %-10s %s\n", "pair", "planes", "datapath",
+              "mma/step", "exact?");
+  for (const auto prec : pairs) {
+    core::SpmmConfig cfg;
+    cfg.precision = prec;
+    const auto a_vals = core::random_values(m, k, prec.lhs, rng);
+    const auto b_vals = core::random_values(k, n, prec.rhs, rng);
+    const auto a = core::prepare_spmm_lhs(pattern, a_vals, prec,
+                                          core::needs_shuffle(cfg));
+    const auto b = core::prepare_spmm_rhs(b_vals, prec);
+    const auto result = core::spmm(a, b, cfg);
+    const bool exact =
+        result.c == core::reference_spmm(pattern, a_vals, b_vals);
+    const auto est = core::spmm_estimate(pattern, n, cfg);
+    const std::uint64_t mma =
+        est.counters.mma_int8 + est.counters.mma_int4;
+    std::printf("%-8s %-7zu %-9s %-10llu %s\n", to_string(prec).c_str(),
+                a.plane_count(),
+                core::stride_for(prec) == 32 ? "int4" : "int8",
+                static_cast<unsigned long long>(mma),
+                exact ? "yes" : "NO");
+  }
+
+  // 3. Stacking: V=4 L16-R8 packs both planes into one mma (Fig. 10b),
+  //    matching V=8's mma-per-nonzero efficiency.
+  std::printf("\nstacked mma utilization (L16-R8):\n");
+  for (int v : {8, 4, 2}) {
+    Rng prng(5);
+    const auto p = sparse::make_uniform_pattern(
+        static_cast<std::size_t>(v) * 16, k, v, 0.5, prng);
+    core::SpmmConfig cfg;
+    cfg.precision = precision::L16R8;
+    const auto est = core::spmm_estimate(p, n, cfg);
+    std::printf("  V=%d: %6llu mma for %6zu nonzeros  (%.4f mma/nnz)\n", v,
+                static_cast<unsigned long long>(est.counters.mma_int8),
+                p.nnz(),
+                static_cast<double>(est.counters.mma_int8) /
+                    static_cast<double>(p.nnz()));
+  }
+  std::printf("Without stacking V=4 would need 2x the mma per nonzero.\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Example: inference through a magnitude-pruned, quantized MLP layer —
+// the "forward pass of a pruned model" workload of §IV-B.
+//
+// A dense fp32 weight matrix is magnitude-pruned to 1-D blocks at a target
+// sparsity, quantized to int8, and applied to a batch of activations with
+// Magicube SpMM. The example reports the end-to-end numerical error against
+// the dense fp32 layer and the modeled speedup over the dense fp16 GEMM.
+
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "baselines/dense_gemm.hpp"
+#include "core/api.hpp"
+
+using namespace magicube;
+
+namespace {
+
+/// Magnitude pruning with V x 1 granularity: keep the (1-sparsity) fraction
+/// of column vectors with the largest L2 norm in each vector row.
+sparse::BlockPattern prune_to_blocks(const Matrix<float>& w, int v,
+                                     double sparsity) {
+  sparse::BlockPattern p;
+  p.rows = w.rows();
+  p.cols = w.cols();
+  p.vector_length = v;
+  p.row_ptr.assign(p.vector_rows() + 1, 0);
+  const std::size_t keep = static_cast<std::size_t>(
+      std::lround((1.0 - sparsity) * static_cast<double>(w.cols())));
+  std::vector<std::pair<float, std::uint32_t>> norms(w.cols());
+  for (std::size_t r = 0; r < p.vector_rows(); ++r) {
+    for (std::size_t c = 0; c < w.cols(); ++c) {
+      float nrm = 0.0f;
+      for (int rb = 0; rb < v; ++rb) {
+        const float x = w(r * static_cast<std::size_t>(v) +
+                              static_cast<std::size_t>(rb),
+                          c);
+        nrm += x * x;
+      }
+      norms[c] = {nrm, static_cast<std::uint32_t>(c)};
+    }
+    std::partial_sort(norms.begin(), norms.begin() + static_cast<long>(keep),
+                      norms.end(), [](auto a, auto b) { return a > b; });
+    std::vector<std::uint32_t> cols(keep);
+    for (std::size_t i = 0; i < keep; ++i) cols[i] = norms[i].second;
+    std::sort(cols.begin(), cols.end());
+    p.col_idx.insert(p.col_idx.end(), cols.begin(), cols.end());
+    p.row_ptr[r + 1] = static_cast<std::uint32_t>(p.col_idx.size());
+  }
+  p.validate();
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(123);
+  const std::size_t out_dim = 512, in_dim = 1024, batch = 128;
+  Matrix<float> w(out_dim, in_dim);
+  fill_normal(w, rng, 0.05);
+  Matrix<float> x(in_dim, batch);
+  fill_normal(x, rng, 1.0);
+
+  std::printf("pruned MLP layer: [%zu x %zu] weights, batch %zu\n\n",
+              out_dim, in_dim, batch);
+  std::printf("%-9s %-9s %12s %12s %14s\n", "sparsity", "V", "rel.err",
+              "time (us)", "vs dense fp16");
+  const double dense_secs = simt::estimate_seconds(
+      simt::a100(),
+      baselines::dense_gemm_fp16_estimate(out_dim, batch, in_dim));
+
+  for (double sparsity : {0.7, 0.9, 0.95}) {
+    for (int v : {4, 8}) {
+      const auto pattern = prune_to_blocks(w, v, sparsity);
+      // Quantize the surviving weights and the activations to int8.
+      const auto pw =
+          quant::choose_symmetric(w.data(), w.size(), Scalar::s8);
+      const auto px =
+          quant::choose_symmetric(x.data(), x.size(), Scalar::s8);
+      Matrix<std::int32_t> wq(out_dim, in_dim, 0);
+      const auto mask = sparse::pattern_to_dense_mask(pattern);
+      for (std::size_t i = 0; i < w.size(); ++i) {
+        if (mask.data()[i]) {
+          wq.data()[i] = quant::quantize_value(w.data()[i], pw);
+        }
+      }
+      Matrix<std::int32_t> xq(in_dim, batch);
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        xq.data()[i] = quant::quantize_value(x.data()[i], px);
+      }
+
+      core::SpmmConfig cfg;
+      cfg.precision = precision::L8R8;
+      const auto a = core::prepare_spmm_lhs(pattern, wq, cfg.precision,
+                                            core::needs_shuffle(cfg));
+      const auto b = core::prepare_spmm_rhs(xq, cfg.precision);
+      const auto result = core::spmm(a, b, cfg);
+
+      // Dequantize and compare against the dense fp32 layer.
+      const float deq = pw.scale * px.scale;
+      double err = 0.0, ref_norm = 0.0;
+      for (std::size_t i = 0; i < out_dim; ++i) {
+        for (std::size_t j = 0; j < batch; ++j) {
+          float ref = 0.0f;
+          for (std::size_t kk = 0; kk < in_dim; ++kk) {
+            ref += w(i, kk) * x(kk, j);
+          }
+          const float got = static_cast<float>(result.c(i, j)) * deq;
+          err += (got - ref) * (got - ref);
+          ref_norm += ref * ref;
+        }
+      }
+      const double secs = simt::estimate_seconds(simt::a100(), result.run);
+      std::printf("%-9.2f %-9d %12.4f %12.2f %13.2fx\n", sparsity, v,
+                  std::sqrt(err / ref_norm), secs * 1e6, dense_secs / secs);
+    }
+  }
+  std::printf(
+      "\nHigher sparsity costs accuracy (pruning error) but buys latency —\n"
+      "above ~0.7 sparsity the quantized sparse kernel beats dense fp16.\n");
+  return 0;
+}

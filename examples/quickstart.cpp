@@ -1,0 +1,56 @@
+// Quickstart: quantized SpMM with Magicube in five steps.
+//
+//   1. describe the sparsity pattern (V x 1 column-vector blocks),
+//   2. prepare the LHS in SR-BCRS (with plane decomposition + shuffling as
+//      the precision pair requires),
+//   3. prepare the dense RHS,
+//   4. run the kernel (bit-exact result + hardware-event counters),
+//   5. ask the A100 cost model what the kernel would cost on device.
+
+#include <cstdio>
+
+#include "core/api.hpp"
+
+using namespace magicube;
+
+int main() {
+  Rng rng(42);
+
+  // A 256 x 512 sparse weight matrix at 80% sparsity with 8x1 blocks,
+  // multiplied into a 512 x 128 int8 activation matrix.
+  const std::size_t m = 256, k = 512, n = 128;
+  const auto pattern = sparse::make_uniform_pattern(m, k, /*V=*/8, 0.8, rng);
+  std::printf("pattern: %zux%zu, V=%d, sparsity %.2f, %zu nonzeros\n",
+              pattern.rows, pattern.cols, pattern.vector_length,
+              pattern.sparsity(), pattern.nnz());
+
+  core::SpmmConfig cfg;
+  cfg.precision = precision::L8R8;          // try L16R8, L8R4, L4R4, ...
+  cfg.variant = core::SpmmVariant::full;    // all paper optimizations on
+
+  const auto a_vals = core::random_values(m, k, cfg.precision.lhs, rng);
+  const auto b_vals = core::random_values(k, n, cfg.precision.rhs, rng);
+  const auto a = core::prepare_spmm_lhs(pattern, a_vals, cfg.precision,
+                                        core::needs_shuffle(cfg));
+  const auto b = core::prepare_spmm_rhs(b_vals, cfg.precision);
+
+  const core::SpmmResult result = core::spmm(a, b, cfg);
+
+  // The result is bit-exact: compare against the scalar reference.
+  const auto expect = core::reference_spmm(pattern, a_vals, b_vals);
+  std::printf("result matches scalar reference: %s\n",
+              result.c == expect ? "yes" : "NO");
+
+  // What did the kernel do, and what would it cost on an A100?
+  const auto& c = result.run.counters;
+  std::printf("mma issues: %llu int8  |  smem conflict factor: %.2f\n",
+              static_cast<unsigned long long>(c.mma_int8),
+              c.smem_conflict_factor());
+  const auto cost = simt::estimate_cost(simt::a100(), result.run);
+  std::printf("modeled time: %.2f us (bottleneck: %s)\n",
+              cost.total_seconds * 1e6, cost.bottleneck);
+  std::printf("useful throughput: %.2f TOP/s\n",
+              static_cast<double>(core::spmm_useful_ops(pattern, n)) /
+                  cost.total_seconds / 1e12);
+  return 0;
+}

@@ -1,0 +1,126 @@
+#include "baselines/cusparse_like.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "core/reference.hpp"
+
+namespace magicube::baselines {
+
+sparse::BlockedEll<std::int32_t> make_bell_pattern(std::size_t rows,
+                                                   std::size_t cols,
+                                                   double sparsity,
+                                                   Rng& rng) {
+  constexpr std::size_t kB = 8;
+  MAGICUBE_CHECK(rows % kB == 0 && cols % kB == 0);
+  sparse::BlockedEll<std::int32_t> out;
+  out.rows = rows;
+  out.cols = cols;
+  out.block_size = static_cast<int>(kB);
+  const std::size_t bcols = cols / kB;
+  out.ell_width = static_cast<std::size_t>(std::max<long>(
+      0, std::lround((1.0 - sparsity) * static_cast<double>(bcols))));
+  const std::size_t brs = out.block_rows();
+  out.block_cols.assign(brs * out.ell_width, sparse::kInvalidCol);
+  out.values.assign(out.stored_elems(), 0);
+
+  std::vector<std::uint32_t> picked;
+  for (std::size_t br = 0; br < brs; ++br) {
+    picked.clear();
+    while (picked.size() < out.ell_width) {
+      const std::uint32_t c =
+          static_cast<std::uint32_t>(rng.next_below(bcols));
+      if (std::find(picked.begin(), picked.end(), c) == picked.end()) {
+        picked.push_back(c);
+      }
+    }
+    std::sort(picked.begin(), picked.end());
+    for (std::size_t e = 0; e < picked.size(); ++e) {
+      out.block_cols[br * out.ell_width + e] = picked[e];
+      // Dense 8x8 block of small values.
+      std::int32_t* blk =
+          out.values.data() + (br * out.ell_width + e) * kB * kB;
+      for (std::size_t i = 0; i < kB * kB; ++i) {
+        blk[i] = static_cast<std::int32_t>(rng.next_in(-128, 127));
+      }
+    }
+  }
+  out.validate();
+  return out;
+}
+
+BellSpmmResult bell_spmm(const sparse::BlockedEll<std::int32_t>& a,
+                         const Matrix<std::int32_t>& b, bool int8_path) {
+  MAGICUBE_CHECK(a.cols == b.rows());
+  BellSpmmResult out;
+  out.c = core::reference_gemm(a.to_dense(), b);
+  out.run = bell_spmm_estimate(a.rows, b.cols(), a.cols, a.block_count(),
+                               int8_path);
+  return out;
+}
+
+simt::KernelRun bell_spmm_estimate(std::size_t m, std::size_t n,
+                                   std::size_t k,
+                                   std::uint64_t stored_blocks,
+                                   bool int8_path) {
+  constexpr std::uint64_t kB = 8;
+  const int bytes_per_elem = int8_path ? 1 : 2;
+
+  simt::KernelRun run;
+  const std::size_t bsn = 64;
+  const std::size_t col_tiles = (n + bsn - 1) / bsn;
+  run.launch.grid_blocks = (m / kB) * col_tiles;
+  run.launch.warps_per_block = 2;
+  run.launch.smem_bytes_per_block =
+      (kB * kB + kB * bsn) * static_cast<std::size_t>(bytes_per_elem) + 64;
+  // No double-buffered pipeline in the generic library kernel.
+  run.pipeline.prefetch = false;
+
+  auto& c = run.counters;
+  // Per stored block, per column tile: one 8x8 A block, 8 RHS rows of bsn.
+  const std::uint64_t work_units = stored_blocks * col_tiles;
+  run.pipeline.total_steps = work_units;
+  const std::uint64_t tile_ops = 2 * kB * kB * bsn;
+  if (int8_path) {
+    c.mma_int8 = work_units * (tile_ops / 2048);
+  } else {
+    c.mma_fp16 = work_units * (tile_ops / 4096);
+  }
+
+  const std::uint64_t a_block_bytes = kB * kB * bytes_per_elem;
+  const std::uint64_t rhs_bytes = kB * bsn * bytes_per_elem;
+  c.gmem_load_sectors = work_units * (a_block_bytes + rhs_bytes) / 32;
+  c.gmem_load_requests = work_units * (1 + kB / 2);
+  c.gmem_store_sectors = m * n * 4 / 32;  // int32 output either path
+  c.gmem_store_requests = c.gmem_store_sectors / 4 + 1;
+
+  // RHS staging with the generic (unpadded) layout: 2-way replay on the
+  // fragment reads.
+  c.smem_store_requests = work_units * kB;
+  c.smem_store_transactions = c.smem_store_requests;
+  c.smem_load_requests = work_units * kB;
+  c.smem_load_transactions = 2 * c.smem_load_requests;
+  c.syncthreads = work_units;
+
+  c.dram_bytes = stored_blocks * a_block_bytes +
+                 std::min<std::uint64_t>(
+                     k * n * static_cast<std::uint64_t>(bytes_per_elem),
+                     work_units * rhs_bytes) +
+                 m * n * 4;
+  if (int8_path) {
+    // Column-major RHS conversion sweep, as cusparseSpMM requires for
+    // integer inputs on Blocked-ELL.
+    simt::KernelRun transform;
+    const std::uint64_t bytes = k * n;
+    transform.launch.grid_blocks = std::max<std::uint64_t>(1, bytes / 16384);
+    transform.launch.warps_per_block = 4;
+    transform.counters.gmem_load_sectors = bytes / 32 + 1;
+    transform.counters.gmem_load_requests = bytes / 128 + 1;
+    transform.counters.gmem_store_sectors = bytes / 32 + 1;
+    transform.counters.gmem_store_requests = bytes / 128 + 1;
+    run.merge(transform);
+  }
+  return run;
+}
+
+}  // namespace magicube::baselines

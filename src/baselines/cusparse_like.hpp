@@ -1,0 +1,50 @@
+#pragma once
+// "cuSPARSE-like" Blocked-ELL SpMM baseline (fp16 and int8), the comparator
+// of Fig. 14.
+//
+// The paper (following Chen et al.) generates Blocked-ELL instances with
+// the same sparsity and problem size as the 1-D-block matrices: 8x8 blocks
+// at the same element density, so the useful work matches. The baseline's
+// deficits relative to Magicube, all visible in the counters:
+//   * no conflict-free staging: the RHS marshalling replays 2-way in shared
+//     memory (the library kernel is generic, not shape-specialized),
+//   * no software pipelining of the RHS stream (exposed load latency),
+//   * the int8 variant needs column-major RHS, adding a transform sweep.
+// Performance is also independent of the vector length V, since the format
+// always works on 8x8 blocks — visible in Fig. 14, where the cuSPARSE
+// curves barely move across the V panels.
+
+#include <cstdint>
+
+#include "common/half.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "simt/cost_model.hpp"
+#include "sparse/blocked_ell.hpp"
+
+namespace magicube::baselines {
+
+/// A Blocked-ELL pattern with 8x8 blocks at the requested element sparsity
+/// (the benchmark-generation recipe of §V).
+sparse::BlockedEll<std::int32_t> make_bell_pattern(std::size_t rows,
+                                                   std::size_t cols,
+                                                   double sparsity, Rng& rng);
+
+struct BellSpmmResult {
+  Matrix<std::int32_t> c;
+  simt::KernelRun run;
+};
+
+/// Functional Blocked-ELL SpMM (int8 value domain; fp16 timing uses the
+/// estimate below with the same structure).
+BellSpmmResult bell_spmm(const sparse::BlockedEll<std::int32_t>& a,
+                         const Matrix<std::int32_t>& b, bool int8_path);
+
+/// Counters for a Blocked-ELL SpMM with `stored_blocks` 8x8 blocks over an
+/// (m x k) x (k x n) problem; `int8_path` selects int8 vs fp16.
+simt::KernelRun bell_spmm_estimate(std::size_t m, std::size_t n,
+                                   std::size_t k,
+                                   std::uint64_t stored_blocks,
+                                   bool int8_path);
+
+}  // namespace magicube::baselines

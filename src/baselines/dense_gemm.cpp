@@ -1,0 +1,149 @@
+#include "baselines/dense_gemm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace magicube::baselines {
+
+namespace {
+
+// Shared tile geometry of the modelled dense kernels.
+constexpr std::size_t kTileM = 128, kTileN = 128;
+
+std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
+/// Tile-level counters of a dense GEMM with `bytes_per_elem`-wide operands
+/// and a K-step of `kstep`. Traffic per block-step: one A tile slice
+/// (kTileM x kstep) and one B slice (kstep x kTileN), both through shared
+/// memory; mma work is the full tile product.
+simt::KernelRun tiled_gemm_counters(std::size_t m, std::size_t n,
+                                    std::size_t k, int bytes_per_elem,
+                                    bool int8_path) {
+  simt::KernelRun run;
+  const std::size_t bm = ceil_div(m, kTileM), bn = ceil_div(n, kTileN);
+  const std::size_t kstep = int8_path ? 64 : 32;
+  const std::size_t steps = ceil_div(k, kstep);
+
+  run.launch.grid_blocks = bm * bn;
+  run.launch.warps_per_block = 8;
+  // Double-buffered A and B slices.
+  run.launch.smem_bytes_per_block =
+      2 * (kTileM * kstep + kstep * kTileN) *
+      static_cast<std::size_t>(bytes_per_elem);
+  run.pipeline.prefetch = true;
+  run.pipeline.total_steps = run.launch.grid_blocks * steps;
+
+  auto& c = run.counters;
+  const std::uint64_t tile_ops = 2ull * kTileM * kTileN * kstep;
+  const std::uint64_t mma_ops_per_issue = int8_path ? 2048 : 4096;
+  std::uint64_t mmas = run.launch.grid_blocks * steps *
+                       (tile_ops / mma_ops_per_issue);
+  if (int8_path) {
+    mmas = static_cast<std::uint64_t>(
+        static_cast<double>(mmas) * kImmaIssueFactor);
+    c.mma_int8 = mmas;
+  } else {
+    c.mma_fp16 = mmas;
+  }
+
+  // Global traffic per block-step: both slices, coalesced.
+  const std::uint64_t slice_bytes =
+      (kTileM * kstep + kstep * kTileN) *
+      static_cast<std::uint64_t>(bytes_per_elem);
+  c.gmem_load_sectors = run.launch.grid_blocks * steps * slice_bytes / 32;
+  c.gmem_load_requests = run.launch.grid_blocks * steps * slice_bytes / 128;
+  // C writeback (fp16 out for fp16 path, int32 out for IMMA).
+  const std::uint64_t c_bytes = m * n *
+                                (int8_path ? 4ull
+                                           : static_cast<std::uint64_t>(2));
+  c.gmem_store_sectors = c_bytes / 32 + 1;
+  c.gmem_store_requests = c_bytes / 128 + 1;
+  // Shared-memory staging: each slice byte is stored and loaded once;
+  // 128 bytes per conflict-free transaction.
+  c.smem_store_requests = c.smem_store_transactions =
+      run.launch.grid_blocks * steps * slice_bytes / 128;
+  c.smem_load_requests = c.smem_load_transactions =
+      c.smem_store_requests * 2;  // fragments re-read operands twice
+  c.syncthreads = run.launch.grid_blocks * steps;
+
+  // Compulsory DRAM: operands + output once (the working set of every
+  // benchmarked shape fits the 40 MB L2).
+  c.dram_bytes =
+      (m * k + k * n) * static_cast<std::uint64_t>(bytes_per_elem) + c_bytes;
+  return run;
+}
+
+/// The IMMA layout-transform passes: operands are re-tiled into the
+/// interleaved NT layout before the GEMM and the int32 output is
+/// de-interleaved afterwards — two extra kernels sweeping all three
+/// matrices (the reason cublasLtMatmul int8 needs explicit transform calls).
+simt::KernelRun imma_transform_pass(std::size_t m, std::size_t n,
+                                    std::size_t k) {
+  simt::KernelRun run;
+  const std::uint64_t bytes = (m * k + k * n) + m * n * 4;
+  run.launch.grid_blocks = std::max<std::uint64_t>(1, bytes / 16384);
+  run.launch.warps_per_block = 4;
+  run.kernel_launches = 2;
+  auto& c = run.counters;
+  c.gmem_load_sectors = bytes / 32 + 1;
+  c.gmem_load_requests = bytes / 128 + 1;
+  c.gmem_store_sectors = c.gmem_load_sectors;
+  c.gmem_store_requests = c.gmem_load_requests;
+  c.alu_ops = bytes / 128;  // per-warp permute work
+  c.dram_bytes = 0;         // stays in L2 between passes
+  return run;
+}
+
+}  // namespace
+
+GemmFp16Result dense_gemm_fp16(const Matrix<half>& a, const Matrix<half>& b) {
+  MAGICUBE_CHECK(a.cols() == b.rows());
+  GemmFp16Result out;
+  out.c = Matrix<half>(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < a.cols(); ++kk) {
+        acc += float(a(i, kk)) * float(b(kk, j));
+      }
+      out.c(i, j) = half(acc);
+    }
+  }
+  out.run = dense_gemm_fp16_estimate(a.rows(), b.cols(), a.cols());
+  return out;
+}
+
+simt::KernelRun dense_gemm_fp16_estimate(std::size_t m, std::size_t n,
+                                         std::size_t k) {
+  return tiled_gemm_counters(m, n, k, 2, /*int8_path=*/false);
+}
+
+GemmInt8Result dense_gemm_int8(const Matrix<std::int32_t>& a,
+                               const Matrix<std::int32_t>& b) {
+  MAGICUBE_CHECK(a.cols() == b.rows());
+  GemmInt8Result out;
+  out.c = Matrix<std::int32_t>(a.rows(), b.cols(), 0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t kk = 0; kk < a.cols(); ++kk) {
+      const std::int64_t av = a(i, kk);
+      if (av == 0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        out.c(i, j) = static_cast<std::int32_t>(
+            static_cast<std::int64_t>(out.c(i, j)) + av * b(kk, j));
+      }
+    }
+  }
+  out.run = dense_gemm_int8_estimate(a.rows(), b.cols(), a.cols());
+  return out;
+}
+
+simt::KernelRun dense_gemm_int8_estimate(std::size_t m, std::size_t n,
+                                         std::size_t k) {
+  simt::KernelRun run = tiled_gemm_counters(m, n, k, 1, /*int8_path=*/true);
+  run.merge(imma_transform_pass(m, n, k));
+  return run;
+}
+
+}  // namespace magicube::baselines

@@ -1,0 +1,56 @@
+#pragma once
+// "cuBLAS-like" dense GEMM baselines on the simulated device.
+//
+// Two datapaths, matching the comparison points of Figs. 14/15/17:
+//
+//  * fp16 (cublasHgemm): 128x128x32-step tiles on fp16 tensor cores with
+//    software pipelining — the normalization baseline of every speedup plot.
+//  * int8 (IMMA): the paper observes that cuBLAS int8 is *slower* than fp16
+//    on DLMC-sized problems. The reproduced mechanism: IMMA kernels require
+//    NT operand layouts and interleaved output formats, so a layout
+//    transformation pass over both operands precedes the GEMM (extra kernel
+//    launch + full memory sweep), and the IMMA pipeline issues at half rate
+//    on shapes that do not fill its wide tiles (`kImmaIssueFactor`).
+//
+// Baseline kernels are modelled at tile granularity (counters derived from
+// tile traffic), not at register granularity like the Magicube kernels; the
+// functional results are exact (fp32 accumulation, rounded to half once at
+// the output, as cublasHgemm does).
+
+#include <cstdint>
+
+#include "common/half.hpp"
+#include "common/matrix.hpp"
+#include "simt/cost_model.hpp"
+
+namespace magicube::baselines {
+
+/// Issue-efficiency penalty of IMMA kernels on non-native layouts.
+inline constexpr double kImmaIssueFactor = 2.0;
+
+struct GemmFp16Result {
+  Matrix<half> c;
+  simt::KernelRun run;
+};
+
+/// C = A * B in fp16 (fp32 accumulate, one rounding at the output).
+GemmFp16Result dense_gemm_fp16(const Matrix<half>& a, const Matrix<half>& b);
+
+/// Counters for an M x N x K fp16 GEMM without executing it.
+simt::KernelRun dense_gemm_fp16_estimate(std::size_t m, std::size_t n,
+                                         std::size_t k);
+
+struct GemmInt8Result {
+  Matrix<std::int32_t> c;
+  simt::KernelRun run;
+};
+
+/// C = A * B for int8 operands (int32 accumulate).
+GemmInt8Result dense_gemm_int8(const Matrix<std::int32_t>& a,
+                               const Matrix<std::int32_t>& b);
+
+/// Counters for an M x N x K int8 IMMA GEMM (includes the transform pass).
+simt::KernelRun dense_gemm_int8_estimate(std::size_t m, std::size_t n,
+                                         std::size_t k);
+
+}  // namespace magicube::baselines

@@ -1,0 +1,184 @@
+#include "baselines/vector_sparse_like.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace magicube::baselines {
+
+namespace {
+
+constexpr std::size_t kBsn = 64;   // column tile, as in Magicube
+constexpr int kBsk = 16;           // fp16 mma k
+
+/// Per-block counters for one vector row with `steps` k-steps and `valid`
+/// nonzero vectors (fp16 datapath, 2 bytes/element).
+simt::KernelCounters vs_block_counters(int v, std::uint64_t steps,
+                                       std::uint64_t valid) {
+  simt::KernelCounters c;
+  // Indices + LHS vectors, coalesced via shared memory.
+  c.gmem_load_requests = steps * 2 + valid;
+  c.gmem_load_sectors =
+      steps * 2 +  // 16 indices (64B) = 2 sectors per step
+      steps * std::max<std::uint64_t>(1, static_cast<std::uint64_t>(v) / 2) +
+      valid * 4;  // one RHS row: 64 cols * 2B = 128B = 4 sectors
+  // fp16 rows are 32 words wide: one full-warp store request per row.
+  c.smem_store_requests = steps * (1 + 1 + kBsk);
+  c.smem_store_transactions = c.smem_store_requests;
+  // Fragment loads: conflict-free ldmatrix staging, but fp16 operands are
+  // twice the words of int8 — 8 load phases per warp per step.
+  c.smem_load_requests = steps * 2 * (1 + 8);
+  c.smem_load_transactions = c.smem_load_requests;
+  // Two warps x 2 fp16 mma per step (8x32x16 tile halves).
+  c.mma_fp16 = steps * 4;
+  c.syncthreads = steps * 3 + 1;
+  // Epilogue staging + fp16 writeback (half the bytes of int32).
+  c.smem_store_requests += 16;
+  c.smem_store_transactions += 16;
+  c.smem_load_requests += static_cast<std::uint64_t>(v);
+  c.smem_load_transactions += static_cast<std::uint64_t>(v);
+  c.gmem_store_requests += static_cast<std::uint64_t>(v);
+  c.gmem_store_sectors += static_cast<std::uint64_t>(v) * 4;
+  return c;
+}
+
+}  // namespace
+
+VsSpmmResult vs_spmm(const sparse::Bcrs<half>& a, const Matrix<half>& b) {
+  MAGICUBE_CHECK(a.cols == b.rows());
+  VsSpmmResult out;
+  out.c = Matrix<half>(a.rows, b.cols());
+  const std::size_t v = static_cast<std::size_t>(a.vector_length);
+  for (std::size_t r = 0; r < a.vector_rows(); ++r) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      for (std::size_t rb = 0; rb < v; ++rb) {
+        float acc = 0.0f;
+        for (std::uint32_t i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+          acc += float(a.values[i * v + rb]) * float(b(a.col_idx[i], j));
+        }
+        out.c(r * v + rb, j) = half(acc);
+      }
+    }
+  }
+  sparse::BlockPattern pattern;
+  pattern.rows = a.rows;
+  pattern.cols = a.cols;
+  pattern.vector_length = a.vector_length;
+  pattern.row_ptr = a.row_ptr;
+  pattern.col_idx = a.col_idx;
+  out.run = vs_spmm_estimate(pattern, b.cols());
+  return out;
+}
+
+simt::KernelRun vs_spmm_estimate(const sparse::BlockPattern& pattern,
+                                 std::size_t n_cols) {
+  MAGICUBE_CHECK(n_cols % kBsn == 0);
+  const std::size_t col_tiles = n_cols / kBsn;
+  simt::KernelRun run;
+  run.launch.grid_blocks = pattern.vector_rows() * col_tiles;
+  run.launch.warps_per_block = 2;
+  // Double-buffered LHS + padded fp16 RHS tile.
+  run.launch.smem_bytes_per_block =
+      2 * (16 * 4 + static_cast<std::size_t>(pattern.vector_length) * 16 * 2) +
+      (16 * kBsn * 2 + 4 * 32);
+  run.pipeline.prefetch = true;
+
+  std::uint64_t total_steps = 0, valid_total = 0;
+  for (std::size_t r = 0; r < pattern.vector_rows(); ++r) {
+    const std::uint64_t n_r = pattern.vectors_in_row(r);
+    const std::uint64_t steps = (n_r + kBsk - 1) / kBsk;
+    total_steps += steps;
+    valid_total += n_r;
+    simt::KernelCounters c =
+        vs_block_counters(pattern.vector_length, steps, n_r);
+    for (auto* f : {&c.gmem_load_requests, &c.gmem_load_sectors,
+                    &c.gmem_store_requests, &c.gmem_store_sectors,
+                    &c.smem_load_requests, &c.smem_load_transactions,
+                    &c.smem_store_requests, &c.smem_store_transactions,
+                    &c.mma_fp16, &c.syncthreads}) {
+      *f *= col_tiles;
+    }
+    run.counters += c;
+  }
+  run.pipeline.total_steps = total_steps * col_tiles;
+  run.counters.dram_bytes =
+      valid_total * static_cast<std::uint64_t>(pattern.vector_length) * 2 +
+      valid_total * 4 +
+      std::min<std::uint64_t>(pattern.cols * n_cols * 2,
+                              valid_total * col_tiles * kBsn * 2) +
+      pattern.rows * n_cols * 2;
+  return run;
+}
+
+VsSddmmResult vs_sddmm(const Matrix<half>& a, const Matrix<half>& b,
+                       const sparse::BlockPattern& pattern) {
+  MAGICUBE_CHECK(a.cols() == b.rows());
+  MAGICUBE_CHECK(a.rows() == pattern.rows && b.cols() == pattern.cols);
+  VsSddmmResult out;
+  out.c.rows = pattern.rows;
+  out.c.cols = pattern.cols;
+  out.c.vector_length = pattern.vector_length;
+  out.c.row_ptr = pattern.row_ptr;
+  out.c.col_idx = pattern.col_idx;
+  const std::size_t v = static_cast<std::size_t>(pattern.vector_length);
+  out.c.values.assign(pattern.vector_count() * v, half(0.0f));
+  for (std::size_t r = 0; r < pattern.vector_rows(); ++r) {
+    for (std::uint32_t i = pattern.row_ptr[r]; i < pattern.row_ptr[r + 1];
+         ++i) {
+      for (std::size_t rb = 0; rb < v; ++rb) {
+        float acc = 0.0f;
+        for (std::size_t k = 0; k < a.cols(); ++k) {
+          acc += float(a(r * v + rb, k)) * float(b(k, pattern.col_idx[i]));
+        }
+        out.c.values[i * v + rb] = half(acc);
+      }
+    }
+  }
+  out.run = vs_sddmm_estimate(pattern, a.cols());
+  return out;
+}
+
+simt::KernelRun vs_sddmm_estimate(const sparse::BlockPattern& pattern,
+                                  std::size_t k_depth) {
+  MAGICUBE_CHECK(k_depth % 16 == 0);
+  simt::KernelRun run;
+  run.launch.warps_per_block = 2;
+  run.launch.smem_bytes_per_block =
+      static_cast<std::size_t>(pattern.vector_length) * 16 * 2 + 64;
+  run.pipeline.prefetch = false;
+
+  const std::uint64_t steps = k_depth / kBsk;
+  std::uint64_t blocks = 0;
+  for (std::size_t r = 0; r < pattern.vector_rows(); ++r) {
+    std::uint64_t n_r = pattern.vectors_in_row(r);
+    for (std::uint64_t base = 0; base < n_r; base += 16) {
+      const std::uint64_t valid = std::min<std::uint64_t>(16, n_r - base);
+      auto& c = run.counters;
+      c.gmem_load_requests += 1 + steps * (1 + 2);
+      c.gmem_load_sectors +=
+          2 + steps * (static_cast<std::uint64_t>(pattern.vector_length) +
+                       valid);  // A tile rows + one sector per RHS column
+      c.smem_store_requests += steps + 4;
+      c.smem_store_transactions += steps + 4;
+      c.smem_load_requests += steps * 2 + 1;
+      c.smem_load_transactions += steps * 2 + 1;
+      c.mma_fp16 += steps * 2;  // one 8x8x16 half-tile per warp
+      c.syncthreads += steps + 1;
+      const std::uint64_t bytes =
+          valid * static_cast<std::uint64_t>(pattern.vector_length) * 2;
+      c.gmem_store_requests += (bytes + 127) / 128;
+      c.gmem_store_sectors += (bytes + 31) / 32;
+      blocks += 1;
+    }
+  }
+  run.launch.grid_blocks = blocks;
+  run.pipeline.total_steps = blocks * steps;
+  run.counters.dram_bytes =
+      pattern.rows * k_depth * 2 +
+      std::min<std::uint64_t>(pattern.cols * k_depth * 2,
+                              pattern.vector_count() * k_depth * 2) +
+      pattern.nnz() * 2 + pattern.vector_count() * 4;
+  return run;
+}
+
+}  // namespace magicube::baselines

@@ -1,0 +1,52 @@
+#pragma once
+// "vectorSparse-like" baseline: Chen et al.'s fp16 1-D-block kernels on
+// tensor cores (SC'21) — the state-of-the-art sparse comparator of
+// Figs. 14, 15 and 17.
+//
+// Structure mirrors Magicube's thread-block decomposition (it is the design
+// Magicube extends): BCRS column-vector encoding, one vector row and a
+// 64-wide column tile per block, software-pipelined RHS staging with a
+// conflict-free layout. The differences that the counters expose:
+//   * operands are fp16 — half the tensor-core rate of int8 and a quarter
+//     of int4, and 2-4x the bytes moved per element;
+//   * no online transpose is needed (fp16 ldmatrix handles the layout), so
+//     the ALU cost of marshalling is negligible;
+//   * no mixed precision, no stacking: V < 8 leaves the mma underutilized.
+
+#include <cstdint>
+
+#include "common/half.hpp"
+#include "common/matrix.hpp"
+#include "simt/cost_model.hpp"
+#include "sparse/bcrs.hpp"
+#include "sparse/pattern.hpp"
+
+namespace magicube::baselines {
+
+struct VsSpmmResult {
+  Matrix<half> c;
+  simt::KernelRun run;
+};
+
+/// Functional fp16 SpMM on a BCRS operand (fp32 accumulate, rounded once).
+VsSpmmResult vs_spmm(const sparse::Bcrs<half>& a, const Matrix<half>& b);
+
+/// Counters for the fp16 SpMM on this pattern (N columns).
+simt::KernelRun vs_spmm_estimate(const sparse::BlockPattern& pattern,
+                                 std::size_t n_cols);
+
+struct VsSddmmResult {
+  sparse::Bcrs<half> c;
+  simt::KernelRun run;
+};
+
+/// Functional fp16 SDDMM (A row-major, B column-major conceptually; both
+/// passed row-major here with B accessed by column).
+VsSddmmResult vs_sddmm(const Matrix<half>& a, const Matrix<half>& b,
+                       const sparse::BlockPattern& pattern);
+
+/// Counters for the fp16 SDDMM at reduction depth K.
+simt::KernelRun vs_sddmm_estimate(const sparse::BlockPattern& pattern,
+                                  std::size_t k_depth);
+
+}  // namespace magicube::baselines

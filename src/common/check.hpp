@@ -1,0 +1,52 @@
+#pragma once
+// Lightweight runtime checking for invariants and argument validation.
+//
+// MAGICUBE_CHECK is always on (library correctness depends on format
+// invariants that are cheap relative to kernel work); MAGICUBE_DCHECK
+// compiles out in release builds and is used inside per-element hot loops.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace magicube {
+
+/// Error thrown on any failed validation in the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "MAGICUBE_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace magicube
+
+#define MAGICUBE_CHECK(cond)                                              \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::magicube::detail::check_failed(#cond, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define MAGICUBE_CHECK_MSG(cond, msg)                                     \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream os_;                                             \
+      os_ << msg;                                                         \
+      ::magicube::detail::check_failed(#cond, __FILE__, __LINE__,         \
+                                       os_.str());                        \
+    }                                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define MAGICUBE_DCHECK(cond) ((void)0)
+#else
+#define MAGICUBE_DCHECK(cond) MAGICUBE_CHECK(cond)
+#endif

@@ -1,0 +1,109 @@
+#pragma once
+// Software IEEE 754 binary16 ("half") type.
+//
+// The fp16 baselines (cuBLAS-like dense GEMM, vectorSparse-like sparse
+// kernels) and the Transformer dense path compute in this type so that the
+// numerical behaviour of the fp16 comparison points — including rounding at
+// every store, as tensor cores do for fp16 accumulate-to-fp16 epilogues —
+// is faithful. Arithmetic is performed in float and rounded to half on
+// conversion, which matches fp16-multiply/fp32-accumulate tensor-core math.
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace magicube {
+
+/// Round-to-nearest-even conversion from float to the binary16 bit pattern.
+constexpr std::uint16_t float_to_half_bits(float f) {
+  const std::uint32_t x = std::bit_cast<std::uint32_t>(f);
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  const std::uint32_t abs = x & 0x7fffffffu;
+
+  if (abs >= 0x7f800000u) {             // inf or NaN
+    const std::uint32_t mant = abs & 0x007fffffu;
+    if (mant == 0) return static_cast<std::uint16_t>(sign | 0x7c00u);
+    // Preserve a quiet NaN.
+    return static_cast<std::uint16_t>(sign | 0x7e00u);
+  }
+  if (abs >= 0x477ff000u) {             // overflows half range -> inf
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+  if (abs < 0x38800000u) {              // subnormal half (or zero)
+    if (abs < 0x33000001u) {            // rounds to zero
+      return static_cast<std::uint16_t>(sign);
+    }
+    // Result = round(mant * 2^(e-126)): right-shift the 24-bit mantissa by
+    // 126 - e (between 14 and 24 here), round to nearest even.
+    const int shift = 126 - static_cast<int>(abs >> 23);
+    const std::uint64_t mant =
+        static_cast<std::uint64_t>(abs & 0x007fffffu) | 0x00800000u;
+    const std::uint64_t dropped = mant & ((1ull << shift) - 1);
+    const std::uint64_t halfway = 1ull << (shift - 1);
+    std::uint32_t out = static_cast<std::uint32_t>(mant >> shift);
+    if (dropped > halfway || (dropped == halfway && (out & 1u))) ++out;
+    return static_cast<std::uint16_t>(sign | out);
+  }
+  // Normal case.
+  const std::uint32_t exp = ((abs >> 23) - 112u) << 10;
+  const std::uint32_t mant = (abs >> 13) & 0x03ffu;
+  std::uint32_t out = exp | mant;
+  const std::uint32_t dropped = abs & 0x1fffu;
+  if (dropped > 0x1000u || (dropped == 0x1000u && (out & 1u))) ++out;
+  return static_cast<std::uint16_t>(sign | out);
+}
+
+/// Conversion from the binary16 bit pattern to float (exact).
+constexpr float half_bits_to_float(std::uint16_t h) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1fu;
+  const std::uint32_t mant = h & 0x03ffu;
+
+  if (exp == 0) {
+    if (mant == 0) return std::bit_cast<float>(sign);
+    // Subnormal: value = mant * 2^-24.
+    const float v = static_cast<float>(mant) * 0x1p-24f;
+    return sign ? -v : v;
+  }
+  if (exp == 31) {
+    const std::uint32_t out = sign | 0x7f800000u | (mant << 13);
+    return std::bit_cast<float>(out);
+  }
+  const std::uint32_t out = sign | ((exp + 112u) << 23) | (mant << 13);
+  return std::bit_cast<float>(out);
+}
+
+/// IEEE binary16 value type. All arithmetic promotes to float; assignment
+/// and construction round to nearest-even, exactly once per store.
+class half {
+ public:
+  constexpr half() = default;
+  constexpr half(float f) : bits_(float_to_half_bits(f)) {}  // NOLINT: implicit by design
+  constexpr operator float() const { return half_bits_to_float(bits_); }
+
+  static constexpr half from_bits(std::uint16_t b) {
+    half h;
+    h.bits_ = b;
+    return h;
+  }
+  constexpr std::uint16_t bits() const { return bits_; }
+
+  half& operator+=(half o) { return *this = half(float(*this) + float(o)); }
+  half& operator-=(half o) { return *this = half(float(*this) - float(o)); }
+  half& operator*=(half o) { return *this = half(float(*this) * float(o)); }
+  half& operator/=(half o) { return *this = half(float(*this) / float(o)); }
+
+  friend constexpr bool operator==(half a, half b) {
+    return float(a) == float(b);
+  }
+  friend constexpr bool operator<(half a, half b) {
+    return float(a) < float(b);
+  }
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+static_assert(sizeof(half) == 2, "half must be 2 bytes");
+
+}  // namespace magicube

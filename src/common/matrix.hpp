@@ -1,0 +1,61 @@
+#pragma once
+// Row-major dense matrix container used for operands, references and tests.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace magicube {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, T init = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    MAGICUBE_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    MAGICUBE_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  T* row(std::size_t r) { return data_.data() + r * cols_; }
+  const T* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<T> data_;
+};
+
+/// Fills a matrix with uniform integers in [lo, hi].
+template <typename T>
+void fill_uniform_int(Matrix<T>& m, Rng& rng, std::int64_t lo,
+                      std::int64_t hi) {
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<T>(rng.next_in(lo, hi));
+  }
+}
+
+/// Fills a matrix with N(0, stddev) values.
+template <typename T>
+void fill_normal(Matrix<T>& m, Rng& rng, double stddev = 1.0) {
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<T>(rng.next_normal() * stddev);
+  }
+}
+
+}  // namespace magicube

@@ -1,0 +1,85 @@
+#pragma once
+// Deterministic, seedable random number generation (splitmix64 + xoshiro256**).
+//
+// std::mt19937 distributions are not guaranteed to produce identical streams
+// across standard library implementations; every generator in this repo
+// (sparse patterns, matrix values, the synthetic task) uses this engine so
+// experiments are reproducible bit-for-bit anywhere.
+
+#include <array>
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace magicube {
+
+/// splitmix64 — used to expand a single seed into xoshiro state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedull) {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = splitmix64(sm);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift (unbiased
+  /// enough for workload generation; bound must be > 0).
+  std::uint64_t next_below(std::uint64_t bound) {
+    MAGICUBE_DCHECK(bound > 0);
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(next_u64()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    MAGICUBE_DCHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform float in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+  float next_float() { return static_cast<float>(next_double()); }
+
+  /// Standard normal via Box–Muller (one value per call; simple & portable).
+  double next_normal() {
+    double u1 = next_double();
+    while (u1 <= 1e-12) u1 = next_double();
+    const double u2 = next_double();
+    constexpr double kTwoPi = 6.283185307179586476925286766559;
+    return __builtin_sqrt(-2.0 * __builtin_log(u1)) *
+           __builtin_cos(kTwoPi * u2);
+  }
+
+  bool next_bool(double p_true) { return next_double() < p_true; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace magicube

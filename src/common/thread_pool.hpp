@@ -1,0 +1,40 @@
+#pragma once
+// Persistent thread pool with a parallel_for helper.
+//
+// The simulator executes thread blocks of a kernel grid as independent tasks;
+// this mirrors how an A100 schedules blocks over SMs and keeps the functional
+// simulation fast on multi-core hosts. Determinism note: block tasks only
+// write disjoint output tiles and their private counters, which are reduced
+// in block order, so results and counters are independent of scheduling.
+
+#include <cstddef>
+#include <functional>
+
+namespace magicube {
+
+/// Global pool sized to std::thread::hardware_concurrency(). Lazily created.
+class ThreadPool {
+ public:
+  static ThreadPool& instance();
+
+  /// Runs fn(i) for i in [0, n), distributing chunks over the pool.
+  /// Exceptions from fn propagate (first one wins) after all tasks finish.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  std::size_t worker_count() const { return workers_; }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+ private:
+  ThreadPool();
+  std::size_t workers_ = 1;
+};
+
+/// Convenience free function.
+inline void parallel_for(std::size_t n,
+                         const std::function<void(std::size_t)>& fn) {
+  ThreadPool::instance().parallel_for(n, fn);
+}
+
+}  // namespace magicube

@@ -1,0 +1,35 @@
+#pragma once
+// Magicube public API — umbrella header.
+//
+// Minimal usage (see examples/quickstart.cpp):
+//
+//   using namespace magicube;
+//   Rng rng(42);
+//   auto pattern = sparse::make_uniform_pattern(M, K, /*V=*/8, 0.9, rng);
+//   auto a_vals  = core::random_values(M, K, Scalar::s8, rng);
+//   auto b_vals  = core::random_values(K, N, Scalar::s8, rng);
+//
+//   core::SpmmConfig cfg{precision::L8R8};
+//   auto a = core::prepare_spmm_lhs(pattern, a_vals, cfg.precision,
+//                                   core::needs_shuffle(cfg));
+//   auto b = core::prepare_spmm_rhs(b_vals, cfg.precision);
+//   auto result = core::spmm(a, b, cfg);
+//   double secs = simt::estimate_seconds(simt::a100(), result.run);
+
+#include "common/half.hpp"
+#include "common/matrix.hpp"
+#include "common/precision.hpp"
+#include "common/rng.hpp"
+#include "core/operands.hpp"
+#include "core/reference.hpp"
+#include "core/sddmm.hpp"
+#include "core/spmm.hpp"
+#include "quant/decompose.hpp"
+#include "quant/quantizer.hpp"
+#include "simt/cost_model.hpp"
+#include "simt/device_spec.hpp"
+#include "sparse/bcrs.hpp"
+#include "sparse/blocked_ell.hpp"
+#include "sparse/crs.hpp"
+#include "sparse/pattern.hpp"
+#include "sparse/sr_bcrs.hpp"

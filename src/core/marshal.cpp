@@ -1,0 +1,59 @@
+#include "core/marshal.hpp"
+
+#include "common/packed.hpp"
+
+namespace magicube::core {
+
+std::array<std::uint32_t, 4> transpose_4x4_bytes(
+    const std::array<std::uint32_t, 4>& in) {
+  std::array<std::uint32_t, 4> out{};
+  for (int i = 0; i < 4; ++i) {
+    std::uint32_t reg = 0;
+    for (int j = 0; j < 4; ++j) {
+      reg |= byte_of(in[static_cast<std::size_t>(j)], i) << (8 * j);
+    }
+    out[static_cast<std::size_t>(i)] = reg;
+  }
+  return out;
+}
+
+std::array<std::uint32_t, 8> transpose_int4_naive(
+    const std::array<std::uint32_t, 8>& in) {
+  std::array<std::uint32_t, 8> out{};
+  for (int col = 0; col < 8; ++col) {
+    std::uint32_t reg = 0;
+    for (int row = 0; row < 8; ++row) {
+      reg |= nibble_of(in[static_cast<std::size_t>(row)], col) << (4 * row);
+    }
+    out[static_cast<std::size_t>(col)] = reg;
+  }
+  return out;
+}
+
+std::array<std::uint32_t, 8> transpose_int4_shuffled(
+    const std::array<std::uint32_t, 8>& in) {
+  // Step 1 (Fig. 7 step 4): byte-granularity 8x4 transpose. in[r] is one
+  // shuffled k-row's 8 nibbles = 4 bytes; produce, per byte column j, the
+  // pair (lo32 = rows {0,2,4,6}, hi32 = rows {1,3,5,7}) of original rows —
+  // which are input positions 0..3 and 4..7 thanks to the shuffle order.
+  std::array<std::uint32_t, 8> out{};
+  for (int j = 0; j < 4; ++j) {
+    std::uint32_t lo32 = 0, hi32 = 0;
+    for (int p = 0; p < 4; ++p) {
+      lo32 |= byte_of(in[static_cast<std::size_t>(p)], j) << (8 * p);
+      hi32 |= byte_of(in[static_cast<std::size_t>(p + 4)], j) << (8 * p);
+    }
+    // Step 2 (Fig. 7 steps 5-7): int32-granularity mask/shift/or. `low`
+    // gathers the even column (2j) of all 8 rows in natural order; `high`
+    // the odd column (2j+1). 8 bitwise ops per 16 int4 values, as §IV-B3.
+    const std::uint32_t low =
+        (lo32 & 0x0f0f0f0fu) | ((hi32 & 0x0f0f0f0fu) << 4);
+    const std::uint32_t high =
+        ((lo32 >> 4) & 0x0f0f0f0fu) | (hi32 & 0xf0f0f0f0u);
+    out[static_cast<std::size_t>(2 * j)] = low;
+    out[static_cast<std::size_t>(2 * j + 1)] = high;
+  }
+  return out;
+}
+
+}  // namespace magicube::core

@@ -1,0 +1,82 @@
+#include "core/operands.hpp"
+
+namespace magicube::core {
+
+namespace {
+
+/// Decomposes a packed buffer into operand planes of `chunk_bits`. Native
+/// (single-chunk) types come back as one full-width plane.
+std::vector<OperandPlane> to_planes(const PackedBuffer& src, int chunk_bits) {
+  std::vector<OperandPlane> out;
+  if (bits_of(src.type()) <= chunk_bits) {
+    OperandPlane p;
+    p.values = src;
+    p.weight = 1;
+    p.is_signed = is_signed(src.type());
+    out.push_back(std::move(p));
+    return out;
+  }
+  quant::PlaneSet set = quant::decompose(src, chunk_bits);
+  out.reserve(set.planes.size());
+  for (auto& plane : set.planes) {
+    OperandPlane p;
+    p.values = std::move(plane.values);
+    p.weight = plane.weight;
+    p.is_signed = plane.is_signed;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace
+
+SparseOperand prepare_spmm_lhs(const sparse::BlockPattern& pattern,
+                               const Matrix<std::int32_t>& dense_values,
+                               PrecisionPair precision, bool shuffle) {
+  SparseOperand out;
+  out.logical_type = precision.lhs;
+  const int stride = stride_for(precision);
+  sparse::SrBcrs sr = sparse::build_sr_bcrs(pattern, dense_values,
+                                            precision.lhs, stride);
+  if (shuffle) sr = sparse::shuffle_columns(sr);
+  out.planes = to_planes(sr.values, lhs_chunk_bits(precision));
+  out.structure = std::move(sr);
+  return out;
+}
+
+DenseOperand prepare_dense(const Matrix<std::int32_t>& values, Scalar type,
+                           bool row_major, int chunk_bits_if_emulated) {
+  DenseOperand out;
+  out.rows = values.rows();
+  out.cols = values.cols();
+  out.row_major = row_major;
+  out.logical_type = type;
+  PackedBuffer buf(values.size(), type);
+  for (std::size_t r = 0; r < values.rows(); ++r) {
+    for (std::size_t c = 0; c < values.cols(); ++c) {
+      buf.set(out.flat_index(r, c), values(r, c));
+    }
+  }
+  out.planes = to_planes(buf, chunk_bits_if_emulated);
+  return out;
+}
+
+DenseOperand prepare_spmm_rhs(const Matrix<std::int32_t>& values,
+                              PrecisionPair precision) {
+  // RHS planes must be native to the datapath: 4-bit chunks on the int4
+  // path, 8-bit chunks otherwise (only L16-R16 actually decomposes).
+  const int chunk = bits_of(precision.rhs) <= 4 ? 4 : 8;
+  return prepare_dense(values, precision.rhs, /*row_major=*/true, chunk);
+}
+
+Matrix<std::int32_t> random_values(std::size_t rows, std::size_t cols,
+                                   Scalar type, Rng& rng) {
+  Matrix<std::int32_t> m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] =
+        static_cast<std::int32_t>(rng.next_in(min_value(type), max_value(type)));
+  }
+  return m;
+}
+
+}  // namespace magicube::core

@@ -1,0 +1,79 @@
+#pragma once
+// Scalar reference implementations — the functional ground truth every
+// simulated kernel is tested against. All integer accumulation is done in
+// int64 and truncated to int32 at the end, matching the kernels' epilogue
+// semantics (mma accumulates int32 with wraparound; emulation weights are
+// applied in 64-bit before the final truncation).
+
+#include <cstdint>
+
+#include "common/matrix.hpp"
+#include "sparse/bcrs.hpp"
+#include "sparse/pattern.hpp"
+
+namespace magicube::core {
+
+/// C = A * B for dense integer matrices (row-major), truncated to int32.
+inline Matrix<std::int32_t> reference_gemm(const Matrix<std::int32_t>& a,
+                                           const Matrix<std::int32_t>& b) {
+  MAGICUBE_CHECK(a.cols() == b.rows());
+  Matrix<std::int32_t> c(a.rows(), b.cols(), 0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const std::int64_t av = a(i, k);
+      if (av == 0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c(i, j) = static_cast<std::int32_t>(
+            static_cast<std::int64_t>(c(i, j)) + av * b(k, j));
+      }
+    }
+  }
+  return c;
+}
+
+/// SpMM reference: the LHS is `lhs_dense` masked by `pattern` (entries
+/// outside the pattern are treated as zero).
+inline Matrix<std::int32_t> reference_spmm(
+    const sparse::BlockPattern& pattern, const Matrix<std::int32_t>& lhs_dense,
+    const Matrix<std::int32_t>& rhs) {
+  const auto mask = sparse::pattern_to_dense_mask(pattern);
+  Matrix<std::int32_t> masked(lhs_dense.rows(), lhs_dense.cols(), 0);
+  for (std::size_t r = 0; r < lhs_dense.rows(); ++r) {
+    for (std::size_t c = 0; c < lhs_dense.cols(); ++c) {
+      if (mask(r, c)) masked(r, c) = lhs_dense(r, c);
+    }
+  }
+  return reference_gemm(masked, rhs);
+}
+
+/// SDDMM reference: sampled product, output in BCRS vector-major order.
+inline sparse::Bcrs<std::int32_t> reference_sddmm(
+    const sparse::BlockPattern& pattern, const Matrix<std::int32_t>& a,
+    const Matrix<std::int32_t>& b) {
+  MAGICUBE_CHECK(a.cols() == b.rows());
+  MAGICUBE_CHECK(a.rows() == pattern.rows && b.cols() == pattern.cols);
+  sparse::Bcrs<std::int32_t> out;
+  out.rows = pattern.rows;
+  out.cols = pattern.cols;
+  out.vector_length = pattern.vector_length;
+  out.row_ptr = pattern.row_ptr;
+  out.col_idx = pattern.col_idx;
+  const std::size_t v = static_cast<std::size_t>(pattern.vector_length);
+  out.values.assign(pattern.vector_count() * v, 0);
+  for (std::size_t r = 0; r < pattern.vector_rows(); ++r) {
+    for (std::uint32_t i = pattern.row_ptr[r]; i < pattern.row_ptr[r + 1];
+         ++i) {
+      const std::size_t col = pattern.col_idx[i];
+      for (std::size_t rb = 0; rb < v; ++rb) {
+        std::int64_t acc = 0;
+        for (std::size_t k = 0; k < a.cols(); ++k) {
+          acc += static_cast<std::int64_t>(a(r * v + rb, k)) * b(k, col);
+        }
+        out.values[i * v + rb] = static_cast<std::int32_t>(acc);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace magicube::core

@@ -1,0 +1,416 @@
+#include "core/sddmm.hpp"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "simt/launch.hpp"
+#include "simt/memory.hpp"
+#include "simt/tensor_core.hpp"
+
+namespace magicube::core {
+
+namespace {
+
+using simt::AccumFrag;
+using simt::KernelCounters;
+using simt::LaneAddrs;
+using simt::LaneWords;
+using simt::WarpReg;
+
+constexpr int kSlotsPerBlock = 16;  // 8 output vectors per warp x 2 warps
+
+struct Geom {
+  int stride = 16;  // mma k
+  int chunk = 8;
+  int epw = 4;
+  bool int4path = false;
+
+  int v = 8;
+  int p = 1;  // LHS planes
+  int q = 1;  // RHS planes
+  std::size_t k = 0;
+  std::uint64_t steps = 0;  // k / stride
+  bool prefetch = false;
+
+  std::size_t lhs_words_per_plane = 0;
+  std::size_t smem_bytes = 0;
+};
+
+Geom make_geom(PrecisionPair pr, int p_planes, int q_planes, int v,
+               std::size_t k, bool prefetch) {
+  Geom g;
+  g.int4path = stride_for(pr) == 32;
+  g.stride = g.int4path ? 32 : 16;
+  g.chunk = g.int4path ? 4 : 8;
+  g.epw = 32 / g.chunk;
+  g.v = v;
+  g.p = p_planes;
+  g.q = q_planes;
+  g.k = k;
+  g.steps = k / static_cast<std::size_t>(g.stride);
+  g.prefetch = prefetch;
+  g.lhs_words_per_plane = static_cast<std::size_t>(4 * v);
+  g.smem_bytes = 4 * static_cast<std::size_t>(g.p) * g.lhs_words_per_plane *
+                 (prefetch ? 2 : 1);
+  return g;
+}
+
+/// Sectors of one LHS tile row-segment load (V rows of 16 bytes each, rows
+/// strided by K; each 16-byte segment stays inside one 32-byte sector given
+/// K % 32 == 0).
+std::uint32_t lhs_tile_sectors(const Geom& g) {
+  return static_cast<std::uint32_t>(g.v);
+}
+
+/// Writeback bundle for one block holding `valid` output vectors: stage the
+/// accumulators through swizzled shared memory, then write the contiguous
+/// BCRS value range coalesced.
+struct EpilogueCounts {
+  std::uint64_t smem_store_req, smem_load_req, gmem_store_req,
+      gmem_store_sectors;
+};
+EpilogueCounts epilogue_counts(const Geom& g, std::uint64_t valid) {
+  EpilogueCounts e{};
+  e.smem_store_req = 2 * 2;  // 2 warps x 2 accumulator registers
+  const std::uint64_t bytes = valid * static_cast<std::uint64_t>(g.v) * 4;
+  e.gmem_store_req = (bytes + 127) / 128;  // 32 lanes x 4B per request
+  e.smem_load_req = e.gmem_store_req;
+  e.gmem_store_sectors = (bytes + 31) / 32;
+  return e;
+}
+
+/// Sectors of the index read: `valid` consecutive u32 starting at an
+/// arbitrary (row-pointer-determined) offset.
+std::uint32_t idx_sectors(std::size_t slot_base, std::uint64_t valid) {
+  const std::size_t first = slot_base * 4 / 32;
+  const std::size_t last = ((slot_base + valid) * 4 - 1) / 32;
+  return static_cast<std::uint32_t>(last - first + 1);
+}
+
+KernelCounters block_counters(const Geom& g, std::size_t slot_base,
+                              std::uint64_t valid) {
+  KernelCounters kc;
+  const std::uint64_t p = static_cast<std::uint64_t>(g.p);
+  const std::uint64_t q = static_cast<std::uint64_t>(g.q);
+  const std::uint64_t steps = g.steps;
+
+  // Output column indices for this block.
+  kc.gmem_load_requests = 1;
+  kc.gmem_load_sectors = idx_sectors(slot_base, valid);
+  // LHS tile per step per plane: gmem -> smem.
+  kc.gmem_load_requests += steps * p;
+  kc.gmem_load_sectors += steps * p * lhs_tile_sectors(g);
+  kc.smem_store_requests = steps * p;
+  kc.smem_store_transactions = steps * p;
+  // LHS fragment reads: per warp per step per plane (consecutive words).
+  kc.smem_load_requests = steps * 2 * p;
+  kc.smem_load_transactions = steps * 2 * p;
+  // RHS register loads: per warp per step per plane; one sector per valid
+  // column (16-byte column segments, disjoint sectors across columns).
+  kc.gmem_load_requests += steps * 2 * q;
+  kc.gmem_load_sectors += steps * q * valid;
+  // mma: per warp per step, full plane cross product.
+  const std::uint64_t mmas = steps * 2 * p * q;
+  (g.int4path ? kc.mma_int4 : kc.mma_int8) = mmas;
+  // Epilogue combine (weighted plane sum; trivial for native precisions).
+  kc.alu_ops = 2 * 2 * p * q;
+  kc.syncthreads = steps * (g.prefetch ? 2u : 1u) + 1;
+
+  const EpilogueCounts e = epilogue_counts(g, valid);
+  kc.smem_store_requests += e.smem_store_req;
+  kc.smem_store_transactions += e.smem_store_req;
+  kc.smem_load_requests += e.smem_load_req;
+  kc.smem_load_transactions += e.smem_load_req;
+  kc.gmem_store_requests += e.gmem_store_req;
+  kc.gmem_store_sectors += e.gmem_store_sectors;
+  return kc;
+}
+
+std::uint64_t sddmm_dram_bytes(const Geom& g,
+                               const sparse::BlockPattern& pattern) {
+  const std::uint64_t m = pattern.rows, n = pattern.cols;
+  const std::uint64_t chunk = static_cast<std::uint64_t>(g.chunk);
+  const std::uint64_t a_size =
+      m * g.k * chunk / 8 * static_cast<std::uint64_t>(g.p);
+  const std::uint64_t b_size =
+      g.k * n * chunk / 8 * static_cast<std::uint64_t>(g.q);
+  const std::uint64_t b_loaded = pattern.vector_count() * g.k * chunk / 8 *
+                                 static_cast<std::uint64_t>(g.q);
+  const std::uint64_t c_bytes = pattern.nnz() * 4;
+  const std::uint64_t idx_bytes = pattern.vector_count() * 4;
+  return a_size + std::min(b_size, b_loaded) + c_bytes + idx_bytes;
+}
+
+struct BlockMap {
+  std::vector<std::uint32_t> row;         // block -> vector row
+  std::vector<std::uint32_t> slot_base;   // block -> first pattern vector
+  std::vector<std::uint32_t> valid;       // block -> valid slots (<= 16)
+};
+
+BlockMap make_block_map(const sparse::BlockPattern& pattern) {
+  BlockMap map;
+  for (std::size_t r = 0; r < pattern.vector_rows(); ++r) {
+    const std::uint32_t n_r =
+        static_cast<std::uint32_t>(pattern.vectors_in_row(r));
+    for (std::uint32_t base = 0; base < n_r; base += kSlotsPerBlock) {
+      map.row.push_back(static_cast<std::uint32_t>(r));
+      map.slot_base.push_back(pattern.row_ptr[r] + base);
+      map.valid.push_back(
+          std::min<std::uint32_t>(kSlotsPerBlock, n_r - base));
+    }
+  }
+  return map;
+}
+
+struct BlockArgs {
+  const DenseOperand* a;
+  const DenseOperand* b;
+  const sparse::BlockPattern* pattern;
+  const Geom* g;
+  const BlockMap* map;
+  std::vector<std::int32_t>* c_values;  // BCRS vector-major
+};
+
+void run_block(simt::BlockContext& ctx, const BlockArgs& args) {
+  const DenseOperand& a = *args.a;
+  const DenseOperand& b = *args.b;
+  const sparse::BlockPattern& pattern = *args.pattern;
+  const Geom& g = *args.g;
+  KernelCounters& kc = ctx.counters;
+
+  const std::size_t blk = ctx.block_id;
+  const std::size_t r = args.map->row[blk];
+  const std::size_t slot_base = args.map->slot_base[blk];
+  const std::uint32_t valid = args.map->valid[blk];
+  const std::size_t v = static_cast<std::size_t>(g.v);
+  const std::size_t stride = static_cast<std::size_t>(g.stride);
+
+  // Output column indices for the block's valid slots.
+  {
+    LaneAddrs ga;
+    ga.fill(simt::kInactiveLane);
+    for (std::uint32_t l = 0; l < valid; ++l) {
+      ga[l] = (slot_base + l) * 4;
+    }
+    simt::count_gmem_load(ga, 4, kc);
+  }
+
+  // Accumulators: [warp][lhs plane][rhs plane].
+  std::vector<AccumFrag> acc(static_cast<std::size_t>(2 * g.p * g.q));
+  auto acc_at = [&](int w, int pl, int qq) -> AccumFrag& {
+    return acc[static_cast<std::size_t>((w * g.p + pl) * g.q + qq)];
+  };
+
+  for (std::uint64_t st = 0; st < g.steps; ++st) {
+    const std::size_t kbase = static_cast<std::size_t>(st) * stride;
+
+    // LHS tile (V x stride) to shared memory, per plane.
+    for (int pl = 0; pl < g.p; ++pl) {
+      const auto& plane = a.planes[static_cast<std::size_t>(pl)];
+      LaneAddrs ga;
+      ga.fill(simt::kInactiveLane);
+      LaneAddrs sa;
+      sa.fill(simt::kInactiveLane);
+      LaneWords vals{};
+      for (std::size_t l = 0; l < g.lhs_words_per_plane && l < 32; ++l) {
+        const std::size_t row = l / 4, word_in_row = l % 4;
+        const std::size_t arow = r * v + row;
+        ga[l] = (arow * g.k + kbase) * static_cast<std::size_t>(g.chunk) / 8 +
+                word_in_row * 4;
+        sa[l] = static_cast<std::size_t>(pl) * g.lhs_words_per_plane + l;
+        std::uint32_t wv = 0;
+        for (int e = 0; e < g.epw; ++e) {
+          const std::size_t kk =
+              kbase + word_in_row * static_cast<std::size_t>(g.epw) +
+              static_cast<std::size_t>(e);
+          wv |= plane.values.get_raw(a.flat_index(arow, kk)) << (g.chunk * e);
+        }
+        vals[l] = wv;
+      }
+      simt::count_gmem_load(ga, 4, kc);
+      ctx.smem.st32(sa, vals, kc);
+    }
+    kc.syncthreads += g.prefetch ? 2 : 1;
+
+    for (int w = 0; w < 2; ++w) {
+      for (int pl = 0; pl < g.p; ++pl) {
+        // LHS fragment from shared memory (consecutive words).
+        LaneAddrs sa;
+        sa.fill(simt::kInactiveLane);
+        for (int lane = 0; lane < 32; ++lane) {
+          const int row = lane / 4;
+          if (row >= g.v) continue;
+          sa[static_cast<std::size_t>(lane)] =
+              static_cast<std::size_t>(pl) * g.lhs_words_per_plane +
+              static_cast<std::size_t>(row) * 4 +
+              static_cast<std::size_t>(lane % 4);
+        }
+        const WarpReg a_frag = ctx.smem.ld32(sa, kc);
+
+        for (int qq = 0; qq < g.q; ++qq) {
+          const auto& bplane = b.planes[static_cast<std::size_t>(qq)];
+          // RHS fragment: direct global load, one word per lane.
+          WarpReg b_frag{};
+          LaneAddrs ga;
+          ga.fill(simt::kInactiveLane);
+          for (int lane = 0; lane < 32; ++lane) {
+            const int slot_in_warp = lane / 4;
+            const std::uint32_t slot_in_block =
+                static_cast<std::uint32_t>(w * 8 + slot_in_warp);
+            if (slot_in_block >= valid) continue;
+            const std::size_t col =
+                pattern.col_idx[slot_base + slot_in_block];
+            const std::size_t elem0 =
+                kbase + static_cast<std::size_t>(g.epw) *
+                            static_cast<std::size_t>(lane % 4);
+            ga[static_cast<std::size_t>(lane)] =
+                (col * g.k + elem0) * static_cast<std::size_t>(g.chunk) / 8;
+            std::uint32_t wv = 0;
+            for (int e = 0; e < g.epw; ++e) {
+              wv |= bplane.values.get_raw(
+                        b.flat_index(elem0 + static_cast<std::size_t>(e),
+                                     col))
+                    << (g.chunk * e);
+            }
+            b_frag[static_cast<std::size_t>(lane)] = wv;
+          }
+          // Counted only on the first LHS plane: the fragment is reused
+          // across planes on real hardware (held in registers).
+          if (pl == 0) simt::count_gmem_load(ga, 4, kc);
+
+          AccumFrag& dst = acc_at(w, pl, qq);
+          const bool a_signed = a.planes[static_cast<std::size_t>(pl)].is_signed;
+          const bool b_signed = bplane.is_signed;
+          if (g.int4path) {
+            simt::mma_m8n8k32(dst, a_frag, b_frag, dst, a_signed, b_signed,
+                              kc);
+          } else {
+            simt::mma_m8n8k16(dst, a_frag, b_frag, dst, a_signed, b_signed,
+                              kc);
+          }
+        }
+      }
+    }
+  }
+
+  // Epilogue: weighted plane combine, write the BCRS value range.
+  for (int w = 0; w < 2; ++w) {
+    for (int lane = 0; lane < 32; ++lane) {
+      const int row = lane / 4;
+      if (row >= g.v) continue;
+      for (int cc = 0; cc < 2; ++cc) {
+        const int slot_in_warp = 2 * (lane % 4) + cc;
+        const std::uint32_t slot_in_block =
+            static_cast<std::uint32_t>(w * 8 + slot_in_warp);
+        if (slot_in_block >= valid) continue;
+        std::int64_t total = 0;
+        for (int pl = 0; pl < g.p; ++pl) {
+          for (int qq = 0; qq < g.q; ++qq) {
+            total += a.planes[static_cast<std::size_t>(pl)].weight *
+                     b.planes[static_cast<std::size_t>(qq)].weight *
+                     acc_at(w, pl, qq).c[static_cast<std::size_t>(lane)]
+                         [static_cast<std::size_t>(cc)];
+          }
+        }
+        const std::size_t vec = slot_base + slot_in_block;
+        (*args.c_values)[vec * v + static_cast<std::size_t>(row)] =
+            static_cast<std::int32_t>(total);
+      }
+    }
+  }
+  kc.alu_ops += static_cast<std::uint64_t>(2 * 2 * g.p * g.q);
+  kc.syncthreads += 1;
+
+  const EpilogueCounts e = epilogue_counts(g, valid);
+  kc.smem_store_requests += e.smem_store_req;
+  kc.smem_store_transactions += e.smem_store_req;
+  kc.smem_load_requests += e.smem_load_req;
+  kc.smem_load_transactions += e.smem_load_req;
+  kc.gmem_store_requests += e.gmem_store_req;
+  kc.gmem_store_sectors += e.gmem_store_sectors;
+}
+
+}  // namespace
+
+SddmmResult sddmm(const DenseOperand& a, const DenseOperand& b,
+                  const sparse::BlockPattern& pattern,
+                  const SddmmConfig& cfg) {
+  pattern.validate();
+  MAGICUBE_CHECK(a.row_major && !b.row_major);
+  MAGICUBE_CHECK(a.cols == b.rows);
+  MAGICUBE_CHECK(a.rows == pattern.rows && b.cols == pattern.cols);
+  const std::size_t k = a.cols;
+  // Alignment needed for the closed-form sector counts (segments never
+  // straddle a 32-byte sector): K % 32 on the int8 path, K % 64 on int4.
+  MAGICUBE_CHECK_MSG(k % (stride_for(cfg.precision) == 32 ? 64 : 32) == 0,
+                     "K alignment requirement violated");
+
+  Geom g = make_geom(cfg.precision, static_cast<int>(a.plane_count()),
+                     static_cast<int>(b.plane_count()),
+                     pattern.vector_length, k, cfg.prefetch);
+  const BlockMap map = make_block_map(pattern);
+
+  simt::LaunchConfig launch;
+  launch.grid_blocks = map.row.size();
+  launch.warps_per_block = cfg.warps_per_block;
+  launch.smem_bytes_per_block = g.smem_bytes;
+
+  SddmmResult result;
+  result.c.rows = pattern.rows;
+  result.c.cols = pattern.cols;
+  result.c.vector_length = pattern.vector_length;
+  result.c.row_ptr = pattern.row_ptr;
+  result.c.col_idx = pattern.col_idx;
+  result.c.values.assign(
+      pattern.vector_count() * static_cast<std::size_t>(g.v), 0);
+
+  BlockArgs args{&a, &b, &pattern, &g, &map, &result.c.values};
+  result.run = simt::run_grid(
+      launch, [&](simt::BlockContext& ctx) { run_block(ctx, args); });
+
+  result.run.pipeline.total_steps = map.row.size() * g.steps;
+  // LHS prefetching never hides the RHS register-load chain (see header).
+  result.run.pipeline.prefetch = false;
+  result.run.counters.dram_bytes = sddmm_dram_bytes(g, pattern);
+  result.c.validate();
+  return result;
+}
+
+simt::KernelRun sddmm_estimate(const sparse::BlockPattern& pattern,
+                               std::size_t k_depth, const SddmmConfig& cfg) {
+  MAGICUBE_CHECK(k_depth % (stride_for(cfg.precision) == 32 ? 64 : 32) == 0);
+  const int p_planes = quant::plane_count(
+      cfg.precision.lhs, bits_of(cfg.precision.rhs) <= 4 ? 4 : 8);
+  const int q_planes = quant::plane_count(
+      cfg.precision.rhs, bits_of(cfg.precision.rhs) <= 4 ? 4 : 8);
+  Geom g = make_geom(cfg.precision, p_planes, q_planes,
+                     pattern.vector_length, k_depth, cfg.prefetch);
+
+  simt::KernelRun run;
+  run.launch.warps_per_block = cfg.warps_per_block;
+  run.launch.smem_bytes_per_block = g.smem_bytes;
+  run.pipeline.prefetch = false;
+
+  std::uint64_t blocks = 0;
+  for (std::size_t r = 0; r < pattern.vector_rows(); ++r) {
+    const std::uint64_t n_r = pattern.vectors_in_row(r);
+    for (std::uint64_t base = 0; base < n_r; base += kSlotsPerBlock) {
+      const std::uint64_t valid =
+          std::min<std::uint64_t>(kSlotsPerBlock, n_r - base);
+      run.counters += block_counters(g, pattern.row_ptr[r] + base, valid);
+      blocks += 1;
+    }
+  }
+  run.launch.grid_blocks = blocks;
+  run.pipeline.total_steps = blocks * g.steps;
+  run.counters.dram_bytes = sddmm_dram_bytes(g, pattern);
+  return run;
+}
+
+std::uint64_t sddmm_useful_ops(const sparse::BlockPattern& pattern,
+                               std::size_t k_depth) {
+  return 2ull * pattern.nnz() * k_depth;
+}
+
+}  // namespace magicube::core

@@ -1,0 +1,87 @@
+#include "dlmc/dlmc.hpp"
+
+#include <cstdio>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace magicube::dlmc {
+
+const std::vector<std::pair<std::size_t, std::size_t>>& base_shapes() {
+  // GEMM-ized shapes: ResNet-50 1x1/3x3 conv weights (C_out x C_in*k*k for
+  // the pruned pointwise and spatial convs of each stage) and Transformer
+  // base attention/FFN projections. 32 shapes x 8 seeded instances = 256.
+  static const std::vector<std::pair<std::size_t, std::size_t>> shapes = {
+      // ResNet-50 stage 1-2 (conv2_x, conv3_x)
+      {64, 64},     {64, 256},   {256, 64},   {64, 576},
+      {128, 256},   {128, 512},  {512, 128},  {128, 1152},
+      // ResNet-50 stage 3 (conv4_x)
+      {256, 512},   {256, 1024}, {1024, 256}, {256, 2304},
+      {512, 1024},  {512, 2048}, {2048, 512}, {512, 4608},
+      // Transformer-base projections (d_model = 512)
+      {512, 512},   {512, 512},  {2048, 512}, {512, 2048},
+      // Transformer-large projections (d_model = 1024)
+      {1024, 1024}, {4096, 1024},{1024, 4096},{1024, 1024},
+      // Attention-style tall/flat score blocks
+      {256, 256},   {256, 1024}, {1024, 1024},{2048, 2048},
+      // Misc pruned classifier / embedding projections
+      {1000, 2048}, {512, 768},  {768, 768},  {768, 3072},
+  };
+  return shapes;
+}
+
+std::vector<MatrixSpec> collection(double sparsity, std::size_t count) {
+  const auto& shapes = base_shapes();
+  std::vector<MatrixSpec> out;
+  out.reserve(count);
+  std::size_t i = 0;
+  while (out.size() < count) {
+    const auto& [r, c] = shapes[i % shapes.size()];
+    const std::size_t instance = i / shapes.size();
+    MatrixSpec s;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "dlmc%03zu_%zux%zu_s%.2f_i%zu", i, r, c,
+                  sparsity, instance);
+    s.name = buf;
+    s.rows = r;
+    s.cols = c;
+    s.sparsity = sparsity;
+    // Alternate placement styles: even instances uniform (random pruning),
+    // odd instances banded (magnitude pruning concentrates survivors).
+    s.kind = (instance % 2 == 0) ? PatternKind::uniform : PatternKind::banded;
+    s.seed = 0x0d19c000ull + i * 7919ull +
+             static_cast<std::uint64_t>(sparsity * 1000.0);
+    out.push_back(std::move(s));
+    ++i;
+  }
+  return out;
+}
+
+MatrixSpec ablation_matrix(double sparsity) {
+  MatrixSpec s;
+  s.name = "ablation_256x2304";
+  s.rows = 256;
+  s.cols = 2304;
+  s.sparsity = sparsity;
+  s.kind = PatternKind::uniform;
+  s.seed = 0xab1a7e5ull;
+  return s;
+}
+
+sparse::BlockPattern instantiate(const MatrixSpec& spec, int vector_length) {
+  MAGICUBE_CHECK(vector_length >= 1 && vector_length <= 8);
+  Rng rng(spec.seed);
+  const std::size_t rows =
+      spec.rows * static_cast<std::size_t>(vector_length);
+  switch (spec.kind) {
+    case PatternKind::banded:
+      return sparse::make_banded_pattern(rows, spec.cols, vector_length,
+                                         spec.sparsity, 0.15, rng);
+    case PatternKind::uniform:
+    default:
+      return sparse::make_uniform_pattern(rows, spec.cols, vector_length,
+                                          spec.sparsity, rng);
+  }
+}
+
+}  // namespace magicube::dlmc

@@ -1,0 +1,55 @@
+#pragma once
+// Synthetic Deep Learning Matrix Collection (DLMC).
+//
+// The paper evaluates on 1,536 matrices from Google's DLMC dataset: for each
+// sparsity in {0.5, 0.7, 0.8, 0.9, 0.95, 0.98}, 256 matrices covering the
+// pruned layers of ResNet-50 and part of the Transformer layers, each
+// *dilated* by replacing scalars with 1-D vectors of length V in {2, 4, 8}
+// (§V). The dataset itself is a download; what the experiments consume is
+// its distribution of shapes and sparsities. This module regenerates that
+// population deterministically: the GEMM-ized layer shapes of ResNet-50
+// bottleneck blocks and Transformer projection/FFN layers, 8 seeded
+// instances each, with a mix of uniform and magnitude-pruning-like banded
+// nonzero placements.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparse/pattern.hpp"
+
+namespace magicube::dlmc {
+
+enum class PatternKind { uniform, banded };
+
+/// One matrix of the collection (pre-dilation scalar shape).
+struct MatrixSpec {
+  std::string name;       // e.g. "rn50_bottleneck_3_s0.9_i4"
+  std::size_t rows = 0;   // scalar rows before dilation
+  std::size_t cols = 0;
+  double sparsity = 0.0;
+  PatternKind kind = PatternKind::uniform;
+  std::uint64_t seed = 0;
+};
+
+/// The scalar layer shapes the collection draws from (rows, cols).
+const std::vector<std::pair<std::size_t, std::size_t>>& base_shapes();
+
+/// The 256-matrix slice of the collection at one sparsity level.
+std::vector<MatrixSpec> collection(double sparsity, std::size_t count = 256);
+
+/// The matrix used for the paper's Fig. 11 ablation (M=256, K=2304).
+MatrixSpec ablation_matrix(double sparsity);
+
+/// Dilates a spec into a concrete V x 1 block pattern: each scalar row
+/// becomes a band of V rows (the paper's dilation), so the pattern is
+/// (rows * V) x cols with round((1-sparsity) * cols) vectors per vector row.
+sparse::BlockPattern instantiate(const MatrixSpec& spec, int vector_length);
+
+/// The six sparsity levels of the evaluation.
+inline const std::vector<double>& sparsity_levels() {
+  static const std::vector<double> levels = {0.5, 0.7, 0.8, 0.9, 0.95, 0.98};
+  return levels;
+}
+
+}  // namespace magicube::dlmc

@@ -1,0 +1,53 @@
+#include "quant/decompose.hpp"
+
+namespace magicube::quant {
+
+void decompose_value(std::int32_t v, Scalar source, int chunk_bits,
+                     std::int32_t* chunks_out) {
+  MAGICUBE_CHECK(chunk_bits == 4 || chunk_bits == 8);
+  const int nbits = bits_of(source);
+  const int n = plane_count(source, chunk_bits);
+  const std::uint32_t raw = encode_twos_complement(v, nbits);
+  for (int i = 0; i < n; ++i) {
+    const int lo = i * chunk_bits;
+    const int width = (i == n - 1) ? nbits - lo : chunk_bits;
+    const std::uint32_t chunk = (raw >> lo) & ((1u << width) - 1u);
+    const bool top_signed = is_signed(source) && i == n - 1;
+    chunks_out[i] = top_signed ? sign_extend(chunk, width)
+                               : static_cast<std::int32_t>(chunk);
+  }
+}
+
+PlaneSet decompose(const PackedBuffer& src, int chunk_bits) {
+  MAGICUBE_CHECK(chunk_bits == 4 || chunk_bits == 8);
+  const Scalar source = src.type();
+  const int n = plane_count(source, chunk_bits);
+  const int nbits = bits_of(source);
+  MAGICUBE_CHECK_MSG(nbits % chunk_bits == 0 || chunk_bits == 4,
+                     "12-bit sources decompose into 4-bit chunks only");
+
+  PlaneSet out;
+  out.source_type = source;
+  out.planes.reserve(static_cast<std::size_t>(n));
+  const Scalar u_chunk = chunk_bits == 4 ? Scalar::u4 : Scalar::u8;
+  const Scalar s_chunk = chunk_bits == 4 ? Scalar::s4 : Scalar::s8;
+
+  std::int64_t weight = 1;
+  for (int i = 0; i < n; ++i) {
+    Plane p;
+    p.is_signed = is_signed(source) && i == n - 1;
+    p.weight = weight;
+    p.values = PackedBuffer(src.size(), p.is_signed ? s_chunk : u_chunk);
+    out.planes.push_back(std::move(p));
+    weight <<= chunk_bits;
+  }
+
+  std::int32_t chunks[8];
+  for (std::size_t e = 0; e < src.size(); ++e) {
+    decompose_value(src.get(e), source, chunk_bits, chunks);
+    for (int i = 0; i < n; ++i) out.planes[static_cast<std::size_t>(i)].values.set(e, chunks[i]);
+  }
+  return out;
+}
+
+}  // namespace magicube::quant

@@ -1,0 +1,52 @@
+#pragma once
+// Quantization of floating-point tensors to low-precision integers.
+//
+// Magicube's end-to-end pipeline (paper Fig. 16) quantizes Q, K, V and the
+// softmax output symmetrically to signed integers; dequantization is fused
+// into kernel epilogues. We implement per-tensor symmetric quantization for
+// signed targets (the scheme of Wu et al. referenced by the paper) and
+// asymmetric min-max for unsigned targets (used in emulation tests).
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/matrix.hpp"
+#include "common/packed.hpp"
+#include "common/precision.hpp"
+
+namespace magicube::quant {
+
+struct QuantParams {
+  float scale = 1.0f;        // real_value ~= scale * (q - zero_point)
+  std::int32_t zero_point = 0;
+  Scalar type = Scalar::s8;
+};
+
+/// Symmetric per-tensor parameters: scale = max|x| / max_q, zero_point = 0.
+/// Requires a signed target type.
+QuantParams choose_symmetric(const float* data, std::size_t n, Scalar type);
+
+/// Asymmetric min-max parameters for unsigned targets.
+QuantParams choose_asymmetric(const float* data, std::size_t n, Scalar type);
+
+/// Quantizes one value (round-to-nearest, saturating to the type's range).
+std::int32_t quantize_value(float x, const QuantParams& p);
+
+/// Dequantizes one value.
+inline float dequantize_value(std::int32_t q, const QuantParams& p) {
+  return p.scale * static_cast<float>(q - p.zero_point);
+}
+
+/// Quantizes a dense float matrix into a packed buffer (row-major order).
+PackedBuffer quantize(const Matrix<float>& m, const QuantParams& p);
+
+/// Dequantizes a packed buffer back to a dense float matrix.
+Matrix<float> dequantize(const PackedBuffer& q, std::size_t rows,
+                         std::size_t cols, const QuantParams& p);
+
+/// Worst-case absolute rounding error of symmetric quantization: scale / 2.
+inline float max_rounding_error(const QuantParams& p) { return p.scale * 0.5f; }
+
+}  // namespace magicube::quant

@@ -1,0 +1,90 @@
+#pragma once
+// Converts counted hardware events into time on the simulated device.
+//
+// The model is a multi-resource roofline plus two serial terms:
+//
+//   T = max( T_mma, T_smem, T_alu, T_shfl, T_fp32, T_L2, T_DRAM )
+//       + T_exposed_latency + launches * launch_overhead
+//
+// SM-level resources (mma pipes, shared memory, CUDA-core ALU/shuffle) are
+// divided over the SMs an occupancy model says can be used, with wave
+// quantization (a grid of 120 blocks on 108 SMs takes two waves at one
+// block/SM). L2 and DRAM are device-wide. Exposed memory latency models the
+// dependent load->use chain of each pipeline step; software pipelining
+// (Algorithm 1 of the paper) reduces the chain to the cold-start step, which
+// is exactly the mechanism by which the prefetch variant wins in Fig. 11.
+//
+// This is not a cycle-accurate simulator; it is an event-driven analytical
+// model whose *inputs* (transactions, conflicts, mma issues, step counts)
+// come from faithfully simulated kernels. The paper's conclusions are about
+// those inputs, so the comparative shapes survive the abstraction.
+
+#include <cstdint>
+
+#include "simt/counters.hpp"
+#include "simt/device_spec.hpp"
+
+namespace magicube::simt {
+
+struct LaunchConfig {
+  std::uint64_t grid_blocks = 1;
+  int warps_per_block = 2;
+  std::uint64_t smem_bytes_per_block = 0;
+};
+
+/// Dependent-step structure of the kernel, for the latency term.
+struct PipelineShape {
+  /// Sum over blocks of the number of serial accumulation steps
+  /// (nnz/BSk for SpMM, K/BSk for SDDMM).
+  std::uint64_t total_steps = 0;
+  /// True when the kernel double-buffers (Algorithm 1): global-memory
+  /// latency is overlapped with mma except for each block's cold start.
+  bool prefetch = false;
+};
+
+/// Everything the cost model needs about one kernel invocation.
+struct KernelRun {
+  LaunchConfig launch;
+  PipelineShape pipeline;
+  KernelCounters counters;
+  int kernel_launches = 1;
+
+  KernelRun& merge(const KernelRun& o) {
+    // Used by multi-kernel schedules (e.g. emulated precisions issuing one
+    // kernel per plane, or end-to-end layers); geometry of the first run is
+    // kept for occupancy, steps and counters accumulate.
+    pipeline.total_steps += o.pipeline.total_steps;
+    counters += o.counters;
+    kernel_launches += o.kernel_launches;
+    return *this;
+  }
+};
+
+struct CostBreakdown {
+  double mma_cycles = 0;
+  double smem_cycles = 0;
+  double alu_cycles = 0;
+  double shfl_cycles = 0;
+  double fp32_cycles = 0;
+  double l2_cycles = 0;
+  double dram_cycles = 0;
+  double roofline_cycles = 0;   // max of the above
+  double latency_cycles = 0;    // exposed dependent-load latency
+  double launch_seconds = 0;    // host-side launch overhead
+  double total_seconds = 0;
+
+  int blocks_per_sm = 1;   // occupancy result
+  double waves = 1.0;      // grid waves over the device
+  const char* bottleneck = "";
+};
+
+/// Occupancy: how many blocks of this shape fit one SM.
+int blocks_per_sm(const DeviceSpec& dev, const LaunchConfig& cfg);
+
+/// Full cost estimate for one kernel run.
+CostBreakdown estimate_cost(const DeviceSpec& dev, const KernelRun& run);
+
+/// Convenience: seconds only.
+double estimate_seconds(const DeviceSpec& dev, const KernelRun& run);
+
+}  // namespace magicube::simt

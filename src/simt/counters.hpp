@@ -1,0 +1,85 @@
+#pragma once
+// Hardware-event counters collected while a simulated kernel executes.
+//
+// Every simulated instruction stream increments these; the cost model in
+// cost_model.hpp converts them into time. Counters are kept per thread block
+// during execution (blocks run in parallel on the host) and reduced after
+// the grid finishes, so totals are deterministic.
+
+#include <cstdint>
+
+namespace magicube::simt {
+
+struct KernelCounters {
+  // Tensor-core mma instruction counts by operand precision.
+  std::uint64_t mma_int8 = 0;   // m8n8k16 (2048 integer ops each)
+  std::uint64_t mma_int4 = 0;   // m8n8k32 (4096 integer ops each)
+  std::uint64_t mma_fp16 = 0;   // m16n8k16 (4096 flops each)
+
+  // Shared memory: requests are warp-level instructions; transactions are
+  // bank-serialized cycles (transactions > requests means bank conflicts).
+  std::uint64_t smem_load_requests = 0;
+  std::uint64_t smem_load_transactions = 0;
+  std::uint64_t smem_store_requests = 0;
+  std::uint64_t smem_store_transactions = 0;
+
+  // Global memory, counted in 32-byte sectors that reach L2. DRAM traffic is
+  // the compulsory subset (first touch of each sector, assuming the working
+  // set fits L2 — asserted by the kernels that use this).
+  std::uint64_t gmem_load_requests = 0;
+  std::uint64_t gmem_load_sectors = 0;
+  std::uint64_t gmem_store_requests = 0;
+  std::uint64_t gmem_store_sectors = 0;
+  std::uint64_t dram_bytes = 0;
+
+  // CUDA-core work: 32-bit integer ALU ops (mask/shift/or of the online
+  // transpose, pointer math is excluded as it overlaps), warp shuffles,
+  // fp32 ops (softmax, dequantize epilogues), and barriers.
+  std::uint64_t alu_ops = 0;
+  std::uint64_t shfl_ops = 0;
+  std::uint64_t fp32_ops = 0;
+  std::uint64_t syncthreads = 0;
+
+  KernelCounters& operator+=(const KernelCounters& o) {
+    mma_int8 += o.mma_int8;
+    mma_int4 += o.mma_int4;
+    mma_fp16 += o.mma_fp16;
+    smem_load_requests += o.smem_load_requests;
+    smem_load_transactions += o.smem_load_transactions;
+    smem_store_requests += o.smem_store_requests;
+    smem_store_transactions += o.smem_store_transactions;
+    gmem_load_requests += o.gmem_load_requests;
+    gmem_load_sectors += o.gmem_load_sectors;
+    gmem_store_requests += o.gmem_store_requests;
+    gmem_store_sectors += o.gmem_store_sectors;
+    dram_bytes += o.dram_bytes;
+    alu_ops += o.alu_ops;
+    shfl_ops += o.shfl_ops;
+    fp32_ops += o.fp32_ops;
+    syncthreads += o.syncthreads;
+    return *this;
+  }
+
+  friend KernelCounters operator+(KernelCounters a, const KernelCounters& b) {
+    a += b;
+    return a;
+  }
+  friend bool operator==(const KernelCounters&, const KernelCounters&) =
+      default;
+
+  std::uint64_t smem_transactions() const {
+    return smem_load_transactions + smem_store_transactions;
+  }
+  std::uint64_t gmem_sectors() const {
+    return gmem_load_sectors + gmem_store_sectors;
+  }
+  /// Bank-conflict overhead factor (1.0 = conflict-free).
+  double smem_conflict_factor() const {
+    const std::uint64_t req = smem_load_requests + smem_store_requests;
+    return req == 0 ? 1.0
+                    : static_cast<double>(smem_transactions()) /
+                          static_cast<double>(req);
+  }
+};
+
+}  // namespace magicube::simt

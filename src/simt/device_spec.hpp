@@ -1,0 +1,86 @@
+#pragma once
+// Device description for the simulated GPU.
+//
+// All cost-model calibration constants live here and nowhere else. Defaults
+// describe an NVIDIA A100-SXM4-40GB, taken from public documentation:
+//   - 108 SMs at 1.41 GHz
+//   - tensor-core peaks: 312 TFLOP/s fp16, 624 TOP/s int8, 1248 TOP/s int4
+//     (Table II of the paper gives tensor-core + CUDA-core totals; the cost
+//     model uses the tensor-core share, which is where mma executes)
+//   - 192 KB combined L1/shared per SM (164 KB usable as shared memory)
+//   - 40 MB L2 at ~4 TB/s, 1555 GB/s HBM2e
+// `bench/table2_peak_validation` checks that dense mma streams driven through
+// the cost model reach these peaks, so every other experiment inherits a
+// validated calibration.
+
+#include <cstdint>
+#include <string>
+
+namespace magicube::simt {
+
+struct DeviceSpec {
+  std::string name = "A100-SXM4-40GB (simulated)";
+
+  // Execution geometry.
+  int sm_count = 108;
+  double clock_ghz = 1.41;
+  int warp_size = 32;
+  int max_warps_per_sm = 64;
+  int max_blocks_per_sm = 32;
+  std::uint64_t smem_bytes_per_sm = 164 * 1024;
+
+  // Per-SM per-cycle issue rates, derived from the published peaks:
+  //   peak_ops = sm_count * clock * ops_per_sm_cycle.
+  // fp16: 312 TFLOP/s -> 2048 FLOP/SM/cycle (m16n8k16 mma = 4096 FLOP).
+  // int8: 624 TOP/s -> 4096 IOP/SM/cycle (m8n8k16 mma = 2048 IOP).
+  // int4: 1248 TOP/s -> 8192 IOP/SM/cycle (m8n8k32 mma = 4096 IOP).
+  double fp16_ops_per_sm_cycle = 2048.0;
+  double int8_ops_per_sm_cycle = 4096.0;
+  double int4_ops_per_sm_cycle = 8192.0;
+
+  // CUDA-core pipes.
+  double int32_alu_ops_per_sm_cycle = 64.0;
+  double shfl_ops_per_sm_cycle = 32.0;
+  double fp32_ops_per_sm_cycle = 64.0;
+
+  // Shared memory: 32 banks x 4 bytes, one transaction per cycle per SM.
+  int smem_banks = 32;
+  double smem_bytes_per_sm_cycle = 128.0;
+
+  // Memory system. Sector = L2 cache line granularity seen by an SM request.
+  int gmem_sector_bytes = 32;
+  double l2_bandwidth_gbps = 4000.0;
+  double dram_bandwidth_gbps = 1555.0;
+  std::uint64_t l2_capacity_bytes = 40ull * 1024 * 1024;
+  std::uint64_t dram_capacity_bytes = 40ull * 1024 * 1024 * 1024;
+
+  // Latency of a dependent global-memory access chain, and how much of it a
+  // kernel without software pipelining exposes (divided by resident warps).
+  double gmem_latency_cycles = 400.0;
+
+  // Fixed host-side cost of launching one kernel (driver + runtime). This is
+  // what makes tiny kernels flat-line in TOP/s plots, for Magicube and the
+  // vendor baselines alike.
+  double kernel_launch_overhead_us = 3.5;
+
+  double cycles_to_seconds(double cycles) const {
+    return cycles / (clock_ghz * 1e9);
+  }
+
+  // Derived per-SM-cycle DRAM / L2 bytes, used by the roofline composition.
+  double dram_bytes_per_sm_cycle() const {
+    return dram_bandwidth_gbps * 1e9 / (sm_count * clock_ghz * 1e9);
+  }
+  double l2_bytes_per_sm_cycle() const {
+    return l2_bandwidth_gbps * 1e9 / (sm_count * clock_ghz * 1e9);
+  }
+};
+
+/// The default simulated device (A100). Benches and tests share it so every
+/// number in EXPERIMENTS.md refers to one calibration.
+inline const DeviceSpec& a100() {
+  static const DeviceSpec spec{};
+  return spec;
+}
+
+}  // namespace magicube::simt

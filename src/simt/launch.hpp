@@ -1,0 +1,44 @@
+#pragma once
+// Grid launcher: executes the thread blocks of a simulated kernel in
+// parallel on the host, giving each block private shared memory and a
+// private counter set, then reduces counters deterministically.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "simt/cost_model.hpp"
+#include "simt/memory.hpp"
+
+namespace magicube::simt {
+
+/// Per-block execution context handed to the kernel body.
+struct BlockContext {
+  std::size_t block_id = 0;
+  SharedMemory smem;
+  KernelCounters counters;
+
+  explicit BlockContext(std::size_t id, std::size_t smem_bytes)
+      : block_id(id), smem(smem_bytes) {}
+};
+
+/// Runs `body` once per block of the grid (in parallel over host threads;
+/// bodies must only write disjoint outputs) and returns the merged KernelRun.
+/// The caller fills in the pipeline shape afterwards.
+inline KernelRun run_grid(const LaunchConfig& cfg,
+                          const std::function<void(BlockContext&)>& body) {
+  std::vector<KernelCounters> per_block(cfg.grid_blocks);
+  parallel_for(cfg.grid_blocks, [&](std::size_t b) {
+    BlockContext ctx(b, cfg.smem_bytes_per_block);
+    body(ctx);
+    per_block[b] = ctx.counters;
+  });
+
+  KernelRun run;
+  run.launch = cfg;
+  for (const auto& c : per_block) run.counters += c;
+  return run;
+}
+
+}  // namespace magicube::simt

@@ -1,0 +1,62 @@
+#include "simt/memory.hpp"
+
+#include <algorithm>
+
+namespace magicube::simt {
+
+std::uint32_t smem_transactions_for(const LaneAddrs& word_addrs, int banks) {
+  // For each bank, count the number of *distinct* words accessed; the warp
+  // access replays once per extra distinct word in the most-contended bank.
+  // Broadcast (several lanes reading the same word) costs one transaction.
+  std::uint32_t worst = 0;
+  std::array<std::size_t, 32> seen{};  // distinct words per bank, small N
+  std::array<std::array<std::size_t, 32>, 32> words{};
+  std::array<std::uint32_t, 32> counts{};
+  counts.fill(0);
+  for (int lane = 0; lane < 32; ++lane) {
+    const std::size_t w = word_addrs[lane];
+    if (w == kInactiveLane) continue;
+    const int bank = static_cast<int>(w % static_cast<std::size_t>(banks));
+    bool dup = false;
+    for (std::uint32_t i = 0; i < counts[bank]; ++i) {
+      if (words[bank][i] == w) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) {
+      words[bank][counts[bank]] = w;
+      counts[bank] += 1;
+    }
+  }
+  (void)seen;
+  for (int b = 0; b < banks; ++b) worst = std::max(worst, counts[b]);
+  return worst == 0 ? 0 : worst;
+}
+
+std::uint32_t gmem_sectors_for(const LaneAddrs& byte_addrs, int bytes_per_lane,
+                               int sector_bytes) {
+  // Distinct 32-byte sectors across the union of all lanes' byte ranges.
+  std::array<std::size_t, 32 * 8> sectors{};
+  std::size_t n = 0;
+  for (int lane = 0; lane < 32; ++lane) {
+    if (byte_addrs[lane] == kInactiveLane) continue;
+    const std::size_t first = byte_addrs[lane] / sector_bytes;
+    const std::size_t last =
+        (byte_addrs[lane] + static_cast<std::size_t>(bytes_per_lane) - 1) /
+        sector_bytes;
+    for (std::size_t s = first; s <= last; ++s) {
+      bool dup = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (sectors[i] == s) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) sectors[n++] = s;
+    }
+  }
+  return static_cast<std::uint32_t>(n);
+}
+
+}  // namespace magicube::simt

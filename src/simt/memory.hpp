@@ -1,0 +1,118 @@
+#pragma once
+// Simulated shared memory (banked, conflict-counting) and global-memory
+// coalescing analysis.
+//
+// Shared memory on Ampere is organized as 32 banks of 4 bytes; a warp-level
+// access is serialized into one transaction per distinct 32-bit word per
+// bank, with same-word broadcast served in a single transaction. The padded
+// layout of the paper's Fig. 4 exists precisely to make every warp access a
+// single transaction; the "basic" kernel variant of Fig. 11 uses the
+// unpadded layout and the conflicts are *counted here*, not assumed.
+//
+// Global-memory requests coalesce into 32-byte sectors: a warp access costs
+// one transaction per distinct sector touched by its 32 lanes (CUDA C++
+// Programming Guide, "Device Memory Accesses").
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/check.hpp"
+#include "simt/counters.hpp"
+
+namespace magicube::simt {
+
+/// Address value meaning "lane inactive" in warp-wide accesses.
+inline constexpr std::size_t kInactiveLane = std::numeric_limits<std::size_t>::max();
+
+using LaneAddrs = std::array<std::size_t, 32>;
+using LaneWords = std::array<std::uint32_t, 32>;
+
+/// Number of shared-memory transactions needed to serve one warp-wide access
+/// of one 32-bit word per lane (the only access width the kernels use; wider
+/// vector accesses are issued as multiple 32-bit phases by the caller).
+std::uint32_t smem_transactions_for(const LaneAddrs& word_addrs,
+                                    int banks = 32);
+
+/// Number of 32-byte sectors touched by a warp access of `bytes_per_lane`
+/// bytes at the given byte addresses (inactive lanes = kInactiveLane).
+std::uint32_t gmem_sectors_for(const LaneAddrs& byte_addrs, int bytes_per_lane,
+                               int sector_bytes = 32);
+
+/// Per-thread-block shared memory with bank-conflict accounting. Storage is
+/// interpreted as an array of 32-bit words, as on the device.
+class SharedMemory {
+ public:
+  explicit SharedMemory(std::size_t bytes)
+      : words_((bytes + 3) / 4, 0u), byte_size_(bytes) {}
+
+  std::size_t byte_size() const { return byte_size_; }
+
+  /// Warp-wide 32-bit load; addrs are *word* indices; inactive lanes pass
+  /// kInactiveLane and receive 0.
+  LaneWords ld32(const LaneAddrs& word_addrs, KernelCounters& c) const {
+    LaneWords out{};
+    bool any = false;
+    for (int lane = 0; lane < 32; ++lane) {
+      if (word_addrs[lane] == kInactiveLane) continue;
+      MAGICUBE_DCHECK(word_addrs[lane] < words_.size());
+      out[lane] = words_[word_addrs[lane]];
+      any = true;
+    }
+    if (any) {
+      c.smem_load_requests += 1;
+      c.smem_load_transactions += smem_transactions_for(word_addrs);
+    }
+    return out;
+  }
+
+  /// Warp-wide 32-bit store.
+  void st32(const LaneAddrs& word_addrs, const LaneWords& vals,
+            KernelCounters& c) {
+    bool any = false;
+    for (int lane = 0; lane < 32; ++lane) {
+      if (word_addrs[lane] == kInactiveLane) continue;
+      MAGICUBE_DCHECK(word_addrs[lane] < words_.size());
+      words_[word_addrs[lane]] = vals[lane];
+      any = true;
+    }
+    if (any) {
+      c.smem_store_requests += 1;
+      c.smem_store_transactions += smem_transactions_for(word_addrs);
+    }
+  }
+
+  /// Direct (uncounted) word access for test inspection and block epilogues
+  /// whose cost is attributed elsewhere.
+  std::uint32_t peek(std::size_t word) const {
+    MAGICUBE_DCHECK(word < words_.size());
+    return words_[word];
+  }
+  void poke(std::size_t word, std::uint32_t v) {
+    MAGICUBE_DCHECK(word < words_.size());
+    words_[word] = v;
+  }
+
+ private:
+  std::vector<std::uint32_t> words_;
+  std::size_t byte_size_;
+};
+
+/// Counts a warp-wide global load of `bytes_per_lane` per active lane from
+/// byte addresses within one allocation. The functional copy is done by the
+/// caller; this only does the transaction accounting.
+inline void count_gmem_load(const LaneAddrs& byte_addrs, int bytes_per_lane,
+                            KernelCounters& c) {
+  c.gmem_load_requests += 1;
+  c.gmem_load_sectors += gmem_sectors_for(byte_addrs, bytes_per_lane);
+}
+
+inline void count_gmem_store(const LaneAddrs& byte_addrs, int bytes_per_lane,
+                             KernelCounters& c) {
+  c.gmem_store_requests += 1;
+  c.gmem_store_sectors += gmem_sectors_for(byte_addrs, bytes_per_lane);
+}
+
+}  // namespace magicube::simt

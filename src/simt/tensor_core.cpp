@@ -1,0 +1,154 @@
+#include "simt/tensor_core.hpp"
+
+namespace magicube::simt {
+
+namespace {
+
+// Decodes element `idx` of a lane register holding packed `bits`-wide values.
+std::int32_t decode(std::uint32_t reg, int idx, int bits, bool is_signed) {
+  const std::uint32_t raw = (reg >> (idx * bits)) & ((1u << bits) - 1u);
+  return is_signed ? magicube::sign_extend(raw, bits)
+                   : static_cast<std::int32_t>(raw);
+}
+
+// Shared implementation: e = elements per lane register (4 for int8, 8 for
+// int4); the reduction dimension is k = 4 * e.
+template <int kElems, int kBits>
+void mma_impl(AccumFrag& d, const WarpReg& a, const WarpReg& b,
+              const AccumFrag& c, bool a_signed, bool b_signed) {
+  // a_val(i, k): lane i*4 + k/e, element k%e.   (A row-major 8 x 4e)
+  // b_val(k, j): lane j*4 + k/e, element k%e.   (B col-major 4e x 8)
+  for (int lane = 0; lane < 32; ++lane) {
+    const int row = lane / 4;
+    const int col0 = 2 * (lane % 4);
+    for (int cc = 0; cc < 2; ++cc) {
+      const int col = col0 + cc;
+      std::int64_t acc = c.c[lane][cc];
+      for (int k = 0; k < 4 * kElems; ++k) {
+        const std::int32_t av =
+            decode(a[row * 4 + k / kElems], k % kElems, kBits, a_signed);
+        const std::int32_t bv =
+            decode(b[col * 4 + k / kElems], k % kElems, kBits, b_signed);
+        acc += static_cast<std::int64_t>(av) * bv;
+      }
+      // Hardware accumulates in int32 with wraparound semantics.
+      d.c[lane][cc] = static_cast<std::int32_t>(acc);
+    }
+  }
+}
+
+}  // namespace
+
+void mma_m8n8k16(AccumFrag& d, const WarpReg& a, const WarpReg& b,
+                 const AccumFrag& c, bool a_signed, bool b_signed,
+                 KernelCounters& counters) {
+  mma_impl<4, 8>(d, a, b, c, a_signed, b_signed);
+  counters.mma_int8 += 1;
+}
+
+void mma_m8n8k32(AccumFrag& d, const WarpReg& a, const WarpReg& b,
+                 const AccumFrag& c, bool a_signed, bool b_signed,
+                 KernelCounters& counters) {
+  mma_impl<8, 4>(d, a, b, c, a_signed, b_signed);
+  counters.mma_int4 += 1;
+}
+
+WarpReg make_a_frag_int8(const Matrix<std::uint8_t>& a) {
+  MAGICUBE_CHECK(a.rows() == 8 && a.cols() == 16);
+  WarpReg frag{};
+  for (int lane = 0; lane < 32; ++lane) {
+    const std::size_t row = static_cast<std::size_t>(lane / 4);
+    const std::size_t c0 = static_cast<std::size_t>(4 * (lane % 4));
+    std::uint32_t reg = 0;
+    for (int e = 0; e < 4; ++e) {
+      reg |= static_cast<std::uint32_t>(a(row, c0 + static_cast<std::size_t>(e)))
+             << (8 * e);
+    }
+    frag[lane] = reg;
+  }
+  return frag;
+}
+
+WarpReg make_b_frag_int8(const Matrix<std::uint8_t>& b) {
+  MAGICUBE_CHECK(b.rows() == 16 && b.cols() == 8);
+  WarpReg frag{};
+  for (int lane = 0; lane < 32; ++lane) {
+    const std::size_t col = static_cast<std::size_t>(lane / 4);
+    const std::size_t r0 = static_cast<std::size_t>(4 * (lane % 4));
+    std::uint32_t reg = 0;
+    for (int e = 0; e < 4; ++e) {
+      reg |= static_cast<std::uint32_t>(b(r0 + static_cast<std::size_t>(e), col))
+             << (8 * e);
+    }
+    frag[lane] = reg;
+  }
+  return frag;
+}
+
+WarpReg make_a_frag_int4(const Matrix<std::uint8_t>& a) {
+  MAGICUBE_CHECK(a.rows() == 8 && a.cols() == 32);
+  WarpReg frag{};
+  for (int lane = 0; lane < 32; ++lane) {
+    const std::size_t row = static_cast<std::size_t>(lane / 4);
+    const std::size_t c0 = static_cast<std::size_t>(8 * (lane % 4));
+    std::uint32_t reg = 0;
+    for (int e = 0; e < 8; ++e) {
+      reg |= (static_cast<std::uint32_t>(
+                  a(row, c0 + static_cast<std::size_t>(e))) &
+              0xfu)
+             << (4 * e);
+    }
+    frag[lane] = reg;
+  }
+  return frag;
+}
+
+WarpReg make_b_frag_int4(const Matrix<std::uint8_t>& b) {
+  MAGICUBE_CHECK(b.rows() == 32 && b.cols() == 8);
+  WarpReg frag{};
+  for (int lane = 0; lane < 32; ++lane) {
+    const std::size_t col = static_cast<std::size_t>(lane / 4);
+    const std::size_t r0 = static_cast<std::size_t>(8 * (lane % 4));
+    std::uint32_t reg = 0;
+    for (int e = 0; e < 8; ++e) {
+      reg |= (static_cast<std::uint32_t>(
+                  b(r0 + static_cast<std::size_t>(e), col)) &
+              0xfu)
+             << (4 * e);
+    }
+    frag[lane] = reg;
+  }
+  return frag;
+}
+
+Matrix<std::int32_t> accum_to_matrix(const AccumFrag& frag) {
+  Matrix<std::int32_t> m(8, 8);
+  for (int lane = 0; lane < 32; ++lane) {
+    const std::size_t row = static_cast<std::size_t>(lane / 4);
+    const std::size_t c0 = static_cast<std::size_t>(2 * (lane % 4));
+    m(row, c0) = frag.c[lane][0];
+    m(row, c0 + 1) = frag.c[lane][1];
+  }
+  return m;
+}
+
+AccumFrag matrix_to_accum(const Matrix<std::int32_t>& m) {
+  MAGICUBE_CHECK(m.rows() == 8 && m.cols() == 8);
+  AccumFrag frag;
+  for (int lane = 0; lane < 32; ++lane) {
+    const std::size_t row = static_cast<std::size_t>(lane / 4);
+    const std::size_t c0 = static_cast<std::size_t>(2 * (lane % 4));
+    frag.c[lane][0] = m(row, c0);
+    frag.c[lane][1] = m(row, c0 + 1);
+  }
+  return frag;
+}
+
+WarpReg shfl_xor(const WarpReg& v, int lane_mask, KernelCounters& counters) {
+  WarpReg out{};
+  for (int lane = 0; lane < 32; ++lane) out[lane] = v[lane ^ lane_mask];
+  counters.shfl_ops += 1;
+  return out;
+}
+
+}  // namespace magicube::simt

@@ -1,0 +1,76 @@
+#pragma once
+// Bit-exact warp-level Matrix Multiply-Accumulate (mma) primitives.
+//
+// Implements the two integer shapes Magicube uses (paper Table III,
+// smallest-shape choices highlighted there):
+//
+//   mma.m8n8k16  — int8 operands, 8x16 (row-major A) * 16x8 (col-major B)
+//                  accumulated into 8x8 int32.
+//   mma.m8n8k32  — int4 operands, 8x32 * 32x8 into 8x8 int32.
+//
+// Fragment ownership matches PTX / the paper's Fig. 1 exactly:
+//   A: lane t holds row t/4, elements e*(t%4) .. e*(t%4)+e-1  (e = 4 or 8)
+//   B: lane t holds col t/4, rows    e*(t%4) .. e*(t%4)+e-1
+//   C: lane t holds row t/4, cols    2*(t%4) .. 2*(t%4)+1     (int32 each)
+// where each lane's A/B elements are packed into one 32-bit register,
+// element 0 in the least-significant byte/nibble.
+//
+// Signed x unsigned operand combinations are supported, as on the hardware
+// (PTX allows .s8/.u8 and .s4/.u4 independently per operand); the mixed-
+// precision emulation of §IV-D depends on this.
+
+#include <array>
+#include <cstdint>
+
+#include "common/matrix.hpp"
+#include "common/packed.hpp"
+#include "simt/counters.hpp"
+
+namespace magicube::simt {
+
+/// One 32-bit register per lane of a warp.
+using WarpReg = std::array<std::uint32_t, 32>;
+
+/// Accumulator fragment: two int32 per lane (8x8 tile).
+struct AccumFrag {
+  std::array<std::array<std::int32_t, 2>, 32> c{};
+
+  void fill(std::int32_t v) {
+    for (auto& lane : c) lane = {v, v};
+  }
+  friend bool operator==(const AccumFrag&, const AccumFrag&) = default;
+};
+
+/// D = A(8x16 int8) * B(16x8 int8) + C. Counts one int8 mma issue.
+void mma_m8n8k16(AccumFrag& d, const WarpReg& a, const WarpReg& b,
+                 const AccumFrag& c, bool a_signed, bool b_signed,
+                 KernelCounters& counters);
+
+/// D = A(8x32 int4) * B(32x8 int4) + C. Counts one int4 mma issue.
+void mma_m8n8k32(AccumFrag& d, const WarpReg& a, const WarpReg& b,
+                 const AccumFrag& c, bool a_signed, bool b_signed,
+                 KernelCounters& counters);
+
+// ---- Fragment <-> logical-matrix converters (tests, kernel epilogues) ----
+
+/// Builds the A fragment of m8n8k16 from a logical 8x16 matrix of raw bytes.
+WarpReg make_a_frag_int8(const Matrix<std::uint8_t>& a8x16);
+/// Builds the B fragment of m8n8k16 from a logical 16x8 matrix of raw bytes.
+WarpReg make_b_frag_int8(const Matrix<std::uint8_t>& b16x8);
+/// Builds the A fragment of m8n8k32 from a logical 8x32 matrix of raw nibbles.
+WarpReg make_a_frag_int4(const Matrix<std::uint8_t>& a8x32);
+/// Builds the B fragment of m8n8k32 from a logical 32x8 matrix of raw nibbles.
+WarpReg make_b_frag_int4(const Matrix<std::uint8_t>& b32x8);
+
+/// Expands an accumulator fragment into the logical 8x8 int32 tile.
+Matrix<std::int32_t> accum_to_matrix(const AccumFrag& frag);
+/// Packs a logical 8x8 int32 tile into an accumulator fragment.
+AccumFrag matrix_to_accum(const Matrix<std::int32_t>& m8x8);
+
+// ---- Warp shuffle -------------------------------------------------------
+
+/// __shfl_xor_sync over a full warp: lane i receives the value of lane
+/// i ^ lane_mask. Counts one shuffle instruction.
+WarpReg shfl_xor(const WarpReg& v, int lane_mask, KernelCounters& counters);
+
+}  // namespace magicube::simt

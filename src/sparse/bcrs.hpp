@@ -1,0 +1,88 @@
+#pragma once
+// BCRS with 1-D dense blocks (the "column vector sparse encoding" of
+// vectorSparse, paper Fig. 2): row pointers over vector rows, a column index
+// per vector, and vector-major values (each V x 1 block contiguous).
+//
+// Used by (a) the vectorSparse-like fp16 baseline and (b) Magicube's SDDMM
+// output when the consumer is a softmax (§IV-C: "if the subsequent operator
+// is softmax, C is output into BCRS format").
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "sparse/pattern.hpp"
+
+namespace magicube::sparse {
+
+template <typename T>
+struct Bcrs {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  int vector_length = 1;
+
+  std::vector<std::uint32_t> row_ptr;  // vector_rows + 1
+  std::vector<std::uint32_t> col_idx;  // one per vector
+  std::vector<T> values;               // vector-major, V values per vector
+
+  std::size_t vector_rows() const {
+    return rows / static_cast<std::size_t>(vector_length);
+  }
+  std::size_t vector_count() const { return col_idx.size(); }
+  std::size_t nnz() const {
+    return vector_count() * static_cast<std::size_t>(vector_length);
+  }
+
+  void validate() const {
+    MAGICUBE_CHECK(vector_length >= 1);
+    MAGICUBE_CHECK(rows % static_cast<std::size_t>(vector_length) == 0);
+    MAGICUBE_CHECK(row_ptr.size() == vector_rows() + 1);
+    MAGICUBE_CHECK(row_ptr.front() == 0 && row_ptr.back() == col_idx.size());
+    MAGICUBE_CHECK(values.size() ==
+                   col_idx.size() * static_cast<std::size_t>(vector_length));
+    for (std::size_t i = 0; i + 1 < row_ptr.size(); ++i) {
+      MAGICUBE_CHECK(row_ptr[i] <= row_ptr[i + 1]);
+    }
+    for (const auto c : col_idx) MAGICUBE_CHECK(c < cols);
+  }
+
+  Matrix<T> to_dense() const {
+    Matrix<T> out(rows, cols, T{});
+    const std::size_t v = static_cast<std::size_t>(vector_length);
+    for (std::size_t r = 0; r < vector_rows(); ++r) {
+      for (std::uint32_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+        for (std::size_t rb = 0; rb < v; ++rb) {
+          out(r * v + rb, col_idx[i]) = values[i * v + rb];
+        }
+      }
+    }
+    return out;
+  }
+};
+
+/// Builds a BCRS matrix from a pattern and dense values.
+template <typename T>
+Bcrs<T> build_bcrs(const BlockPattern& pattern, const Matrix<T>& dense) {
+  pattern.validate();
+  MAGICUBE_CHECK(dense.rows() == pattern.rows && dense.cols() == pattern.cols);
+  Bcrs<T> out;
+  out.rows = pattern.rows;
+  out.cols = pattern.cols;
+  out.vector_length = pattern.vector_length;
+  out.row_ptr = pattern.row_ptr;
+  out.col_idx = pattern.col_idx;
+  const std::size_t v = static_cast<std::size_t>(pattern.vector_length);
+  out.values.resize(pattern.vector_count() * v);
+  for (std::size_t r = 0; r < pattern.vector_rows(); ++r) {
+    for (std::uint32_t i = pattern.row_ptr[r]; i < pattern.row_ptr[r + 1];
+         ++i) {
+      for (std::size_t rb = 0; rb < v; ++rb) {
+        out.values[i * v + rb] = dense(r * v + rb, pattern.col_idx[i]);
+      }
+    }
+  }
+  out.validate();
+  return out;
+}
+
+}  // namespace magicube::sparse

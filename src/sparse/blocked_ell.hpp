@@ -1,0 +1,132 @@
+#pragma once
+// Blocked-ELL format, as consumed by cuSPARSE's SpMM (the baseline of
+// Fig. 14). Square b x b blocks; every block row stores the same number of
+// blocks (the maximum over rows), padded with zero blocks marked by an
+// invalid column. The paper (after Chen et al.) generates Blocked-ELL
+// instances with the same sparsity and problem size as the 1-D-block
+// matrices; converting a V x 1 pattern to b x b blocks inflates stored
+// zeros, which is one reason the cuSPARSE baseline needs block size >= 8 to
+// profit and still loses to 1-D-block formats at equal model quality.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "sparse/pattern.hpp"
+
+namespace magicube::sparse {
+
+template <typename T>
+struct BlockedEll {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  int block_size = 8;
+  std::size_t ell_width = 0;  // blocks per block row (uniform)
+
+  std::vector<std::uint32_t> block_cols;  // block_rows * ell_width
+  std::vector<T> values;  // per block, row-major, block-row-major order
+
+  std::size_t block_rows() const {
+    return (rows + static_cast<std::size_t>(block_size) - 1) /
+           static_cast<std::size_t>(block_size);
+  }
+  std::size_t block_count() const { return block_cols.size(); }
+  /// Scalars stored (including intra-block padding zeros).
+  std::size_t stored_elems() const {
+    return block_count() * static_cast<std::size_t>(block_size) *
+           static_cast<std::size_t>(block_size);
+  }
+
+  void validate() const {
+    MAGICUBE_CHECK(block_size > 0);
+    MAGICUBE_CHECK(block_cols.size() == block_rows() * ell_width);
+    MAGICUBE_CHECK(values.size() == stored_elems());
+    for (const auto c : block_cols) {
+      MAGICUBE_CHECK(c == kInvalidCol ||
+                     static_cast<std::size_t>(c) * block_size < cols);
+    }
+  }
+
+  Matrix<T> to_dense() const {
+    Matrix<T> out(rows, cols, T{});
+    const std::size_t b = static_cast<std::size_t>(block_size);
+    for (std::size_t br = 0; br < block_rows(); ++br) {
+      for (std::size_t e = 0; e < ell_width; ++e) {
+        const std::uint32_t bc = block_cols[br * ell_width + e];
+        if (bc == kInvalidCol) continue;
+        const T* blk = values.data() + (br * ell_width + e) * b * b;
+        for (std::size_t i = 0; i < b; ++i) {
+          for (std::size_t j = 0; j < b; ++j) {
+            const std::size_t r = br * b + i, c = bc * b + j;
+            if (r < rows && c < cols) out(r, c) = blk[i * b + j];
+          }
+        }
+      }
+    }
+    return out;
+  }
+};
+
+/// Converts a 1-D-block pattern + dense values into Blocked-ELL with square
+/// blocks of `block_size` (covering every nonzero; blocks that intersect any
+/// vector become stored blocks).
+template <typename T>
+BlockedEll<T> build_blocked_ell(const BlockPattern& pattern,
+                                const Matrix<T>& dense, int block_size) {
+  pattern.validate();
+  MAGICUBE_CHECK(block_size > 0);
+  BlockedEll<T> out;
+  out.rows = pattern.rows;
+  out.cols = pattern.cols;
+  out.block_size = block_size;
+  const std::size_t b = static_cast<std::size_t>(block_size);
+  const std::size_t brs = out.block_rows();
+  const std::size_t bcols = (pattern.cols + b - 1) / b;
+
+  // Collect the distinct block columns of each block row.
+  std::vector<std::vector<std::uint32_t>> per_row(brs);
+  const std::size_t v = static_cast<std::size_t>(pattern.vector_length);
+  for (std::size_t r = 0; r < pattern.vector_rows(); ++r) {
+    for (std::uint32_t i = pattern.row_ptr[r]; i < pattern.row_ptr[r + 1];
+         ++i) {
+      const std::uint32_t bc = pattern.col_idx[i] / block_size;
+      // A V x 1 vector can straddle two block rows when V < b never happens
+      // (V <= 8 <= b and rows are V-aligned), but handle generally.
+      const std::size_t r0 = (r * v) / b;
+      const std::size_t r1 = (r * v + v - 1) / b;
+      for (std::size_t br = r0; br <= r1; ++br) {
+        auto& row = per_row[br];
+        if (std::find(row.begin(), row.end(), bc) == row.end()) {
+          row.push_back(bc);
+        }
+      }
+    }
+  }
+  out.ell_width = 0;
+  for (auto& row : per_row) {
+    std::sort(row.begin(), row.end());
+    out.ell_width = std::max(out.ell_width, row.size());
+  }
+  MAGICUBE_CHECK(out.ell_width <= bcols);
+
+  out.block_cols.assign(brs * out.ell_width, kInvalidCol);
+  out.values.assign(out.stored_elems(), T{});
+  for (std::size_t br = 0; br < brs; ++br) {
+    for (std::size_t e = 0; e < per_row[br].size(); ++e) {
+      const std::uint32_t bc = per_row[br][e];
+      out.block_cols[br * out.ell_width + e] = bc;
+      T* blk = out.values.data() + (br * out.ell_width + e) * b * b;
+      for (std::size_t i = 0; i < b; ++i) {
+        for (std::size_t j = 0; j < b; ++j) {
+          const std::size_t r = br * b + i, c = bc * b + j;
+          if (r < pattern.rows && c < pattern.cols) blk[i * b + j] = dense(r, c);
+        }
+      }
+    }
+  }
+  out.validate();
+  return out;
+}
+
+}  // namespace magicube::sparse

@@ -1,0 +1,74 @@
+#pragma once
+// Scalar Compressed Row Storage — the baseline format of Fig. 2 and the
+// reference representation for fine-grained kernels (Sputnik-style) used as
+// functional ground truth in tests.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "sparse/pattern.hpp"
+
+namespace magicube::sparse {
+
+template <typename T>
+struct Crs {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::uint32_t> row_ptr;  // rows + 1
+  std::vector<std::uint32_t> col_idx;
+  std::vector<T> values;
+
+  std::size_t nnz() const { return col_idx.size(); }
+
+  void validate() const {
+    MAGICUBE_CHECK(row_ptr.size() == rows + 1);
+    MAGICUBE_CHECK(row_ptr.front() == 0 && row_ptr.back() == col_idx.size());
+    MAGICUBE_CHECK(values.size() == col_idx.size());
+    for (std::size_t i = 0; i + 1 < row_ptr.size(); ++i) {
+      MAGICUBE_CHECK(row_ptr[i] <= row_ptr[i + 1]);
+    }
+    for (const auto c : col_idx) MAGICUBE_CHECK(c < cols);
+  }
+
+  Matrix<T> to_dense() const {
+    Matrix<T> out(rows, cols, T{});
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::uint32_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+        out(r, col_idx[i]) = values[i];
+      }
+    }
+    return out;
+  }
+};
+
+/// Builds CRS from a dense matrix, keeping entries where keep(r, c) is true.
+template <typename T, typename Keep>
+Crs<T> build_crs(const Matrix<T>& dense, Keep keep) {
+  Crs<T> out;
+  out.rows = dense.rows();
+  out.cols = dense.cols();
+  out.row_ptr.resize(out.rows + 1, 0);
+  for (std::size_t r = 0; r < out.rows; ++r) {
+    for (std::size_t c = 0; c < out.cols; ++c) {
+      if (keep(r, c)) {
+        out.col_idx.push_back(static_cast<std::uint32_t>(c));
+        out.values.push_back(dense(r, c));
+      }
+    }
+    out.row_ptr[r + 1] = static_cast<std::uint32_t>(out.col_idx.size());
+  }
+  out.validate();
+  return out;
+}
+
+/// CRS view of a 1-D-block pattern (each vector expands to V scalar entries).
+template <typename T>
+Crs<T> build_crs_from_pattern(const BlockPattern& pattern,
+                              const Matrix<T>& dense) {
+  const auto mask = pattern_to_dense_mask(pattern);
+  return build_crs<T>(dense,
+                      [&](std::size_t r, std::size_t c) { return mask(r, c); });
+}
+
+}  // namespace magicube::sparse

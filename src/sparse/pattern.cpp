@@ -1,0 +1,196 @@
+#include "sparse/pattern.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace magicube::sparse {
+
+void BlockPattern::validate() const {
+  MAGICUBE_CHECK(vector_length > 0);
+  MAGICUBE_CHECK(rows % static_cast<std::size_t>(vector_length) == 0);
+  MAGICUBE_CHECK(row_ptr.size() == vector_rows() + 1);
+  MAGICUBE_CHECK(row_ptr.front() == 0);
+  MAGICUBE_CHECK(row_ptr.back() == col_idx.size());
+  for (std::size_t r = 0; r < vector_rows(); ++r) {
+    MAGICUBE_CHECK(row_ptr[r] <= row_ptr[r + 1]);
+    for (std::uint32_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+      MAGICUBE_CHECK_MSG(col_idx[i] < cols, "column index out of range");
+      if (i > row_ptr[r]) {
+        MAGICUBE_CHECK_MSG(col_idx[i - 1] < col_idx[i],
+                           "columns must be strictly increasing");
+      }
+    }
+  }
+}
+
+namespace {
+
+// Samples `want` distinct columns in [0, cols) into out (sorted).
+// Partial Fisher-Yates over a scratch index array: O(cols + want log want),
+// fast enough for the 1,536-matrix benchmark sweeps.
+void sample_columns(std::size_t cols, std::size_t want, Rng& rng,
+                    std::vector<std::uint32_t>& out) {
+  MAGICUBE_CHECK(want <= cols);
+  thread_local std::vector<std::uint32_t> scratch;
+  scratch.resize(cols);
+  for (std::size_t i = 0; i < cols; ++i) {
+    scratch[i] = static_cast<std::uint32_t>(i);
+  }
+  for (std::size_t i = 0; i < want; ++i) {
+    const std::size_t j = i + rng.next_below(cols - i);
+    std::swap(scratch[i], scratch[j]);
+  }
+  out.assign(scratch.begin(),
+             scratch.begin() + static_cast<std::ptrdiff_t>(want));
+  std::sort(out.begin(), out.end());
+}
+
+}  // namespace
+
+BlockPattern make_uniform_pattern(std::size_t rows, std::size_t cols,
+                                  int vector_length, double sparsity,
+                                  Rng& rng) {
+  MAGICUBE_CHECK(vector_length > 0 &&
+                 rows % static_cast<std::size_t>(vector_length) == 0);
+  MAGICUBE_CHECK(sparsity >= 0.0 && sparsity <= 1.0);
+  BlockPattern p;
+  p.rows = rows;
+  p.cols = cols;
+  p.vector_length = vector_length;
+  const std::size_t vr = p.vector_rows();
+  const std::size_t per_row = static_cast<std::size_t>(
+      std::lround((1.0 - sparsity) * static_cast<double>(cols)));
+  p.row_ptr.resize(vr + 1, 0);
+  std::vector<std::uint32_t> sample;
+  for (std::size_t r = 0; r < vr; ++r) {
+    sample_columns(cols, per_row, rng, sample);
+    p.col_idx.insert(p.col_idx.end(), sample.begin(), sample.end());
+    p.row_ptr[r + 1] = static_cast<std::uint32_t>(p.col_idx.size());
+  }
+  p.validate();
+  return p;
+}
+
+BlockPattern make_banded_pattern(std::size_t rows, std::size_t cols,
+                                 int vector_length, double sparsity,
+                                 double spread, Rng& rng) {
+  MAGICUBE_CHECK(vector_length > 0 &&
+                 rows % static_cast<std::size_t>(vector_length) == 0);
+  BlockPattern p;
+  p.rows = rows;
+  p.cols = cols;
+  p.vector_length = vector_length;
+  const std::size_t vr = p.vector_rows();
+  const std::size_t per_row = static_cast<std::size_t>(
+      std::lround((1.0 - sparsity) * static_cast<double>(cols)));
+  const double width = std::max(1.0, spread * static_cast<double>(cols));
+  p.row_ptr.resize(vr + 1, 0);
+
+  std::vector<std::uint32_t> picked;
+  std::vector<std::uint8_t> member(cols, 0);
+  for (std::size_t r = 0; r < vr; ++r) {
+    const double center = vr <= 1 ? 0.0
+                                  : static_cast<double>(r) /
+                                        static_cast<double>(vr - 1) *
+                                        static_cast<double>(cols - 1);
+    picked.clear();
+    std::size_t guard = 0;
+    while (picked.size() < per_row && guard++ < per_row * 64 + 64) {
+      const double g = rng.next_normal() * width;
+      long c = std::lround(center + g);
+      if (c < 0 || c >= static_cast<long>(cols)) continue;
+      const std::uint32_t cc = static_cast<std::uint32_t>(c);
+      if (!member[cc]) {
+        member[cc] = 1;
+        picked.push_back(cc);
+      }
+    }
+    // Fill any shortfall deterministically.
+    for (std::uint32_t c = 0; picked.size() < per_row &&
+                              c < static_cast<std::uint32_t>(cols);
+         ++c) {
+      if (!member[c]) {
+        member[c] = 1;
+        picked.push_back(c);
+      }
+    }
+    for (const auto c : picked) member[c] = 0;
+    std::sort(picked.begin(), picked.end());
+    p.col_idx.insert(p.col_idx.end(), picked.begin(), picked.end());
+    p.row_ptr[r + 1] = static_cast<std::uint32_t>(p.col_idx.size());
+  }
+  p.validate();
+  return p;
+}
+
+BlockPattern make_attention_mask_pattern(std::size_t seq_len,
+                                         int vector_length, double sparsity,
+                                         Rng& rng) {
+  // Sliding window around the diagonal plus a few random global columns,
+  // sized so that overall element sparsity matches `sparsity`. Column count
+  // per vector row is fixed, satisfying the V x 1 block constraint.
+  MAGICUBE_CHECK(seq_len % static_cast<std::size_t>(vector_length) == 0);
+  BlockPattern p;
+  p.rows = seq_len;
+  p.cols = seq_len;
+  p.vector_length = vector_length;
+  const std::size_t vr = p.vector_rows();
+  const std::size_t per_row = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::lround(
+             (1.0 - sparsity) * static_cast<double>(seq_len))));
+  const std::size_t window = (per_row * 3) / 4;   // 75% local window
+  const std::size_t globals = per_row - window;   // 25% global tokens
+  p.row_ptr.resize(vr + 1, 0);
+
+  std::vector<std::uint32_t> picked;
+  std::vector<std::uint8_t> member(seq_len, 0);
+  for (std::size_t r = 0; r < vr; ++r) {
+    picked.clear();
+    const long center = static_cast<long>(
+        (r * static_cast<std::size_t>(vector_length)) +
+        static_cast<std::size_t>(vector_length) / 2);
+    const long half = static_cast<long>(window) / 2;
+    for (long c = center - half; picked.size() < window; ++c) {
+      long cc = c;
+      while (cc < 0) cc += static_cast<long>(seq_len);
+      while (cc >= static_cast<long>(seq_len)) {
+        cc -= static_cast<long>(seq_len);
+      }
+      const std::uint32_t u = static_cast<std::uint32_t>(cc);
+      if (!member[u]) {
+        member[u] = 1;
+        picked.push_back(u);
+      }
+    }
+    std::size_t guard = 0;
+    while (picked.size() < window + globals && guard++ < seq_len * 4) {
+      const std::uint32_t u =
+          static_cast<std::uint32_t>(rng.next_below(seq_len));
+      if (!member[u]) {
+        member[u] = 1;
+        picked.push_back(u);
+      }
+    }
+    for (const auto u : picked) member[u] = 0;
+    std::sort(picked.begin(), picked.end());
+    p.col_idx.insert(p.col_idx.end(), picked.begin(), picked.end());
+    p.row_ptr[r + 1] = static_cast<std::uint32_t>(p.col_idx.size());
+  }
+  p.validate();
+  return p;
+}
+
+Matrix<std::uint8_t> pattern_to_dense_mask(const BlockPattern& p) {
+  Matrix<std::uint8_t> m(p.rows, p.cols, 0);
+  const std::size_t v = static_cast<std::size_t>(p.vector_length);
+  for (std::size_t r = 0; r < p.vector_rows(); ++r) {
+    for (std::uint32_t i = p.row_ptr[r]; i < p.row_ptr[r + 1]; ++i) {
+      for (std::size_t dv = 0; dv < v; ++dv) {
+        m(r * v + dv, p.col_idx[i]) = 1;
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace magicube::sparse

@@ -1,0 +1,81 @@
+#pragma once
+// Structured sparsity pattern with 1-D column-vector blocks.
+//
+// Magicube (like vectorSparse) constrains the nonzero layout of the sparse
+// operand to dense 1-D blocks of shape V x 1 (V consecutive rows, one
+// column), V in {2, 4, 8}. A pattern is therefore described per *vector row*
+// (a band of V matrix rows): which columns carry a dense vector. This is the
+// shared skeleton from which every concrete format (BCRS, SR-BCRS,
+// Blocked-ELL) and the benchmark matrices are built.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace magicube::sparse {
+
+/// Sentinel column index used for padding slots (the paper's "*" entries).
+inline constexpr std::uint32_t kInvalidCol = 0xffffffffu;
+
+struct BlockPattern {
+  std::size_t rows = 0;      // M, a multiple of V
+  std::size_t cols = 0;      // K
+  int vector_length = 1;     // V
+
+  /// CSR-style over vector rows: vector row r owns vectors
+  /// [row_ptr[r], row_ptr[r+1]) of col_idx.
+  std::vector<std::uint32_t> row_ptr;
+  std::vector<std::uint32_t> col_idx;  // strictly increasing within a row
+
+  std::size_t vector_rows() const {
+    return rows / static_cast<std::size_t>(vector_length);
+  }
+  std::size_t vector_count() const { return col_idx.size(); }
+  /// Number of nonzero scalars.
+  std::size_t nnz() const {
+    return vector_count() * static_cast<std::size_t>(vector_length);
+  }
+  /// Element sparsity in [0, 1].
+  double sparsity() const {
+    return rows * cols == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(nnz()) /
+                           static_cast<double>(rows * cols);
+  }
+  std::size_t vectors_in_row(std::size_t r) const {
+    return row_ptr[r + 1] - row_ptr[r];
+  }
+
+  /// Structural validation (monotone pointers, in-range sorted columns).
+  void validate() const;
+};
+
+/// Uniform random pattern: every vector row holds round((1-sparsity)*K)
+/// distinct columns, sampled without replacement. This mirrors how the DLMC
+/// benchmark set is dilated in §V of the paper (a scalar sparse matrix's
+/// rows become vector rows).
+BlockPattern make_uniform_pattern(std::size_t rows, std::size_t cols,
+                                  int vector_length, double sparsity,
+                                  Rng& rng);
+
+/// Banded/clustered pattern: nonzero columns cluster around the diagonal
+/// band, as magnitude-pruned attention and weight matrices do. `spread`
+/// controls cluster width as a fraction of K.
+BlockPattern make_banded_pattern(std::size_t rows, std::size_t cols,
+                                 int vector_length, double sparsity,
+                                 double spread, Rng& rng);
+
+/// Pattern of a sliding-window + global-token sparse attention mask
+/// (Sparse-Transformer/Longformer style) over an L x L score matrix,
+/// honouring the 8x1 vector constraint used by the paper's case study.
+BlockPattern make_attention_mask_pattern(std::size_t seq_len,
+                                         int vector_length, double sparsity,
+                                         Rng& rng);
+
+/// Expands a pattern into a dense 0/1 indicator matrix (tests, mask use).
+Matrix<std::uint8_t> pattern_to_dense_mask(const BlockPattern& p);
+
+}  // namespace magicube::sparse

@@ -1,0 +1,96 @@
+#pragma once
+// SR-BCRS — Strided Row-major Block Compressed Row Storage (paper §IV-A).
+//
+// The format difference from BCRS is the storage order of the dense 1-D
+// blocks: vectors of a vector row are grouped into *strides* of length equal
+// to the mma reduction dimension (16 for int8, 32 for int4), and within a
+// stride the V x stride tile is stored row-major. A warp can then load the
+// LHS fragment of an mma with consecutive addresses — the layout requirement
+// of Fig. 1 is met for free. Rows whose vector count is not a multiple of
+// the stride are zero-padded, and their column indices padded with an
+// invalid marker (the "*" of Fig. 2).
+//
+// Two row pointers per vector row (2M total, §IV-A) delimit the padded
+// region: [first_ptr[r], end_ptr[r]) in slot units, end - first always a
+// multiple of the stride.
+//
+// For the int4 kernels the format is additionally "shuffled": column indices
+// (and, consistently, the stored value columns) are permuted block-of-8-wise
+// by {0,2,4,6,1,3,5,7} so that the nibble-level register transpose of Fig. 7
+// lands results in natural order using only int32-granularity bit ops.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/packed.hpp"
+#include "common/precision.hpp"
+#include "common/rng.hpp"
+#include "sparse/pattern.hpp"
+
+namespace magicube::sparse {
+
+/// The block-of-8 shuffle order: stored position p holds original slot
+/// kShuffleOrder[p] of each aligned group of 8 slots.
+inline constexpr std::array<int, 8> kShuffleOrder = {0, 2, 4, 6, 1, 3, 5, 7};
+
+struct SrBcrs {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  int vector_length = 1;  // V <= 8
+  int stride = 16;        // mma reduction dimension (16: int8, 32: int4)
+  bool shuffled = false;
+
+  std::vector<std::uint32_t> first_ptr;  // per vector row, in slots
+  std::vector<std::uint32_t> end_ptr;    // one past the padded last slot
+  std::vector<std::uint32_t> col_idx;    // one per slot, kInvalidCol = pad
+  PackedBuffer values;                   // slot_count * V elements
+
+  std::size_t vector_rows() const {
+    return rows / static_cast<std::size_t>(vector_length);
+  }
+  std::size_t slot_count() const { return col_idx.size(); }
+  /// Valid (unpadded) vectors in row r. With shuffling, padded slots may be
+  /// interleaved; this counts non-invalid columns.
+  std::size_t valid_vectors_in_row(std::size_t r) const;
+  /// Strides (accumulation steps) in row r.
+  std::size_t strides_in_row(std::size_t r) const {
+    return (end_ptr[r] - first_ptr[r]) / static_cast<std::size_t>(stride);
+  }
+  /// Total nonzero scalars (excludes padding).
+  std::size_t nnz() const;
+
+  /// Flat value index of (slot, row-in-block). Slots are global; the stride
+  /// group is derived from the slot's offset within its row, so the caller
+  /// passes the row's first_ptr-aligned group base.
+  std::size_t value_index(std::size_t slot_base_of_group,
+                          std::size_t offset_in_group,
+                          std::size_t row_in_block) const {
+    return slot_base_of_group * static_cast<std::size_t>(vector_length) +
+           row_in_block * static_cast<std::size_t>(stride) + offset_in_group;
+  }
+
+  /// Structural invariants (pointer monotonicity, stride alignment, padding
+  /// discipline: invalid columns carry zero values).
+  void validate() const;
+
+  /// Expands to a dense matrix (padding contributes nothing).
+  Matrix<std::int32_t> to_dense() const;
+};
+
+/// Builds SR-BCRS from a pattern and a dense value matrix (values outside
+/// the pattern are ignored; values inside must fit `type`).
+SrBcrs build_sr_bcrs(const BlockPattern& pattern,
+                     const Matrix<std::int32_t>& dense, Scalar type,
+                     int stride);
+
+/// Builds SR-BCRS with uniform random values over the full range of `type`.
+SrBcrs build_sr_bcrs_random(const BlockPattern& pattern, Scalar type,
+                            int stride, Rng& rng);
+
+/// Applies the block-of-8 column shuffle to an unshuffled matrix (column
+/// indices and value columns permuted consistently); returns a copy with
+/// `shuffled = true`. Requires stride % 8 == 0.
+SrBcrs shuffle_columns(const SrBcrs& in);
+
+}  // namespace magicube::sparse

@@ -1,0 +1,267 @@
+#include "transformer/attention.hpp"
+
+#include <cmath>
+
+#include "baselines/dense_gemm.hpp"
+#include "baselines/vector_sparse_like.hpp"
+#include "core/api.hpp"
+#include "quant/quantizer.hpp"
+#include "transformer/ops.hpp"
+
+namespace magicube::transformer {
+
+const char* to_string(AttentionScheme s) {
+  switch (s) {
+    case AttentionScheme::dense_fp16: return "PyTorch(cuDNN,fp16)";
+    case AttentionScheme::vector_sparse_fp16: return "vectorSparse(fp16)";
+    case AttentionScheme::magicube_16b_8b: return "Magicube(16b-8b)";
+    case AttentionScheme::magicube_8b_8b: return "Magicube(8b-8b)";
+    case AttentionScheme::magicube_8b_4b: return "Magicube(8b-4b)";
+    case AttentionScheme::magicube_4b_4b: return "Magicube(4b-4b)";
+  }
+  return "?";
+}
+
+bool is_magicube(AttentionScheme s) {
+  return s != AttentionScheme::dense_fp16 &&
+         s != AttentionScheme::vector_sparse_fp16;
+}
+
+int softmax_bits(AttentionScheme s) {
+  switch (s) {
+    case AttentionScheme::magicube_16b_8b: return 16;
+    case AttentionScheme::magicube_8b_8b:
+    case AttentionScheme::magicube_8b_4b: return 8;
+    case AttentionScheme::magicube_4b_4b: return 4;
+    default: return 16;
+  }
+}
+
+int qkv_bits(AttentionScheme s) {
+  switch (s) {
+    case AttentionScheme::magicube_16b_8b:
+    case AttentionScheme::magicube_8b_8b: return 8;
+    case AttentionScheme::magicube_8b_4b:
+    case AttentionScheme::magicube_4b_4b: return 4;
+    default: return 16;
+  }
+}
+
+namespace {
+
+Scalar scalar_for_bits(int bits) {
+  switch (bits) {
+    case 4: return Scalar::s4;
+    case 8: return Scalar::s8;
+    default: return Scalar::s16;
+  }
+}
+
+Matrix<half> to_half(const Matrix<float>& m) {
+  Matrix<half> out(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.size(); ++i) out.data()[i] = half(m.data()[i]);
+  return out;
+}
+
+Matrix<std::int32_t> quantize_to_int(const Matrix<float>& m,
+                                     const quant::QuantParams& p) {
+  Matrix<std::int32_t> out(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    out.data()[i] = quant::quantize_value(m.data()[i], p);
+  }
+  return out;
+}
+
+Matrix<float> dense_fp16_attention(const Matrix<float>& q,
+                                   const Matrix<float>& k,
+                                   const Matrix<float>& v,
+                                   const sparse::BlockPattern& mask,
+                                   std::vector<simt::KernelRun>* runs) {
+  const std::size_t l = q.rows(), dk = q.cols();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dk));
+  Matrix<float> scores = matmul_transposed_b(q, k);
+  const auto mask_dense = sparse::pattern_to_dense_mask(mask);
+  for (std::size_t i = 0; i < l; ++i) {
+    for (std::size_t j = 0; j < l; ++j) {
+      scores(i, j) = mask_dense(i, j)
+                         ? float(half(scores(i, j) * scale))
+                         : -3.0e4f;  // masked out (finite in fp16)
+    }
+  }
+  softmax_rows(scores, /*round_fp16=*/true);
+  Matrix<half> attn = to_half(scores);
+  const auto out = baselines::dense_gemm_fp16(attn, to_half(v));
+  if (runs) {
+    runs->push_back(baselines::dense_gemm_fp16_estimate(l, l, dk));
+    runs->push_back(elementwise_kernel(l * l, 2.0, 6.0));  // mask+scale
+    runs->push_back(softmax_kernel(l * l, 2));
+    runs->push_back(baselines::dense_gemm_fp16_estimate(l, dk, l));
+  }
+  Matrix<float> result(l, dk);
+  for (std::size_t i = 0; i < result.size(); ++i) {
+    result.data()[i] = float(out.c.data()[i]);
+  }
+  return result;
+}
+
+Matrix<float> vector_sparse_attention(const Matrix<float>& q,
+                                      const Matrix<float>& k,
+                                      const Matrix<float>& v,
+                                      const sparse::BlockPattern& mask,
+                                      std::vector<simt::KernelRun>* runs) {
+  const std::size_t l = q.rows(), dk = q.cols();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dk));
+
+  // SDDMM in fp16: B is K^T (dk x l).
+  Matrix<half> kt(dk, l);
+  for (std::size_t i = 0; i < l; ++i) {
+    for (std::size_t d = 0; d < dk; ++d) kt(d, i) = half(k(i, d));
+  }
+  auto sddmm = baselines::vs_sddmm(to_half(q), kt, mask);
+
+  sparse::Bcrs<float> scores;
+  scores.rows = sddmm.c.rows;
+  scores.cols = sddmm.c.cols;
+  scores.vector_length = sddmm.c.vector_length;
+  scores.row_ptr = sddmm.c.row_ptr;
+  scores.col_idx = sddmm.c.col_idx;
+  scores.values.resize(sddmm.c.values.size());
+  for (std::size_t i = 0; i < scores.values.size(); ++i) {
+    scores.values[i] = float(sddmm.c.values[i]) * scale;
+  }
+  softmax_sparse_rows(scores, /*round_fp16=*/true);
+
+  sparse::Bcrs<half> attn;
+  attn.rows = scores.rows;
+  attn.cols = scores.cols;
+  attn.vector_length = scores.vector_length;
+  attn.row_ptr = scores.row_ptr;
+  attn.col_idx = scores.col_idx;
+  attn.values.resize(scores.values.size());
+  for (std::size_t i = 0; i < attn.values.size(); ++i) {
+    attn.values[i] = half(scores.values[i]);
+  }
+  auto spmm = baselines::vs_spmm(attn, to_half(v));
+  if (runs) {
+    runs->push_back(sddmm.run);
+    runs->push_back(softmax_kernel(mask.nnz(), 2));
+    runs->push_back(spmm.run);
+  }
+  Matrix<float> result(l, dk);
+  for (std::size_t i = 0; i < result.size(); ++i) {
+    result.data()[i] = float(spmm.c.data()[i]);
+  }
+  return result;
+}
+
+Matrix<float> magicube_attention(const Matrix<float>& q,
+                                 const Matrix<float>& k,
+                                 const Matrix<float>& v,
+                                 const sparse::BlockPattern& mask,
+                                 AttentionScheme scheme,
+                                 std::vector<simt::KernelRun>* runs) {
+  const std::size_t l = q.rows(), dk = q.cols();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dk));
+  const Scalar qkv_type = scalar_for_bits(qkv_bits(scheme));
+  const Scalar sm_type = scalar_for_bits(softmax_bits(scheme));
+
+  // Quantize Q, K, V (fused with the projection epilogue on device).
+  const auto pq = quant::choose_symmetric(q.data(), q.size(), qkv_type);
+  const auto pk = quant::choose_symmetric(k.data(), k.size(), qkv_type);
+  const auto pv = quant::choose_symmetric(v.data(), v.size(), qkv_type);
+  const auto qi = quantize_to_int(q, pq);
+  const auto ki = quantize_to_int(k, pk);
+  const auto vi = quantize_to_int(v, pv);
+
+  // SDDMM at Ly-Ry, dequantize fused into the epilogue.
+  const PrecisionPair sddmm_prec{qkv_type, qkv_type};
+  const int chunk = bits_of(qkv_type) <= 4 ? 4 : 8;
+  Matrix<std::int32_t> kt(dk, l);
+  for (std::size_t i = 0; i < l; ++i) {
+    for (std::size_t d = 0; d < dk; ++d) kt(d, i) = ki(i, d);
+  }
+  const auto a_op = core::prepare_dense(qi, qkv_type, /*row_major=*/true,
+                                        chunk);
+  const auto b_op = core::prepare_dense(kt, qkv_type, /*row_major=*/false,
+                                        chunk);
+  core::SddmmConfig sddmm_cfg;
+  sddmm_cfg.precision = sddmm_prec;
+  const auto sddmm = core::sddmm(a_op, b_op, mask, sddmm_cfg);
+
+  sparse::Bcrs<float> scores;
+  scores.rows = sddmm.c.rows;
+  scores.cols = sddmm.c.cols;
+  scores.vector_length = sddmm.c.vector_length;
+  scores.row_ptr = sddmm.c.row_ptr;
+  scores.col_idx = sddmm.c.col_idx;
+  scores.values.resize(sddmm.c.values.size());
+  const float deq = pq.scale * pk.scale * scale;
+  for (std::size_t i = 0; i < scores.values.size(); ++i) {
+    scores.values[i] = static_cast<float>(sddmm.c.values[i]) * deq;
+  }
+  // fp16 softmax with fused x-bit quantization of the output.
+  softmax_sparse_rows(scores, /*round_fp16=*/true);
+  const auto pa = quant::choose_symmetric(
+      scores.values.data(), scores.values.size(), sm_type);
+
+  // Scatter the quantized attention weights back to a dense image of the
+  // mask to build the SpMM LHS (host-side prep; on device the SDDMM writes
+  // SR-BCRS directly, §IV-C).
+  Matrix<std::int32_t> attn_dense(l, l, 0);
+  const std::size_t vl = static_cast<std::size_t>(scores.vector_length);
+  for (std::size_t r = 0; r < scores.vector_rows(); ++r) {
+    for (std::uint32_t i = scores.row_ptr[r]; i < scores.row_ptr[r + 1];
+         ++i) {
+      for (std::size_t rb = 0; rb < vl; ++rb) {
+        attn_dense(r * vl + rb, scores.col_idx[i]) =
+            quant::quantize_value(scores.values[i * vl + rb], pa);
+      }
+    }
+  }
+
+  const PrecisionPair spmm_prec{sm_type, qkv_type};
+  core::SpmmConfig spmm_cfg;
+  spmm_cfg.precision = spmm_prec;
+  const auto lhs = core::prepare_spmm_lhs(mask, attn_dense, spmm_prec,
+                                          core::needs_shuffle(spmm_cfg));
+  const auto rhs = core::prepare_spmm_rhs(vi, spmm_prec);
+  const auto spmm = core::spmm(lhs, rhs, spmm_cfg);
+
+  if (runs) {
+    runs->push_back(elementwise_kernel(3 * l * dk, 2.0, 5.0));  // quant QKV
+    runs->push_back(sddmm.run);
+    runs->push_back(softmax_kernel(mask.nnz(), 2));
+    runs->push_back(spmm.run);
+  }
+  Matrix<float> result(l, dk);
+  const float deq_out = pa.scale * pv.scale;
+  for (std::size_t i = 0; i < l; ++i) {
+    for (std::size_t d = 0; d < dk; ++d) {
+      result(i, d) = static_cast<float>(spmm.c(i, d)) * deq_out;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+Matrix<float> attention_forward(const Matrix<float>& q,
+                                const Matrix<float>& k,
+                                const Matrix<float>& v,
+                                const sparse::BlockPattern& mask,
+                                AttentionScheme scheme,
+                                std::vector<simt::KernelRun>* run_out) {
+  MAGICUBE_CHECK(q.rows() == k.rows() && q.cols() == k.cols());
+  MAGICUBE_CHECK(v.rows() == q.rows());
+  MAGICUBE_CHECK(mask.rows == q.rows() && mask.cols == q.rows());
+  switch (scheme) {
+    case AttentionScheme::dense_fp16:
+      return dense_fp16_attention(q, k, v, mask, run_out);
+    case AttentionScheme::vector_sparse_fp16:
+      return vector_sparse_attention(q, k, v, mask, run_out);
+    default:
+      return magicube_attention(q, k, v, mask, scheme, run_out);
+  }
+}
+
+}  // namespace magicube::transformer

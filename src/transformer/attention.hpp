@@ -1,0 +1,56 @@
+#pragma once
+// Quantized sparse self-attention (paper Fig. 16).
+//
+// One attention head computes
+//     Attention(Q, K, V) = softmax(QK^T ⊙ M / sqrt(dk)) V
+// with a 1-D-block sparse mask M. Kernel schedule per scheme:
+//
+//   dense fp16       : dense GEMM (scores) -> mask -> softmax -> dense GEMM
+//   vectorSparse fp16: fp16 SDDMM -> sparse softmax -> fp16 SpMM
+//   Magicube xb-yb   : quantize QKV to y bits -> int SDDMM (+fused dequant)
+//                      -> fp16 sparse softmax (+fused x-bit quantize)
+//                      -> int SpMM Lx-Ry (+fused dequant)
+//
+// The functional path is used by the accuracy study (Table V): it runs the
+// *actual* Magicube integer kernels on quantized operands, so quantization
+// noise and sparsity both act exactly as they would on the device.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "simt/cost_model.hpp"
+#include "sparse/pattern.hpp"
+
+namespace magicube::transformer {
+
+enum class AttentionScheme {
+  dense_fp16,          // PyTorch/cuDNN comparison point
+  vector_sparse_fp16,  // Chen et al. fp16 kernels
+  magicube_16b_8b,     // softmax out 16-bit, Q/K/V 8-bit
+  magicube_8b_8b,
+  magicube_8b_4b,      // softmax out 8-bit, Q/K/V 4-bit
+  magicube_4b_4b,
+};
+
+const char* to_string(AttentionScheme s);
+bool is_magicube(AttentionScheme s);
+/// Bits of the quantized softmax output (x) and of Q/K/V (y).
+int softmax_bits(AttentionScheme s);
+int qkv_bits(AttentionScheme s);
+
+/// Functional single-head attention under `scheme`; Q, K, V are L x dk
+/// fp32 activations; the mask pattern is L x L (ignored for dense_fp16,
+/// where masked positions simply score -inf... the dense scheme applies the
+/// mask too, matching the paper's model equivalence across schemes).
+/// When `run_out` is non-null, the kernel runs of the schedule are appended
+/// (one entry per launched kernel).
+Matrix<float> attention_forward(const Matrix<float>& q,
+                                const Matrix<float>& k,
+                                const Matrix<float>& v,
+                                const sparse::BlockPattern& mask,
+                                AttentionScheme scheme,
+                                std::vector<simt::KernelRun>* run_out = nullptr);
+
+}  // namespace magicube::transformer

@@ -1,0 +1,145 @@
+#include "transformer/latency.hpp"
+
+#include "baselines/dense_gemm.hpp"
+#include "baselines/vector_sparse_like.hpp"
+#include "core/sddmm.hpp"
+#include "core/spmm.hpp"
+#include "transformer/ops.hpp"
+
+namespace magicube::transformer {
+
+namespace {
+
+Scalar scalar_for_bits(int bits) {
+  switch (bits) {
+    case 4: return Scalar::s4;
+    case 8: return Scalar::s8;
+    default: return Scalar::s16;
+  }
+}
+
+}  // namespace
+
+std::uint64_t peak_memory_bytes(const TransformerConfig& cfg,
+                                AttentionScheme scheme) {
+  const std::uint64_t l = cfg.seq_len;
+  const std::uint64_t bh = cfg.batch * static_cast<std::uint64_t>(cfg.heads);
+  const std::uint64_t d = cfg.d_model();
+  // Weights (4 projection + 2 MLP matrices per layer) and activations.
+  const std::uint64_t weights =
+      static_cast<std::uint64_t>(cfg.layers) * (4 * d * d + 8 * d * d) * 2;
+  const std::uint64_t activations = cfg.batch * l * d * 2 * 8;
+
+  if (scheme == AttentionScheme::dense_fp16) {
+    const std::uint64_t scores_fp16 = bh * l * l * 2;
+    const std::uint64_t scores_fp32 = bh * l * l * 4;
+    const std::uint64_t mask_fp32 = bh * l * l * 4;
+    // scores + softmax output in fp16, the broadcast mask and the promoted
+    // masked-score chain in fp32.
+    return weights + activations + 2 * scores_fp16 + mask_fp32 +
+           3 * scores_fp32;
+  }
+  // Sparse schemes hold nnz-sized score/attention buffers (two live copies)
+  // plus format metadata.
+  const double density = 1.0 - cfg.sparsity;
+  const std::uint64_t nnz =
+      static_cast<std::uint64_t>(density * static_cast<double>(l) *
+                                 static_cast<double>(l));
+  const int value_bytes =
+      scheme == AttentionScheme::vector_sparse_fp16
+          ? 2
+          : (softmax_bits(scheme) + 7) / 8;
+  return weights + activations +
+         bh * nnz * (static_cast<std::uint64_t>(value_bytes) * 2 + 1);
+}
+
+E2eResult transformer_inference(const TransformerConfig& cfg,
+                                AttentionScheme scheme,
+                                const sparse::BlockPattern& mask) {
+  MAGICUBE_CHECK(mask.rows == cfg.seq_len && mask.cols == cfg.seq_len);
+  const simt::DeviceSpec& dev = simt::a100();
+
+  E2eResult out;
+  out.peak_bytes = peak_memory_bytes(cfg, scheme);
+  if (out.peak_bytes > dev.dram_capacity_bytes) {
+    out.oom = true;
+    return out;
+  }
+
+  const std::uint64_t l = cfg.seq_len;
+  const std::uint64_t bh = cfg.batch * static_cast<std::uint64_t>(cfg.heads);
+  const std::size_t d = cfg.d_model();
+  const std::size_t dk = static_cast<std::size_t>(cfg.head_dim);
+  const std::size_t tokens = cfg.batch * l;
+
+  double proj_s = 0, attn_s = 0, softmax_s = 0, mlp_s = 0, other_s = 0;
+  auto add = [&](double& bucket, const simt::KernelRun& run) {
+    bucket += simt::estimate_seconds(dev, run);
+  };
+
+  for (int layer = 0; layer < cfg.layers; ++layer) {
+    // QKV + output projections: [tokens, d] x [d, d], fp16 (all schemes).
+    for (int i = 0; i < 4; ++i) {
+      add(proj_s, baselines::dense_gemm_fp16_estimate(tokens, d, d));
+    }
+    // LayerNorms and residuals.
+    add(other_s, elementwise_kernel(tokens * d, 8.0, 4.0));
+    add(other_s, elementwise_kernel(tokens * d, 8.0, 4.0));
+    add(other_s, elementwise_kernel(tokens * d, 1.0, 6.0));
+    add(other_s, elementwise_kernel(tokens * d, 1.0, 6.0));
+
+    // Attention, batched over (batch x heads) instances.
+    switch (scheme) {
+      case AttentionScheme::dense_fp16: {
+        add(attn_s, scale_batched(
+                        baselines::dense_gemm_fp16_estimate(l, l, dk), bh));
+        // Mask multiply in fp32 (type promotion) + scale.
+        add(other_s, elementwise_kernel(bh * l * l, 2.0, 10.0));
+        add(softmax_s, softmax_kernel(bh * l * l, 2));
+        add(attn_s, scale_batched(
+                        baselines::dense_gemm_fp16_estimate(l, dk, l), bh));
+        break;
+      }
+      case AttentionScheme::vector_sparse_fp16: {
+        add(attn_s,
+            scale_batched(baselines::vs_sddmm_estimate(mask, dk), bh));
+        add(softmax_s, softmax_kernel(bh * mask.nnz(), 2));
+        add(attn_s,
+            scale_batched(baselines::vs_spmm_estimate(mask, dk), bh));
+        break;
+      }
+      default: {
+        const Scalar qkv_t = scalar_for_bits(qkv_bits(scheme));
+        const Scalar sm_t = scalar_for_bits(softmax_bits(scheme));
+        // Fused quantization of Q, K, V.
+        add(other_s, elementwise_kernel(3 * cfg.batch * l * d, 2.0, 3.0));
+        core::SddmmConfig sddmm_cfg;
+        sddmm_cfg.precision = {qkv_t, qkv_t};
+        add(attn_s,
+            scale_batched(core::sddmm_estimate(mask, dk, sddmm_cfg), bh));
+        // fp16 softmax with fused dequant/quant.
+        add(softmax_s, softmax_kernel(bh * mask.nnz(), 2));
+        core::SpmmConfig spmm_cfg;
+        spmm_cfg.precision = {sm_t, qkv_t};
+        add(attn_s,
+            scale_batched(core::spmm_estimate(mask, dk, spmm_cfg), bh));
+        break;
+      }
+    }
+
+    // MLP: [tokens, d] x [d, 4d], GELU, [tokens, 4d] x [4d, d], fp16.
+    add(mlp_s, baselines::dense_gemm_fp16_estimate(tokens, 4 * d, d));
+    add(other_s, elementwise_kernel(tokens * 4 * d, 12.0, 4.0));
+    add(mlp_s, baselines::dense_gemm_fp16_estimate(tokens, d, 4 * d));
+  }
+
+  out.breakdown = {{"projections", proj_s},
+                   {"attention", attn_s},
+                   {"softmax", softmax_s},
+                   {"mlp", mlp_s},
+                   {"other", other_s}};
+  out.seconds = proj_s + attn_s + softmax_s + mlp_s + other_s;
+  return out;
+}
+
+}  // namespace magicube::transformer

@@ -1,0 +1,62 @@
+#pragma once
+// End-to-end sparse-Transformer inference latency and memory model
+// (paper Fig. 17 and §V-C).
+//
+// The encoder matches the paper's LRA configuration: `layers` identical
+// blocks of (LayerNorm, multi-head attention with a 1-D-block sparse mask,
+// residual, LayerNorm, 4x GELU MLP, residual), head dimension 64. Latency
+// is the sum of kernel-cost estimates over the whole schedule; attention
+// kernels batch over (batch x heads) instances in one launch, exactly as
+// the batched kernels on device do.
+//
+// Memory model (the OOM cells): the fp16 dense path materializes the
+// attention score matrices. With a broadcast fp32 mask, PyTorch's type
+// promotion upgrades the masked-score chain to fp32, so the live set is
+//   scores_fp16 + softmax_out_fp16 + mask_fp32 + 3 x scores_fp32
+// per layer step, which crosses 40 GB exactly for batch 8 at sequence
+// length 8192 — reproducing the paper's OOM pattern. Sparse schemes only
+// materialize nnz-sized score buffers and never OOM at these sizes.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simt/device_spec.hpp"
+#include "transformer/attention.hpp"
+
+namespace magicube::transformer {
+
+struct TransformerConfig {
+  int layers = 4;
+  int heads = 4;
+  int head_dim = 64;
+  std::size_t seq_len = 4096;
+  std::size_t batch = 2;
+  double sparsity = 0.9;
+
+  std::size_t d_model() const {
+    return static_cast<std::size_t>(heads) *
+           static_cast<std::size_t>(head_dim);
+  }
+};
+
+struct E2eResult {
+  bool oom = false;
+  double seconds = 0.0;
+  std::uint64_t peak_bytes = 0;
+  // Per-category latency (projections / attention / softmax / mlp / other).
+  std::vector<std::pair<std::string, double>> breakdown;
+};
+
+/// Peak device-memory estimate for the configuration under `scheme`.
+std::uint64_t peak_memory_bytes(const TransformerConfig& cfg,
+                                AttentionScheme scheme);
+
+/// Full inference latency (or OOM) for the configuration under `scheme`.
+/// The attention mask pattern is shared across calls by the caller for
+/// efficiency; it must be seq_len x seq_len with V=8 at cfg.sparsity.
+E2eResult transformer_inference(const TransformerConfig& cfg,
+                                AttentionScheme scheme,
+                                const sparse::BlockPattern& mask);
+
+}  // namespace magicube::transformer

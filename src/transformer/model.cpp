@@ -1,0 +1,352 @@
+#include "transformer/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "transformer/ops.hpp"
+
+namespace magicube::transformer {
+
+namespace {
+
+void xavier_init(Matrix<float>& m, Rng& rng) {
+  const double scale =
+      std::sqrt(2.0 / static_cast<double>(m.rows() + m.cols()));
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.next_normal() * scale);
+  }
+}
+
+/// Dense mask bias from a pattern (0 where visible, -1e9 elsewhere).
+Matrix<float> mask_bias(const sparse::BlockPattern& mask) {
+  const auto dense = sparse::pattern_to_dense_mask(mask);
+  Matrix<float> bias(mask.rows, mask.cols, -1e9f);
+  for (std::size_t i = 0; i < bias.size(); ++i) {
+    if (dense.data()[i]) bias.data()[i] = 0.0f;
+  }
+  return bias;
+}
+
+struct ForwardCache {
+  Matrix<float> x, q, k, v, a, h, o;
+  std::vector<float> pooled, logits, probs;
+};
+
+void forward_cached(const TinyTransformer& m, const TaskSample& s,
+                    const Matrix<float>* bias, ForwardCache& c) {
+  c.x = m.embed(s);
+  c.q = matmul(c.x, m.wq);
+  c.k = matmul(c.x, m.wk);
+  c.v = matmul(c.x, m.wv);
+  c.a = matmul_transposed_b(c.q, c.k);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(m.d));
+  for (std::size_t i = 0; i < c.a.size(); ++i) c.a.data()[i] *= scale;
+  if (bias) {
+    for (std::size_t i = 0; i < c.a.size(); ++i) {
+      c.a.data()[i] += bias->data()[i];
+    }
+  }
+  softmax_rows(c.a, /*round_fp16=*/false);
+  c.h = matmul(c.a, c.v);
+  c.o = matmul(c.h, m.wo);
+  c.pooled.assign(m.d, 0.0f);
+  for (std::size_t i = 0; i < m.seq_len; ++i) {
+    for (std::size_t j = 0; j < m.d; ++j) c.pooled[j] += c.o(i, j);
+  }
+  const float inv = 1.0f / static_cast<float>(m.seq_len);
+  for (auto& p : c.pooled) p *= inv;
+  c.logits.assign(m.classes, 0.0f);
+  for (std::size_t cc = 0; cc < m.classes; ++cc) {
+    float acc = m.bc[cc];
+    for (std::size_t j = 0; j < m.d; ++j) acc += c.pooled[j] * m.wc(j, cc);
+    c.logits[cc] = acc;
+  }
+  const float mx = *std::max_element(c.logits.begin(), c.logits.end());
+  float sum = 0.0f;
+  c.probs.assign(m.classes, 0.0f);
+  for (std::size_t cc = 0; cc < m.classes; ++cc) {
+    c.probs[cc] = std::exp(c.logits[cc] - mx);
+    sum += c.probs[cc];
+  }
+  for (auto& p : c.probs) p /= sum;
+}
+
+struct Grads {
+  Matrix<float> emb, pos, wq, wk, wv, wo, wc;
+  std::vector<float> bc;
+
+  explicit Grads(const TinyTransformer& m)
+      : emb(m.vocab, m.d, 0.0f), pos(m.seq_len, m.d, 0.0f),
+        wq(m.d, m.d, 0.0f), wk(m.d, m.d, 0.0f), wv(m.d, m.d, 0.0f),
+        wo(m.d, m.d, 0.0f), wc(m.d, m.classes, 0.0f), bc(m.classes, 0.0f) {}
+};
+
+// dB += A^T * C  (A: n x d1, C: n x d2, B: d1 x d2)
+void accumulate_at_c(const Matrix<float>& a, const Matrix<float>& c,
+                     Matrix<float>& b) {
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t p = 0; p < a.cols(); ++p) {
+      const float av = a(i, p);
+      if (av == 0.0f) continue;
+      for (std::size_t q = 0; q < c.cols(); ++q) {
+        b(p, q) += av * c(i, q);
+      }
+    }
+  }
+}
+
+void backward(const TinyTransformer& m, const TaskSample& s,
+              const ForwardCache& c, Grads& g) {
+  const std::size_t L = m.seq_len, d = m.d;
+  // dlogits = probs - onehot(label)
+  std::vector<float> dlogits = c.probs;
+  dlogits[static_cast<std::size_t>(s.label)] -= 1.0f;
+  // Classifier head.
+  std::vector<float> dpooled(d, 0.0f);
+  for (std::size_t j = 0; j < d; ++j) {
+    for (std::size_t cc = 0; cc < m.classes; ++cc) {
+      g.wc(j, cc) += c.pooled[j] * dlogits[cc];
+      dpooled[j] += m.wc(j, cc) * dlogits[cc];
+    }
+  }
+  for (std::size_t cc = 0; cc < m.classes; ++cc) g.bc[cc] += dlogits[cc];
+  // Mean pool.
+  Matrix<float> d_o(L, d);
+  const float inv = 1.0f / static_cast<float>(L);
+  for (std::size_t i = 0; i < L; ++i) {
+    for (std::size_t j = 0; j < d; ++j) d_o(i, j) = dpooled[j] * inv;
+  }
+  // O = H Wo.
+  accumulate_at_c(c.h, d_o, g.wo);
+  Matrix<float> dh(L, d, 0.0f);
+  for (std::size_t i = 0; i < L; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      const float dv = d_o(i, j);
+      for (std::size_t p = 0; p < d; ++p) dh(i, p) += dv * m.wo(p, j);
+    }
+  }
+  // H = A V.
+  Matrix<float> da = matmul_transposed_b(dh, c.v);  // L x L
+  Matrix<float> dvm(L, d, 0.0f);
+  for (std::size_t i = 0; i < L; ++i) {
+    for (std::size_t j = 0; j < L; ++j) {
+      const float av = c.a(i, j);
+      if (av == 0.0f) continue;
+      for (std::size_t p = 0; p < d; ++p) dvm(j, p) += av * dh(i, p);
+    }
+  }
+  // Softmax backward: dS = A ⊙ (dA - rowdot(dA, A)).
+  Matrix<float> ds(L, L);
+  for (std::size_t i = 0; i < L; ++i) {
+    float dot = 0.0f;
+    for (std::size_t j = 0; j < L; ++j) dot += da(i, j) * c.a(i, j);
+    for (std::size_t j = 0; j < L; ++j) {
+      ds(i, j) = c.a(i, j) * (da(i, j) - dot);
+    }
+  }
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+  // S = scale * Q K^T.
+  Matrix<float> dq(L, d, 0.0f), dk(L, d, 0.0f);
+  for (std::size_t i = 0; i < L; ++i) {
+    for (std::size_t j = 0; j < L; ++j) {
+      const float dsv = ds(i, j) * scale;
+      if (dsv == 0.0f) continue;
+      for (std::size_t p = 0; p < d; ++p) {
+        dq(i, p) += dsv * c.k(j, p);
+        dk(j, p) += dsv * c.q(i, p);
+      }
+    }
+  }
+  // Projections.
+  accumulate_at_c(c.x, dq, g.wq);
+  accumulate_at_c(c.x, dk, g.wk);
+  accumulate_at_c(c.x, dvm, g.wv);
+  Matrix<float> dx(L, d, 0.0f);
+  auto add_proj_grad = [&](const Matrix<float>& dout, const Matrix<float>& w) {
+    for (std::size_t i = 0; i < L; ++i) {
+      for (std::size_t j = 0; j < d; ++j) {
+        const float dv = dout(i, j);
+        if (dv == 0.0f) continue;
+        for (std::size_t p = 0; p < d; ++p) dx(i, p) += dv * w(p, j);
+      }
+    }
+  };
+  add_proj_grad(dq, m.wq);
+  add_proj_grad(dk, m.wk);
+  add_proj_grad(dvm, m.wv);
+  // Embeddings.
+  for (std::size_t i = 0; i < L; ++i) {
+    const std::size_t tok = s.tokens[i];
+    for (std::size_t j = 0; j < d; ++j) {
+      g.emb(tok, j) += dx(i, j);
+      g.pos(i, j) += dx(i, j);
+    }
+  }
+}
+
+/// Minimal Adam state over one parameter matrix.
+struct Adam {
+  Matrix<float> m1, m2;
+  explicit Adam(std::size_t r, std::size_t c)
+      : m1(r, c, 0.0f), m2(r, c, 0.0f) {}
+  void step(Matrix<float>& w, const Matrix<float>& g, double lr, int t) {
+    constexpr double b1 = 0.9, b2 = 0.999, eps = 1e-8;
+    const double c1 = 1.0 - std::pow(b1, t), c2 = 1.0 - std::pow(b2, t);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      m1.data()[i] = static_cast<float>(b1 * m1.data()[i] +
+                                        (1 - b1) * g.data()[i]);
+      m2.data()[i] = static_cast<float>(
+          b2 * m2.data()[i] + (1 - b2) * g.data()[i] * g.data()[i]);
+      const double mh = m1.data()[i] / c1, vh = m2.data()[i] / c2;
+      w.data()[i] -= static_cast<float>(lr * mh / (std::sqrt(vh) + eps));
+    }
+  }
+};
+
+}  // namespace
+
+void TinyTransformer::init(Rng& rng) {
+  emb = Matrix<float>(vocab, d);
+  pos = Matrix<float>(seq_len, d);
+  wq = Matrix<float>(d, d);
+  wk = Matrix<float>(d, d);
+  wv = Matrix<float>(d, d);
+  wo = Matrix<float>(d, d);
+  wc = Matrix<float>(d, classes);
+  bc.assign(classes, 0.0f);
+  for (auto* m : {&emb, &pos, &wq, &wk, &wv, &wo, &wc}) xavier_init(*m, rng);
+}
+
+Matrix<float> TinyTransformer::embed(const TaskSample& s) const {
+  MAGICUBE_CHECK(s.tokens.size() == seq_len);
+  Matrix<float> x(seq_len, d);
+  for (std::size_t i = 0; i < seq_len; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      x(i, j) = emb(s.tokens[i], j) + pos(i, j);
+    }
+  }
+  return x;
+}
+
+std::vector<float> TinyTransformer::forward_fp32(
+    const TaskSample& s, const sparse::BlockPattern* mask) const {
+  ForwardCache c;
+  if (mask) {
+    const Matrix<float> bias = mask_bias(*mask);
+    forward_cached(*this, s, &bias, c);
+  } else {
+    forward_cached(*this, s, nullptr, c);
+  }
+  return c.logits;
+}
+
+std::vector<float> TinyTransformer::forward_scheme(
+    const TaskSample& s, const sparse::BlockPattern& mask,
+    AttentionScheme scheme) const {
+  const Matrix<float> x = embed(s);
+  const Matrix<float> q = matmul(x, wq);
+  const Matrix<float> k = matmul(x, wk);
+  const Matrix<float> v = matmul(x, wv);
+  const Matrix<float> h = attention_forward(q, k, v, mask, scheme);
+  const Matrix<float> o = matmul(h, wo);
+  std::vector<float> pooled(d, 0.0f);
+  for (std::size_t i = 0; i < seq_len; ++i) {
+    for (std::size_t j = 0; j < d; ++j) pooled[j] += o(i, j);
+  }
+  const float inv = 1.0f / static_cast<float>(seq_len);
+  std::vector<float> logits(classes, 0.0f);
+  for (std::size_t cc = 0; cc < classes; ++cc) {
+    float acc = bc[cc];
+    for (std::size_t j = 0; j < d; ++j) acc += pooled[j] * inv * wc(j, cc);
+    logits[cc] = acc;
+  }
+  return logits;
+}
+
+TrainStats train(TinyTransformer& model, const std::vector<TaskSample>& data,
+                 const sparse::BlockPattern* mask, int epochs,
+                 double learning_rate, Rng& rng) {
+  (void)rng;
+  Matrix<float> bias;
+  if (mask) bias = mask_bias(*mask);
+  Adam a_emb(model.vocab, model.d), a_pos(model.seq_len, model.d),
+      a_wq(model.d, model.d), a_wk(model.d, model.d),
+      a_wv(model.d, model.d), a_wo(model.d, model.d),
+      a_wc(model.d, model.classes);
+  std::vector<float> bc_m1(model.classes, 0.0f), bc_m2(model.classes, 0.0f);
+
+  constexpr std::size_t kBatch = 8;
+  int t = 0;
+  TrainStats stats;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    double loss_sum = 0.0;
+    std::size_t correct = 0;
+    for (std::size_t base = 0; base + kBatch <= data.size(); base += kBatch) {
+      Grads g(model);
+      for (std::size_t b = 0; b < kBatch; ++b) {
+        const TaskSample& s = data[base + b];
+        ForwardCache c;
+        forward_cached(model, s, mask ? &bias : nullptr, c);
+        loss_sum += -std::log(std::max(
+            1e-12f, c.probs[static_cast<std::size_t>(s.label)]));
+        const int pred = c.probs[1] > c.probs[0] ? 1 : 0;
+        correct += pred == s.label;
+        backward(model, s, c, g);
+      }
+      const float inv = 1.0f / static_cast<float>(kBatch);
+      for (auto* gm : {&g.emb, &g.pos, &g.wq, &g.wk, &g.wv, &g.wo, &g.wc}) {
+        for (std::size_t i = 0; i < gm->size(); ++i) gm->data()[i] *= inv;
+      }
+      ++t;
+      a_emb.step(model.emb, g.emb, learning_rate, t);
+      a_pos.step(model.pos, g.pos, learning_rate, t);
+      a_wq.step(model.wq, g.wq, learning_rate, t);
+      a_wk.step(model.wk, g.wk, learning_rate, t);
+      a_wv.step(model.wv, g.wv, learning_rate, t);
+      a_wo.step(model.wo, g.wo, learning_rate, t);
+      a_wc.step(model.wc, g.wc, learning_rate, t);
+      for (std::size_t cc = 0; cc < model.classes; ++cc) {
+        constexpr double b1 = 0.9, b2 = 0.999;
+        const double gb = g.bc[cc] * inv;
+        bc_m1[cc] = static_cast<float>(b1 * bc_m1[cc] + (1 - b1) * gb);
+        bc_m2[cc] = static_cast<float>(b2 * bc_m2[cc] + (1 - b2) * gb * gb);
+        const double mh = bc_m1[cc] / (1.0 - std::pow(b1, t));
+        const double vh = bc_m2[cc] / (1.0 - std::pow(b2, t));
+        model.bc[cc] -= static_cast<float>(learning_rate * mh /
+                                           (std::sqrt(vh) + 1e-8));
+      }
+    }
+    const std::size_t steps = data.size() / kBatch * kBatch;
+    stats.final_loss = loss_sum / static_cast<double>(steps);
+    stats.train_accuracy =
+        static_cast<double>(correct) / static_cast<double>(steps);
+  }
+  return stats;
+}
+
+double evaluate(const TinyTransformer& model,
+                const std::vector<TaskSample>& data,
+                const sparse::BlockPattern& mask, AttentionScheme scheme) {
+  std::size_t correct = 0;
+  for (const auto& s : data) {
+    const auto logits = model.forward_scheme(s, mask, scheme);
+    const int pred = logits[1] > logits[0] ? 1 : 0;
+    correct += pred == s.label;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+double evaluate_fp32(const TinyTransformer& model,
+                     const std::vector<TaskSample>& data,
+                     const sparse::BlockPattern* mask) {
+  std::size_t correct = 0;
+  for (const auto& s : data) {
+    const auto logits = model.forward_fp32(s, mask);
+    const int pred = logits[1] > logits[0] ? 1 : 0;
+    correct += pred == s.label;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+}  // namespace magicube::transformer

@@ -1,0 +1,72 @@
+#pragma once
+// A small attention classifier with manual backpropagation, used to obtain
+// the trained weights the Table V accuracy study evaluates under every
+// sparsity/quantization scheme.
+//
+// Architecture: token + positional embeddings -> single-head self-attention
+// (optionally masked) -> output projection -> mean pool -> linear head.
+// Training runs in fp32 with the mask as additive -inf bias (the standard
+// masked-softmax formulation); *evaluation* routes the trained Q/K/V
+// activations through `attention_forward`, i.e. through the actual
+// simulated kernels (dense fp16, vectorSparse fp16, or Magicube's quantized
+// integer SDDMM/softmax/SpMM pipeline of Fig. 16).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "sparse/pattern.hpp"
+#include "transformer/attention.hpp"
+#include "transformer/task.hpp"
+
+namespace magicube::transformer {
+
+struct TinyTransformer {
+  std::size_t vocab = kVocab;
+  std::size_t d = 64;   // model width == head dim (single head)
+  std::size_t seq_len = 128;
+  std::size_t classes = 2;
+
+  Matrix<float> emb;   // vocab x d
+  Matrix<float> pos;   // seq_len x d
+  Matrix<float> wq, wk, wv, wo;  // d x d
+  Matrix<float> wc;    // d x classes
+  std::vector<float> bc;
+
+  void init(Rng& rng);
+
+  /// Token + positional embedding of one sample (seq_len x d).
+  Matrix<float> embed(const TaskSample& s) const;
+
+  /// fp32 forward logits with an optional mask (nullptr = dense).
+  std::vector<float> forward_fp32(const TaskSample& s,
+                                  const sparse::BlockPattern* mask) const;
+
+  /// Forward logits evaluating attention through the simulated kernels.
+  std::vector<float> forward_scheme(const TaskSample& s,
+                                    const sparse::BlockPattern& mask,
+                                    AttentionScheme scheme) const;
+};
+
+struct TrainStats {
+  double final_loss = 0.0;
+  double train_accuracy = 0.0;
+};
+
+/// Adam training on the fp32 path (mask optional). Deterministic.
+TrainStats train(TinyTransformer& model, const std::vector<TaskSample>& data,
+                 const sparse::BlockPattern* mask, int epochs,
+                 double learning_rate, Rng& rng);
+
+/// Accuracy of the model on `data` with attention executed under `scheme`.
+double evaluate(const TinyTransformer& model,
+                const std::vector<TaskSample>& data,
+                const sparse::BlockPattern& mask, AttentionScheme scheme);
+
+/// fp32 reference accuracy (the paper's "PyTorch fp32" column).
+double evaluate_fp32(const TinyTransformer& model,
+                     const std::vector<TaskSample>& data,
+                     const sparse::BlockPattern* mask);
+
+}  // namespace magicube::transformer

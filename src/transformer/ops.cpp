@@ -1,0 +1,158 @@
+#include "transformer/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace magicube::transformer {
+
+void softmax_rows(Matrix<float>& m, bool round_fp16) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    float* row = m.row(r);
+    float mx = row[0];
+    for (std::size_t c = 1; c < m.cols(); ++c) mx = std::max(mx, row[c]);
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      row[c] = std::exp(row[c] - mx);
+      sum += row[c];
+    }
+    const float inv = 1.0f / sum;
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      row[c] *= inv;
+      if (round_fp16) row[c] = float(half(row[c]));
+    }
+  }
+}
+
+void softmax_sparse_rows(sparse::Bcrs<float>& m, bool round_fp16) {
+  const std::size_t v = static_cast<std::size_t>(m.vector_length);
+  for (std::size_t r = 0; r < m.vector_rows(); ++r) {
+    const std::uint32_t begin = m.row_ptr[r], end = m.row_ptr[r + 1];
+    if (begin == end) continue;
+    for (std::size_t rb = 0; rb < v; ++rb) {
+      float mx = m.values[begin * v + rb];
+      for (std::uint32_t i = begin; i < end; ++i) {
+        mx = std::max(mx, m.values[i * v + rb]);
+      }
+      float sum = 0.0f;
+      for (std::uint32_t i = begin; i < end; ++i) {
+        float& x = m.values[i * v + rb];
+        x = std::exp(x - mx);
+        sum += x;
+      }
+      const float inv = 1.0f / sum;
+      for (std::uint32_t i = begin; i < end; ++i) {
+        float& x = m.values[i * v + rb];
+        x *= inv;
+        if (round_fp16) x = float(half(x));
+      }
+    }
+  }
+}
+
+void layer_norm_rows(Matrix<float>& m, const std::vector<float>& gamma,
+                     const std::vector<float>& beta, float eps) {
+  MAGICUBE_CHECK(gamma.size() == m.cols() && beta.size() == m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    float* row = m.row(r);
+    float mean = 0.0f;
+    for (std::size_t c = 0; c < m.cols(); ++c) mean += row[c];
+    mean /= static_cast<float>(m.cols());
+    float var = 0.0f;
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      const float d = row[c] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(m.cols());
+    const float inv = 1.0f / std::sqrt(var + eps);
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      row[c] = (row[c] - mean) * inv * gamma[c] + beta[c];
+    }
+  }
+}
+
+void gelu(Matrix<float>& m) {
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    const float x = m.data()[i];
+    m.data()[i] =
+        0.5f * x * (1.0f + std::tanh(kC * (x + 0.044715f * x * x * x)));
+  }
+}
+
+Matrix<float> matmul(const Matrix<float>& a, const Matrix<float>& b) {
+  MAGICUBE_CHECK(a.cols() == b.rows());
+  Matrix<float> c(a.rows(), b.cols(), 0.0f);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const float av = a(i, k);
+      if (av == 0.0f) continue;
+      float* crow = c.row(i);
+      const float* brow = b.row(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix<float> matmul_transposed_b(const Matrix<float>& a,
+                                  const Matrix<float>& b) {
+  MAGICUBE_CHECK(a.cols() == b.cols());
+  Matrix<float> c(a.rows(), b.rows(), 0.0f);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      float acc = 0.0f;
+      const float* arow = a.row(i);
+      const float* brow = b.row(j);
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
+      c(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+simt::KernelRun elementwise_kernel(std::uint64_t elems, double flops_per_elem,
+                                   double bytes_per_elem) {
+  simt::KernelRun run;
+  run.launch.grid_blocks =
+      std::max<std::uint64_t>(1, elems / (256 * 8));  // 256 threads x 8 elems
+  run.launch.warps_per_block = 8;
+  auto& c = run.counters;
+  c.fp32_ops = static_cast<std::uint64_t>(elems * flops_per_elem);
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(static_cast<double>(elems) * bytes_per_elem);
+  c.gmem_load_sectors = bytes / 2 / 32 + 1;
+  c.gmem_load_requests = bytes / 2 / 128 + 1;
+  c.gmem_store_sectors = bytes / 2 / 32 + 1;
+  c.gmem_store_requests = bytes / 2 / 128 + 1;
+  c.dram_bytes = 0;  // attention working sets stay in L2 between kernels
+  return run;
+}
+
+simt::KernelRun softmax_kernel(std::uint64_t elems, int bytes_per_value) {
+  // Two read passes (max, exp+sum) and one write, ~5 flops per element.
+  simt::KernelRun run = elementwise_kernel(
+      elems, 5.0, 2.0 * bytes_per_value);
+  run.counters.gmem_load_sectors += elems * bytes_per_value / 32 + 1;
+  run.counters.gmem_load_requests += elems * bytes_per_value / 128 + 1;
+  return run;
+}
+
+simt::KernelRun scale_batched(simt::KernelRun run, std::uint64_t factor) {
+  run.launch.grid_blocks *= factor;
+  run.pipeline.total_steps *= factor;
+  auto& c = run.counters;
+  for (auto* f :
+       {&c.mma_int8, &c.mma_int4, &c.mma_fp16, &c.smem_load_requests,
+        &c.smem_load_transactions, &c.smem_store_requests,
+        &c.smem_store_transactions, &c.gmem_load_requests,
+        &c.gmem_load_sectors, &c.gmem_store_requests, &c.gmem_store_sectors,
+        &c.dram_bytes, &c.alu_ops, &c.shfl_ops, &c.fp32_ops,
+        &c.syncthreads}) {
+    *f *= factor;
+  }
+  return run;
+}
+
+}  // namespace magicube::transformer

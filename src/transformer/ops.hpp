@@ -1,0 +1,49 @@
+#pragma once
+// Elementwise / normalization operators of the Transformer encoder, with
+// kernel-cost helpers for the end-to-end latency model.
+
+#include <cstdint>
+
+#include "common/half.hpp"
+#include "common/matrix.hpp"
+#include "simt/cost_model.hpp"
+#include "sparse/bcrs.hpp"
+
+namespace magicube::transformer {
+
+/// Row-wise numerically-stable softmax in fp32 (optionally rounding the
+/// result to fp16, as the paper's fused softmax kernel outputs).
+void softmax_rows(Matrix<float>& m, bool round_fp16);
+
+/// Softmax over the values of a sparse BCRS row structure: each *scalar* row
+/// of the logical matrix normalizes over its nonzero entries only (the
+/// masked-softmax semantics of sparse attention).
+void softmax_sparse_rows(sparse::Bcrs<float>& m, bool round_fp16);
+
+/// LayerNorm over the last dimension (rows of the matrix).
+void layer_norm_rows(Matrix<float>& m, const std::vector<float>& gamma,
+                     const std::vector<float>& beta, float eps = 1e-5f);
+
+/// GELU (tanh approximation).
+void gelu(Matrix<float>& m);
+
+/// C += A * B in fp32 for activations (functional path for the model).
+Matrix<float> matmul(const Matrix<float>& a, const Matrix<float>& b);
+Matrix<float> matmul_transposed_b(const Matrix<float>& a,
+                                  const Matrix<float>& b);
+
+// ---- Kernel-cost helpers (used by the latency model) ---------------------
+
+/// Elementwise kernel over `elems` scalars: `flops_per_elem` fp32 ops,
+/// `bytes_per_elem` of traffic (read + write combined).
+simt::KernelRun elementwise_kernel(std::uint64_t elems, double flops_per_elem,
+                                   double bytes_per_elem);
+
+/// Row-softmax kernel over `elems` scalars (two passes: max+sum, scale).
+simt::KernelRun softmax_kernel(std::uint64_t elems, int bytes_per_value);
+
+/// Scales a kernel run by `factor` identical instances batched into one
+/// launch (grid and counters multiply; launch overhead does not).
+simt::KernelRun scale_batched(simt::KernelRun run, std::uint64_t factor);
+
+}  // namespace magicube::transformer

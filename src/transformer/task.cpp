@@ -1,0 +1,39 @@
+#include "transformer/task.hpp"
+
+namespace magicube::transformer {
+
+std::vector<TaskSample> make_dataset(std::size_t n, std::size_t seq_len,
+                                     Rng& rng) {
+  std::vector<TaskSample> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    TaskSample s;
+    s.label = static_cast<int>(i % 2);
+    s.tokens.resize(seq_len);
+    if (s.label == 1) {
+      // Successor-bigram bias + elevated marker-token rate.
+      std::uint8_t prev = static_cast<std::uint8_t>(rng.next_below(kVocab));
+      for (std::size_t t = 0; t < seq_len; ++t) {
+        std::uint8_t tok;
+        const double u = rng.next_double();
+        if (u < 0.35) {
+          tok = static_cast<std::uint8_t>((prev + 1) % kVocab);
+        } else if (u < 0.45) {
+          tok = 7;  // marker
+        } else {
+          tok = static_cast<std::uint8_t>(rng.next_below(kVocab));
+        }
+        s.tokens[t] = tok;
+        prev = tok;
+      }
+    } else {
+      for (std::size_t t = 0; t < seq_len; ++t) {
+        s.tokens[t] = static_cast<std::uint8_t>(rng.next_below(kVocab));
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace magicube::transformer

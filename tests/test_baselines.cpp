@@ -1,0 +1,169 @@
+// Tests for the comparison baselines: functional correctness and the
+// qualitative cost relationships the paper's figures rest on.
+
+#include <gtest/gtest.h>
+
+#include "baselines/cusparse_like.hpp"
+#include "baselines/dense_gemm.hpp"
+#include "baselines/vector_sparse_like.hpp"
+#include "core/api.hpp"
+
+namespace magicube::baselines {
+namespace {
+
+TEST(DenseGemm, Fp16MatchesFloatReference) {
+  Rng rng(1);
+  Matrix<float> af(16, 24), bf(24, 8);
+  fill_normal(af, rng, 1.0);
+  fill_normal(bf, rng, 1.0);
+  Matrix<half> a(16, 24), b(24, 8);
+  for (std::size_t i = 0; i < af.size(); ++i) a.data()[i] = half(af.data()[i]);
+  for (std::size_t i = 0; i < bf.size(); ++i) b.data()[i] = half(bf.data()[i]);
+  const auto r = dense_gemm_fp16(a, b);
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      float expect = 0.0f;
+      for (std::size_t k = 0; k < 24; ++k) {
+        expect += float(a(i, k)) * float(b(k, j));
+      }
+      EXPECT_NEAR(float(r.c(i, j)), expect, 0.05f);
+    }
+  }
+}
+
+TEST(DenseGemm, Int8MatchesReference) {
+  Rng rng(2);
+  auto a = core::random_values(16, 32, Scalar::s8, rng);
+  auto b = core::random_values(32, 8, Scalar::s8, rng);
+  const auto r = dense_gemm_int8(a, b);
+  EXPECT_EQ(r.c, core::reference_gemm(a, b));
+}
+
+TEST(DenseGemm, Int8SlowerThanFp16OnDlmcShapes) {
+  // The paper's observation (Fig. 14): cuBLAS int8 loses to fp16 at these
+  // sizes because of the layout-transform passes.
+  const simt::DeviceSpec& dev = simt::a100();
+  for (std::size_t m : {std::size_t{256}, std::size_t{2048}}) {
+    const double t16 =
+        simt::estimate_seconds(dev, dense_gemm_fp16_estimate(m, 256, 2304));
+    const double t8 =
+        simt::estimate_seconds(dev, dense_gemm_int8_estimate(m, 256, 2304));
+    EXPECT_GT(t8, t16) << "m=" << m;
+  }
+}
+
+TEST(DenseGemm, Fp16ApproachesPeakOnLargeShapes) {
+  const simt::DeviceSpec& dev = simt::a100();
+  const std::size_t m = 8192, n = 8192, k = 8192;
+  const auto run = dense_gemm_fp16_estimate(m, n, k);
+  const double tflops = 2.0 * static_cast<double>(m) * n * k /
+                        simt::estimate_seconds(dev, run) / 1e12;
+  EXPECT_GT(tflops, 200.0);  // > 64% of the 312 TF peak
+  EXPECT_LT(tflops, 312.5);
+}
+
+TEST(BellPattern, MatchesRequestedSparsity) {
+  Rng rng(3);
+  const auto bell = make_bell_pattern(256, 512, 0.9, rng);
+  const double density = static_cast<double>(bell.stored_elems()) /
+                         static_cast<double>(256 * 512);
+  EXPECT_NEAR(density, 0.1, 0.02);
+  bell.validate();
+}
+
+TEST(BellSpmm, FunctionalMatchesReference) {
+  Rng rng(4);
+  const auto bell = make_bell_pattern(64, 128, 0.8, rng);
+  auto b = core::random_values(128, 64, Scalar::s8, rng);
+  const auto r = bell_spmm(bell, b, /*int8_path=*/true);
+  EXPECT_EQ(r.c, core::reference_gemm(bell.to_dense(), b));
+}
+
+TEST(BellSpmm, PerformanceIndependentOfVectorLength) {
+  // Blocked-ELL always works on 8x8 blocks; its cost depends on density,
+  // not on the 1-D vector length of the Magicube operand it is compared
+  // against (the flat cuSPARSE curves across the V panels of Fig. 14).
+  const auto r1 = bell_spmm_estimate(512, 256, 1024, 2048, true);
+  const auto r2 = bell_spmm_estimate(512, 256, 1024, 2048, true);
+  EXPECT_EQ(simt::estimate_seconds(simt::a100(), r1),
+            simt::estimate_seconds(simt::a100(), r2));
+}
+
+TEST(VectorSparse, SpmmMatchesHalfReference) {
+  Rng rng(5);
+  const auto pattern = sparse::make_uniform_pattern(32, 64, 8, 0.6, rng);
+  Matrix<float> dense(32, 64, 0.0f);
+  const auto mask = sparse::pattern_to_dense_mask(pattern);
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    if (mask.data()[i]) dense.data()[i] = rng.next_float() - 0.5f;
+  }
+  Matrix<half> ah(32, 64);
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    ah.data()[i] = half(dense.data()[i]);
+  }
+  const auto a = sparse::build_bcrs(pattern, ah);
+  Matrix<half> b(64, 64);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b.data()[i] = half(rng.next_float() - 0.5f);
+  }
+  const auto r = vs_spmm(a, b);
+  for (std::size_t i = 0; i < 32; ++i) {
+    for (std::size_t j = 0; j < 64; ++j) {
+      float expect = 0.0f;
+      for (std::size_t k = 0; k < 64; ++k) {
+        expect += float(ah(i, k)) * float(b(k, j));
+      }
+      EXPECT_NEAR(float(r.c(i, j)), expect, 0.05f);
+    }
+  }
+}
+
+TEST(VectorSparse, SddmmMatchesReference) {
+  Rng rng(6);
+  const auto pattern = sparse::make_uniform_pattern(24, 48, 8, 0.5, rng);
+  Matrix<half> a(24, 32), b(32, 48);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a.data()[i] = half(rng.next_float() - 0.5f);
+  }
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b.data()[i] = half(rng.next_float() - 0.5f);
+  }
+  const auto r = vs_sddmm(a, b, pattern);
+  const std::size_t v = 8;
+  for (std::size_t rr = 0; rr < pattern.vector_rows(); ++rr) {
+    for (std::uint32_t i = pattern.row_ptr[rr]; i < pattern.row_ptr[rr + 1];
+         ++i) {
+      for (std::size_t rb = 0; rb < v; ++rb) {
+        float expect = 0.0f;
+        for (std::size_t k = 0; k < 32; ++k) {
+          expect += float(a(rr * v + rb, k)) *
+                    float(b(k, pattern.col_idx[i]));
+        }
+        EXPECT_NEAR(float(r.c.values[i * v + rb]), expect, 0.05f);
+      }
+    }
+  }
+}
+
+TEST(Baselines, MagicubeInt8BeatsSparseBaselinesAtModerateSparsity) {
+  // The core comparative claim of Fig. 14 at V=8, sparsity 0.9.
+  Rng rng(7);
+  const auto pattern = sparse::make_uniform_pattern(2048, 2304, 8, 0.9, rng);
+  const simt::DeviceSpec& dev = simt::a100();
+  core::SpmmConfig cfg{precision::L8R8, core::SpmmVariant::full};
+  const double t_mc =
+      simt::estimate_seconds(dev, core::spmm_estimate(pattern, 256, cfg));
+  const double t_vs =
+      simt::estimate_seconds(dev, vs_spmm_estimate(pattern, 256));
+  const std::uint64_t bell_blocks = (2048 / 8) * ((2304 / 8) / 10);
+  const double t_cusparse = simt::estimate_seconds(
+      dev, bell_spmm_estimate(2048, 256, 2304, bell_blocks, true));
+  const double t_dense = simt::estimate_seconds(
+      dev, dense_gemm_fp16_estimate(2048, 256, 2304));
+  EXPECT_LT(t_mc, t_vs);
+  EXPECT_LT(t_mc, t_cusparse);
+  EXPECT_LT(t_mc, t_dense);
+}
+
+}  // namespace
+}  // namespace magicube::baselines

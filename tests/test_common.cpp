@@ -1,0 +1,206 @@
+// Unit tests for the common substrate: half-precision conversion, packed
+// sub-byte storage, deterministic RNG, and the dense matrix container.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+
+#include "common/half.hpp"
+#include "common/matrix.hpp"
+#include "common/packed.hpp"
+#include "common/precision.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+
+namespace magicube {
+namespace {
+
+TEST(Half, ExactSmallIntegers) {
+  // All integers up to 2048 are exactly representable in binary16.
+  for (int i = -2048; i <= 2048; ++i) {
+    EXPECT_EQ(float(half(static_cast<float>(i))), static_cast<float>(i));
+  }
+}
+
+TEST(Half, KnownBitPatterns) {
+  EXPECT_EQ(half(1.0f).bits(), 0x3c00);
+  EXPECT_EQ(half(-2.0f).bits(), 0xc000);
+  EXPECT_EQ(half(0.5f).bits(), 0x3800);
+  EXPECT_EQ(half(65504.0f).bits(), 0x7bff);  // max finite half
+  EXPECT_EQ(half(0.0f).bits(), 0x0000);
+}
+
+TEST(Half, OverflowToInfinity) {
+  EXPECT_EQ(half(1e6f).bits(), 0x7c00);
+  EXPECT_EQ(half(-1e6f).bits(), 0xfc00);
+}
+
+TEST(Half, SubnormalRoundTrip) {
+  const float smallest = 0x1p-24f;  // smallest positive subnormal
+  EXPECT_EQ(float(half(smallest)), smallest);
+  EXPECT_EQ(half(smallest * 0.25f).bits(), 0x0000);  // underflow to zero
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and the next half; ties go to
+  // even mantissa (1.0).
+  EXPECT_EQ(half(1.0f + 0x1p-11f).bits(), half(1.0f).bits());
+  // 1 + 3*2^-11 is halfway between the next two; ties to even rounds up.
+  EXPECT_EQ(half(1.0f + 3 * 0x1p-11f).bits(),
+            static_cast<std::uint16_t>(half(1.0f).bits() + 2));
+}
+
+TEST(Half, RoundTripAllFiniteBitPatterns) {
+  for (std::uint32_t bits = 0; bits < 0x10000; ++bits) {
+    const auto h = half::from_bits(static_cast<std::uint16_t>(bits));
+    const float f = float(h);
+    if (std::isnan(f)) continue;
+    EXPECT_EQ(half(f).bits(), h.bits()) << "bits=" << bits;
+  }
+}
+
+TEST(Packed, SignExtend) {
+  EXPECT_EQ(sign_extend(0b1101, 4), -3);
+  EXPECT_EQ(sign_extend(0b0101, 4), 5);
+  EXPECT_EQ(sign_extend(0xed, 8), -19);
+  EXPECT_EQ(sign_extend(0x7fff, 16), 32767);
+  EXPECT_EQ(sign_extend(0x8000, 16), -32768);
+}
+
+TEST(Packed, EncodeDecodeRoundTrip) {
+  for (int bits : {4, 8, 12, 16}) {
+    const int lo = -(1 << (bits - 1)), hi = (1 << (bits - 1)) - 1;
+    for (int v = lo; v <= hi; v += (bits <= 8 ? 1 : 37)) {
+      EXPECT_EQ(sign_extend(encode_twos_complement(v, bits), bits), v);
+    }
+  }
+}
+
+class PackedBufferTest : public ::testing::TestWithParam<Scalar> {};
+
+TEST_P(PackedBufferTest, SetGetRoundTrip) {
+  const Scalar type = GetParam();
+  Rng rng(7);
+  PackedBuffer buf(257, type);
+  std::vector<std::int32_t> expect(257);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    expect[i] = static_cast<std::int32_t>(
+        rng.next_in(min_value(type), max_value(type)));
+    buf.set(i, expect[i]);
+  }
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    EXPECT_EQ(buf.get(i), expect[i]) << "i=" << i;
+  }
+}
+
+TEST_P(PackedBufferTest, ByteSizeMatchesBitWidth) {
+  const Scalar type = GetParam();
+  PackedBuffer buf(64, type);
+  EXPECT_EQ(buf.byte_size(), 64u * static_cast<unsigned>(bits_of(type)) / 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIntegerTypes, PackedBufferTest,
+                         ::testing::Values(Scalar::u4, Scalar::s4, Scalar::u8,
+                                           Scalar::s8, Scalar::s12,
+                                           Scalar::u12, Scalar::s16,
+                                           Scalar::u16),
+                         [](const auto& info) {
+                           return to_string(info.param);
+                         });
+
+TEST(Packed, NibbleHelpers) {
+  const std::uint32_t n[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  const std::uint32_t w = pack_nibbles8(n);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(nibble_of(w, i), n[i]);
+  const std::uint32_t b[4] = {0xaa, 0xbb, 0xcc, 0xdd};
+  const std::uint32_t wb = pack_bytes4(b);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(byte_of(wb, i), b[i]);
+}
+
+TEST(Precision, RangesAndBits) {
+  EXPECT_EQ(bits_of(Scalar::s12), 12);
+  EXPECT_EQ(min_value(Scalar::s4), -8);
+  EXPECT_EQ(max_value(Scalar::s4), 7);
+  EXPECT_EQ(min_value(Scalar::u8), 0);
+  EXPECT_EQ(max_value(Scalar::u8), 255);
+  EXPECT_EQ(min_value(Scalar::s16), -32768);
+  EXPECT_TRUE(is_native(precision::L8R8));
+  EXPECT_TRUE(is_native(precision::L4R4));
+  EXPECT_FALSE(is_native(precision::L16R8));
+  EXPECT_EQ(to_string(precision::L12R4), "L12-R4");
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SeedsProduceDistinctStreams) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.next_in(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard) {
+  Rng rng(11);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.next_normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Matrix, IndexingAndEquality) {
+  Matrix<int> m(3, 4, 0);
+  m(2, 3) = 7;
+  EXPECT_EQ(m.row(2)[3], 7);
+  Matrix<int> n = m;
+  EXPECT_EQ(m, n);
+  n(0, 0) = 1;
+  EXPECT_FALSE(m == n);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  std::vector<int> hits(1000, 0);
+  parallel_for(hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], 1);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(100, [&](std::size_t i) {
+        if (i == 57) throw Error("boom");
+      }),
+      Error);
+}
+
+TEST(Check, ThrowsWithContext) {
+  try {
+    MAGICUBE_CHECK_MSG(1 == 2, "custom " << 42);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("custom 42"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace magicube

@@ -1,0 +1,92 @@
+// Tests for the synthetic DLMC collection generator.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dlmc/dlmc.hpp"
+
+namespace magicube::dlmc {
+namespace {
+
+TEST(Dlmc, CollectionHas256MatricesPerSparsity) {
+  for (double s : sparsity_levels()) {
+    const auto specs = collection(s);
+    EXPECT_EQ(specs.size(), 256u);
+    for (const auto& spec : specs) {
+      EXPECT_DOUBLE_EQ(spec.sparsity, s);
+      EXPECT_GT(spec.rows, 0u);
+      EXPECT_GT(spec.cols, 0u);
+    }
+  }
+}
+
+TEST(Dlmc, SixSparsityLevelsTotal1536) {
+  std::size_t total = 0;
+  for (double s : sparsity_levels()) total += collection(s).size();
+  EXPECT_EQ(total, 1536u);
+}
+
+TEST(Dlmc, NamesAreUniqueWithinSparsity) {
+  const auto specs = collection(0.9);
+  std::set<std::string> names;
+  for (const auto& spec : specs) names.insert(spec.name);
+  EXPECT_EQ(names.size(), specs.size());
+}
+
+TEST(Dlmc, DeterministicAcrossCalls) {
+  const auto a = collection(0.7);
+  const auto b = collection(0.7);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].seed, b[i].seed);
+  }
+}
+
+class DlmcDilationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DlmcDilationTest, DilationMultipliesRows) {
+  const int v = GetParam();
+  const auto specs = collection(0.8, 8);
+  for (const auto& spec : specs) {
+    const auto pattern = instantiate(spec, v);
+    EXPECT_EQ(pattern.rows, spec.rows * static_cast<std::size_t>(v));
+    EXPECT_EQ(pattern.cols, spec.cols);
+    EXPECT_EQ(pattern.vector_length, v);
+    EXPECT_NEAR(pattern.sparsity(), spec.sparsity,
+                1.0 / static_cast<double>(spec.cols) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VectorLengths, DlmcDilationTest,
+                         ::testing::Values(2, 4, 8),
+                         [](const auto& info) {
+                           return "V" + std::to_string(info.param);
+                         });
+
+TEST(Dlmc, InstantiationIsDeterministic) {
+  const auto spec = collection(0.9, 4)[3];
+  const auto p1 = instantiate(spec, 8);
+  const auto p2 = instantiate(spec, 8);
+  EXPECT_EQ(p1.col_idx, p2.col_idx);
+  EXPECT_EQ(p1.row_ptr, p2.row_ptr);
+}
+
+TEST(Dlmc, MixesUniformAndBandedKinds) {
+  const auto specs = collection(0.9);
+  std::size_t uniform = 0, banded = 0;
+  for (const auto& spec : specs) {
+    (spec.kind == PatternKind::uniform ? uniform : banded) += 1;
+  }
+  EXPECT_GT(uniform, 64u);
+  EXPECT_GT(banded, 64u);
+}
+
+TEST(Dlmc, AblationMatrixMatchesPaper) {
+  const auto spec = ablation_matrix(0.7);
+  EXPECT_EQ(spec.rows, 256u);
+  EXPECT_EQ(spec.cols, 2304u);
+}
+
+}  // namespace
+}  // namespace magicube::dlmc

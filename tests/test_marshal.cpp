@@ -1,0 +1,179 @@
+// Tests for the online-transpose building blocks: register transposes
+// (Figs. 5 and 7) and the conflict-free shared-memory layout (Fig. 4).
+
+#include <gtest/gtest.h>
+
+#include "common/packed.hpp"
+#include "common/rng.hpp"
+#include "core/marshal.hpp"
+#include "simt/memory.hpp"
+#include "sparse/sr_bcrs.hpp"
+
+namespace magicube::core {
+namespace {
+
+TEST(Transpose, Int8FourByFour) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::array<std::uint32_t, 4> in{};
+    std::uint8_t m[4][4];
+    for (int r = 0; r < 4; ++r) {
+      std::uint32_t w = 0;
+      for (int c = 0; c < 4; ++c) {
+        m[r][c] = static_cast<std::uint8_t>(rng.next_below(256));
+        w |= static_cast<std::uint32_t>(m[r][c]) << (8 * c);
+      }
+      in[static_cast<std::size_t>(r)] = w;
+    }
+    const auto out = transpose_4x4_bytes(in);
+    for (int c = 0; c < 4; ++c) {
+      for (int r = 0; r < 4; ++r) {
+        EXPECT_EQ(byte_of(out[static_cast<std::size_t>(c)], r), m[r][c]);
+      }
+    }
+  }
+}
+
+TEST(Transpose, Int4NaiveIsExactTranspose) {
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::array<std::uint32_t, 8> in{};
+    std::uint8_t m[8][8];
+    for (int r = 0; r < 8; ++r) {
+      std::uint32_t w = 0;
+      for (int c = 0; c < 8; ++c) {
+        m[r][c] = static_cast<std::uint8_t>(rng.next_below(16));
+        w |= static_cast<std::uint32_t>(m[r][c]) << (4 * c);
+      }
+      in[static_cast<std::size_t>(r)] = w;
+    }
+    const auto out = transpose_int4_naive(in);
+    for (int c = 0; c < 8; ++c) {
+      for (int r = 0; r < 8; ++r) {
+        EXPECT_EQ(nibble_of(out[static_cast<std::size_t>(c)], r), m[r][c]);
+      }
+    }
+  }
+}
+
+TEST(Transpose, ShuffledEqualsNaiveAfterReordering) {
+  // The property behind Fig. 7: feeding the rows in shuffle order
+  // {0,2,4,6,1,3,5,7} through the int32-granularity path yields the same
+  // result as the naive nibble transpose on naturally ordered rows.
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::array<std::uint32_t, 8> natural{};
+    for (auto& w : natural) {
+      w = static_cast<std::uint32_t>(rng.next_u64());
+    }
+    std::array<std::uint32_t, 8> shuffled_in{};
+    for (std::size_t p = 0; p < 8; ++p) {
+      shuffled_in[p] =
+          natural[static_cast<std::size_t>(sparse::kShuffleOrder[p])];
+    }
+    EXPECT_EQ(transpose_int4_shuffled(shuffled_in),
+              transpose_int4_naive(natural));
+  }
+}
+
+TEST(Transpose, ShuffledCostIsSubstantiallyCheaper) {
+  // 8 PRMT byte stage + 8 bitwise ops per 16 int4 x 2 column pairs (Fig. 7).
+  EXPECT_EQ(kInt4ShuffledAluOps, 24u);
+  EXPECT_GE(kInt4NaiveAluOps, 2 * kInt4ShuffledAluOps);
+}
+
+// ---- Fig. 4 layout: padded is conflict-free, basic is 4-way conflicted ---
+
+struct LayoutCase {
+  int bsk, row_words;  // int8: 16x16, int4: 32x8
+  bool padded;
+  std::uint32_t expected_transactions;
+};
+
+class RhsLayoutTest : public ::testing::TestWithParam<LayoutCase> {};
+
+TEST_P(RhsLayoutTest, FragmentLoadTransactions) {
+  const auto [bsk, row_words, padded, expected] = GetParam();
+  const RhsTileLayout layout{bsk, row_words, padded};
+  const bool int4path = bsk == 32;
+  const int phases = int4path ? 8 : 4;
+  for (int w = 0; w < 2; ++w) {
+    for (int ph = 0; ph < phases; ++ph) {
+      simt::LaneAddrs addrs;
+      addrs.fill(simt::kInactiveLane);
+      for (int lane = 0; lane < 32; ++lane) {
+        int word_col, k_row;
+        if (int4path) {
+          word_col = w * 4 + (lane / 4) % 4;
+          k_row = 8 * (lane % 4) + ph;
+        } else {
+          word_col = w * 8 + lane / 4;
+          k_row = 4 * (lane % 4) + ph;
+        }
+        addrs[static_cast<std::size_t>(lane)] =
+            layout.row_start_word(k_row) + static_cast<std::size_t>(word_col);
+      }
+      EXPECT_EQ(simt::smem_transactions_for(addrs), expected)
+          << "warp " << w << " phase " << ph;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig4, RhsLayoutTest,
+    ::testing::Values(LayoutCase{16, 16, true, 1},   // int8 conflict-free
+                      LayoutCase{16, 16, false, 4},  // int8 basic: 4-way
+                      LayoutCase{32, 8, true, 1},    // int4 conflict-free
+                      LayoutCase{32, 8, false, 4}),  // int4 basic: 4-way
+    [](const auto& info) {
+      return std::string(info.param.bsk == 32 ? "int4" : "int8") +
+             (info.param.padded ? "_padded" : "_basic");
+    });
+
+TEST(RhsLayout, PaddingInsertsEightWordsPerSixtyFour) {
+  const RhsTileLayout l{16, 16, true};
+  EXPECT_EQ(l.row_start_word(0), 0u);
+  EXPECT_EQ(l.row_start_word(3), 48u);
+  EXPECT_EQ(l.row_start_word(4), 72u);  // 64 + 8 padding
+  EXPECT_EQ(l.row_start_word(8), 144u);
+  EXPECT_EQ(l.total_words(), 16u * 16 + 4 * 8);
+  const RhsTileLayout u{16, 16, false};
+  EXPECT_EQ(u.row_start_word(4), 64u);
+  EXPECT_EQ(u.total_words(), 256u);
+}
+
+TEST(RhsLayout, RowStoresAreConflictFreeEvenUnpadded) {
+  for (bool padded : {true, false}) {
+    const RhsTileLayout layout{16, 16, padded};
+    for (int r = 0; r < 16; ++r) {
+      simt::LaneAddrs addrs;
+      addrs.fill(simt::kInactiveLane);
+      for (int l = 0; l < 16; ++l) {
+        addrs[static_cast<std::size_t>(l)] =
+            layout.row_start_word(r) + static_cast<std::size_t>(l);
+      }
+      EXPECT_EQ(simt::smem_transactions_for(addrs), 1u);
+    }
+  }
+}
+
+TEST(OutputColumnMaps, ArePermutationsOfTheWarpTile) {
+  // Each map must cover warp-local columns 0..31 exactly once.
+  for (auto* fn : {+spmm_output_col_int8, +spmm_output_col_int4}) {
+    std::array<int, 32> hits{};
+    for (int mma = 0; mma < 4; ++mma) {
+      for (int j = 0; j < 8; ++j) {
+        const int col = fn(mma, j);
+        ASSERT_GE(col, 0);
+        ASSERT_LT(col, 32);
+        hits[static_cast<std::size_t>(col)] += 1;
+      }
+    }
+    for (int col = 0; col < 32; ++col) {
+      EXPECT_EQ(hits[static_cast<std::size_t>(col)], 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace magicube::core

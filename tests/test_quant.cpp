@@ -1,0 +1,184 @@
+// Tests for quantization and the signed/unsigned plane decomposition that
+// mixed-precision emulation rests on (§IV-D of the paper).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "quant/decompose.hpp"
+#include "quant/quantizer.hpp"
+
+namespace magicube::quant {
+namespace {
+
+TEST(Quantizer, PaperExampleSignedSplit) {
+  // §IV-D2: -19 (0b11101101) splits into signed hi -2 and unsigned lo 13.
+  std::int32_t chunks[2];
+  decompose_value(-19, Scalar::s8, 4, chunks);
+  EXPECT_EQ(chunks[0], 13);
+  EXPECT_EQ(chunks[1], -2);
+  EXPECT_EQ(-2 * 16 + 13, -19);
+}
+
+TEST(Quantizer, PaperExampleUnsignedSplit) {
+  // §IV-D1: 237 (0b11101101) splits into hi 14, lo 13.
+  std::int32_t chunks[2];
+  decompose_value(237, Scalar::u8, 4, chunks);
+  EXPECT_EQ(chunks[0], 13);
+  EXPECT_EQ(chunks[1], 14);
+  EXPECT_EQ(14 * 16 + 13, 237);
+}
+
+struct DecomposeCase {
+  Scalar source;
+  int chunk_bits;
+};
+
+class DecomposeTest : public ::testing::TestWithParam<DecomposeCase> {};
+
+TEST_P(DecomposeTest, RecomposesEveryValue) {
+  const auto [source, chunk_bits] = GetParam();
+  const int n = plane_count(source, chunk_bits);
+  std::int32_t chunks[8];
+  for (std::int32_t v = min_value(source); v <= max_value(source); ++v) {
+    decompose_value(v, source, chunk_bits, chunks);
+    std::int64_t sum = 0;
+    for (int i = 0; i < n; ++i) {
+      sum += static_cast<std::int64_t>(chunks[i]) << (chunk_bits * i);
+      // Lower chunks unsigned, top chunk signed iff source signed.
+      if (i < n - 1 || !is_signed(source)) {
+        EXPECT_GE(chunks[i], 0);
+        EXPECT_LT(chunks[i], 1 << chunk_bits);
+      } else {
+        EXPECT_GE(chunks[i], -(1 << (chunk_bits - 1)));
+        EXPECT_LT(chunks[i], 1 << (chunk_bits - 1));
+      }
+    }
+    EXPECT_EQ(sum, v) << "source value " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEmulatedPairs, DecomposeTest,
+    ::testing::Values(DecomposeCase{Scalar::s8, 4},
+                      DecomposeCase{Scalar::u8, 4},
+                      DecomposeCase{Scalar::s12, 4},
+                      DecomposeCase{Scalar::s16, 4},
+                      DecomposeCase{Scalar::s16, 8},
+                      DecomposeCase{Scalar::u16, 8}),
+    [](const auto& info) {
+      return to_string(info.param.source) + "_into_" +
+             std::to_string(info.param.chunk_bits) + "bit";
+    });
+
+TEST(Decompose, BufferPlanesMatchScalarDecomposition) {
+  Rng rng(21);
+  PackedBuffer src(300, Scalar::s16);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src.set(i, static_cast<std::int32_t>(rng.next_in(-32768, 32767)));
+  }
+  const PlaneSet planes = decompose(src, 8);
+  ASSERT_EQ(planes.planes.size(), 2u);
+  EXPECT_EQ(planes.planes[0].weight, 1);
+  EXPECT_EQ(planes.planes[1].weight, 256);
+  EXPECT_FALSE(planes.planes[0].is_signed);
+  EXPECT_TRUE(planes.planes[1].is_signed);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    EXPECT_EQ(planes.recompose(i), src.get(i)) << i;
+  }
+}
+
+TEST(Decompose, TwelveBitUsesThreeNibblePlanes) {
+  PackedBuffer src(16, Scalar::s12);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src.set(i, static_cast<std::int32_t>(i * 257) - 2048);
+  }
+  const PlaneSet planes = decompose(src, 4);
+  ASSERT_EQ(planes.planes.size(), 3u);
+  EXPECT_EQ(planes.planes[2].weight, 256);
+  EXPECT_TRUE(planes.planes[2].is_signed);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    EXPECT_EQ(planes.recompose(i), src.get(i));
+  }
+}
+
+TEST(Decompose, ChunkWidthSelection) {
+  EXPECT_EQ(emulation_chunk_bits(Scalar::s16, Scalar::s8), 8);
+  EXPECT_EQ(emulation_chunk_bits(Scalar::s16, Scalar::s4), 4);
+  EXPECT_EQ(emulation_chunk_bits(Scalar::s8, Scalar::s4), 4);
+}
+
+class SymmetricQuantTest : public ::testing::TestWithParam<Scalar> {};
+
+TEST_P(SymmetricQuantTest, ErrorBounded) {
+  const Scalar type = GetParam();
+  Rng rng(5);
+  Matrix<float> m(32, 32);
+  fill_normal(m, rng, 2.5);
+  const QuantParams p = choose_symmetric(m.data(), m.size(), type);
+  EXPECT_EQ(p.zero_point, 0);
+  const PackedBuffer q = quantize(m, p);
+  const Matrix<float> back = dequantize(q, 32, 32, p);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_LE(std::fabs(back.data()[i] - m.data()[i]),
+              max_rounding_error(p) + 1e-6f);
+  }
+}
+
+TEST_P(SymmetricQuantTest, PreservesZeroExactly) {
+  const Scalar type = GetParam();
+  float vals[3] = {-3.5f, 0.0f, 7.25f};
+  const QuantParams p = choose_symmetric(vals, 3, type);
+  EXPECT_EQ(quantize_value(0.0f, p), 0);
+  EXPECT_EQ(dequantize_value(0, p), 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(SignedTypes, SymmetricQuantTest,
+                         ::testing::Values(Scalar::s4, Scalar::s8,
+                                           Scalar::s12, Scalar::s16),
+                         [](const auto& info) {
+                           return to_string(info.param);
+                         });
+
+TEST(Quantizer, SaturatesOutOfRange) {
+  QuantParams p;
+  p.scale = 1.0f;
+  p.type = Scalar::s8;
+  EXPECT_EQ(quantize_value(1000.0f, p), 127);
+  EXPECT_EQ(quantize_value(-1000.0f, p), -128);
+}
+
+TEST(Quantizer, AsymmetricCoversRangeAndZero) {
+  float vals[4] = {0.5f, 1.0f, 2.0f, 4.0f};
+  const QuantParams p = choose_asymmetric(vals, 4, Scalar::u8);
+  // Zero must be exactly representable (it encodes padding).
+  const std::int32_t zq = quantize_value(0.0f, p);
+  EXPECT_NEAR(dequantize_value(zq, p), 0.0f, 1e-6f);
+  for (float v : vals) {
+    const std::int32_t q = quantize_value(v, p);
+    EXPECT_GE(q, 0);
+    EXPECT_LE(q, 255);
+    EXPECT_NEAR(dequantize_value(q, p), v, p.scale * 0.5f + 1e-6f);
+  }
+}
+
+TEST(Quantizer, LowerPrecisionLosesMoreAccuracy) {
+  Rng rng(6);
+  Matrix<float> m(64, 64);
+  fill_normal(m, rng, 1.0);
+  double err4 = 0, err8 = 0;
+  for (Scalar type : {Scalar::s4, Scalar::s8}) {
+    const QuantParams p = choose_symmetric(m.data(), m.size(), type);
+    const Matrix<float> back = dequantize(quantize(m, p), 64, 64, p);
+    double err = 0;
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      err += std::fabs(back.data()[i] - m.data()[i]);
+    }
+    (type == Scalar::s4 ? err4 : err8) = err;
+  }
+  EXPECT_GT(err4, 4.0 * err8);
+}
+
+}  // namespace
+}  // namespace magicube::quant

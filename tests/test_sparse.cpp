@@ -1,0 +1,243 @@
+// Tests for the sparse formats: patterns, BCRS, SR-BCRS (round trips,
+// padding discipline, index shuffling), Blocked-ELL, CRS.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sparse/bcrs.hpp"
+#include "sparse/blocked_ell.hpp"
+#include "sparse/crs.hpp"
+#include "sparse/pattern.hpp"
+#include "sparse/sr_bcrs.hpp"
+
+namespace magicube::sparse {
+namespace {
+
+struct PatternCase {
+  std::size_t rows, cols;
+  int v;
+  double sparsity;
+};
+
+class PatternTest : public ::testing::TestWithParam<PatternCase> {};
+
+TEST_P(PatternTest, UniformPatternHasRequestedShape) {
+  const auto [rows, cols, v, sparsity] = GetParam();
+  Rng rng(1);
+  const BlockPattern p = make_uniform_pattern(rows, cols, v, sparsity, rng);
+  EXPECT_EQ(p.rows, rows);
+  EXPECT_EQ(p.cols, cols);
+  EXPECT_NEAR(p.sparsity(), sparsity, 1.0 / static_cast<double>(cols) + 1e-9);
+  // Every vector row has the same count (DLMC dilation semantics).
+  const std::size_t per_row = p.vectors_in_row(0);
+  for (std::size_t r = 1; r < p.vector_rows(); ++r) {
+    EXPECT_EQ(p.vectors_in_row(r), per_row);
+  }
+}
+
+TEST_P(PatternTest, BandedPatternValidatesAndMatchesSparsity) {
+  const auto [rows, cols, v, sparsity] = GetParam();
+  Rng rng(2);
+  const BlockPattern p =
+      make_banded_pattern(rows, cols, v, sparsity, 0.1, rng);
+  EXPECT_NEAR(p.sparsity(), sparsity, 1.0 / static_cast<double>(cols) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PatternTest,
+    ::testing::Values(PatternCase{64, 96, 8, 0.5}, PatternCase{64, 96, 2, 0.7},
+                      PatternCase{32, 128, 4, 0.9},
+                      PatternCase{16, 256, 8, 0.98},
+                      PatternCase{48, 64, 2, 0.0}),
+    [](const auto& info) {
+      return "r" + std::to_string(info.param.rows) + "c" +
+             std::to_string(info.param.cols) + "v" +
+             std::to_string(info.param.v) + "s" +
+             std::to_string(static_cast<int>(info.param.sparsity * 100));
+    });
+
+TEST(Pattern, DenseMaskMatchesNnz) {
+  Rng rng(3);
+  const BlockPattern p = make_uniform_pattern(32, 64, 4, 0.8, rng);
+  const auto mask = pattern_to_dense_mask(p);
+  std::size_t ones = 0;
+  for (std::size_t i = 0; i < mask.size(); ++i) ones += mask.data()[i];
+  EXPECT_EQ(ones, p.nnz());
+}
+
+TEST(Pattern, AttentionMaskDiagonalCovered) {
+  Rng rng(4);
+  const BlockPattern p = make_attention_mask_pattern(256, 8, 0.9, rng);
+  EXPECT_EQ(p.rows, 256u);
+  EXPECT_EQ(p.cols, 256u);
+  EXPECT_NEAR(p.sparsity(), 0.9, 0.02);
+  const auto mask = pattern_to_dense_mask(p);
+  // The sliding window keeps self-attention alive on the diagonal.
+  std::size_t diag = 0;
+  for (std::size_t i = 0; i < 256; ++i) diag += mask(i, i);
+  EXPECT_GT(diag, 200u);
+}
+
+// ---- Formats --------------------------------------------------------------
+
+Matrix<std::int32_t> masked_values(const BlockPattern& p, Scalar type,
+                                   Rng& rng) {
+  Matrix<std::int32_t> m(p.rows, p.cols, 0);
+  const auto mask = pattern_to_dense_mask(p);
+  for (std::size_t r = 0; r < p.rows; ++r) {
+    for (std::size_t c = 0; c < p.cols; ++c) {
+      if (mask(r, c)) {
+        m(r, c) = static_cast<std::int32_t>(
+            rng.next_in(min_value(type), max_value(type)));
+      }
+    }
+  }
+  return m;
+}
+
+struct SrCase {
+  int v;
+  int stride;
+  Scalar type;
+};
+
+class SrBcrsTest : public ::testing::TestWithParam<SrCase> {};
+
+TEST_P(SrBcrsTest, DenseRoundTrip) {
+  const auto [v, stride, type] = GetParam();
+  Rng rng(7);
+  const BlockPattern p =
+      make_uniform_pattern(8 * static_cast<std::size_t>(v), 70, v, 0.6, rng);
+  const Matrix<std::int32_t> dense = masked_values(p, type, rng);
+  const SrBcrs sr = build_sr_bcrs(p, dense, type, stride);
+  EXPECT_EQ(sr.to_dense(), dense);
+  EXPECT_EQ(sr.nnz(), p.nnz());
+}
+
+TEST_P(SrBcrsTest, PaddingAlignsToStride) {
+  const auto [v, stride, type] = GetParam();
+  Rng rng(8);
+  const BlockPattern p =
+      make_uniform_pattern(4 * static_cast<std::size_t>(v), 50, v, 0.7, rng);
+  const SrBcrs sr = build_sr_bcrs_random(p, type, stride, rng);
+  for (std::size_t r = 0; r < sr.vector_rows(); ++r) {
+    EXPECT_EQ((sr.end_ptr[r] - sr.first_ptr[r]) %
+                  static_cast<std::uint32_t>(stride),
+              0u);
+    EXPECT_EQ(sr.valid_vectors_in_row(r), p.vectors_in_row(r));
+  }
+}
+
+TEST_P(SrBcrsTest, ShuffleKeepsLogicalContent) {
+  const auto [v, stride, type] = GetParam();
+  if (stride % 8 != 0) GTEST_SKIP();
+  Rng rng(9);
+  const BlockPattern p =
+      make_uniform_pattern(8 * static_cast<std::size_t>(v), 90, v, 0.75, rng);
+  const Matrix<std::int32_t> dense = masked_values(p, type, rng);
+  const SrBcrs sr = build_sr_bcrs(p, dense, type, stride);
+  const SrBcrs sh = shuffle_columns(sr);
+  EXPECT_TRUE(sh.shuffled);
+  sh.validate();
+  EXPECT_EQ(sh.to_dense(), dense);  // pairing survives the permutation
+  EXPECT_EQ(sh.nnz(), sr.nnz());
+  // Indices really are permuted by {0,2,4,6,1,3,5,7} within each 8-group.
+  for (std::size_t base = 0; base + 8 <= sr.slot_count(); base += 8) {
+    for (std::size_t i = 0; i < 8; ++i) {
+      EXPECT_EQ(sh.col_idx[base + i],
+                sr.col_idx[base + static_cast<std::size_t>(kShuffleOrder[i])]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SrBcrsTest,
+    ::testing::Values(SrCase{8, 16, Scalar::s8}, SrCase{4, 16, Scalar::s8},
+                      SrCase{2, 16, Scalar::s16}, SrCase{8, 32, Scalar::s4},
+                      SrCase{4, 32, Scalar::s4}, SrCase{2, 32, Scalar::s8}),
+    [](const auto& info) {
+      return "v" + std::to_string(info.param.v) + "stride" +
+             std::to_string(info.param.stride) + to_string(info.param.type);
+    });
+
+TEST(SrBcrs, EmptyRowsProduceNoSlots) {
+  BlockPattern p;
+  p.rows = 16;
+  p.cols = 32;
+  p.vector_length = 8;
+  p.row_ptr = {0, 0, 0};  // two empty vector rows
+  p.validate();
+  Matrix<std::int32_t> dense(16, 32, 0);
+  const SrBcrs sr = build_sr_bcrs(p, dense, Scalar::s8, 16);
+  EXPECT_EQ(sr.slot_count(), 0u);
+  EXPECT_EQ(sr.strides_in_row(0), 0u);
+}
+
+TEST(Bcrs, RoundTripAndValidate) {
+  Rng rng(11);
+  const BlockPattern p = make_uniform_pattern(24, 40, 4, 0.55, rng);
+  Matrix<std::int32_t> dense = masked_values(p, Scalar::s8, rng);
+  const Bcrs<std::int32_t> b = build_bcrs(p, dense);
+  EXPECT_EQ(b.to_dense(), dense);
+  EXPECT_EQ(b.nnz(), p.nnz());
+}
+
+TEST(BlockedEll, CoversEveryNonzeroAndPads) {
+  Rng rng(12);
+  const BlockPattern p = make_uniform_pattern(32, 64, 8, 0.8, rng);
+  Matrix<std::int32_t> dense = masked_values(p, Scalar::s8, rng);
+  const BlockedEll<std::int32_t> e = build_blocked_ell(p, dense, 8);
+  EXPECT_EQ(e.to_dense(), dense);
+  // Square blocks store at least the pattern's nonzeros.
+  EXPECT_GE(e.stored_elems(), p.nnz());
+  // Uniform width: every block row stores ell_width entries.
+  EXPECT_EQ(e.block_cols.size(), e.block_rows() * e.ell_width);
+}
+
+TEST(BlockedEll, InflationGrowsWithScatter) {
+  // 2x1 vectors scattered into 8x8 blocks inflate storage far more than
+  // 8x1 vectors do — the reason cuSPARSE needs block >= 8 to profit.
+  Rng rng(13);
+  const BlockPattern p2 = make_uniform_pattern(64, 128, 2, 0.9, rng);
+  const BlockPattern p8 = make_uniform_pattern(64, 128, 8, 0.9, rng);
+  Matrix<std::int32_t> d(64, 128, 1);
+  const auto e2 = build_blocked_ell(p2, d, 8);
+  const auto e8 = build_blocked_ell(p8, d, 8);
+  const double infl2 = static_cast<double>(e2.stored_elems()) /
+                       static_cast<double>(p2.nnz());
+  const double infl8 = static_cast<double>(e8.stored_elems()) /
+                       static_cast<double>(p8.nnz());
+  EXPECT_GT(infl2, infl8);
+}
+
+TEST(Crs, BuildFromPatternMatchesDense) {
+  Rng rng(14);
+  const BlockPattern p = make_uniform_pattern(16, 32, 4, 0.6, rng);
+  Matrix<std::int32_t> dense = masked_values(p, Scalar::s8, rng);
+  const Crs<std::int32_t> c = build_crs_from_pattern(p, dense);
+  EXPECT_EQ(c.to_dense(), dense);
+  EXPECT_EQ(c.nnz(), p.nnz());
+}
+
+TEST(Pattern, ValidateRejectsBadColumns) {
+  BlockPattern p;
+  p.rows = 8;
+  p.cols = 4;
+  p.vector_length = 8;
+  p.row_ptr = {0, 1};
+  p.col_idx = {9};  // out of range
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(Pattern, ValidateRejectsUnsortedColumns) {
+  BlockPattern p;
+  p.rows = 8;
+  p.cols = 16;
+  p.vector_length = 8;
+  p.row_ptr = {0, 2};
+  p.col_idx = {5, 3};
+  EXPECT_THROW(p.validate(), Error);
+}
+
+}  // namespace
+}  // namespace magicube::sparse

@@ -1,0 +1,235 @@
+// Tests for the Transformer substrate: ops, the quantized attention
+// pipeline (all schemes against the fp32 reference), the end-to-end
+// latency/memory model, and the trainable classifier.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "transformer/attention.hpp"
+#include "transformer/latency.hpp"
+#include "transformer/model.hpp"
+#include "transformer/ops.hpp"
+
+namespace magicube::transformer {
+namespace {
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  Rng rng(1);
+  Matrix<float> m(8, 16);
+  fill_normal(m, rng, 3.0);
+  softmax_rows(m, false);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      sum += m(r, c);
+      EXPECT_GE(m(r, c), 0.0f);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(Ops, SparseSoftmaxMatchesDenseOnFullPattern) {
+  Rng rng(2);
+  const auto full = sparse::make_uniform_pattern(16, 16, 8, 0.0, rng);
+  Matrix<float> dense(16, 16);
+  fill_normal(dense, rng, 1.0);
+  sparse::Bcrs<float> sp = sparse::build_bcrs(full, dense);
+  softmax_sparse_rows(sp, false);
+  softmax_rows(dense, false);
+  const auto back = sp.to_dense();
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    EXPECT_NEAR(back.data()[i], dense.data()[i], 1e-5f);
+  }
+}
+
+TEST(Ops, LayerNormNormalizesRows) {
+  Rng rng(3);
+  Matrix<float> m(4, 64);
+  fill_normal(m, rng, 5.0);
+  std::vector<float> gamma(64, 1.0f), beta(64, 0.0f);
+  layer_norm_rows(m, gamma, beta);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    float mean = 0.0f, var = 0.0f;
+    for (std::size_t c = 0; c < 64; ++c) mean += m(r, c);
+    mean /= 64.0f;
+    for (std::size_t c = 0; c < 64; ++c) {
+      var += (m(r, c) - mean) * (m(r, c) - mean);
+    }
+    EXPECT_NEAR(mean, 0.0f, 1e-4f);
+    EXPECT_NEAR(var / 64.0f, 1.0f, 1e-2f);
+  }
+}
+
+class AttentionSchemeTest : public ::testing::TestWithParam<AttentionScheme> {
+};
+
+TEST_P(AttentionSchemeTest, ApproximatesFp32Reference) {
+  const AttentionScheme scheme = GetParam();
+  Rng rng(4);
+  const std::size_t l = 64, dk = 64;
+  const auto mask = sparse::make_attention_mask_pattern(l, 8, 0.75, rng);
+  Matrix<float> q(l, dk), k(l, dk), v(l, dk);
+  fill_normal(q, rng, 0.4);
+  fill_normal(k, rng, 0.4);
+  fill_normal(v, rng, 0.4);
+
+  // fp32 masked reference.
+  Matrix<float> scores = matmul_transposed_b(q, k);
+  const auto md = sparse::pattern_to_dense_mask(mask);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dk));
+  for (std::size_t i = 0; i < l; ++i) {
+    for (std::size_t j = 0; j < l; ++j) {
+      scores(i, j) = md(i, j) ? scores(i, j) * scale : -1e30f;
+    }
+  }
+  softmax_rows(scores, false);
+  const Matrix<float> ref = matmul(scores, v);
+
+  std::vector<simt::KernelRun> runs;
+  const Matrix<float> out = attention_forward(q, k, v, mask, scheme, &runs);
+  ASSERT_EQ(out.rows(), l);
+  ASSERT_EQ(out.cols(), dk);
+  EXPECT_FALSE(runs.empty());
+
+  double err = 0.0, norm = 0.0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    err += std::fabs(out.data()[i] - ref.data()[i]);
+    norm += std::fabs(ref.data()[i]);
+  }
+  const double rel = err / norm;
+  // Tolerance loosens with quantization aggressiveness.
+  const double tol = scheme == AttentionScheme::magicube_4b_4b ? 0.40
+                     : scheme == AttentionScheme::magicube_8b_4b ? 0.25
+                                                                 : 0.08;
+  EXPECT_LT(rel, tol) << to_string(scheme);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, AttentionSchemeTest,
+    ::testing::Values(AttentionScheme::dense_fp16,
+                      AttentionScheme::vector_sparse_fp16,
+                      AttentionScheme::magicube_16b_8b,
+                      AttentionScheme::magicube_8b_8b,
+                      AttentionScheme::magicube_8b_4b,
+                      AttentionScheme::magicube_4b_4b),
+    [](const auto& info) {
+      std::string s = to_string(info.param);
+      std::string out;
+      for (char ch : s) {
+        if (std::isalnum(static_cast<unsigned char>(ch))) out += ch;
+      }
+      return out;
+    });
+
+TEST(AttentionScheme, PrecisionMonotonicallyImprovesFidelity) {
+  Rng rng(5);
+  const std::size_t l = 64, dk = 64;
+  const auto mask = sparse::make_attention_mask_pattern(l, 8, 0.7, rng);
+  Matrix<float> q(l, dk), k(l, dk), v(l, dk);
+  fill_normal(q, rng, 0.4);
+  fill_normal(k, rng, 0.4);
+  fill_normal(v, rng, 0.4);
+  const auto ref =
+      attention_forward(q, k, v, mask, AttentionScheme::vector_sparse_fp16);
+  auto err_of = [&](AttentionScheme s) {
+    const auto out = attention_forward(q, k, v, mask, s);
+    double e = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      e += std::fabs(out.data()[i] - ref.data()[i]);
+    }
+    return e;
+  };
+  const double e_16_8 = err_of(AttentionScheme::magicube_16b_8b);
+  const double e_4_4 = err_of(AttentionScheme::magicube_4b_4b);
+  EXPECT_LT(e_16_8, e_4_4);
+}
+
+TEST(Latency, DenseOomPatternMatchesPaper) {
+  // OOM iff batch 8 at seq 8192 (both head counts); everything else fits.
+  for (int heads : {4, 8}) {
+    for (std::size_t seq : {std::size_t{4096}, std::size_t{8192}}) {
+      for (std::size_t batch : {std::size_t{2}, std::size_t{8}}) {
+        TransformerConfig cfg;
+        cfg.heads = heads;
+        cfg.seq_len = seq;
+        cfg.batch = batch;
+        const bool oom = peak_memory_bytes(cfg, AttentionScheme::dense_fp16) >
+                         simt::a100().dram_capacity_bytes;
+        EXPECT_EQ(oom, seq == 8192 && batch == 8)
+            << "heads=" << heads << " seq=" << seq << " batch=" << batch;
+        // Sparse schemes always fit.
+        EXPECT_LE(peak_memory_bytes(cfg, AttentionScheme::magicube_8b_8b),
+                  simt::a100().dram_capacity_bytes);
+      }
+    }
+  }
+}
+
+TEST(Latency, MagicubeFasterThanBaselinesAtPaperConfig) {
+  Rng rng(6);
+  const std::size_t seq = 4096;  // the paper's configuration
+  const auto mask = sparse::make_attention_mask_pattern(seq, 8, 0.9, rng);
+  TransformerConfig cfg;
+  cfg.seq_len = seq;
+  cfg.batch = 2;
+  cfg.heads = 4;
+  const auto dense =
+      transformer_inference(cfg, AttentionScheme::dense_fp16, mask);
+  const auto vs =
+      transformer_inference(cfg, AttentionScheme::vector_sparse_fp16, mask);
+  const auto mc8 =
+      transformer_inference(cfg, AttentionScheme::magicube_8b_8b, mask);
+  ASSERT_FALSE(dense.oom);
+  ASSERT_FALSE(mc8.oom);
+  EXPECT_LT(mc8.seconds, vs.seconds);
+  EXPECT_LT(mc8.seconds, dense.seconds);
+}
+
+TEST(Latency, HeadsScaleRuntimeRoughlyLinearly) {
+  Rng rng(7);
+  const std::size_t seq = 2048;
+  const auto mask = sparse::make_attention_mask_pattern(seq, 8, 0.9, rng);
+  TransformerConfig c4, c8;
+  c4.seq_len = c8.seq_len = seq;
+  c4.batch = c8.batch = 2;
+  c4.heads = 4;
+  c8.heads = 8;
+  const auto r4 =
+      transformer_inference(c4, AttentionScheme::magicube_8b_8b, mask);
+  const auto r8 =
+      transformer_inference(c8, AttentionScheme::magicube_8b_8b, mask);
+  EXPECT_GT(r8.seconds / r4.seconds, 1.5);
+  EXPECT_LT(r8.seconds / r4.seconds, 3.0);
+}
+
+TEST(Task, DatasetBalancedAndDeterministic) {
+  Rng a(9), b(9);
+  const auto d1 = make_dataset(64, 32, a);
+  const auto d2 = make_dataset(64, 32, b);
+  std::size_t ones = 0;
+  for (std::size_t i = 0; i < d1.size(); ++i) {
+    EXPECT_EQ(d1[i].tokens, d2[i].tokens);
+    ones += static_cast<std::size_t>(d1[i].label);
+  }
+  EXPECT_EQ(ones, 32u);
+}
+
+TEST(Model, TrainingLearnsTheTask) {
+  Rng rng(10);
+  const std::size_t seq = 64;
+  const auto train_set = make_dataset(96, seq, rng);
+  const auto test_set = make_dataset(64, seq, rng);
+  TinyTransformer model;
+  model.seq_len = seq;
+  Rng init(11);
+  model.init(init);
+  const double before = evaluate_fp32(model, test_set, nullptr);
+  train(model, train_set, nullptr, 8, 2e-3, init);
+  const double after = evaluate_fp32(model, test_set, nullptr);
+  EXPECT_GT(after, 0.75);
+  EXPECT_GT(after, before);
+}
+
+}  // namespace
+}  // namespace magicube::transformer
