@@ -5,10 +5,49 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 namespace magicube::bench {
+
+/// Command-line options shared by every bench binary. `--smoke` shrinks the
+/// sweep to a sub-second sanity pass (one sparsity level, a handful of
+/// matrices, tiny panels) so CTest can exercise each binary on every commit
+/// (the `bench-smoke` label); the default run reproduces the full figure.
+struct Options {
+  bool smoke = false;
+};
+
+inline Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      opt.smoke = true;
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      std::printf("usage: %s [--smoke]\n"
+                  "  --smoke  tiny shapes / single sweep point, < 1 s\n",
+                  argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s (try --help)\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+/// The DLMC sweep bounds every figure bench shares: one sparsity level and a
+/// handful of matrices under --smoke, the full collection otherwise.
+inline std::vector<double> dlmc_levels(const Options& opt,
+                                       const std::vector<double>& full) {
+  return opt.smoke ? std::vector<double>{0.9} : full;
+}
+inline std::size_t dlmc_matrices_per_level(const Options& opt) {
+  return opt.smoke ? 4 : 256;
+}
 
 inline double tops(std::uint64_t useful_ops, double seconds) {
   return static_cast<double>(useful_ops) / seconds / 1e12;

@@ -12,18 +12,21 @@
 
 using namespace magicube;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_args(argc, argv);
   std::printf(
-      "== E1 / Fig. 11: SpMM optimization ablation (M=256, K=2304, N=512) "
-      "==\n\n");
+      "== E1 / Fig. 11: SpMM optimization ablation (M=256, K=2304, N=512)%s "
+      "==\n\n", opt.smoke ? " [smoke]" : "");
   const std::size_t n = 512;
+  const std::vector<double> sparsities =
+      opt.smoke ? std::vector<double>{0.7} : std::vector<double>{0.7, 0.9};
   const core::SpmmVariant variants[] = {
       core::SpmmVariant::basic, core::SpmmVariant::conflict_free,
       core::SpmmVariant::conflict_free_prefetch, core::SpmmVariant::full};
   const PrecisionPair precisions[] = {precision::L16R8, precision::L8R8,
                                       precision::L8R4, precision::L4R4};
 
-  for (double sparsity : {0.7, 0.9}) {
+  for (double sparsity : sparsities) {
     std::printf("-- sparsity = %.1f --\n", sparsity);
     bench::Table table({"precision", "V", "basic", "conflict-free",
                         "cf+prefetch", "cf+pf+shuffle", "shuffle gain"});

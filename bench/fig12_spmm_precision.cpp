@@ -14,18 +14,23 @@
 
 using namespace magicube;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_args(argc, argv);
+  const std::size_t n = opt.smoke ? 128 : 512;
   std::printf("== E2 / Fig. 12: Magicube SpMM, precision x sparsity x V "
-              "(N=512, geomean TOP/s over the DLMC slice) ==\n\n");
-  const std::size_t n = 512;
+              "(N=%zu, geomean TOP/s over the DLMC slice)%s ==\n\n",
+              n, opt.smoke ? " [smoke]" : "");
+  const std::size_t matrices_per_level = bench::dlmc_matrices_per_level(opt);
+  const std::vector<double> levels =
+      bench::dlmc_levels(opt, dlmc::sparsity_levels());
   const PrecisionPair precisions[] = {
       precision::L16R16, precision::L16R8, precision::L8R8,
       precision::L16R4,  precision::L12R4, precision::L8R4,
       precision::L4R4};
 
-  for (double sparsity : dlmc::sparsity_levels()) {
+  for (double sparsity : levels) {
     bench::Table table({"precision", "V=2", "V=4", "V=8"});
-    const auto specs = dlmc::collection(sparsity);
+    const auto specs = dlmc::collection(sparsity, matrices_per_level);
 
     // geo[prec][v]
     std::vector<std::vector<bench::GeoMean>> geo(

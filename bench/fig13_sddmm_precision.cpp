@@ -14,16 +14,20 @@
 
 using namespace magicube;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_args(argc, argv);
   std::printf("== E3 / Fig. 13: Magicube SDDMM, precision x sparsity x V "
-              "(K=128, geomean TOP/s) ==\n\n");
+              "(K=128, geomean TOP/s)%s ==\n\n", opt.smoke ? " [smoke]" : "");
   const std::size_t k = 128;
+  const std::size_t matrices_per_level = bench::dlmc_matrices_per_level(opt);
+  const std::vector<double> levels =
+      bench::dlmc_levels(opt, dlmc::sparsity_levels());
   const PrecisionPair precisions[] = {precision::L16R16, precision::L8R8,
                                       precision::L4R4};
 
-  for (double sparsity : dlmc::sparsity_levels()) {
+  for (double sparsity : levels) {
     bench::Table table({"precision", "variant", "V=2", "V=4", "V=8"});
-    const auto specs = dlmc::collection(sparsity);
+    const auto specs = dlmc::collection(sparsity, matrices_per_level);
 
     // geo[prec][prefetch][v]
     std::vector<bench::GeoMean> geo(std::size(precisions) * 2 * 3);

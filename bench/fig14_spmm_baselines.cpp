@@ -58,33 +58,41 @@ void scheme_seconds(const sparse::BlockPattern& pattern, std::size_t n,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_args(argc, argv);
   std::printf("== E4 / Fig. 14: SpMM speedup over cuBLAS fp16 (geomean over "
-              "the DLMC slice) ==\n\n");
+              "the DLMC slice)%s ==\n\n", opt.smoke ? " [smoke]" : "");
 
   // Headline accumulators (V=8, N=256 panel, all 1,536 matrices).
   bench::GeoMean vs_cusparse_int8, vs_cublas_int8, l16r8_vs_vectorsparse;
 
-  constexpr std::size_t kNs[] = {128, 256};
-  for (int v : {2, 4, 8}) {
+  const std::vector<double> levels =
+      bench::dlmc_levels(opt, dlmc::sparsity_levels());
+  const std::size_t matrices_per_level = bench::dlmc_matrices_per_level(opt);
+  const std::vector<std::size_t> ns =
+      opt.smoke ? std::vector<std::size_t>{256}
+                : std::vector<std::size_t>{128, 256};
+  const std::vector<int> vs =
+      opt.smoke ? std::vector<int>{8} : std::vector<int>{2, 4, 8};
+  for (int v : vs) {
     // geo[n][scheme][sparsity]
     std::vector<std::vector<std::vector<bench::GeoMean>>> geo(
-        2, std::vector<std::vector<bench::GeoMean>>(
-               kNumSchemes,
-               std::vector<bench::GeoMean>(dlmc::sparsity_levels().size())));
+        ns.size(), std::vector<std::vector<bench::GeoMean>>(
+                       kNumSchemes,
+                       std::vector<bench::GeoMean>(levels.size())));
     std::mutex mu;
-    for (std::size_t si = 0; si < dlmc::sparsity_levels().size(); ++si) {
-      const auto specs = dlmc::collection(dlmc::sparsity_levels()[si]);
+    for (std::size_t si = 0; si < levels.size(); ++si) {
+      const auto specs = dlmc::collection(levels[si], matrices_per_level);
       parallel_for(specs.size(), [&](std::size_t i) {
         const auto pattern = dlmc::instantiate(specs[i], v);
-        for (std::size_t ni = 0; ni < 2; ++ni) {
+        for (std::size_t ni = 0; ni < ns.size(); ++ni) {
           double secs[kNumSchemes];
-          scheme_seconds(pattern, kNs[ni], secs);
+          scheme_seconds(pattern, ns[ni], secs);
           std::lock_guard<std::mutex> lock(mu);
           for (std::size_t s = 0; s < kNumSchemes; ++s) {
             geo[ni][s][si].add(secs[0] / secs[s]);  // vs cuBLAS fp16
           }
-          if (v == 8 && kNs[ni] == 256) {
+          if (v == 8 && ns[ni] == 256) {
             vs_cusparse_int8.add(secs[3] / secs[6]);   // L8R8 / cuSPARSE i8
             vs_cublas_int8.add(secs[1] / secs[6]);     // L8R8 / cuBLAS i8
             l16r8_vs_vectorsparse.add(secs[4] / secs[5]);
@@ -92,24 +100,27 @@ int main() {
         }
       });
     }
-    for (std::size_t ni = 0; ni < 2; ++ni) {
-      bench::Table table({"scheme", "s=0.5", "s=0.7", "s=0.8", "s=0.9",
-                          "s=0.95", "s=0.98"});
+    for (std::size_t ni = 0; ni < ns.size(); ++ni) {
+      std::vector<std::string> headers = {"scheme"};
+      for (double s : levels) headers.push_back("s=" + bench::fmt(s, 2));
+      bench::Table table(std::move(headers));
       for (std::size_t s = 0; s < kNumSchemes; ++s) {
         std::vector<std::string> row = {kSchemes[s]};
-        for (std::size_t si = 0; si < dlmc::sparsity_levels().size(); ++si) {
+        for (std::size_t si = 0; si < levels.size(); ++si) {
           row.push_back(bench::fmt(geo[ni][s][si].mean(), 2));
         }
         table.add_row(std::move(row));
       }
-      std::printf("-- V = %d, N = %zu --\n", v, kNs[ni]);
+      std::printf("-- V = %d, N = %zu --\n", v, ns[ni]);
       table.print();
       std::printf("\n");
     }
   }
 
-  std::printf("Headline comparisons (V=8, N=256, all matrices; paper values "
-              "in brackets):\n");
+  std::printf("Headline comparisons (V=8, N=256, %s; paper values "
+              "in brackets):\n",
+              opt.smoke ? "[smoke] slice only — not comparable"
+                        : "all matrices");
   std::printf("  Magicube(L8-R8) vs cuSPARSE(int8): geomean %.2fx, "
               "max %.2fx   [1.44x, 2.37x]\n",
               vs_cusparse_int8.mean(), vs_cusparse_int8.max_value);

@@ -44,54 +44,64 @@ void scheme_seconds(const sparse::BlockPattern& pattern, std::size_t k,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_args(argc, argv);
   std::printf("== E5 / Fig. 15: SDDMM speedup over cuBLAS fp16 (geomean over "
-              "the DLMC slice) ==\n\n");
+              "the DLMC slice)%s ==\n\n", opt.smoke ? " [smoke]" : "");
 
   bench::GeoMean l16r16_vs_vectorsparse;  // V=8, K=256 headline
 
-  constexpr std::size_t kKs[] = {128, 256};
-  for (int v : {2, 4, 8}) {
+  const std::vector<double> levels =
+      bench::dlmc_levels(opt, dlmc::sparsity_levels());
+  const std::size_t matrices_per_level = bench::dlmc_matrices_per_level(opt);
+  const std::vector<std::size_t> ks =
+      opt.smoke ? std::vector<std::size_t>{256}
+                : std::vector<std::size_t>{128, 256};
+  const std::vector<int> vs =
+      opt.smoke ? std::vector<int>{8} : std::vector<int>{2, 4, 8};
+  for (int v : vs) {
     std::vector<std::vector<std::vector<bench::GeoMean>>> geo(
-        2, std::vector<std::vector<bench::GeoMean>>(
-               kNumSchemes,
-               std::vector<bench::GeoMean>(dlmc::sparsity_levels().size())));
+        ks.size(), std::vector<std::vector<bench::GeoMean>>(
+                       kNumSchemes,
+                       std::vector<bench::GeoMean>(levels.size())));
     std::mutex mu;
-    for (std::size_t si = 0; si < dlmc::sparsity_levels().size(); ++si) {
-      const auto specs = dlmc::collection(dlmc::sparsity_levels()[si]);
+    for (std::size_t si = 0; si < levels.size(); ++si) {
+      const auto specs = dlmc::collection(levels[si], matrices_per_level);
       parallel_for(specs.size(), [&](std::size_t i) {
         const auto pattern = dlmc::instantiate(specs[i], v);
-        for (std::size_t ki = 0; ki < 2; ++ki) {
+        for (std::size_t ki = 0; ki < ks.size(); ++ki) {
           double secs[kNumSchemes];
-          scheme_seconds(pattern, kKs[ki], secs);
+          scheme_seconds(pattern, ks[ki], secs);
           std::lock_guard<std::mutex> lock(mu);
           for (std::size_t s = 0; s < kNumSchemes; ++s) {
             geo[ki][s][si].add(secs[0] / secs[s]);
           }
-          if (v == 8 && kKs[ki] == 256) {
+          if (v == 8 && ks[ki] == 256) {
             l16r16_vs_vectorsparse.add(secs[2] / secs[3]);
           }
         }
       });
     }
-    for (std::size_t ki = 0; ki < 2; ++ki) {
-      bench::Table table({"scheme", "s=0.5", "s=0.7", "s=0.8", "s=0.9",
-                          "s=0.95", "s=0.98"});
+    for (std::size_t ki = 0; ki < ks.size(); ++ki) {
+      std::vector<std::string> headers = {"scheme"};
+      for (double s : levels) headers.push_back("s=" + bench::fmt(s, 2));
+      bench::Table table(std::move(headers));
       for (std::size_t s = 0; s < kNumSchemes; ++s) {
         std::vector<std::string> row = {kSchemes[s]};
-        for (std::size_t si = 0; si < dlmc::sparsity_levels().size(); ++si) {
+        for (std::size_t si = 0; si < levels.size(); ++si) {
           row.push_back(bench::fmt(geo[ki][s][si].mean(), 2));
         }
         table.add_row(std::move(row));
       }
-      std::printf("-- V = %d, K = %zu --\n", v, kKs[ki]);
+      std::printf("-- V = %d, K = %zu --\n", v, ks[ki]);
       table.print();
       std::printf("\n");
     }
   }
-  std::printf("Headline comparison (V=8, K=256; paper values in brackets):\n"
+  std::printf("Headline comparison (V=8, K=256%s; paper values in brackets):\n"
               "  Magicube(L16-R16) vs vectorSparse: geomean %.2fx, max %.2fx"
               "   [1.58x, 2.15x]\n",
+              opt.smoke ? ", [smoke] slice only — not comparable" : "",
               l16r16_vs_vectorsparse.mean(),
               l16r16_vs_vectorsparse.max_value);
   return 0;

@@ -13,27 +13,36 @@
 using namespace magicube;
 using transformer::AttentionScheme;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_args(argc, argv);
   std::printf("== E6 / Fig. 17: end-to-end sparse Transformer inference "
-              "latency (ms) ==\n\n");
+              "latency (ms)%s ==\n\n", opt.smoke ? " [smoke]" : "");
   const AttentionScheme schemes[] = {
       AttentionScheme::dense_fp16,      AttentionScheme::vector_sparse_fp16,
       AttentionScheme::magicube_16b_8b, AttentionScheme::magicube_8b_8b,
       AttentionScheme::magicube_8b_4b,  AttentionScheme::magicube_4b_4b};
 
+  const std::vector<std::size_t> seqs =
+      opt.smoke ? std::vector<std::size_t>{4096}
+                : std::vector<std::size_t>{4096, 8192};
+  const std::vector<double> sparsities =
+      opt.smoke ? std::vector<double>{0.9} : std::vector<double>{0.9, 0.95};
+  const std::vector<int> head_counts =
+      opt.smoke ? std::vector<int>{4} : std::vector<int>{4, 8};
+
   // Mask patterns are shared per (seq_len, sparsity).
   std::map<std::pair<std::size_t, int>, sparse::BlockPattern> masks;
-  for (std::size_t seq : {std::size_t{4096}, std::size_t{8192}}) {
-    for (double sparsity : {0.9, 0.95}) {
+  for (std::size_t seq : seqs) {
+    for (double sparsity : sparsities) {
       Rng rng(0xa77e + seq + static_cast<std::uint64_t>(sparsity * 100));
       masks[{seq, static_cast<int>(sparsity * 100)}] =
           sparse::make_attention_mask_pattern(seq, 8, sparsity, rng);
     }
   }
 
-  for (double sparsity : {0.9, 0.95}) {
-    for (std::size_t seq : {std::size_t{4096}, std::size_t{8192}}) {
-      for (int heads : {4, 8}) {
+  for (double sparsity : sparsities) {
+    for (std::size_t seq : seqs) {
+      for (int heads : head_counts) {
         std::printf("-- sparsity=%.2f  seq_len=%zu  num_heads=%d --\n",
                     sparsity, seq, heads);
         bench::Table table({"scheme", "batch=2", "batch=8",

@@ -107,8 +107,27 @@ BENCHMARK(BM_PatternInstantiation);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // This binary forwards unrecognized flags (--benchmark_filter, ...) to
+  // google-benchmark, so it peels --smoke off itself instead of using
+  // bench::parse_args.
+  bool smoke = false;
+  std::vector<char*> fwd = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      fwd.push_back(argv[i]);
+    }
+  }
   print_peak_table();
-  benchmark::Initialize(&argc, argv);
+  if (smoke) {
+    // The peak table above is the validation; the estimator-cost
+    // micro-benchmarks need google-benchmark's repetitions and are skipped.
+    std::printf("[smoke] skipping estimator micro-benchmarks\n");
+    return 0;
+  }
+  int bench_argc = static_cast<int>(fwd.size());
+  benchmark::Initialize(&bench_argc, fwd.data());
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

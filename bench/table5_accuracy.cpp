@@ -19,12 +19,14 @@
 using namespace magicube;
 using namespace magicube::transformer;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_args(argc, argv);
   std::printf("== E7 / Table V: test accuracy of the sparse Transformer "
-              "classifier ==\n\n");
+              "classifier%s ==\n\n", opt.smoke ? " [smoke]" : "");
   constexpr std::size_t kSeqLen = 64;
-  constexpr std::size_t kTrain = 192, kTest = 256;
-  constexpr int kEpochs = 12;
+  const std::size_t kTrain = opt.smoke ? 32 : 192;
+  const std::size_t kTest = opt.smoke ? 32 : 256;
+  const int kEpochs = opt.smoke ? 2 : 12;
 
   Rng data_rng(0x7ab1e5);
   const auto train_set = make_dataset(kTrain, kSeqLen, data_rng);

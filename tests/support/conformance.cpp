@@ -1,0 +1,263 @@
+#include "support/conformance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+namespace magicube::test {
+
+// ---- Precision enumeration ------------------------------------------------
+
+const std::vector<PrecisionPair>& all_precision_pairs() {
+  static const std::vector<PrecisionPair> pairs = {
+      precision::L16R16, precision::L16R8, precision::L16R4,
+      precision::L12R4,  precision::L8R8,  precision::L8R4,
+      precision::L4R4,
+  };
+  return pairs;
+}
+
+// Pin the list to the declarations so a pair added to precision.hpp without
+// a matching entry here is at least visible at review time; the count check
+// keeps the list from silently shrinking.
+static_assert(precision::L16R16 == PrecisionPair{Scalar::s16, Scalar::s16});
+static_assert(precision::L16R8 == PrecisionPair{Scalar::s16, Scalar::s8});
+static_assert(precision::L16R4 == PrecisionPair{Scalar::s16, Scalar::s4});
+static_assert(precision::L12R4 == PrecisionPair{Scalar::s12, Scalar::s4});
+static_assert(precision::L8R8 == PrecisionPair{Scalar::s8, Scalar::s8});
+static_assert(precision::L8R4 == PrecisionPair{Scalar::s8, Scalar::s4});
+static_assert(precision::L4R4 == PrecisionPair{Scalar::s4, Scalar::s4});
+
+// ---- Pattern families -----------------------------------------------------
+
+const char* to_string(PatternFamily f) {
+  switch (f) {
+    case PatternFamily::uniform: return "uniform";
+    case PatternFamily::banded: return "banded";
+    case PatternFamily::dlmc: return "dlmc";
+  }
+  return "?";
+}
+
+sparse::BlockPattern make_conformance_pattern(PatternFamily family,
+                                              std::size_t rows,
+                                              std::size_t cols,
+                                              int vector_length,
+                                              double sparsity,
+                                              std::uint64_t seed) {
+  MAGICUBE_CHECK(rows % static_cast<std::size_t>(vector_length) == 0);
+  Rng rng(seed);
+  switch (family) {
+    case PatternFamily::uniform:
+      return sparse::make_uniform_pattern(rows, cols, vector_length, sparsity,
+                                          rng);
+    case PatternFamily::banded:
+      return sparse::make_banded_pattern(rows, cols, vector_length, sparsity,
+                                         /*spread=*/0.25, rng);
+    case PatternFamily::dlmc: {
+      dlmc::MatrixSpec spec;
+      spec.name = "conformance";
+      spec.rows = rows / static_cast<std::size_t>(vector_length);
+      spec.cols = cols;
+      spec.sparsity = sparsity;
+      spec.kind = dlmc::PatternKind::banded;
+      spec.seed = seed;
+      return dlmc::instantiate(spec, vector_length);
+    }
+  }
+  MAGICUBE_CHECK_MSG(false, "unknown pattern family");
+  std::abort();
+}
+
+// ---- Golden comparators ---------------------------------------------------
+
+namespace {
+constexpr int kMaxReportedDiffs = 8;
+}  // namespace
+
+::testing::AssertionResult matrices_equal(const Matrix<std::int32_t>& actual,
+                                          const Matrix<std::int32_t>& expect) {
+  if (actual.rows() != expect.rows() || actual.cols() != expect.cols()) {
+    return ::testing::AssertionFailure()
+           << "shape mismatch: actual " << actual.rows() << "x"
+           << actual.cols() << " vs expected " << expect.rows() << "x"
+           << expect.cols();
+  }
+  std::ostringstream diffs;
+  int mismatches = 0;
+  for (std::size_t r = 0; r < expect.rows(); ++r) {
+    for (std::size_t c = 0; c < expect.cols(); ++c) {
+      if (actual(r, c) == expect(r, c)) continue;
+      if (mismatches < kMaxReportedDiffs) {
+        diffs << "\n  (" << r << "," << c << "): actual " << actual(r, c)
+              << " expected " << expect(r, c);
+      }
+      ++mismatches;
+    }
+  }
+  if (mismatches == 0) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << mismatches << " of " << expect.size()
+         << " cells differ; first " << std::min(mismatches, kMaxReportedDiffs)
+         << ":" << diffs.str();
+}
+
+::testing::AssertionResult bcrs_equal(
+    const sparse::Bcrs<std::int32_t>& actual,
+    const sparse::Bcrs<std::int32_t>& expect) {
+  if (actual.rows != expect.rows || actual.cols != expect.cols ||
+      actual.vector_length != expect.vector_length) {
+    return ::testing::AssertionFailure() << "BCRS geometry mismatch";
+  }
+  if (actual.row_ptr != expect.row_ptr || actual.col_idx != expect.col_idx) {
+    return ::testing::AssertionFailure() << "BCRS structure mismatch";
+  }
+  if (actual.values.size() != expect.values.size()) {
+    return ::testing::AssertionFailure()
+           << "value count " << actual.values.size() << " vs "
+           << expect.values.size();
+  }
+  std::ostringstream diffs;
+  int mismatches = 0;
+  for (std::size_t i = 0; i < expect.values.size(); ++i) {
+    if (actual.values[i] == expect.values[i]) continue;
+    if (mismatches < kMaxReportedDiffs) {
+      diffs << "\n  slot value " << i << ": actual " << actual.values[i]
+            << " expected " << expect.values[i];
+    }
+    ++mismatches;
+  }
+  if (mismatches == 0) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << mismatches << " of " << expect.values.size()
+         << " sampled values differ; first "
+         << std::min(mismatches, kMaxReportedDiffs) << ":" << diffs.str();
+}
+
+// ---- Quantized-accuracy harness -------------------------------------------
+
+QuantizedOperand make_quantized_operand(std::size_t rows, std::size_t cols,
+                                        Scalar type, Rng& rng) {
+  MAGICUBE_CHECK_MSG(is_signed(type) && is_integer(type),
+                     "conformance quantizes to signed integer types");
+  QuantizedOperand out;
+  out.original = Matrix<float>(rows, cols);
+  fill_normal(out.original, rng);
+  out.params =
+      quant::choose_symmetric(out.original.data(), out.original.size(), type);
+  out.q_values = Matrix<std::int32_t>(rows, cols);
+  for (std::size_t i = 0; i < out.original.size(); ++i) {
+    out.q_values.data()[i] =
+        quant::quantize_value(out.original.data()[i], out.params);
+  }
+  return out;
+}
+
+double quantized_dot_tolerance(std::size_t k_terms, const QuantizedOperand& a,
+                               const QuantizedOperand& b) {
+  double a_max = 0.0, b_max = 0.0;
+  for (std::size_t i = 0; i < a.original.size(); ++i) {
+    a_max = std::max(a_max, std::abs(static_cast<double>(a.original.data()[i])));
+  }
+  for (std::size_t i = 0; i < b.original.size(); ++i) {
+    b_max = std::max(b_max, std::abs(static_cast<double>(b.original.data()[i])));
+  }
+  const double ea = quant::max_rounding_error(a.params);
+  const double eb = quant::max_rounding_error(b.params);
+  // |a*b - a_q*b_q| <= |a|*eb + |b|*ea + ea*eb per term, summed over K, plus
+  // the relative error of the float dequantization multiply on a result of
+  // that magnitude.
+  const double k = static_cast<double>(k_terms);
+  const double quant_term = k * (a_max * eb + b_max * ea + ea * eb);
+  const double result_magnitude = k * (a_max + ea) * (b_max + eb);
+  const double fp_term =
+      result_magnitude * std::numeric_limits<float>::epsilon() * (k + 2.0);
+  return quant_term + fp_term;
+}
+
+std::size_t safe_accumulation_depth(PrecisionPair p, std::size_t k_align,
+                                    std::size_t k_cap) {
+  // Symmetric quantization of ~unit-normal data maps roughly 4 sigma onto
+  // max_q, so quantized values have RMS ~ max_q / 4 and a product term has
+  // RMS ~ (max_q_lhs / 4) * (max_q_rhs / 4). A conformance run takes the max
+  // accumulator over thousands of K-term dot products, so the headroom must
+  // cover that extreme-value tail: sqrt(2 ln 4096) ~ 4 sigma on top of the
+  // sum itself, i.e. ~6 sigma total:
+  //   6 * sqrt(K) * rms_product < 2^31  =>  K < (2^31 / (6 * rms))^2.
+  // max_abs_accumulator() then asserts the bound actually held for the
+  // concrete seeded data, so this estimate only has to be sane, not tight.
+  const double rms = (static_cast<double>(max_value(p.lhs)) / 4.0) *
+                     (static_cast<double>(max_value(p.rhs)) / 4.0);
+  const double limit = 2147483648.0 / (6.0 * rms);
+  const double k_raw = limit * limit;
+  std::size_t k = k_cap;
+  if (k_raw < static_cast<double>(k_cap)) k = static_cast<std::size_t>(k_raw);
+  k -= k % k_align;
+  return std::max(k, k_align);
+}
+
+std::int64_t max_abs_accumulator(const sparse::BlockPattern* pattern_or_null,
+                                 const Matrix<std::int32_t>& a,
+                                 const Matrix<std::int32_t>& b) {
+  MAGICUBE_CHECK(a.cols() == b.rows());
+  Matrix<std::uint8_t> mask;
+  if (pattern_or_null != nullptr) {
+    mask = sparse::pattern_to_dense_mask(*pattern_or_null);
+  }
+  std::int64_t worst = 0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      std::int64_t acc = 0;
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        if (pattern_or_null != nullptr && !mask(i, k)) continue;
+        acc += static_cast<std::int64_t>(a(i, k)) * b(k, j);
+      }
+      worst = std::max(worst, std::abs(acc));
+    }
+  }
+  return worst;
+}
+
+Matrix<double> reference_gemm_fp64(const Matrix<float>& a,
+                                   const Matrix<float>& b) {
+  MAGICUBE_CHECK(a.cols() == b.rows());
+  Matrix<double> c(a.rows(), b.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double av = a(i, k);
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c(i, j) += av * static_cast<double>(b(k, j));
+      }
+    }
+  }
+  return c;
+}
+
+// ---- Round-trip helpers ---------------------------------------------------
+
+float max_roundtrip_error(const Matrix<float>& m,
+                          const quant::QuantParams& params) {
+  float worst = 0.0f;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    const float x = m.data()[i];
+    const float back =
+        quant::dequantize_value(quant::quantize_value(x, params), params);
+    worst = std::max(worst, std::abs(x - back));
+  }
+  return worst;
+}
+
+std::ptrdiff_t first_recompose_mismatch(const PackedBuffer& src,
+                                        int chunk_bits) {
+  const quant::PlaneSet planes = quant::decompose(src, chunk_bits);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if (planes.recompose(i) != src.get(i)) {
+      return static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace magicube::test

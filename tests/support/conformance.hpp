@@ -1,0 +1,119 @@
+#pragma once
+// Shared conformance-test utilities: the executable form of the paper's
+// accuracy claims (Table 5) and the golden-reference comparison machinery
+// every suite can reuse.
+//
+// Two kinds of checks live here:
+//
+//  * Bit-exactness — the integer kernels must reproduce the scalar
+//    reference exactly (including int32 wraparound semantics). Comparators
+//    return gtest AssertionResults with localized diffs.
+//
+//  * Quantized accuracy — float operands are quantized per the precision
+//    pair, pushed through the integer kernel, dequantized, and compared to
+//    the FP64 reference. The tolerance is *derived*, not guessed: symmetric
+//    round-to-nearest quantization bounds the per-element error by scale/2
+//    (quant::max_rounding_error), and propagating that through a K-term dot
+//    product gives |C - C_q| <= K * (Amax*eb + Bmax*ea + ea*eb), plus the
+//    float-dequantization epsilon. Every term comes from the pair's bit
+//    widths via the chosen scales.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/api.hpp"
+#include "dlmc/dlmc.hpp"
+
+namespace magicube::test {
+
+// ---- Precision enumeration ------------------------------------------------
+
+/// Every precision pair declared in src/common/precision.hpp's `precision`
+/// namespace, in evaluation order. The conformance suite instantiates over
+/// exactly this list; keep it in sync with the header (static_asserts in the
+/// .cpp pin each entry to its declaration).
+const std::vector<PrecisionPair>& all_precision_pairs();
+
+// ---- Pattern families -----------------------------------------------------
+
+/// The three sparsity-structure families of the conformance matrix:
+/// uniform random placement, banded/magnitude-pruning-like placement, and a
+/// DLMC-style dilated layer pattern (via dlmc::instantiate).
+enum class PatternFamily { uniform, banded, dlmc };
+
+const char* to_string(PatternFamily f);
+
+/// Builds a `rows x cols` pattern of the given family. `rows` must be a
+/// multiple of `vector_length`. Deterministic for a given (family, seed).
+sparse::BlockPattern make_conformance_pattern(PatternFamily family,
+                                              std::size_t rows,
+                                              std::size_t cols,
+                                              int vector_length,
+                                              double sparsity,
+                                              std::uint64_t seed);
+
+// ---- Golden comparators ---------------------------------------------------
+
+/// Exact int32 matrix comparison; on mismatch names the first few differing
+/// cells instead of dumping whole operands.
+::testing::AssertionResult matrices_equal(const Matrix<std::int32_t>& actual,
+                                          const Matrix<std::int32_t>& expect);
+
+/// Exact comparison of sampled (BCRS) outputs: structure and values.
+::testing::AssertionResult bcrs_equal(const sparse::Bcrs<std::int32_t>& actual,
+                                      const sparse::Bcrs<std::int32_t>& expect);
+
+// ---- Quantized-accuracy harness -------------------------------------------
+
+/// One float operand quantized for a conformance run.
+struct QuantizedOperand {
+  Matrix<float> original;         // the float data (row-major)
+  Matrix<std::int32_t> q_values;  // quantized integers, row-major
+  quant::QuantParams params;
+};
+
+/// Symmetrically quantizes normal(0, 1) float data for `type`. Requires a
+/// signed target (all pairs in the evaluation are signed).
+QuantizedOperand make_quantized_operand(std::size_t rows, std::size_t cols,
+                                        Scalar type, Rng& rng);
+
+/// Derived tolerance for a K-term quantized dot product: propagates each
+/// operand's worst-case rounding error (scale/2) through the product sum and
+/// adds the float dequantization epsilon. No free constants.
+double quantized_dot_tolerance(std::size_t k_terms, const QuantizedOperand& a,
+                               const QuantizedOperand& b);
+
+/// Reduction length that keeps the int32 accumulator out of wraparound for
+/// this pair with ~3-sigma headroom on normal data: the per-product
+/// magnitude scales with max_q(lhs) * max_q(rhs), so the safe K shrinks as
+/// the bit widths grow. Result is clamped to [k_align, k_cap] and rounded
+/// down to a multiple of k_align.
+std::size_t safe_accumulation_depth(PrecisionPair p, std::size_t k_align,
+                                    std::size_t k_cap);
+
+/// Max |acc| of an exact int64 GEMM over `mask`-selected lhs entries —
+/// used to assert the chosen shape really avoids int32 wraparound (so a
+/// tolerance failure can never be mistaken for saturation).
+std::int64_t max_abs_accumulator(const sparse::BlockPattern* pattern_or_null,
+                                 const Matrix<std::int32_t>& a,
+                                 const Matrix<std::int32_t>& b);
+
+/// FP64 dense reference C = A * B on the original float data.
+Matrix<double> reference_gemm_fp64(const Matrix<float>& a,
+                                   const Matrix<float>& b);
+
+// ---- Round-trip helpers ---------------------------------------------------
+
+/// Max |x - dequantize(quantize(x))| over a float matrix.
+float max_roundtrip_error(const Matrix<float>& m,
+                          const quant::QuantParams& params);
+
+/// Checks the decompose/recompose identity for every element of `src`
+/// against `chunk_bits` chunking; returns the first violating index or -1.
+std::ptrdiff_t first_recompose_mismatch(const PackedBuffer& src,
+                                        int chunk_bits);
+
+}  // namespace magicube::test

@@ -1,0 +1,212 @@
+// Cross-precision conformance matrix — the executable form of the paper's
+// Table 5 accuracy claims. Every precision pair declared in
+// src/common/precision.hpp is exercised for both SpMM and SDDMM on every
+// pattern family, with two checks per cell:
+//
+//  * bit-exactness of the integer kernel against the scalar reference
+//    (including int32 wraparound semantics), and
+//  * quantize -> integer kernel -> dequantize against the FP64 reference,
+//    within a tolerance derived from the pair's bit widths (see
+//    support/conformance.hpp — no hand-tuned epsilons).
+
+#include <gtest/gtest.h>
+
+#include "core/api.hpp"
+#include "support/conformance.hpp"
+
+namespace magicube::test {
+namespace {
+
+struct ConformanceCase {
+  PrecisionPair precision;
+  PatternFamily family;
+};
+
+std::string case_name(const ::testing::TestParamInfo<ConformanceCase>& info) {
+  std::string s =
+      to_string(info.param.precision) + "_" + to_string(info.param.family);
+  for (auto& ch : s) {
+    if (ch == '-') ch = '_';
+  }
+  return s;
+}
+
+std::vector<ConformanceCase> all_cases() {
+  std::vector<ConformanceCase> cases;
+  for (const PrecisionPair& p : all_precision_pairs()) {
+    for (PatternFamily f : {PatternFamily::uniform, PatternFamily::banded,
+                            PatternFamily::dlmc}) {
+      cases.push_back({p, f});
+    }
+  }
+  return cases;
+}
+
+class ConformanceTest : public ::testing::TestWithParam<ConformanceCase> {
+ protected:
+  static constexpr int kV = 8;
+  static constexpr std::size_t kM = 64;
+  static constexpr std::size_t kN = 64;        // SpMM bsn | sddmm pattern cols
+  static constexpr std::size_t kSpmmK = 88;    // not a stride multiple: padding
+  static constexpr std::size_t kSddmmK = 192;  // multiple of both 32 and 64
+  static constexpr double kSparsity = 0.75;
+
+  std::uint64_t case_seed() const {
+    const auto& p = GetParam();
+    return 0xc0f0 + static_cast<std::uint64_t>(bits_of(p.precision.lhs)) * 64 +
+           static_cast<std::uint64_t>(bits_of(p.precision.rhs)) * 4 +
+           static_cast<std::uint64_t>(p.family);
+  }
+};
+
+// ---- SpMM -----------------------------------------------------------------
+
+TEST_P(ConformanceTest, SpmmBitExactAgainstReference) {
+  const auto& tc = GetParam();
+  Rng rng(case_seed());
+  const auto pattern = make_conformance_pattern(tc.family, kM, kSpmmK, kV,
+                                                kSparsity, case_seed());
+  const auto a_vals = core::random_values(kM, kSpmmK, tc.precision.lhs, rng);
+  const auto b_vals = core::random_values(kSpmmK, kN, tc.precision.rhs, rng);
+
+  core::SpmmConfig cfg;
+  cfg.precision = tc.precision;
+  const auto a = core::prepare_spmm_lhs(pattern, a_vals, cfg.precision,
+                                        core::needs_shuffle(cfg));
+  const auto b = core::prepare_spmm_rhs(b_vals, cfg.precision);
+  const auto result = core::spmm(a, b, cfg);
+
+  const auto expect = core::reference_spmm(pattern, a_vals, b_vals);
+  EXPECT_TRUE(matrices_equal(result.c, expect));
+}
+
+TEST_P(ConformanceTest, SpmmQuantizedAccuracyWithinDerivedBound) {
+  const auto& tc = GetParam();
+  Rng rng(case_seed() ^ 0x9a9a);
+  const std::size_t k = safe_accumulation_depth(tc.precision, /*k_align=*/16,
+                                                /*k_cap=*/kSpmmK);
+  const auto pattern =
+      make_conformance_pattern(tc.family, kM, k, kV, kSparsity, case_seed());
+
+  const auto a = make_quantized_operand(kM, k, tc.precision.lhs, rng);
+  const auto b = make_quantized_operand(k, kN, tc.precision.rhs, rng);
+
+  // The shape must keep the exact accumulator inside int32 so wraparound can
+  // never masquerade as quantization error.
+  ASSERT_LT(max_abs_accumulator(&pattern, a.q_values, b.q_values),
+            std::int64_t{1} << 31)
+      << "conformance shape saturates int32 — shrink k for "
+      << to_string(tc.precision);
+
+  core::SpmmConfig cfg;
+  cfg.precision = tc.precision;
+  const auto lhs = core::prepare_spmm_lhs(pattern, a.q_values, cfg.precision,
+                                          core::needs_shuffle(cfg));
+  const auto rhs = core::prepare_spmm_rhs(b.q_values, cfg.precision);
+  const auto result = core::spmm(lhs, rhs, cfg);
+
+  // FP64 reference over the pattern-masked original floats.
+  const auto mask = sparse::pattern_to_dense_mask(pattern);
+  Matrix<float> a_masked(kM, k, 0.0f);
+  for (std::size_t r = 0; r < kM; ++r) {
+    for (std::size_t c = 0; c < k; ++c) {
+      if (mask(r, c)) a_masked(r, c) = a.original(r, c);
+    }
+  }
+  const auto expect = reference_gemm_fp64(a_masked, b.original);
+
+  // Each output row accumulates at most (vectors in its row) products.
+  std::size_t k_terms = 0;
+  for (std::size_t r = 0; r < pattern.vector_rows(); ++r) {
+    k_terms = std::max(k_terms, pattern.vectors_in_row(r));
+  }
+  const double tol = quantized_dot_tolerance(k_terms, a, b);
+  const double scale =
+      static_cast<double>(a.params.scale) * b.params.scale;
+  double worst = 0.0;
+  for (std::size_t r = 0; r < kM; ++r) {
+    for (std::size_t c = 0; c < kN; ++c) {
+      const double got = scale * result.c(r, c);
+      worst = std::max(worst, std::abs(got - expect(r, c)));
+    }
+  }
+  EXPECT_LE(worst, tol) << "dequantized SpMM error exceeds the derived bound"
+                        << " (k_terms=" << k_terms << ")";
+}
+
+// ---- SDDMM ----------------------------------------------------------------
+
+TEST_P(ConformanceTest, SddmmBitExactAgainstReference) {
+  const auto& tc = GetParam();
+  Rng rng(case_seed() ^ 0x51dd);
+  const auto pattern = make_conformance_pattern(tc.family, kM, kN, kV,
+                                                kSparsity, case_seed());
+  const auto a_vals = core::random_values(kM, kSddmmK, tc.precision.lhs, rng);
+  const auto b_vals = core::random_values(kSddmmK, kN, tc.precision.rhs, rng);
+
+  core::SddmmConfig cfg;
+  cfg.precision = tc.precision;
+  const int chunk = quant::emulation_chunk_bits(tc.precision.lhs,
+                                                tc.precision.rhs);
+  const auto a = core::prepare_dense(a_vals, tc.precision.lhs, true, chunk);
+  const auto b = core::prepare_dense(b_vals, tc.precision.rhs, false, chunk);
+  const auto result = core::sddmm(a, b, pattern, cfg);
+
+  const auto expect = core::reference_sddmm(pattern, a_vals, b_vals);
+  EXPECT_TRUE(bcrs_equal(result.c, expect));
+}
+
+TEST_P(ConformanceTest, SddmmQuantizedAccuracyWithinDerivedBound) {
+  const auto& tc = GetParam();
+  Rng rng(case_seed() ^ 0xf00d);
+  // SDDMM reduces over the full K, so the depth must honour both the
+  // kernel's K alignment (64 on the int4 datapath, else 32) and the pair's
+  // int32 headroom.
+  const std::size_t k_align = core::stride_for(tc.precision) == 32 ? 64 : 32;
+  const std::size_t k =
+      safe_accumulation_depth(tc.precision, k_align, kSddmmK);
+  const auto pattern = make_conformance_pattern(tc.family, kM, kN, kV,
+                                                kSparsity, case_seed());
+
+  const auto a = make_quantized_operand(kM, k, tc.precision.lhs, rng);
+  const auto b = make_quantized_operand(k, kN, tc.precision.rhs, rng);
+  ASSERT_LT(max_abs_accumulator(nullptr, a.q_values, b.q_values),
+            std::int64_t{1} << 31)
+      << "conformance shape saturates int32 — shrink k for "
+      << to_string(tc.precision);
+
+  core::SddmmConfig cfg;
+  cfg.precision = tc.precision;
+  const int chunk = quant::emulation_chunk_bits(tc.precision.lhs,
+                                                tc.precision.rhs);
+  const auto lhs = core::prepare_dense(a.q_values, tc.precision.lhs, true,
+                                       chunk);
+  const auto rhs = core::prepare_dense(b.q_values, tc.precision.rhs, false,
+                                       chunk);
+  const auto result = core::sddmm(lhs, rhs, pattern, cfg);
+
+  const auto expect = reference_gemm_fp64(a.original, b.original);
+  const double tol = quantized_dot_tolerance(k, a, b);
+  const double scale =
+      static_cast<double>(a.params.scale) * b.params.scale;
+  const std::size_t v = static_cast<std::size_t>(pattern.vector_length);
+  double worst = 0.0;
+  for (std::size_t r = 0; r < pattern.vector_rows(); ++r) {
+    for (std::uint32_t i = pattern.row_ptr[r]; i < pattern.row_ptr[r + 1];
+         ++i) {
+      const std::size_t col = pattern.col_idx[i];
+      for (std::size_t rb = 0; rb < v; ++rb) {
+        const double got = scale * result.c.values[i * v + rb];
+        worst = std::max(worst, std::abs(got - expect(r * v + rb, col)));
+      }
+    }
+  }
+  EXPECT_LE(worst, tol) << "dequantized SDDMM error exceeds the derived bound"
+                        << " (k=" << k << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrecisionConfigs, ConformanceTest,
+                         ::testing::ValuesIn(all_cases()), case_name);
+
+}  // namespace
+}  // namespace magicube::test

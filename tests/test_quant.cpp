@@ -3,11 +3,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/rng.hpp"
 #include "quant/decompose.hpp"
 #include "quant/quantizer.hpp"
+#include "support/conformance.hpp"
 
 namespace magicube::quant {
 namespace {
@@ -178,6 +181,112 @@ TEST(Quantizer, LowerPrecisionLosesMoreAccuracy) {
     (type == Scalar::s4 ? err4 : err8) = err;
   }
   EXPECT_GT(err4, 4.0 * err8);
+}
+
+// ---- Round trips (quantizer) ----------------------------------------------
+
+class QuantRoundTripTest : public ::testing::TestWithParam<Scalar> {};
+
+TEST_P(QuantRoundTripTest, SymmetricRoundTripWithinHalfScale) {
+  const Scalar type = GetParam();
+  Rng rng(0x4017 + static_cast<std::uint64_t>(bits_of(type)));
+  Matrix<float> m(48, 48);
+  fill_normal(m, rng, 2.5);
+  const QuantParams p = choose_symmetric(m.data(), m.size(), type);
+  EXPECT_EQ(p.zero_point, 0);
+  // Element-wise: quantize -> dequantize never moves a value by more than
+  // scale / 2, plus the rounding of the float dequantization multiply
+  // itself (one ulp on a value of the data's magnitude).
+  float amax = 0.0f;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    amax = std::max(amax, std::fabs(m.data()[i]));
+  }
+  const float bound = max_rounding_error(p) +
+                      amax * std::numeric_limits<float>::epsilon();
+  EXPECT_LE(test::max_roundtrip_error(m, p), bound);
+  // Buffer-level API agrees with the element-wise one.
+  const Matrix<float> back = dequantize(quantize(m, p), 48, 48, p);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_NEAR(back.data()[i], m.data()[i], bound) << "element " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SignedTypes, QuantRoundTripTest,
+                         ::testing::Values(Scalar::s4, Scalar::s8, Scalar::s12,
+                                           Scalar::s16),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(Quantizer, AsymmetricRoundTripWithinHalfScale) {
+  for (Scalar type : {Scalar::u4, Scalar::u8}) {
+    Rng rng(0xa57 + static_cast<std::uint64_t>(bits_of(type)));
+    Matrix<float> m(32, 32);
+    // Strictly positive data — the asymmetric path's use case.
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      m.data()[i] = 1.0f + rng.next_float() * 7.0f;
+    }
+    const QuantParams p = choose_asymmetric(m.data(), m.size(), type);
+    float amax = 0.0f;
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      amax = std::max(amax, std::fabs(m.data()[i]));
+    }
+    // Same float-dequantization ulp headroom as the symmetric test.
+    EXPECT_LE(test::max_roundtrip_error(m, p),
+              max_rounding_error(p) +
+                  amax * std::numeric_limits<float>::epsilon())
+        << to_string(type);
+  }
+}
+
+// ---- Round trips (decomposition) ------------------------------------------
+
+TEST(Decompose, RecomposesExhaustivelyForEveryTypeAndChunkWidth) {
+  // Every representable value of every integer type, against both chunk
+  // widths the datapaths use. 16-bit types enumerate all 65536 patterns.
+  for (Scalar type : {Scalar::u4, Scalar::s4, Scalar::u8, Scalar::s8,
+                      Scalar::u12, Scalar::s12, Scalar::u16, Scalar::s16}) {
+    const std::size_t n =
+        static_cast<std::size_t>(max_value(type) - min_value(type)) + 1;
+    PackedBuffer buf(n, type);
+    for (std::size_t i = 0; i < n; ++i) {
+      buf.set(i, min_value(type) + static_cast<std::int32_t>(i));
+    }
+    for (int chunk_bits : {4, 8}) {
+      // 8-bit chunking requires the width to divide evenly (12-bit sources
+      // are nibble-plane only, matching the int4 datapath they ride).
+      if (chunk_bits > bits_of(type) || bits_of(type) % chunk_bits != 0) {
+        continue;
+      }
+      EXPECT_EQ(test::first_recompose_mismatch(buf, chunk_bits), -1)
+          << to_string(type) << " chunked at " << chunk_bits << " bits";
+    }
+  }
+}
+
+TEST(Decompose, PlaneStructureMatchesSignednessAndWeights) {
+  Rng rng(0xdec0);
+  for (Scalar type : {Scalar::s8, Scalar::s12, Scalar::s16, Scalar::u16}) {
+    PackedBuffer buf(64, type);
+    for (std::size_t i = 0; i < 64; ++i) {
+      buf.set(i, static_cast<std::int32_t>(
+                     rng.next_in(min_value(type), max_value(type))));
+    }
+    for (int chunk_bits : {4, 8}) {
+      if (bits_of(type) % chunk_bits != 0) continue;
+      const PlaneSet planes = decompose(buf, chunk_bits);
+      ASSERT_EQ(static_cast<int>(planes.planes.size()),
+                plane_count(type, chunk_bits));
+      std::int64_t expected_weight = 1;
+      for (std::size_t pi = 0; pi < planes.planes.size(); ++pi) {
+        const Plane& plane = planes.planes[pi];
+        EXPECT_EQ(plane.weight, expected_weight);
+        expected_weight <<= chunk_bits;
+        // Only the top plane of a signed source is signed.
+        const bool is_top = pi + 1 == planes.planes.size();
+        EXPECT_EQ(plane.is_signed, is_signed(type) && is_top)
+            << to_string(type) << " plane " << pi;
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -239,5 +239,98 @@ TEST(Pattern, ValidateRejectsUnsortedColumns) {
   EXPECT_THROW(p.validate(), Error);
 }
 
+// ---- SR-BCRS edge cases ---------------------------------------------------
+
+TEST(SrBcrsEdge, ZeroDensityPatternBuildsEmpty) {
+  Rng rng(21);
+  const BlockPattern p = make_uniform_pattern(32, 48, 8, 1.0, rng);
+  ASSERT_EQ(p.nnz(), 0u);
+  const SrBcrs sr = build_sr_bcrs_random(p, Scalar::s8, 16, rng);
+  sr.validate();
+  EXPECT_EQ(sr.slot_count(), 0u);
+  EXPECT_EQ(sr.nnz(), 0u);
+  EXPECT_EQ(sr.to_dense(), Matrix<std::int32_t>(32, 48, 0));
+  for (std::size_t r = 0; r < sr.vector_rows(); ++r) {
+    EXPECT_EQ(sr.strides_in_row(r), 0u);
+  }
+}
+
+TEST(SrBcrsEdge, FullDensityPatternRoundTrips) {
+  Rng rng(22);
+  const BlockPattern p = make_uniform_pattern(16, 40, 4, 0.0, rng);
+  ASSERT_EQ(p.nnz(), 16u * 40u);  // every column of every vector row
+  const Matrix<std::int32_t> dense = masked_values(p, Scalar::s8, rng);
+  const SrBcrs sr = build_sr_bcrs(p, dense, Scalar::s8, 16);
+  sr.validate();
+  EXPECT_EQ(sr.to_dense(), dense);
+  EXPECT_EQ(sr.nnz(), p.nnz());
+}
+
+TEST(SrBcrsEdge, ColsNotAMultipleOfVectorLengthOrStride) {
+  // K = 13 shares no factor with V = 8 or stride = 16: every row is padded
+  // and the padding discipline must still hold.
+  Rng rng(23);
+  const BlockPattern p = make_uniform_pattern(24, 13, 8, 0.4, rng);
+  const Matrix<std::int32_t> dense = masked_values(p, Scalar::s8, rng);
+  const SrBcrs sr = build_sr_bcrs(p, dense, Scalar::s8, 16);
+  sr.validate();
+  EXPECT_EQ(sr.to_dense(), dense);
+  for (std::size_t r = 0; r < sr.vector_rows(); ++r) {
+    EXPECT_EQ((sr.end_ptr[r] - sr.first_ptr[r]) % 16u, 0u);
+    EXPECT_EQ(sr.valid_vectors_in_row(r), p.vectors_in_row(r));
+  }
+}
+
+TEST(SrBcrsEdge, ColsSmallerThanStridePadsWholeStride) {
+  // Fewer possible columns (8) than one stride (32): each nonempty row is
+  // one stride of mostly padding.
+  Rng rng(24);
+  const BlockPattern p = make_uniform_pattern(16, 8, 8, 0.5, rng);
+  const Matrix<std::int32_t> dense = masked_values(p, Scalar::s4, rng);
+  const SrBcrs sr = build_sr_bcrs(p, dense, Scalar::s4, 32);
+  sr.validate();
+  EXPECT_EQ(sr.to_dense(), dense);
+  for (std::size_t r = 0; r < sr.vector_rows(); ++r) {
+    EXPECT_EQ(sr.strides_in_row(r), p.vectors_in_row(r) == 0 ? 0u : 1u);
+  }
+}
+
+TEST(SrBcrsEdge, InterleavedEmptyRowsKeepPointersMonotone) {
+  BlockPattern p;
+  p.rows = 40;
+  p.cols = 64;
+  p.vector_length = 8;
+  p.row_ptr = {0, 3, 3, 7, 7, 7};  // rows 1, 3, 4 empty
+  p.col_idx = {1, 5, 9, 0, 2, 40, 63};
+  p.validate();
+  Rng rng(25);
+  const SrBcrs sr = build_sr_bcrs_random(p, Scalar::s8, 16, rng);
+  sr.validate();
+  EXPECT_EQ(sr.nnz(), p.nnz());
+  EXPECT_EQ(sr.strides_in_row(1), 0u);
+  EXPECT_EQ(sr.strides_in_row(3), 0u);
+  EXPECT_EQ(sr.strides_in_row(4), 0u);
+  EXPECT_EQ(sr.valid_vectors_in_row(0), 3u);
+  EXPECT_EQ(sr.valid_vectors_in_row(2), 4u);
+  // Shuffling must preserve the empty rows too.
+  const SrBcrs sh = shuffle_columns(sr);
+  sh.validate();
+  EXPECT_EQ(sh.to_dense(), sr.to_dense());
+}
+
+TEST(SrBcrsEdge, ShuffleOnEmptyMatrixIsANoop) {
+  BlockPattern p;
+  p.rows = 16;
+  p.cols = 32;
+  p.vector_length = 8;
+  p.row_ptr = {0, 0, 0};
+  Rng rng(26);
+  const SrBcrs sr = build_sr_bcrs_random(p, Scalar::s4, 32, rng);
+  const SrBcrs sh = shuffle_columns(sr);
+  sh.validate();
+  EXPECT_TRUE(sh.shuffled);
+  EXPECT_EQ(sh.slot_count(), 0u);
+}
+
 }  // namespace
 }  // namespace magicube::sparse
