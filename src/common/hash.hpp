@@ -1,0 +1,26 @@
+#pragma once
+// Shared non-cryptographic hashing primitives: 64-bit FNV-1a folding (used
+// by pattern fingerprints and the operand-cache content probe) and the
+// golden-ratio multiplier for index scrambling / hash finalizing.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace magicube {
+
+inline constexpr std::uint64_t kGolden64 = 0x9e3779b97f4a7c15ull;
+
+/// Incremental 64-bit FNV-1a over little-endian bytes of fixed-width values.
+struct Fnv1a {
+  std::uint64_t state = 0xcbf29ce484222325ull;
+
+  /// Folds the low `bytes` bytes of v, least-significant first.
+  void mix(std::uint64_t v, int bytes = 8) {
+    for (int b = 0; b < bytes; ++b) {
+      state ^= (v >> (8 * b)) & 0xffu;
+      state *= 0x100000001b3ull;
+    }
+  }
+};
+
+}  // namespace magicube

@@ -1,6 +1,10 @@
 #include "common/thread_pool.hpp"
 
 #include <atomic>
+
+#include "common/check.hpp"
+#include <condition_variable>
+#include <deque>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -8,52 +12,141 @@
 
 namespace magicube {
 
+namespace {
+// Depth of pool-owned frames on this thread: 1 while running a queued task,
+// incremented again by inline nested parallel_for. Any nonzero depth routes
+// parallel_for to the inline path.
+thread_local int tl_pool_depth = 0;
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable work_ready;
+  std::deque<std::function<void()>> queue;
+  bool stopping = false;
+  std::vector<std::thread> threads;
+
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_ready.wait(lock, [&] { return stopping || !queue.empty(); });
+        if (queue.empty()) return;  // stopping && drained
+        task = std::move(queue.front());
+        queue.pop_front();
+      }
+      tl_pool_depth = 1;
+      task();
+      tl_pool_depth = 0;
+    }
+  }
+};
+
 ThreadPool& ThreadPool::instance() {
   static ThreadPool pool;
   return pool;
 }
 
-ThreadPool::ThreadPool() {
+ThreadPool::ThreadPool() : impl_(new Impl) {
   const unsigned hw = std::thread::hardware_concurrency();
   workers_ = hw == 0 ? 2 : hw;
+  impl_->threads.reserve(workers_);
+  for (std::size_t t = 0; t < workers_; ++t) {
+    impl_->threads.emplace_back([this] { impl_->worker_loop(); });
+  }
 }
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stopping = true;
+  }
+  impl_->work_ready.notify_all();
+  for (auto& t : impl_->threads) t.join();
+}
+
+bool ThreadPool::on_worker_thread() { return tl_pool_depth > 0; }
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    MAGICUBE_CHECK_MSG(!impl_->stopping,
+                       "task enqueued on a stopping ThreadPool — no worker "
+                       "would ever run it");
+    impl_->queue.push_back(std::move(task));
+  }
+  impl_->work_ready.notify_one();
+}
+
+namespace {
+
+/// Shared state of one parallel_for invocation. Heap-owned (shared_ptr) so
+/// helper tasks that the queue drains *after* the call returned only touch
+/// live memory (they find no indices left and exit immediately).
+struct ForState {
+  std::size_t n;
+  const std::function<void(std::size_t)>& fn;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex mutex;  // guards first_error and the completion wait
+  std::condition_variable done;
+
+  explicit ForState(std::size_t count,
+                    const std::function<void(std::size_t)>& f)
+      : n(count), fn(f) {}
+
+  /// Claims and runs indices until the range is exhausted.
+  void drain() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      if (!failed.load(std::memory_order_acquire)) {
+        try {
+          fn(i);
+        } catch (...) {
+          failed.store(true, std::memory_order_release);
+          std::lock_guard<std::mutex> lock(mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+      if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard<std::mutex> lock(mutex);  // pair with the wait
+        done.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  const std::size_t threads = workers_ < n ? workers_ : n;
-  if (threads <= 1) {
+  // Inline paths: trivial ranges, single-core hosts, and nested calls from a
+  // pool worker (the reentrancy guard — see the header). No depth bump here:
+  // worker_loop already marks pool threads, and a trivial-range call on a
+  // non-pool thread must not masquerade as one (nested calls under it may
+  // still fan out, and on_worker_thread() must stay false).
+  if (n == 1 || workers_ <= 1 || tl_pool_depth > 0) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
 
-  std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  auto state = std::make_shared<ForState>(n, fn);
+  const std::size_t helpers = (workers_ < n ? workers_ : n) - 1;
+  for (std::size_t t = 0; t < helpers; ++t) {
+    enqueue([state] { state->drain(); });
+  }
+  state->drain();  // the caller participates
 
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n || failed.load(std::memory_order_relaxed)) return;
-      try {
-        fn(i);
-      } catch (...) {
-        failed.store(true, std::memory_order_relaxed);
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        return;
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(threads - 1);
-  for (std::size_t t = 1; t < threads; ++t) pool.emplace_back(worker);
-  worker();
-  for (auto& t : pool) t.join();
-
-  if (first_error) std::rethrow_exception(first_error);
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done.wait(lock, [&] {
+    return state->completed.load(std::memory_order_acquire) == n;
+  });
+  if (state->first_error) std::rethrow_exception(state->first_error);
 }
 
 }  // namespace magicube

@@ -1,14 +1,31 @@
 #pragma once
-// Persistent thread pool with a parallel_for helper.
+// Persistent thread pool with a parallel_for helper and a submit/future
+// async API.
 //
 // The simulator executes thread blocks of a kernel grid as independent tasks;
 // this mirrors how an A100 schedules blocks over SMs and keeps the functional
-// simulation fast on multi-core hosts. Determinism note: block tasks only
-// write disjoint output tiles and their private counters, which are reduced
-// in block order, so results and counters are independent of scheduling.
+// simulation fast on multi-core hosts. The serving engine (src/serve/)
+// additionally submits whole requests as fire-and-forget tasks whose results
+// come back through std::future. Determinism note: block tasks only write
+// disjoint output tiles and their private counters, which are reduced in
+// block order, so results and counters are independent of scheduling.
+//
+// Reentrancy: parallel_for called from a pool worker (a kernel running
+// inside a submitted serving task) executes its range INLINE on the calling
+// thread instead of fanning out again. Workers never block waiting for
+// queued work that other busy workers would have to run, so
+// scheduler-inside-kernel deadlocks are impossible by construction; nested
+// calls trade inner-loop parallelism for the request-level parallelism the
+// outer submit already provides. Blocking on a future from inside a pool
+// task is NOT safe for the same reason inline execution is required — keep
+// future waits on non-pool threads.
 
 #include <cstddef>
 #include <functional>
+#include <future>
+#include <memory>
+#include <type_traits>
+#include <utility>
 
 namespace magicube {
 
@@ -16,18 +33,47 @@ namespace magicube {
 class ThreadPool {
  public:
   static ThreadPool& instance();
+  ~ThreadPool();
 
-  /// Runs fn(i) for i in [0, n), distributing chunks over the pool.
-  /// Exceptions from fn propagate (first one wins) after all tasks finish.
+  /// Runs fn(i) for i in [0, n), distributing chunks over the pool; the
+  /// calling thread participates. Exceptions from fn propagate (first one
+  /// wins) after all claimed indices finish. Nested calls (from a pool
+  /// worker) run inline sequentially — see the reentrancy note above.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Enqueues a task for asynchronous execution and returns a future for
+  /// its result. Exceptions thrown by the task surface at future::get().
+  /// Throws Error once the pool is shutting down (static destruction) —
+  /// a loud failure instead of a future that never becomes ready.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> out = task->get_future();
+    enqueue([task] { (*task)(); });
+    return out;
+  }
+
+  /// Fire-and-forget enqueue: no future, one allocation cheaper than
+  /// submit(). The task must handle its own failures (it has no one to
+  /// rethrow to). Same shutdown behavior as submit().
+  void post(std::function<void()> task) { enqueue(std::move(task)); }
+
   std::size_t worker_count() const { return workers_; }
+
+  /// True on a thread owned by the pool (used by the reentrancy guard and
+  /// asserted by the regression tests).
+  static bool on_worker_thread();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
  private:
   ThreadPool();
+  void enqueue(std::function<void()> task);
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
   std::size_t workers_ = 1;
 };
 

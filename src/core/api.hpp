@@ -26,6 +26,7 @@
 #include "core/spmm.hpp"
 #include "quant/decompose.hpp"
 #include "quant/quantizer.hpp"
+#include "serve/serve.hpp"
 #include "simt/cost_model.hpp"
 #include "simt/device_spec.hpp"
 #include "sparse/bcrs.hpp"

@@ -30,6 +30,21 @@ std::vector<OperandPlane> to_planes(const PackedBuffer& src, int chunk_bits) {
 
 }  // namespace
 
+std::size_t SparseOperand::footprint_bytes() const {
+  std::size_t bytes = sizeof(SparseOperand);
+  bytes += 4 * (structure.first_ptr.size() + structure.end_ptr.size() +
+                structure.col_idx.size());
+  bytes += structure.values.byte_size();
+  for (const auto& p : planes) bytes += p.values.byte_size();
+  return bytes;
+}
+
+std::size_t DenseOperand::footprint_bytes() const {
+  std::size_t bytes = sizeof(DenseOperand);
+  for (const auto& p : planes) bytes += p.values.byte_size();
+  return bytes;
+}
+
 SparseOperand prepare_spmm_lhs(const sparse::BlockPattern& pattern,
                                const Matrix<std::int32_t>& dense_values,
                                PrecisionPair precision, bool shuffle) {
@@ -63,10 +78,30 @@ DenseOperand prepare_dense(const Matrix<std::int32_t>& values, Scalar type,
 
 DenseOperand prepare_spmm_rhs(const Matrix<std::int32_t>& values,
                               PrecisionPair precision) {
-  // RHS planes must be native to the datapath: 4-bit chunks on the int4
-  // path, 8-bit chunks otherwise (only L16-R16 actually decomposes).
-  const int chunk = bits_of(precision.rhs) <= 4 ? 4 : 8;
-  return prepare_dense(values, precision.rhs, /*row_major=*/true, chunk);
+  // Only L16-R16 actually decomposes; the rest are single-plane.
+  return prepare_dense(values, precision.rhs, /*row_major=*/true,
+                       rhs_chunk_bits(precision));
+}
+
+SparseOperandHandle prepare_spmm_lhs_shared(
+    const sparse::BlockPattern& pattern,
+    const Matrix<std::int32_t>& dense_values, PrecisionPair precision,
+    bool shuffle) {
+  return std::make_shared<const SparseOperand>(
+      prepare_spmm_lhs(pattern, dense_values, precision, shuffle));
+}
+
+DenseOperandHandle prepare_dense_shared(const Matrix<std::int32_t>& values,
+                                        Scalar type, bool row_major,
+                                        int chunk_bits_if_emulated) {
+  return std::make_shared<const DenseOperand>(
+      prepare_dense(values, type, row_major, chunk_bits_if_emulated));
+}
+
+DenseOperandHandle prepare_spmm_rhs_shared(const Matrix<std::int32_t>& values,
+                                           PrecisionPair precision) {
+  return std::make_shared<const DenseOperand>(
+      prepare_spmm_rhs(values, precision));
 }
 
 Matrix<std::int32_t> random_values(std::size_t rows, std::size_t cols,

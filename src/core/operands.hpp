@@ -13,6 +13,7 @@
 // and column-major for SDDMM, with plane decomposition for emulated RHS.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/matrix.hpp"
@@ -29,10 +30,15 @@ namespace magicube::core {
 constexpr int stride_for(PrecisionPair p) {
   return bits_of(p.rhs) <= 4 ? 32 : 16;
 }
-/// Chunk width of LHS emulation planes for this pair (matches the datapath).
-constexpr int lhs_chunk_bits(PrecisionPair p) {
+/// Chunk width operand planes decompose to for this pair. BOTH slots key
+/// off the RHS datapath: 4-bit chunks on the int4 path, 8-bit otherwise.
+constexpr int chunk_bits(PrecisionPair p) {
   return bits_of(p.rhs) <= 4 ? 4 : 8;
 }
+/// Named per-slot accessors (one rule today; kept separate so call sites
+/// say which operand they are preparing).
+constexpr int lhs_chunk_bits(PrecisionPair p) { return chunk_bits(p); }
+constexpr int rhs_chunk_bits(PrecisionPair p) { return chunk_bits(p); }
 
 /// One operand plane: values in SR-BCRS slot order, with the algebraic
 /// weight and signedness the emulation sum needs.
@@ -49,6 +55,8 @@ struct SparseOperand {
   Scalar logical_type = Scalar::s8;
 
   std::size_t plane_count() const { return planes.size(); }
+  /// Heap bytes held by the prepared operand (cache accounting).
+  std::size_t footprint_bytes() const;
 };
 
 /// RHS dense operand for SpMM (row-major) or SDDMM (column-major).
@@ -69,7 +77,17 @@ struct DenseOperand {
     for (const auto& p : planes) v += p.weight * p.values.get(flat_index(r, c));
     return v;
   }
+  /// Heap bytes held by the prepared operand (cache accounting).
+  std::size_t footprint_bytes() const;
 };
+
+/// Immutable shared handles over prepared operands. Preparation (quantize →
+/// SR-BCRS encode → shuffle → plane decomposition) is the expensive step the
+/// serving engine amortizes: once built, an operand is never mutated, so the
+/// operand cache and the batch scheduler alias one prepared copy across
+/// concurrent kernel executions safely.
+using SparseOperandHandle = std::shared_ptr<const SparseOperand>;
+using DenseOperandHandle = std::shared_ptr<const DenseOperand>;
 
 /// Builds the SpMM LHS: SR-BCRS at the pair's stride, optional block-of-8
 /// column shuffling (required by the int4 fast transpose), plane
@@ -85,6 +103,18 @@ DenseOperand prepare_dense(const Matrix<std::int32_t>& values, Scalar type,
 /// Convenience for SpMM RHS (row-major; emulated via the pair's datapath).
 DenseOperand prepare_spmm_rhs(const Matrix<std::int32_t>& values,
                               PrecisionPair precision);
+
+/// Shared-handle variants of the prepare entry points (the forms the serving
+/// engine caches and schedules).
+SparseOperandHandle prepare_spmm_lhs_shared(
+    const sparse::BlockPattern& pattern,
+    const Matrix<std::int32_t>& dense_values, PrecisionPair precision,
+    bool shuffle);
+DenseOperandHandle prepare_dense_shared(const Matrix<std::int32_t>& values,
+                                        Scalar type, bool row_major,
+                                        int chunk_bits_if_emulated);
+DenseOperandHandle prepare_spmm_rhs_shared(const Matrix<std::int32_t>& values,
+                                           PrecisionPair precision);
 
 /// Random dense integer matrix covering the full range of `type`.
 Matrix<std::int32_t> random_values(std::size_t rows, std::size_t cols,

@@ -413,4 +413,11 @@ std::uint64_t sddmm_useful_ops(const sparse::BlockPattern& pattern,
   return 2ull * pattern.nnz() * k_depth;
 }
 
+SddmmResult sddmm(const DenseOperandHandle& a, const DenseOperandHandle& b,
+                  const sparse::BlockPattern& pattern,
+                  const SddmmConfig& cfg) {
+  MAGICUBE_CHECK_MSG(a && b, "sddmm handles must be non-null");
+  return sddmm(*a, *b, pattern, cfg);
+}
+
 }  // namespace magicube::core

@@ -46,6 +46,12 @@ SddmmResult sddmm(const DenseOperand& a, const DenseOperand& b,
                   const sparse::BlockPattern& pattern,
                   const SddmmConfig& cfg);
 
+/// Shared-handle entry point: identical semantics, operands aliased rather
+/// than owned (the serving engine executes many concurrent kernels over one
+/// cached preparation). Handles must be non-null.
+SddmmResult sddmm(const DenseOperandHandle& a, const DenseOperandHandle& b,
+                  const sparse::BlockPattern& pattern, const SddmmConfig& cfg);
+
 /// Analytic counters for the same kernel (no data).
 simt::KernelRun sddmm_estimate(const sparse::BlockPattern& pattern,
                                std::size_t k_depth, const SddmmConfig& cfg);

@@ -685,4 +685,10 @@ std::uint64_t spmm_useful_ops(const sparse::BlockPattern& pattern,
   return 2ull * pattern.nnz() * n_cols;
 }
 
+SpmmResult spmm(const SparseOperandHandle& a, const DenseOperandHandle& b,
+                const SpmmConfig& cfg) {
+  MAGICUBE_CHECK_MSG(a && b, "spmm handles must be non-null");
+  return spmm(*a, *b, cfg);
+}
+
 }  // namespace magicube::core

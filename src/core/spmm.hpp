@@ -64,6 +64,12 @@ struct SpmmResult {
 SpmmResult spmm(const SparseOperand& a, const DenseOperand& b,
                 const SpmmConfig& cfg);
 
+/// Shared-handle entry point: identical semantics, operands aliased rather
+/// than owned (the serving engine executes many concurrent kernels over one
+/// cached preparation). Handles must be non-null.
+SpmmResult spmm(const SparseOperandHandle& a, const DenseOperandHandle& b,
+                const SpmmConfig& cfg);
+
 /// Analytic counters for the same kernel on this pattern/shape (no values).
 simt::KernelRun spmm_estimate(const sparse::BlockPattern& pattern,
                               std::size_t n_cols, const SpmmConfig& cfg);

@@ -1,0 +1,229 @@
+#include "serve/operand_cache.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <memory>
+
+#include "common/check.hpp"
+#include "common/hash.hpp"
+
+namespace magicube::serve {
+
+std::uint64_t content_probe(const Matrix<std::int32_t>& values) {
+  // FNV-1a over shape and at most 64 sampled elements. Sample indices are
+  // golden-ratio scrambled, not evenly strided: a fixed stride aliases with
+  // the row length on power-of-two shapes and would only ever sample one
+  // column, blinding the staleness guard to changes everywhere else.
+  Fnv1a h;
+  h.mix(values.rows());
+  h.mix(values.cols());
+  const std::size_t n = values.size();
+  if (n <= 64) {
+    for (std::size_t i = 0; i < n; ++i) {
+      h.mix(static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(values.data()[i])));
+    }
+    return h.state;
+  }
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    const std::size_t i = static_cast<std::size_t>((k * kGolden64) % n);
+    h.mix(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(values.data()[i])));
+  }
+  return h.state;
+}
+
+OperandCache::OperandCache(std::size_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {}
+
+CachedOperand OperandCache::find(const OperandKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.lookups += 1;
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    stats_.misses += 1;
+    return {};
+  }
+  stats_.hits += 1;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->second;
+}
+
+CachedOperand OperandCache::insert(const OperandKey& key,
+                                   CachedOperand value) {
+  MAGICUBE_CHECK_MSG(static_cast<bool>(value) && value.bytes > 0,
+                     "cache insert requires a prepared operand with bytes");
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Another thread prepared the same key first; adopt its entry — but
+    // only if it was prepared from the same contents, so the staleness
+    // guard holds under concurrent misses too.
+    MAGICUBE_CHECK_MSG(
+        it->second->second.content_probe == value.content_probe,
+        "operand cache insert race for key content "
+            << key.content
+            << " with differing contents — ids must name immutable values");
+    stats_.race_discards += 1;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+  }
+  if (value.bytes > capacity_bytes_) {
+    // Would evict everything and still not fit: serve it uncached.
+    return value;
+  }
+  evict_to_fit(value.bytes);
+  lru_.emplace_front(key, std::move(value));
+  index_.emplace(key, lru_.begin());
+  bytes_cached_ += lru_.front().second.bytes;
+  stats_.insertions += 1;
+  stats_.bytes_inserted += lru_.front().second.bytes;
+  return lru_.front().second;
+}
+
+void OperandCache::evict_to_fit(std::size_t incoming) {
+  while (!lru_.empty() && bytes_cached_ + incoming > capacity_bytes_) {
+    const auto& victim = lru_.back();
+    bytes_cached_ -= victim.second.bytes;
+    stats_.evictions += 1;
+    stats_.bytes_evicted += victim.second.bytes;
+    index_.erase(victim.first);
+    lru_.pop_back();
+  }
+}
+
+core::SparseOperandHandle OperandCache::get_or_prepare_spmm_lhs(
+    const sparse::BlockPattern& pattern, const Matrix<std::int32_t>& values,
+    PrecisionPair precision, bool shuffle, std::uint64_t content_id,
+    bool* was_hit) {
+  OperandKey key;
+  key.kind = OperandKind::spmm_lhs;
+  key.content = content_id != 0 ? content_id : pattern.fingerprint();
+  key.lhs = precision.lhs;
+  key.rhs = precision.rhs;
+  key.shuffled = shuffle;
+
+  const std::uint64_t probe = content_probe(values);
+  if (was_hit) *was_hit = false;
+  if (CachedOperand hit = find(key)) {
+    MAGICUBE_CHECK_MSG(hit.content_probe == probe,
+                       "operand cache hit for key content "
+                           << key.content
+                           << " but the weight values changed — pass a "
+                              "distinct lhs_id per weight version");
+    if (was_hit) *was_hit = true;
+    return hit.sparse;
+  }
+
+  CachedOperand entry;
+  entry.sparse =
+      core::prepare_spmm_lhs_shared(pattern, values, precision, shuffle);
+  entry.bytes = entry.sparse->footprint_bytes();
+  entry.content_probe = probe;
+  return insert(key, std::move(entry)).sparse;
+}
+
+std::uint64_t OperandCache::memoized_fingerprint(
+    const std::shared_ptr<const sparse::BlockPattern>& pattern) {
+  {
+    std::lock_guard<std::mutex> lock(memo_mutex_);
+    auto it = fingerprint_memo_.find(pattern.get());
+    if (it != fingerprint_memo_.end() &&
+        it->second.alive.lock() == pattern) {
+      return it->second.fingerprint;
+    }
+  }
+  const std::uint64_t fp = pattern->fingerprint();  // outside the lock
+  std::lock_guard<std::mutex> lock(memo_mutex_);
+  if (fingerprint_memo_.size() >= memo_sweep_at_) {
+    for (auto it = fingerprint_memo_.begin();
+         it != fingerprint_memo_.end();) {
+      it = it->second.alive.expired() ? fingerprint_memo_.erase(it)
+                                      : std::next(it);
+    }
+    // Re-arm at double the live population so a sweep that reclaims
+    // nothing (>= threshold patterns genuinely alive) is not repeated on
+    // every insert — O(1) amortized, memo bounded by 2x live patterns.
+    memo_sweep_at_ = std::max<std::size_t>(1024,
+                                           2 * fingerprint_memo_.size());
+  }
+  fingerprint_memo_[pattern.get()] = {pattern, fp};
+  return fp;
+}
+
+core::SparseOperandHandle OperandCache::get_or_prepare_spmm_lhs(
+    const std::shared_ptr<const sparse::BlockPattern>& pattern,
+    const Matrix<std::int32_t>& values, PrecisionPair precision, bool shuffle,
+    std::uint64_t content_id, bool* was_hit) {
+  MAGICUBE_CHECK(pattern != nullptr);
+  if (content_id == 0) content_id = memoized_fingerprint(pattern);
+  return get_or_prepare_spmm_lhs(*pattern, values, precision, shuffle,
+                                 content_id, was_hit);
+}
+
+core::DenseOperandHandle OperandCache::get_or_prepare_dense(
+    OperandKind kind, const Matrix<std::int32_t>& values,
+    PrecisionPair precision, std::uint64_t content_id, bool* was_hit) {
+  MAGICUBE_CHECK(kind != OperandKind::spmm_lhs);
+  const bool row_major = kind != OperandKind::sddmm_rhs;
+  const Scalar type =
+      kind == OperandKind::sddmm_lhs ? precision.lhs : precision.rhs;
+  const int chunk = core::rhs_chunk_bits(precision);
+
+  if (was_hit) *was_hit = false;
+  if (content_id == 0) {
+    // Anonymous activations: prepare fresh, leave the cache untouched.
+    return core::prepare_dense_shared(values, type, row_major, chunk);
+  }
+
+  const std::uint64_t probe = content_probe(values);
+  OperandKey key;
+  key.kind = kind;
+  key.content = content_id;
+  // RHS-slot layout (type and chunk) depends on precision.rhs alone, so an
+  // activation shared across L8-R8 and L16-R8 layers is one entry; only the
+  // SDDMM LHS types by precision.lhs (its chunk still follows the RHS
+  // datapath, carried by key.rhs).
+  key.lhs = kind == OperandKind::sddmm_lhs ? precision.lhs : precision.rhs;
+  key.rhs = precision.rhs;
+
+  if (CachedOperand hit = find(key)) {
+    MAGICUBE_CHECK_MSG(hit.content_probe == probe,
+                       "operand cache hit for client id "
+                           << content_id
+                           << " but the operand values changed — ids must "
+                              "name immutable contents");
+    if (was_hit) *was_hit = true;
+    return hit.dense;
+  }
+
+  CachedOperand entry;
+  entry.dense = core::prepare_dense_shared(values, type, row_major, chunk);
+  entry.bytes = entry.dense->footprint_bytes();
+  entry.content_probe = probe;
+  return insert(key, std::move(entry)).dense;
+}
+
+CacheStats OperandCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t OperandCache::bytes_cached() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_cached_;
+}
+
+std::size_t OperandCache::entry_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+void OperandCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  bytes_cached_ = 0;
+}
+
+}  // namespace magicube::serve

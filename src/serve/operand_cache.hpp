@@ -1,0 +1,204 @@
+#pragma once
+// Operand cache for the inference-serving engine.
+//
+// Operand preparation (quantize → SR-BCRS encode → shuffle → plane
+// decomposition) costs O(M·K) per call, while the kernels themselves touch
+// only O(nnz·N); on the repeated-pattern traffic a Transformer serving loop
+// produces, re-preparing per request dominates end-to-end time (the
+// redundancy cuTeSpMM and FlashSparse identify on small problems). This
+// cache memoizes prepared operands behind immutable shared handles so any
+// number of concurrent kernel executions alias one preparation.
+//
+// Keys: (operand kind, content id, precision pair, shuffle). For SpMM LHS
+// weights the content id defaults to the pattern's structural fingerprint —
+// in a serving deployment the sparsity pattern identifies the pruned weight
+// matrix. Clients whose distinct weights share one pattern pass an explicit
+// id instead. Dense operands (activations) are cached only under a
+// client-assigned nonzero id, since the engine cannot cheaply prove two
+// activation matrices identical.
+//
+// Eviction is LRU by byte footprint. Hit/miss/eviction counters follow the
+// simt::KernelCounters idiom (a plain aggregate with operator+= and
+// operator==) so callers can snapshot, diff and reduce them the same way
+// kernel counters are handled.
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/hash.hpp"
+#include "core/operands.hpp"
+#include "sparse/pattern.hpp"
+
+namespace magicube::serve {
+
+/// Which prepared form an entry holds (part of the key: the same content
+/// prepared for a different slot has a different layout).
+enum class OperandKind : std::uint8_t {
+  spmm_lhs,   // SparseOperand (SR-BCRS + planes)
+  spmm_rhs,   // DenseOperand, row-major
+  sddmm_lhs,  // DenseOperand, row-major
+  sddmm_rhs,  // DenseOperand, column-major
+};
+
+struct OperandKey {
+  OperandKind kind = OperandKind::spmm_lhs;
+  std::uint64_t content = 0;  // pattern fingerprint or client-assigned id
+  Scalar lhs = Scalar::s8;    // element type of the slot's own side (RHS
+                              // slots collapse lhs to rhs so activations
+                              // shared across LHS widths are one entry)
+  Scalar rhs = Scalar::s8;    // picks the datapath (chunking, stride)
+  bool shuffled = false;
+
+  friend bool operator==(const OperandKey&, const OperandKey&) = default;
+};
+
+struct OperandKeyHash {
+  std::size_t operator()(const OperandKey& k) const {
+    std::uint64_t h = k.content;
+    h ^= static_cast<std::uint64_t>(k.kind) << 56 |
+         static_cast<std::uint64_t>(k.lhs) << 48 |
+         static_cast<std::uint64_t>(k.rhs) << 40 |
+         static_cast<std::uint64_t>(k.shuffled) << 32;
+    return static_cast<std::size_t>(splitmix64(h));  // rng.hpp finalizer
+  }
+};
+
+/// Cache-event counters, reduced with += like simt::KernelCounters.
+struct CacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t race_discards = 0;  // lost prepare races (first insert wins)
+  std::uint64_t bytes_inserted = 0;
+  std::uint64_t bytes_evicted = 0;
+
+  CacheStats& operator+=(const CacheStats& o) {
+    lookups += o.lookups;
+    hits += o.hits;
+    misses += o.misses;
+    insertions += o.insertions;
+    evictions += o.evictions;
+    race_discards += o.race_discards;
+    bytes_inserted += o.bytes_inserted;
+    bytes_evicted += o.bytes_evicted;
+    return *this;
+  }
+  friend CacheStats operator+(CacheStats a, const CacheStats& b) {
+    a += b;
+    return a;
+  }
+  friend bool operator==(const CacheStats&, const CacheStats&) = default;
+
+  double hit_rate() const {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+};
+
+/// One cached preparation: exactly one handle is set, per the key's kind.
+struct CachedOperand {
+  core::SparseOperandHandle sparse;
+  core::DenseOperandHandle dense;
+  std::size_t bytes = 0;
+  /// Strided-sample hash of the source value matrix. Keys identify contents
+  /// by proxy (pattern fingerprint / client id); the probe catches the
+  /// contract violation of re-serving changed values under an unchanged key
+  /// without paying an O(M·K) hash per request.
+  std::uint64_t content_probe = 0;
+
+  explicit operator bool() const {
+    return static_cast<bool>(sparse) || static_cast<bool>(dense);
+  }
+};
+
+/// The strided content sample used by the staleness guard (≤ 64 values).
+std::uint64_t content_probe(const Matrix<std::int32_t>& values);
+
+/// Thread-safe LRU cache of prepared operands, bounded by byte footprint.
+/// Preparation runs outside the lock; when two threads race to prepare the
+/// same key, the first insert wins and the loser adopts it (counted as
+/// race_discards).
+class OperandCache {
+ public:
+  /// An entry larger than the whole capacity is returned uncached.
+  explicit OperandCache(std::size_t capacity_bytes = 256ull << 20);
+
+  /// Looks up a key, refreshing recency. Returns an empty CachedOperand on
+  /// miss. Counts one lookup and one hit or miss.
+  CachedOperand find(const OperandKey& key);
+
+  /// Inserts a prepared operand (bytes must be set) and returns the entry
+  /// now cached under the key — the argument, or the incumbent if another
+  /// thread inserted first. Evicts LRU entries to fit.
+  CachedOperand insert(const OperandKey& key, CachedOperand value);
+
+  /// Memoized prepare_spmm_lhs: find, else prepare and insert.
+  /// `content_id` = 0 uses pattern.fingerprint() as identity. `was_hit`
+  /// (optional) reports whether this call was served from cache. Throws
+  /// Error when a hit's content probe disagrees with `values` — the caller
+  /// changed operand contents without changing the cache identity.
+  core::SparseOperandHandle get_or_prepare_spmm_lhs(
+      const sparse::BlockPattern& pattern,
+      const Matrix<std::int32_t>& values, PrecisionPair precision,
+      bool shuffle, std::uint64_t content_id = 0, bool* was_hit = nullptr);
+
+  /// shared_ptr overload for the serving hot path: the pattern fingerprint
+  /// is memoized per live pattern object (keyed by address, validated by
+  /// weak_ptr), so repeated requests over resident patterns skip the
+  /// O(nnz) rehash.
+  core::SparseOperandHandle get_or_prepare_spmm_lhs(
+      const std::shared_ptr<const sparse::BlockPattern>& pattern,
+      const Matrix<std::int32_t>& values, PrecisionPair precision,
+      bool shuffle, std::uint64_t content_id = 0, bool* was_hit = nullptr);
+
+  /// Memoized dense prepare for the given slot. `content_id` = 0 bypasses
+  /// the cache entirely (anonymous activations) and is not counted.
+  core::DenseOperandHandle get_or_prepare_dense(
+      OperandKind kind, const Matrix<std::int32_t>& values,
+      PrecisionPair precision, std::uint64_t content_id,
+      bool* was_hit = nullptr);
+
+  CacheStats stats() const;
+  std::size_t bytes_cached() const;
+  std::size_t entry_count() const;
+  std::size_t capacity_bytes() const { return capacity_bytes_; }
+
+  void clear();
+
+ private:
+  using LruList = std::list<std::pair<OperandKey, CachedOperand>>;
+
+  /// Drops LRU entries until `incoming` more bytes fit. Lock held.
+  void evict_to_fit(std::size_t incoming);
+
+  /// Memoized pattern.fingerprint() for a live shared pattern.
+  std::uint64_t memoized_fingerprint(
+      const std::shared_ptr<const sparse::BlockPattern>& pattern);
+
+  const std::size_t capacity_bytes_;
+  mutable std::mutex mutex_;
+  LruList lru_;  // front = most recent
+  std::unordered_map<OperandKey, LruList::iterator, OperandKeyHash> index_;
+  std::size_t bytes_cached_ = 0;
+  CacheStats stats_;
+
+  /// Address-keyed fingerprint memo; the weak_ptr detects address reuse
+  /// after a pattern dies. Expired entries are swept when the memo grows.
+  struct FingerprintMemo {
+    std::weak_ptr<const sparse::BlockPattern> alive;
+    std::uint64_t fingerprint = 0;
+  };
+  std::mutex memo_mutex_;
+  std::unordered_map<const sparse::BlockPattern*, FingerprintMemo>
+      fingerprint_memo_;
+  std::size_t memo_sweep_at_ = 1024;  // re-armed to 2x live after a sweep
+};
+
+}  // namespace magicube::serve

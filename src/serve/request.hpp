@@ -1,0 +1,64 @@
+#pragma once
+// Request/response types of the inference-serving engine.
+//
+// A request names one quantized sparse kernel invocation (SpMM or SDDMM, any
+// precision pair) by its inputs; operands arrive as raw integer matrices
+// plus a sparsity pattern, all shared_ptr-owned so the engine can hold them
+// past submit() without copying. Preparation (quantize → encode → shuffle)
+// happens inside the engine, memoized by the operand cache; see
+// serve/operand_cache.hpp for the identity rules behind lhs_id / rhs_id.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "common/matrix.hpp"
+#include "common/precision.hpp"
+#include "core/sddmm.hpp"
+#include "core/spmm.hpp"
+#include "sparse/pattern.hpp"
+
+namespace magicube::serve {
+
+enum class OpKind : std::uint8_t { spmm, sddmm };
+
+inline const char* to_string(OpKind k) {
+  return k == OpKind::spmm ? "spmm" : "sddmm";
+}
+
+struct Request {
+  OpKind op = OpKind::spmm;
+  PrecisionPair precision = precision::L8R8;
+
+  /// SpMM: sparsity of the M x K LHS weight. SDDMM: the M x N output
+  /// sampling pattern.
+  std::shared_ptr<const sparse::BlockPattern> pattern;
+  /// SpMM: M x K LHS weight values (read through `pattern`). SDDMM: the
+  /// M x K dense A activations.
+  std::shared_ptr<const Matrix<std::int32_t>> lhs_values;
+  /// K x N RHS values for both ops.
+  std::shared_ptr<const Matrix<std::int32_t>> rhs_values;
+
+  core::SpmmVariant variant = core::SpmmVariant::full;  // SpMM only
+  int bsn = 64;                                         // SpMM only
+  bool sddmm_prefetch = false;                          // SDDMM only
+
+  /// Cache identity overrides. SpMM LHS: 0 = key on pattern fingerprint.
+  /// SDDMM LHS and both RHS slots: 0 = do not cache (anonymous activation).
+  std::uint64_t lhs_id = 0;
+  std::uint64_t rhs_id = 0;
+};
+
+struct Response {
+  OpKind op = OpKind::spmm;
+  std::optional<core::SpmmResult> spmm;    // engaged when op == spmm
+  std::optional<core::SddmmResult> sddmm;  // engaged when op == sddmm
+
+  bool lhs_cache_hit = false;
+  bool rhs_cache_hit = false;
+  std::uint64_t batch_id = 0;   // which execution batch served this request
+  std::size_t batch_size = 0;   // how many requests shared that batch
+  double modeled_seconds = 0.0; // A100 cost-model estimate of the kernel run
+};
+
+}  // namespace magicube::serve

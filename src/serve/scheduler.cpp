@@ -1,0 +1,210 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+#include "simt/cost_model.hpp"
+#include "simt/device_spec.hpp"
+
+namespace magicube::serve {
+
+Response serve_request(const Request& req, OperandCache& cache) {
+  MAGICUBE_CHECK_MSG(req.pattern && req.lhs_values && req.rhs_values,
+                     "serve request is missing pattern or operand values");
+  Response resp;
+  resp.op = req.op;
+  if (req.op == OpKind::spmm) {
+    core::SpmmConfig cfg;
+    cfg.precision = req.precision;
+    cfg.variant = req.variant;
+    cfg.bsn = req.bsn;
+    const auto lhs = cache.get_or_prepare_spmm_lhs(
+        req.pattern, *req.lhs_values, req.precision,
+        core::needs_shuffle(cfg), req.lhs_id, &resp.lhs_cache_hit);
+    const auto rhs = cache.get_or_prepare_dense(
+        OperandKind::spmm_rhs, *req.rhs_values, req.precision, req.rhs_id,
+        &resp.rhs_cache_hit);
+    resp.spmm = core::spmm(lhs, rhs, cfg);
+    resp.modeled_seconds = simt::estimate_seconds(simt::a100(),
+                                                  resp.spmm->run);
+  } else {
+    core::SddmmConfig cfg;
+    cfg.precision = req.precision;
+    cfg.prefetch = req.sddmm_prefetch;
+    const auto a = cache.get_or_prepare_dense(
+        OperandKind::sddmm_lhs, *req.lhs_values, req.precision, req.lhs_id,
+        &resp.lhs_cache_hit);
+    const auto b = cache.get_or_prepare_dense(
+        OperandKind::sddmm_rhs, *req.rhs_values, req.precision, req.rhs_id,
+        &resp.rhs_cache_hit);
+    resp.sddmm = core::sddmm(a, b, *req.pattern, cfg);
+    resp.modeled_seconds = simt::estimate_seconds(simt::a100(),
+                                                  resp.sddmm->run);
+  }
+  return resp;
+}
+
+namespace {
+
+/// Requests sharing this key run the same kernel configuration and may be
+/// dispatched as one batch.
+using GroupKey = std::tuple<OpKind, Scalar, Scalar, core::SpmmVariant, int,
+                            bool>;
+
+GroupKey group_key(const Request& r) {
+  return {r.op, r.precision.lhs, r.precision.rhs, r.variant, r.bsn,
+          r.sddmm_prefetch};
+}
+
+struct Pending {
+  Request req;
+  std::promise<Response> promise;
+};
+
+}  // namespace
+
+struct BatchScheduler::Impl {
+  BatchScheduler* owner = nullptr;
+
+  std::mutex mutex;
+  std::condition_variable queue_changed;  // scheduler wakes on submits/stop
+  std::condition_variable idle;           // drain()/dtor wake on completion
+  std::deque<Pending> queue;
+  bool stopping = false;
+  SchedulerStats stats;
+  std::uint64_t next_batch_id = 1;
+  std::uint64_t outstanding = 0;  // submitted, promise not yet fulfilled
+  std::thread thread;
+
+  void loop() {
+    for (;;) {
+      std::deque<Pending> taken;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        queue_changed.wait(lock, [&] { return stopping || !queue.empty(); });
+        if (queue.empty()) return;  // stopping && drained
+        if (!stopping && owner->cfg_.linger.count() > 0 &&
+            queue.size() < owner->cfg_.max_batch) {
+          // Linger: give a burst the chance to fill one batch.
+          queue_changed.wait_for(lock, owner->cfg_.linger, [&] {
+            return stopping || queue.size() >= owner->cfg_.max_batch;
+          });
+        }
+        taken.swap(queue);
+      }
+      dispatch(std::move(taken));
+    }
+  }
+
+  void dispatch(std::deque<Pending> taken) {
+    // Group compatible requests, preserving arrival order within a group.
+    std::map<GroupKey, std::vector<Pending>> groups;
+    while (!taken.empty()) {
+      Pending p = std::move(taken.front());
+      taken.pop_front();
+      groups[group_key(p.req)].push_back(std::move(p));
+    }
+    for (auto& [key, members] : groups) {
+      (void)key;
+      for (std::size_t base = 0; base < members.size();
+           base += owner->cfg_.max_batch) {
+        const std::size_t size =
+            std::min(owner->cfg_.max_batch, members.size() - base);
+        std::uint64_t batch_id;
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          batch_id = next_batch_id++;
+          stats.batches += 1;
+          stats.batched_requests += size;
+          if (size > stats.max_batch_size) stats.max_batch_size = size;
+        }
+        for (std::size_t i = 0; i < size; ++i) {
+          auto item = std::make_shared<Pending>(std::move(members[base + i]));
+          // post, not submit: run_one routes failures into the response
+          // promise itself, so a pool-side future would be dead weight.
+          ThreadPool::instance().post(
+              [this, item, batch_id, size] { run_one(*item, batch_id, size); });
+        }
+      }
+    }
+  }
+
+  void run_one(Pending& item, std::uint64_t batch_id, std::size_t size) {
+    bool failed = false;
+    try {
+      Response resp = serve_request(item.req, owner->cache_);
+      resp.batch_id = batch_id;
+      resp.batch_size = size;
+      item.promise.set_value(std::move(resp));
+    } catch (...) {
+      failed = true;
+      item.promise.set_exception(std::current_exception());
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      stats.completed += 1;
+      if (failed) stats.failed += 1;
+      outstanding -= 1;
+      // Notify under the lock: a drain()/destructor waiter may destroy this
+      // condition variable as soon as it observes outstanding == 0.
+      idle.notify_all();
+    }
+  }
+};
+
+BatchScheduler::BatchScheduler(BatchSchedulerConfig cfg)
+    : cfg_(cfg), cache_(cfg.cache_capacity_bytes), impl_(new Impl) {
+  MAGICUBE_CHECK(cfg_.max_batch > 0);
+  impl_->owner = this;
+  impl_->thread = std::thread([impl = impl_.get()] { impl->loop(); });
+}
+
+BatchScheduler::~BatchScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stopping = true;
+  }
+  impl_->queue_changed.notify_all();
+  impl_->thread.join();  // loop exits only once the queue is drained
+  // Wait for dispatched requests still executing on the pool: their tasks
+  // reference this object's cache and stats.
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  impl_->idle.wait(lock, [&] { return impl_->outstanding == 0; });
+}
+
+std::future<Response> BatchScheduler::submit(Request req) {
+  Pending p;
+  p.req = std::move(req);
+  std::future<Response> out = p.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    MAGICUBE_CHECK_MSG(!impl_->stopping,
+                       "submit on a stopping BatchScheduler");
+    impl_->queue.push_back(std::move(p));
+    impl_->stats.submitted += 1;
+    impl_->outstanding += 1;
+  }
+  impl_->queue_changed.notify_all();
+  return out;
+}
+
+void BatchScheduler::drain() {
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  impl_->idle.wait(lock, [&] { return impl_->outstanding == 0; });
+}
+
+SchedulerStats BatchScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->stats;
+}
+
+}  // namespace magicube::serve

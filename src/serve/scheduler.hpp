@@ -1,0 +1,103 @@
+#pragma once
+// Batch scheduler of the inference-serving engine.
+//
+// Clients submit heterogeneous requests (SpMM/SDDMM, any precision pair)
+// through a submit/future API. A dedicated scheduler thread collects the
+// queue, lingers briefly so bursts coalesce, groups compatible requests
+// (same op, precision, kernel variant, tile width) into batches, and
+// dispatches every request of a batch concurrently over the global
+// ThreadPool. Operand preparation is memoized by the OperandCache; kernels
+// read immutable shared operand handles, so batch members alias one
+// preparation safely.
+//
+// Concurrency contract: the scheduler thread never runs kernels itself and
+// pool tasks never wait on futures, so the ThreadPool's reentrancy guard
+// (kernels' parallel_for running inline inside a request task) is the only
+// nesting that occurs — deadlock-free by construction. Results are bit-exact
+// with sequential core::spmm / core::sddmm calls: batching changes only when
+// work runs, never what it computes.
+
+#include <cstdint>
+#include <chrono>
+#include <future>
+#include <memory>
+
+#include "serve/operand_cache.hpp"
+#include "serve/request.hpp"
+
+namespace magicube::serve {
+
+struct BatchSchedulerConfig {
+  /// Largest number of requests dispatched as one batch.
+  std::size_t max_batch = 8;
+  /// How long the scheduler waits for a forming batch to fill before
+  /// dispatching what it has. Zero dispatches immediately.
+  std::chrono::microseconds linger{200};
+  /// Operand-cache budget (prepared-operand bytes).
+  std::size_t cache_capacity_bytes = 256ull << 20;
+};
+
+/// Engine-level counters, reduced with += like simt::KernelCounters.
+struct SchedulerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;  // includes failed
+  std::uint64_t failed = 0;     // completed exceptionally
+  std::uint64_t batches = 0;
+  std::uint64_t batched_requests = 0;  // sum of batch sizes
+  std::uint64_t max_batch_size = 0;
+
+  SchedulerStats& operator+=(const SchedulerStats& o) {
+    submitted += o.submitted;
+    completed += o.completed;
+    failed += o.failed;
+    batches += o.batches;
+    batched_requests += o.batched_requests;
+    if (o.max_batch_size > max_batch_size) max_batch_size = o.max_batch_size;
+    return *this;
+  }
+  friend bool operator==(const SchedulerStats&,
+                         const SchedulerStats&) = default;
+
+  double mean_batch_size() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(batched_requests) /
+                              static_cast<double>(batches);
+  }
+};
+
+class BatchScheduler {
+ public:
+  explicit BatchScheduler(BatchSchedulerConfig cfg = {});
+  /// Drains: every submitted request completes before destruction returns.
+  ~BatchScheduler();
+
+  /// Enqueues a request; the future carries the Response (or the exception
+  /// the request failed with). Throws Error after shutdown began.
+  std::future<Response> submit(Request req);
+
+  /// Blocks until every request submitted so far has completed.
+  void drain();
+
+  /// The engine's operand cache (shared by all requests).
+  OperandCache& cache() { return cache_; }
+  const OperandCache& cache() const { return cache_; }
+
+  SchedulerStats stats() const;
+  const BatchSchedulerConfig& config() const { return cfg_; }
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+ private:
+  struct Impl;
+  BatchSchedulerConfig cfg_;
+  OperandCache cache_;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Executes one request synchronously against `cache` (the scheduler's
+/// per-request body; also the building block for cache-only serving without
+/// batching). Throws on malformed requests.
+Response serve_request(const Request& req, OperandCache& cache);
+
+}  // namespace magicube::serve

@@ -1,0 +1,20 @@
+#pragma once
+// Serving-engine umbrella header.
+//
+// Minimal usage (see examples/serving.cpp):
+//
+//   using namespace magicube;
+//   serve::BatchScheduler engine;                 // cache + scheduler
+//   serve::Request req;
+//   req.op = serve::OpKind::spmm;
+//   req.precision = precision::L8R8;
+//   req.pattern = std::make_shared<const sparse::BlockPattern>(pattern);
+//   req.lhs_values = std::make_shared<const Matrix<std::int32_t>>(weights);
+//   req.rhs_values = std::make_shared<const Matrix<std::int32_t>>(acts);
+//   auto future = engine.submit(std::move(req));
+//   const serve::Response resp = future.get();    // bit-exact SpmmResult
+//   // engine.cache().stats().hit_rate() amortization telemetry
+
+#include "serve/operand_cache.hpp"
+#include "serve/request.hpp"
+#include "serve/scheduler.hpp"

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/hash.hpp"
+
 namespace magicube::sparse {
 
 void BlockPattern::validate() const {
@@ -21,6 +23,16 @@ void BlockPattern::validate() const {
       }
     }
   }
+}
+
+std::uint64_t BlockPattern::fingerprint() const {
+  Fnv1a h;
+  h.mix(rows);
+  h.mix(cols);
+  h.mix(static_cast<std::uint64_t>(vector_length), 4);
+  for (const std::uint32_t v : row_ptr) h.mix(v, 4);
+  for (const std::uint32_t v : col_idx) h.mix(v, 4);
+  return h.state;
 }
 
 namespace {

@@ -51,6 +51,11 @@ struct BlockPattern {
 
   /// Structural validation (monotone pointers, in-range sorted columns).
   void validate() const;
+
+  /// Stable 64-bit content hash over shape, vector length and the nonzero
+  /// layout (FNV-1a). Identifies the pattern across calls within and across
+  /// processes — the serving-engine operand cache keys on it.
+  std::uint64_t fingerprint() const;
 };
 
 /// Uniform random pattern: every vector row holds round((1-sparsity)*K)

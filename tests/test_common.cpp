@@ -3,9 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <future>
 #include <set>
+#include <vector>
 
 #include "common/half.hpp"
 #include "common/matrix.hpp"
@@ -191,6 +194,72 @@ TEST(ThreadPool, PropagatesExceptions) {
         if (i == 57) throw Error("boom");
       }),
       Error);
+}
+
+TEST(ThreadPool, SubmitReturnsFutureValue) {
+  auto f = ThreadPool::instance().submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  auto f = ThreadPool::instance().submit(
+      []() -> int { throw Error("async boom"); });
+  EXPECT_THROW(f.get(), Error);
+}
+
+// Regression for the reentrancy guard: a kernel-style parallel_for issued
+// from inside a submitted task must complete (inline) even when every pool
+// worker is occupied by such a task — the scheduler-inside-kernel scenario
+// that would deadlock a naive help-less pool.
+TEST(ThreadPool, NestedParallelForInsideSubmittedTasksCompletes) {
+  auto& pool = ThreadPool::instance();
+  const std::size_t tasks = 2 * pool.worker_count() + 1;
+  std::vector<std::future<std::size_t>> futures;
+  futures.reserve(tasks);
+  for (std::size_t t = 0; t < tasks; ++t) {
+    futures.push_back(pool.submit([] {
+      EXPECT_TRUE(ThreadPool::on_worker_thread());
+      std::atomic<std::size_t> sum{0};
+      parallel_for(100, [&](std::size_t i) {
+        EXPECT_TRUE(ThreadPool::on_worker_thread());
+        sum.fetch_add(i, std::memory_order_relaxed);
+      });
+      return sum.load();
+    }));
+  }
+  for (auto& f : futures) EXPECT_EQ(f.get(), 4950u);
+  EXPECT_FALSE(ThreadPool::on_worker_thread());
+}
+
+TEST(ThreadPool, TrivialRangeOnNonPoolThreadDoesNotClaimWorkerStatus) {
+  // A top-level parallel_for(1, ...) runs inline, but the calling thread is
+  // not pool-owned: on_worker_thread() must stay false and an inner
+  // parallel_for must still cover its whole range (and may fan out).
+  std::vector<int> hits(256, 0);
+  parallel_for(1, [&](std::size_t) {
+    EXPECT_FALSE(ThreadPool::on_worker_thread());
+    parallel_for(hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, NestedParallelForFromTopLevelBodyCompletes) {
+  std::vector<int> hits(64 * 32, 0);
+  parallel_for(64, [&](std::size_t outer) {
+    parallel_for(32, [&](std::size_t inner) {
+      hits[outer * 32 + inner] += 1;
+    });
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, NestedParallelForStillPropagatesExceptions) {
+  auto f = ThreadPool::instance().submit([] {
+    parallel_for(10, [](std::size_t i) {
+      if (i == 3) throw Error("nested boom");
+    });
+  });
+  EXPECT_THROW(f.get(), Error);
 }
 
 TEST(Check, ThrowsWithContext) {

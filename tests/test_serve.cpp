@@ -1,0 +1,447 @@
+// Serving-engine suite (`serve` CTest label, also the TSan CI gate):
+// operand-cache accounting and LRU eviction, batched execution bit-exact
+// against sequential core:: calls across precision pairs, batch grouping,
+// failure propagation, and a multi-threaded submit stress test.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/reference.hpp"
+#include "serve/serve.hpp"
+
+namespace magicube::serve {
+namespace {
+
+constexpr std::size_t kM = 64, kK = 64, kN = 64;
+
+struct Problem {
+  std::shared_ptr<const sparse::BlockPattern> pattern;
+  std::shared_ptr<const Matrix<std::int32_t>> lhs;
+  std::shared_ptr<const Matrix<std::int32_t>> rhs;
+};
+
+Problem make_problem(PrecisionPair prec, std::uint64_t seed,
+                     double sparsity = 0.7, int v = 8) {
+  Rng rng(seed);
+  Problem p;
+  p.pattern = std::make_shared<const sparse::BlockPattern>(
+      sparse::make_uniform_pattern(kM, kK, v, sparsity, rng));
+  p.lhs = std::make_shared<const Matrix<std::int32_t>>(
+      core::random_values(kM, kK, prec.lhs, rng));
+  p.rhs = std::make_shared<const Matrix<std::int32_t>>(
+      core::random_values(kK, kN, prec.rhs, rng));
+  return p;
+}
+
+Request spmm_request(const Problem& p, PrecisionPair prec) {
+  Request req;
+  req.op = OpKind::spmm;
+  req.precision = prec;
+  req.pattern = p.pattern;
+  req.lhs_values = p.lhs;
+  req.rhs_values = p.rhs;
+  return req;
+}
+
+Request sddmm_request(const Problem& p, PrecisionPair prec) {
+  // Reinterpret the problem as SDDMM: pattern samples the M x N output,
+  // lhs is dense M x K A, rhs is K x N B (kK == kN keeps shapes valid).
+  Request req;
+  req.op = OpKind::sddmm;
+  req.precision = prec;
+  req.pattern = p.pattern;
+  req.lhs_values = p.lhs;
+  req.rhs_values = p.rhs;
+  req.lhs_id = 0;  // anonymous activations
+  return req;
+}
+
+// ---- OperandCache ---------------------------------------------------------
+
+TEST(OperandCache, HitMissAccounting) {
+  OperandCache cache(64ull << 20);
+  const Problem p = make_problem(precision::L8R8, 1);
+
+  bool hit = true;
+  const auto first = cache.get_or_prepare_spmm_lhs(
+      *p.pattern, *p.lhs, precision::L8R8, /*shuffle=*/false, 0, &hit);
+  EXPECT_FALSE(hit);
+  const auto second = cache.get_or_prepare_spmm_lhs(
+      *p.pattern, *p.lhs, precision::L8R8, /*shuffle=*/false, 0, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(first.get(), second.get());  // same cached preparation aliased
+
+  CacheStats s = cache.stats();
+  EXPECT_EQ(s.lookups, 2u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.insertions, 1u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 0.5);
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_EQ(cache.bytes_cached(), first->footprint_bytes());
+}
+
+TEST(OperandCache, DistinctPrecisionOrShuffleAreDistinctEntries) {
+  OperandCache cache(64ull << 20);
+  const Problem p = make_problem(precision::L8R8, 2);
+
+  // The same s8 weight served under two pairs: each (precision, shuffle)
+  // combination has a different prepared layout, so each is its own entry.
+  cache.get_or_prepare_spmm_lhs(*p.pattern, *p.lhs, precision::L8R8, false);
+  cache.get_or_prepare_spmm_lhs(*p.pattern, *p.lhs, precision::L8R4, true);
+  EXPECT_EQ(cache.entry_count(), 2u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(OperandCache, LruEvictionAtCapacity) {
+  const Problem p = make_problem(precision::L8R8, 3);
+  bool hit = false;
+  // Size the capacity to hold exactly two prepared operands.
+  OperandCache probe(1ull << 30);
+  const auto one = probe.get_or_prepare_spmm_lhs(*p.pattern, *p.lhs,
+                                                 precision::L8R8, false);
+  const std::size_t entry_bytes = one->footprint_bytes();
+
+  OperandCache cache(2 * entry_bytes + entry_bytes / 2);
+  const Problem a = make_problem(precision::L8R8, 10);
+  const Problem b = make_problem(precision::L8R8, 11);
+  const Problem c = make_problem(precision::L8R8, 12);
+
+  cache.get_or_prepare_spmm_lhs(*a.pattern, *a.lhs, precision::L8R8, false);
+  cache.get_or_prepare_spmm_lhs(*b.pattern, *b.lhs, precision::L8R8, false);
+  EXPECT_EQ(cache.entry_count(), 2u);
+
+  // Touch A so B becomes least-recently-used, then insert C.
+  cache.get_or_prepare_spmm_lhs(*a.pattern, *a.lhs, precision::L8R8, false,
+                                0, &hit);
+  EXPECT_TRUE(hit);
+  cache.get_or_prepare_spmm_lhs(*c.pattern, *c.lhs, precision::L8R8, false);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.entry_count(), 2u);
+
+  // A survived (hit), B was evicted (miss), C is resident (hit).
+  cache.get_or_prepare_spmm_lhs(*a.pattern, *a.lhs, precision::L8R8, false,
+                                0, &hit);
+  EXPECT_TRUE(hit);
+  cache.get_or_prepare_spmm_lhs(*c.pattern, *c.lhs, precision::L8R8, false,
+                                0, &hit);
+  EXPECT_TRUE(hit);
+  cache.get_or_prepare_spmm_lhs(*b.pattern, *b.lhs, precision::L8R8, false,
+                                0, &hit);
+  EXPECT_FALSE(hit);
+}
+
+TEST(OperandCache, StaleContentUnderUnchangedKeyThrows) {
+  // The cache keys weights by pattern fingerprint (or client id): serving
+  // different values under an unchanged key is a contract violation the
+  // content probe must turn into a loud failure, not silent stale results.
+  OperandCache cache(64ull << 20);
+  const Problem p = make_problem(precision::L8R8, 6);
+  cache.get_or_prepare_spmm_lhs(*p.pattern, *p.lhs, precision::L8R8, false);
+
+  Matrix<std::int32_t> changed = *p.lhs;
+  changed(0, 0) = changed(0, 0) == 0 ? 1 : 0;
+  EXPECT_THROW(cache.get_or_prepare_spmm_lhs(*p.pattern, changed,
+                                             precision::L8R8, false),
+               Error);
+
+  // Regression for probe sampling aliasing with the row length: a change
+  // touching every column EXCEPT column 0 must also trip the guard (an
+  // evenly strided sample over this power-of-two shape would only ever
+  // read column 0 and miss it).
+  Matrix<std::int32_t> off_column = *p.lhs;
+  for (std::size_t r = 0; r < off_column.rows(); ++r) {
+    for (std::size_t c = 1; c < off_column.cols(); ++c) {
+      off_column(r, c) = off_column(r, c) == 0 ? 1 : 0;
+    }
+  }
+  EXPECT_THROW(cache.get_or_prepare_spmm_lhs(*p.pattern, off_column,
+                                             precision::L8R8, false),
+               Error);
+
+  Rng rng(99);
+  const auto rhs2 = core::random_values(kK, kN, Scalar::s8, rng);
+  cache.get_or_prepare_dense(OperandKind::spmm_rhs, *p.rhs, precision::L8R8,
+                             /*id=*/5);
+  EXPECT_THROW(cache.get_or_prepare_dense(OperandKind::spmm_rhs, rhs2,
+                                          precision::L8R8, /*id=*/5),
+               Error);
+}
+
+TEST(OperandCache, OversizedEntryServedUncached) {
+  const Problem p = make_problem(precision::L8R8, 4);
+  OperandCache cache(16);  // smaller than any prepared operand
+  const auto handle =
+      cache.get_or_prepare_spmm_lhs(*p.pattern, *p.lhs, precision::L8R8,
+                                    false);
+  ASSERT_TRUE(handle);
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_EQ(cache.bytes_cached(), 0u);
+}
+
+TEST(OperandCache, AnonymousDenseOperandsBypassCache) {
+  const Problem p = make_problem(precision::L8R8, 5);
+  OperandCache cache(64ull << 20);
+  const auto one = cache.get_or_prepare_dense(OperandKind::spmm_rhs, *p.rhs,
+                                              precision::L8R8, /*id=*/0);
+  const auto two = cache.get_or_prepare_dense(OperandKind::spmm_rhs, *p.rhs,
+                                              precision::L8R8, /*id=*/0);
+  EXPECT_NE(one.get(), two.get());
+  EXPECT_EQ(cache.stats().lookups, 0u);
+  EXPECT_EQ(cache.entry_count(), 0u);
+
+  bool hit = true;
+  const auto named = cache.get_or_prepare_dense(OperandKind::spmm_rhs,
+                                                *p.rhs, precision::L8R8,
+                                                /*id=*/77, &hit);
+  EXPECT_FALSE(hit);
+  const auto again = cache.get_or_prepare_dense(OperandKind::spmm_rhs,
+                                                *p.rhs, precision::L8R8,
+                                                /*id=*/77, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(named.get(), again.get());
+}
+
+// ---- BatchScheduler correctness ------------------------------------------
+
+class ServePrecisionTest : public ::testing::TestWithParam<PrecisionPair> {};
+
+TEST_P(ServePrecisionTest, BatchedSpmmBitExactVsSequential) {
+  const PrecisionPair prec = GetParam();
+  const Problem p = make_problem(prec, 21);
+
+  core::SpmmConfig cfg;
+  cfg.precision = prec;
+  const auto lhs = core::prepare_spmm_lhs(*p.pattern, *p.lhs, prec,
+                                          core::needs_shuffle(cfg));
+  const auto rhs = core::prepare_spmm_rhs(*p.rhs, prec);
+  const core::SpmmResult expect = core::spmm(lhs, rhs, cfg);
+
+  BatchScheduler engine;
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(engine.submit(spmm_request(p, prec)));
+  }
+  for (auto& f : futures) {
+    const Response resp = f.get();
+    ASSERT_TRUE(resp.spmm.has_value());
+    EXPECT_EQ(resp.spmm->c, expect.c);
+    EXPECT_EQ(resp.spmm->run.counters, expect.run.counters);
+    EXPECT_GT(resp.modeled_seconds, 0.0);
+  }
+  // One preparation amortized over the burst: 6 LHS lookups, exactly one
+  // winning insertion; concurrent batch members that miss before the winner
+  // lands re-prepare and discard (counted race_discards).
+  const CacheStats cs = engine.cache().stats();
+  EXPECT_EQ(cs.lookups, 6u);
+  EXPECT_EQ(cs.hits + cs.misses, cs.lookups);
+  EXPECT_EQ(cs.insertions, 1u);
+  EXPECT_EQ(cs.misses, 1u + cs.race_discards);
+  EXPECT_EQ(engine.cache().entry_count(), 1u);
+}
+
+TEST_P(ServePrecisionTest, BatchedSddmmBitExactVsSequential) {
+  const PrecisionPair prec = GetParam();
+  const Problem p = make_problem(prec, 22);
+
+  core::SddmmConfig cfg;
+  cfg.precision = prec;
+  const int chunk = core::rhs_chunk_bits(prec);
+  const auto a = core::prepare_dense(*p.lhs, prec.lhs, true, chunk);
+  const auto b = core::prepare_dense(*p.rhs, prec.rhs, false, chunk);
+  const core::SddmmResult expect = core::sddmm(a, b, *p.pattern, cfg);
+
+  BatchScheduler engine;
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(engine.submit(sddmm_request(p, prec)));
+  }
+  for (auto& f : futures) {
+    const Response resp = f.get();
+    ASSERT_TRUE(resp.sddmm.has_value());
+    EXPECT_EQ(resp.sddmm->c.values, expect.c.values);
+    EXPECT_EQ(resp.sddmm->run.counters, expect.run.counters);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PrecisionPairs, ServePrecisionTest,
+    ::testing::Values(precision::L8R8, precision::L16R8, precision::L4R4,
+                      precision::L16R16),
+    [](const auto& info) {
+      std::string s = to_string(info.param);
+      for (auto& ch : s) {
+        if (ch == '-') ch = '_';
+      }
+      return s;
+    });
+
+TEST(BatchScheduler, CompatibleBurstSharesOneBatch) {
+  BatchSchedulerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.linger = std::chrono::milliseconds(1000);  // dispatch on fill, not time
+  BatchScheduler engine(cfg);
+
+  const Problem p = make_problem(precision::L8R8, 30);
+  std::vector<std::future<Response>> futures;
+  for (std::size_t i = 0; i < cfg.max_batch; ++i) {
+    futures.push_back(engine.submit(spmm_request(p, precision::L8R8)));
+  }
+  std::vector<Response> responses;
+  for (auto& f : futures) responses.push_back(f.get());
+
+  // All four were compatible and submitted within the linger window, so
+  // they must have been dispatched as one full batch.
+  for (const auto& r : responses) {
+    EXPECT_EQ(r.batch_id, responses.front().batch_id);
+    EXPECT_EQ(r.batch_size, cfg.max_batch);
+  }
+  const SchedulerStats ss = engine.stats();
+  EXPECT_EQ(ss.batches, 1u);
+  EXPECT_EQ(ss.batched_requests, cfg.max_batch);
+  EXPECT_EQ(ss.max_batch_size, cfg.max_batch);
+}
+
+TEST(BatchScheduler, IncompatibleRequestsSplitBatches) {
+  BatchSchedulerConfig cfg;
+  cfg.max_batch = 8;
+  cfg.linger = std::chrono::milliseconds(1000);
+  BatchScheduler engine(cfg);
+
+  const Problem p8 = make_problem(precision::L8R8, 31);
+  const Problem p4 = make_problem(precision::L4R4, 32);
+  auto f1 = engine.submit(spmm_request(p8, precision::L8R8));
+  auto f2 = engine.submit(spmm_request(p4, precision::L4R4));
+  auto f3 = engine.submit(sddmm_request(p8, precision::L8R8));
+  const Response r1 = f1.get(), r2 = f2.get(), r3 = f3.get();
+
+  EXPECT_NE(r1.batch_id, r2.batch_id);
+  EXPECT_NE(r1.batch_id, r3.batch_id);
+  EXPECT_EQ(engine.stats().batches, 3u);
+}
+
+TEST(BatchScheduler, MalformedRequestFailsItsFutureOnly) {
+  BatchScheduler engine;
+  const Problem p = make_problem(precision::L8R8, 33);
+
+  Request bad = spmm_request(p, precision::L8R8);
+  bad.rhs_values = nullptr;
+  auto bad_future = engine.submit(std::move(bad));
+  auto good_future = engine.submit(spmm_request(p, precision::L8R8));
+
+  EXPECT_THROW(bad_future.get(), Error);
+  EXPECT_TRUE(good_future.get().spmm.has_value());
+  engine.drain();  // stats are final only once the engine is idle
+  const SchedulerStats ss = engine.stats();
+  EXPECT_EQ(ss.completed, 2u);
+  EXPECT_EQ(ss.failed, 1u);
+}
+
+TEST(BatchScheduler, DrainCompletesAllSubmitted) {
+  BatchScheduler engine;
+  const Problem p = make_problem(precision::L8R8, 34);
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(engine.submit(spmm_request(p, precision::L8R8)));
+  }
+  engine.drain();
+  const SchedulerStats ss = engine.stats();
+  EXPECT_EQ(ss.submitted, 20u);
+  EXPECT_EQ(ss.completed, 20u);
+  for (auto& f : futures) {
+    EXPECT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+  }
+}
+
+// ---- Multi-threaded stress ------------------------------------------------
+
+TEST(BatchScheduler, MultiThreadedSubmitStress) {
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 32;
+  const PrecisionPair precisions[] = {precision::L8R8, precision::L16R8,
+                                      precision::L4R4};
+
+  // Precompute sequential golden results per (problem, precision, op).
+  struct Expected {
+    Matrix<std::int32_t> spmm_c;
+    std::vector<std::int32_t> sddmm_values;
+  };
+  std::vector<Problem> problems;
+  std::vector<std::vector<Expected>> expected(3);
+  for (int pi = 0; pi < 3; ++pi) {
+    const PrecisionPair prec = precisions[pi];
+    problems.push_back(make_problem(prec, 100 + static_cast<unsigned>(pi)));
+    const Problem& p = problems.back();
+
+    core::SpmmConfig scfg;
+    scfg.precision = prec;
+    const auto lhs = core::prepare_spmm_lhs(*p.pattern, *p.lhs, prec,
+                                            core::needs_shuffle(scfg));
+    const auto rhs = core::prepare_spmm_rhs(*p.rhs, prec);
+    Expected e;
+    e.spmm_c = core::spmm(lhs, rhs, scfg).c;
+
+    core::SddmmConfig dcfg;
+    dcfg.precision = prec;
+    const int chunk = core::rhs_chunk_bits(prec);
+    const auto a = core::prepare_dense(*p.lhs, prec.lhs, true, chunk);
+    const auto b = core::prepare_dense(*p.rhs, prec.rhs, false, chunk);
+    e.sddmm_values = core::sddmm(a, b, *p.pattern, dcfg).c.values;
+    expected[static_cast<std::size_t>(pi)].push_back(std::move(e));
+  }
+
+  BatchSchedulerConfig cfg;
+  cfg.linger = std::chrono::microseconds(100);
+  BatchScheduler engine(cfg);
+
+  std::vector<std::thread> clients;
+  std::vector<int> mismatches(kClients, 0);
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      std::vector<std::pair<int, std::future<Response>>> futures;
+      for (int i = 0; i < kPerClient; ++i) {
+        const int pi = (t + i) % 3;
+        const Problem& p = problems[static_cast<std::size_t>(pi)];
+        const bool do_spmm = (i % 2) == 0;
+        futures.emplace_back(
+            pi, engine.submit(do_spmm ? spmm_request(p, precisions[pi])
+                                      : sddmm_request(p, precisions[pi])));
+      }
+      for (auto& [pi, f] : futures) {
+        const Response resp = f.get();
+        const Expected& e = expected[static_cast<std::size_t>(pi)][0];
+        if (resp.op == OpKind::spmm) {
+          if (!(resp.spmm->c == e.spmm_c)) mismatches[t] += 1;
+        } else {
+          if (resp.sddmm->c.values != e.sddmm_values) mismatches[t] += 1;
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  for (int t = 0; t < kClients; ++t) EXPECT_EQ(mismatches[t], 0) << t;
+
+  engine.drain();  // stats are final only once the engine is idle
+  const SchedulerStats ss = engine.stats();
+  EXPECT_EQ(ss.submitted,
+            static_cast<std::uint64_t>(kClients) * kPerClient);
+  EXPECT_EQ(ss.completed, ss.submitted);
+  EXPECT_EQ(ss.failed, 0u);
+
+  const CacheStats cs = engine.cache().stats();
+  EXPECT_EQ(cs.hits + cs.misses, cs.lookups);
+  // Every request looks up its LHS; only the first per (problem, precision)
+  // misses (modulo prepare races, which the cache reconciles).
+  EXPECT_GE(cs.hits, cs.lookups - 3 - cs.race_discards);
+}
+
+}  // namespace
+}  // namespace magicube::serve
