@@ -1,0 +1,483 @@
+#include "core/plan.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.hpp"
+#include "core/sddmm.hpp"
+#include "core/spmm.hpp"
+
+namespace magicube::core {
+
+const char* to_string(ExecMode m) {
+  switch (m) {
+    case ExecMode::simulate: return "simulate";
+    case ExecMode::fast: return "fast";
+  }
+  return "?";
+}
+
+namespace {
+
+ExecMode initial_exec_mode() {
+  if (const char* e = std::getenv("MAGICUBE_EXEC_MODE")) {
+    if (std::strcmp(e, "simulate") == 0) return ExecMode::simulate;
+    if (std::strcmp(e, "fast") == 0) return ExecMode::fast;
+    MAGICUBE_CHECK_MSG(false, "MAGICUBE_EXEC_MODE must be 'simulate' or "
+                              "'fast', got '" << e << "'");
+  }
+  return ExecMode::fast;
+}
+
+std::atomic<ExecMode>& exec_mode_slot() {
+  static std::atomic<ExecMode> mode{initial_exec_mode()};
+  return mode;
+}
+
+}  // namespace
+
+ExecMode default_exec_mode() {
+  return exec_mode_slot().load(std::memory_order_relaxed);
+}
+
+void set_default_exec_mode(ExecMode m) {
+  exec_mode_slot().store(m, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+SpmmGeom make_spmm_geom(const SparseOperand& a_meta, int q_planes,
+                        std::size_t n, std::size_t k, const SpmmConfig& cfg) {
+  SpmmGeom g;
+  g.int4path = stride_for(cfg.precision) == 32;
+  g.stride = g.int4path ? 32 : 16;
+  g.chunk = g.int4path ? 4 : 8;
+  g.epw = 32 / g.chunk;
+  g.row_words = static_cast<int>(cfg.bsn) * g.chunk / 32;
+  g.phases = g.int4path ? 8 : 4;
+  g.rows_per_frag = g.int4path ? 8 : 4;
+
+  g.v = a_meta.structure.vector_length;
+  g.p = static_cast<int>(a_meta.plane_count());
+  g.q = q_planes;
+  g.s = std::max(1, std::min(8 / g.v, g.p));
+  g.g = (g.p + g.s - 1) / g.s;
+  g.lhs_signed = is_signed(a_meta.logical_type);
+  g.bias_correct = g.lhs_signed && g.group_size(g.g - 1) > 1;
+
+  g.n = n;
+  g.k = k;
+  g.bsn = static_cast<std::size_t>(cfg.bsn);
+  g.col_blocks = n / g.bsn;
+  g.padded = cfg.variant != SpmmVariant::basic;
+  g.prefetch = cfg.variant == SpmmVariant::conflict_free_prefetch ||
+               cfg.variant == SpmmVariant::full;
+  g.shuffle = needs_shuffle(cfg);
+  g.layout = RhsTileLayout{g.stride, g.row_words, g.padded};
+
+  // Shared memory map: [indices][LHS planes][RHS planes].
+  g.idx_base = 0;
+  g.lhs_base = static_cast<std::size_t>(g.stride);
+  g.lhs_words_per_plane = static_cast<std::size_t>(4 * g.v);
+  g.rhs_base = g.lhs_base +
+               static_cast<std::size_t>(g.p) * g.lhs_words_per_plane;
+  g.smem_words = g.rhs_base +
+                 static_cast<std::size_t>(g.q) * g.layout.total_words();
+  return g;
+}
+
+std::size_t spmm_smem_bytes(const SpmmGeom& g) {
+  // Algorithm 1 double-buffers the LHS values + indices when prefetching.
+  const std::size_t lhs_part =
+      (static_cast<std::size_t>(g.stride) +
+       static_cast<std::size_t>(g.p) * g.lhs_words_per_plane) *
+      (g.prefetch ? 2 : 1);
+  const std::size_t rhs_part =
+      static_cast<std::size_t>(g.q) * g.layout.total_words();
+  return 4 * (lhs_part + rhs_part);
+}
+
+namespace {
+
+// ---- Closed-form per-event helpers (shared derivations) -------------------
+
+/// Sectors of one LHS stride-tile load (16V bytes, 16V-aligned).
+std::uint32_t lhs_tile_sectors(const SpmmGeom& g) {
+  return static_cast<std::uint32_t>(
+      (16u * static_cast<unsigned>(g.v) + 31) / 32);
+}
+/// Sectors of one index load (stride * 4 bytes, aligned).
+std::uint32_t idx_sectors(const SpmmGeom& g) {
+  return static_cast<std::uint32_t>(g.stride * 4 / 32);
+}
+/// Sectors of one RHS row-segment load (bsn * chunk / 8 bytes, aligned).
+std::uint32_t rhs_row_sectors(const SpmmGeom& g) {
+  return static_cast<std::uint32_t>(g.bsn * static_cast<std::size_t>(g.chunk) /
+                                    8 / 32);
+}
+/// Shared-memory transactions of one RHS fragment-load phase.
+std::uint32_t rhs_phase_transactions(const SpmmGeom& g) {
+  // Padded layout: all 32 banks distinct (proved in marshal.hpp comment and
+  // asserted by tests). Unpadded: the warp touches only 8 distinct banks
+  // with 4 lanes each on both datapaths -> 4-way conflict.
+  return g.padded ? 1 : 4;
+}
+
+}  // namespace
+
+SpmmEpilogueCounts spmm_epilogue_counts(const SpmmGeom& g) {
+  SpmmEpilogueCounts e{};
+  // 2 warps x 4 mma x 2 accumulator registers, swizzled -> conflict-free.
+  e.smem_store_req = e.smem_store_trans = 2 * 4 * 2;
+  // Read back V rows of bsn int32 (bsn/32 = 2 requests per row).
+  e.smem_load_req = e.smem_load_trans =
+      static_cast<std::uint64_t>(g.v) * (g.bsn / 32);
+  e.gmem_store_req = static_cast<std::uint64_t>(g.v) * (g.bsn / 32);
+  // 32 lanes x 4B consecutive = 128B = 4 sectors per request.
+  e.gmem_store_sectors = e.gmem_store_req * 4;
+  return e;
+}
+
+std::uint64_t spmm_dram_bytes(const SpmmGeom& g, std::size_t slots,
+                              std::uint64_t valid_vectors,
+                              std::size_t vector_rows) {
+  const std::uint64_t a_bytes =
+      static_cast<std::uint64_t>(slots) * static_cast<std::uint64_t>(g.v) *
+      static_cast<std::uint64_t>(g.chunk) / 8 * static_cast<std::uint64_t>(g.p);
+  const std::uint64_t idx_bytes = static_cast<std::uint64_t>(slots) * 4;
+  const std::uint64_t b_size = static_cast<std::uint64_t>(g.k) * g.n *
+                               static_cast<std::uint64_t>(g.chunk) / 8 *
+                               static_cast<std::uint64_t>(g.q);
+  const std::uint64_t b_loaded =
+      valid_vectors * static_cast<std::uint64_t>(g.q) * g.col_blocks *
+      (g.bsn * static_cast<std::uint64_t>(g.chunk) / 8);
+  const std::uint64_t c_bytes = static_cast<std::uint64_t>(vector_rows) *
+                                static_cast<std::uint64_t>(g.v) * g.n * 4;
+  return a_bytes + idx_bytes + std::min(b_size, b_loaded) + c_bytes;
+}
+
+simt::KernelCounters spmm_block_counters(const SpmmGeom& g,
+                                         std::uint64_t steps,
+                                         std::uint64_t valid) {
+  simt::KernelCounters kc;
+  const std::uint64_t p = static_cast<std::uint64_t>(g.p);
+  const std::uint64_t q = static_cast<std::uint64_t>(g.q);
+  const std::uint64_t grp = static_cast<std::uint64_t>(g.g);
+  const std::uint64_t phases = static_cast<std::uint64_t>(g.phases);
+  const std::uint64_t stride = static_cast<std::uint64_t>(g.stride);
+
+  // RHS rows are batched 32/row_words per request (2 on int8, 4 on int4).
+  const std::uint64_t rhs_reqs_per_step =
+      stride / (32 / static_cast<std::uint64_t>(g.row_words));
+  kc.gmem_load_requests = steps * (1 + p + rhs_reqs_per_step * q);
+  kc.gmem_load_sectors = steps * (idx_sectors(g) + p * lhs_tile_sectors(g)) +
+                         valid * q * rhs_row_sectors(g);
+  kc.smem_store_requests = steps * (1 + p + rhs_reqs_per_step * q);
+  kc.smem_store_transactions = kc.smem_store_requests;
+  kc.smem_load_requests = steps * (1 + 2 * (grp + q * phases));
+  kc.smem_load_transactions =
+      steps * (1 + 2 * (grp + q * phases * rhs_phase_transactions(g)));
+
+  const std::uint64_t mmas = steps * 8 * grp * q;
+  (g.int4path ? kc.mma_int4 : kc.mma_int8) = mmas;
+
+  const std::uint64_t transpose_alu =
+      g.int4path ? (g.shuffle ? kInt4ShuffledAluOps : kInt4NaiveAluOps)
+                 : kInt8TransposeAluOps;
+  kc.alu_ops = steps * 2 * q * transpose_alu;
+  if (g.bias_correct) {
+    kc.alu_ops += steps * 2;                    // bias encode, per warp
+    kc.alu_ops += steps * 2 * q * 4 * phases;   // column-sum updates
+  }
+  kc.alu_ops += 32 * p * q;                     // epilogue combine
+  kc.shfl_ops = 16 * stack_shfls(g.s) * grp * q;
+  kc.syncthreads = steps * (g.prefetch ? 3u : 2u) + 1;
+
+  const SpmmEpilogueCounts e = spmm_epilogue_counts(g);
+  kc.smem_store_requests += e.smem_store_req;
+  kc.smem_store_transactions += e.smem_store_trans;
+  kc.smem_load_requests += e.smem_load_req;
+  kc.smem_load_transactions += e.smem_load_trans;
+  kc.gmem_store_requests += e.gmem_store_req;
+  kc.gmem_store_sectors += e.gmem_store_sectors;
+  return kc;
+}
+
+SddmmGeom make_sddmm_geom(PrecisionPair pr, int p_planes, int q_planes,
+                          int v, std::size_t k, bool prefetch) {
+  SddmmGeom g;
+  g.int4path = stride_for(pr) == 32;
+  g.stride = g.int4path ? 32 : 16;
+  g.chunk = g.int4path ? 4 : 8;
+  g.epw = 32 / g.chunk;
+  g.v = v;
+  g.p = p_planes;
+  g.q = q_planes;
+  g.k = k;
+  g.steps = k / static_cast<std::size_t>(g.stride);
+  g.prefetch = prefetch;
+  g.lhs_words_per_plane = static_cast<std::size_t>(4 * v);
+  g.smem_bytes = 4 * static_cast<std::size_t>(g.p) * g.lhs_words_per_plane *
+                 (prefetch ? 2 : 1);
+  return g;
+}
+
+SddmmBlockMap make_sddmm_block_map(const sparse::BlockPattern& pattern) {
+  SddmmBlockMap map;
+  for (std::size_t r = 0; r < pattern.vector_rows(); ++r) {
+    const std::uint32_t n_r =
+        static_cast<std::uint32_t>(pattern.vectors_in_row(r));
+    for (std::uint32_t base = 0; base < n_r; base += kSddmmSlotsPerBlock) {
+      map.row.push_back(static_cast<std::uint32_t>(r));
+      map.slot_base.push_back(pattern.row_ptr[r] + base);
+      map.valid.push_back(
+          std::min<std::uint32_t>(kSddmmSlotsPerBlock, n_r - base));
+    }
+  }
+  return map;
+}
+
+SddmmEpilogueCounts sddmm_epilogue_counts(const SddmmGeom& g,
+                                          std::uint64_t valid) {
+  SddmmEpilogueCounts e{};
+  e.smem_store_req = 2 * 2;  // 2 warps x 2 accumulator registers
+  const std::uint64_t bytes = valid * static_cast<std::uint64_t>(g.v) * 4;
+  e.gmem_store_req = (bytes + 127) / 128;  // 32 lanes x 4B per request
+  e.smem_load_req = e.gmem_store_req;
+  e.gmem_store_sectors = (bytes + 31) / 32;
+  return e;
+}
+
+namespace {
+
+/// Sectors of one SDDMM LHS tile row-segment load (V rows of 16 bytes each,
+/// rows strided by K; each 16-byte segment stays inside one 32-byte sector
+/// given K % 32 == 0).
+std::uint32_t sddmm_lhs_tile_sectors(const SddmmGeom& g) {
+  return static_cast<std::uint32_t>(g.v);
+}
+
+/// Sectors of the index read: `valid` consecutive u32 starting at an
+/// arbitrary (row-pointer-determined) offset.
+std::uint32_t sddmm_idx_sectors(std::size_t slot_base, std::uint64_t valid) {
+  const std::size_t first = slot_base * 4 / 32;
+  const std::size_t last = ((slot_base + valid) * 4 - 1) / 32;
+  return static_cast<std::uint32_t>(last - first + 1);
+}
+
+}  // namespace
+
+simt::KernelCounters sddmm_block_counters(const SddmmGeom& g,
+                                          std::size_t slot_base,
+                                          std::uint64_t valid) {
+  simt::KernelCounters kc;
+  const std::uint64_t p = static_cast<std::uint64_t>(g.p);
+  const std::uint64_t q = static_cast<std::uint64_t>(g.q);
+  const std::uint64_t steps = g.steps;
+
+  // Output column indices for this block.
+  kc.gmem_load_requests = 1;
+  kc.gmem_load_sectors = sddmm_idx_sectors(slot_base, valid);
+  // LHS tile per step per plane: gmem -> smem.
+  kc.gmem_load_requests += steps * p;
+  kc.gmem_load_sectors += steps * p * sddmm_lhs_tile_sectors(g);
+  kc.smem_store_requests = steps * p;
+  kc.smem_store_transactions = steps * p;
+  // LHS fragment reads: per warp per step per plane (consecutive words).
+  kc.smem_load_requests = steps * 2 * p;
+  kc.smem_load_transactions = steps * 2 * p;
+  // RHS register loads: per warp per step per plane; one sector per valid
+  // column (16-byte column segments, disjoint sectors across columns).
+  kc.gmem_load_requests += steps * 2 * q;
+  kc.gmem_load_sectors += steps * q * valid;
+  // mma: per warp per step, full plane cross product.
+  const std::uint64_t mmas = steps * 2 * p * q;
+  (g.int4path ? kc.mma_int4 : kc.mma_int8) = mmas;
+  // Epilogue combine (weighted plane sum; trivial for native precisions).
+  kc.alu_ops = 2 * 2 * p * q;
+  kc.syncthreads = steps * (g.prefetch ? 2u : 1u) + 1;
+
+  const SddmmEpilogueCounts e = sddmm_epilogue_counts(g, valid);
+  kc.smem_store_requests += e.smem_store_req;
+  kc.smem_store_transactions += e.smem_store_req;
+  kc.smem_load_requests += e.smem_load_req;
+  kc.smem_load_transactions += e.smem_load_req;
+  kc.gmem_store_requests += e.gmem_store_req;
+  kc.gmem_store_sectors += e.gmem_store_sectors;
+  return kc;
+}
+
+std::uint64_t sddmm_dram_bytes(const SddmmGeom& g,
+                               const sparse::BlockPattern& pattern) {
+  const std::uint64_t m = pattern.rows, n = pattern.cols;
+  const std::uint64_t chunk = static_cast<std::uint64_t>(g.chunk);
+  const std::uint64_t a_size =
+      m * g.k * chunk / 8 * static_cast<std::uint64_t>(g.p);
+  const std::uint64_t b_size =
+      g.k * n * chunk / 8 * static_cast<std::uint64_t>(g.q);
+  const std::uint64_t b_loaded = pattern.vector_count() * g.k * chunk / 8 *
+                                 static_cast<std::uint64_t>(g.q);
+  const std::uint64_t c_bytes = pattern.nnz() * 4;
+  const std::uint64_t idx_bytes = pattern.vector_count() * 4;
+  return a_size + std::min(b_size, b_loaded) + c_bytes + idx_bytes;
+}
+
+}  // namespace detail
+
+// ---- Plan builders --------------------------------------------------------
+
+std::size_t SpmmPlan::footprint_bytes() const {
+  return sizeof(SpmmPlan) +
+         a_frag_src.size() * sizeof(std::array<LaneSrc, 32>) +
+         (rhs_k_row.size() + rhs_word_col.size()) *
+             sizeof(std::array<std::int8_t, 32>) +
+         rhs_row_base.size() * sizeof(std::size_t);
+}
+
+SpmmPlanHandle build_spmm_plan(const SparseOperand& a, std::size_t n_cols,
+                               const SpmmConfig& cfg) {
+  const sparse::SrBcrs& sr = a.structure;
+  MAGICUBE_CHECK_MSG(sr.stride == stride_for(cfg.precision),
+                     "LHS stride does not match the precision datapath");
+  MAGICUBE_CHECK_MSG(sr.shuffled == needs_shuffle(cfg),
+                     "LHS shuffle state does not match the variant");
+  MAGICUBE_CHECK_MSG(n_cols % static_cast<std::size_t>(cfg.bsn) == 0,
+                     "N must be a multiple of the block tile width");
+
+  const int q_planes =
+      quant::plane_count(cfg.precision.rhs, rhs_chunk_bits(cfg.precision));
+  auto plan = std::make_shared<SpmmPlan>();
+  detail::SpmmGeom& g = plan->geom;
+  g = detail::make_spmm_geom(a, q_planes, n_cols, sr.cols, cfg);
+
+  // LHS fragment schedule: group -> lane -> (plane, tile word). Mirrors the
+  // phase-4 fragment addressing of the simulated kernel with the smem map
+  // removed (the staged tile is a contiguous copy of the plane bytes).
+  plan->a_frag_src.resize(static_cast<std::size_t>(g.g));
+  for (int grp = 0; grp < g.g; ++grp) {
+    auto& lanes = plan->a_frag_src[static_cast<std::size_t>(grp)];
+    for (int lane = 0; lane < 32; ++lane) {
+      const int row = lane / 4;
+      const int lp = row / g.v;
+      const int pl = grp * g.s + lp;
+      if (pl >= g.p || lp >= g.group_size(grp)) continue;
+      const int rb = row % g.v;
+      lanes[static_cast<std::size_t>(lane)] = {
+          static_cast<std::int8_t>(pl),
+          static_cast<std::int8_t>(rb * 4 + lane % 4)};
+      if (grp == g.g - 1 && pl == g.p - 1) {
+        plan->bias_lane[static_cast<std::size_t>(lane)] = 1;
+      }
+    }
+  }
+
+  // RHS gather schedule of the online transpose (Fig. 4 staging + the
+  // phased fragment reads collapsed into direct row/word coordinates).
+  plan->rhs_k_row.resize(static_cast<std::size_t>(g.phases));
+  plan->rhs_word_col.resize(static_cast<std::size_t>(2 * g.phases));
+  for (int ph = 0; ph < g.phases; ++ph) {
+    for (int lane = 0; lane < 32; ++lane) {
+      plan->rhs_k_row[static_cast<std::size_t>(ph)]
+                     [static_cast<std::size_t>(lane)] =
+          static_cast<std::int8_t>(spmm_rhs_k_row(g.int4path, ph, lane));
+      for (int w = 0; w < 2; ++w) {
+        plan->rhs_word_col[static_cast<std::size_t>(w * g.phases + ph)]
+                          [static_cast<std::size_t>(lane)] =
+            static_cast<std::int8_t>(spmm_rhs_word_col(g.int4path, w, lane));
+      }
+    }
+  }
+
+  // Per-slot RHS row bases: the SR-BCRS column indices resolved to byte
+  // offsets once, padding marked.
+  plan->rhs_row_base.resize(sr.slot_count());
+  const std::size_t row_bytes =
+      g.n * static_cast<std::size_t>(g.chunk) / 8;
+  for (std::size_t slot = 0; slot < sr.slot_count(); ++slot) {
+    const std::uint32_t col = sr.col_idx[slot];
+    plan->rhs_row_base[slot] =
+        col == sparse::kInvalidCol ? kNoRhsRow
+                                   : static_cast<std::size_t>(col) * row_bytes;
+  }
+
+  // Analytic KernelRun: the estimate-equals-execute invariant makes this
+  // exactly what the lane-accurate simulation would count.
+  simt::KernelRun& run = plan->run;
+  run.launch.grid_blocks = sr.vector_rows() * g.col_blocks;
+  run.launch.warps_per_block = cfg.warps_per_block;
+  run.launch.smem_bytes_per_block = detail::spmm_smem_bytes(g);
+  run.pipeline.prefetch = g.prefetch;
+
+  std::uint64_t total_steps = 0, valid_vectors = 0;
+  for (std::size_t r = 0; r < sr.vector_rows(); ++r) {
+    const std::uint64_t steps = sr.strides_in_row(r);
+    const std::uint64_t valid = sr.valid_vectors_in_row(r);
+    total_steps += steps;
+    valid_vectors += valid;
+    simt::KernelCounters kc = detail::spmm_block_counters(g, steps, valid);
+    kc *= g.col_blocks;  // every column tile of this row counts identically
+    run.counters += kc;
+  }
+  run.pipeline.total_steps = total_steps * g.col_blocks;
+  run.counters.dram_bytes = detail::spmm_dram_bytes(
+      g, sr.slot_count(), valid_vectors, sr.vector_rows());
+  return plan;
+}
+
+std::size_t SddmmPlan::footprint_bytes() const {
+  return sizeof(SddmmPlan) +
+         (map.row.size() + map.slot_base.size() + map.valid.size()) *
+             sizeof(std::uint32_t) +
+         rhs_col_base.size() * sizeof(std::size_t);
+}
+
+SddmmPlanHandle build_sddmm_plan(const sparse::BlockPattern& pattern,
+                                 std::size_t k_depth,
+                                 const SddmmConfig& cfg) {
+  pattern.validate();
+  MAGICUBE_CHECK_MSG(
+      k_depth % (stride_for(cfg.precision) == 32 ? 64 : 32) == 0,
+      "K alignment requirement violated");
+  const int p_planes = quant::plane_count(
+      cfg.precision.lhs, bits_of(cfg.precision.rhs) <= 4 ? 4 : 8);
+  const int q_planes = quant::plane_count(
+      cfg.precision.rhs, bits_of(cfg.precision.rhs) <= 4 ? 4 : 8);
+
+  auto plan = std::make_shared<SddmmPlan>();
+  detail::SddmmGeom& g = plan->geom;
+  g = detail::make_sddmm_geom(cfg.precision, p_planes, q_planes,
+                              pattern.vector_length, k_depth, cfg.prefetch);
+  plan->map = detail::make_sddmm_block_map(pattern);
+
+  for (int lane = 0; lane < 32; ++lane) {
+    const int row = lane / 4;
+    plan->a_row[static_cast<std::size_t>(lane)] =
+        row < g.v ? static_cast<std::int8_t>(row) : std::int8_t{-1};
+  }
+
+  const std::size_t col_bytes =
+      g.k * static_cast<std::size_t>(g.chunk) / 8;
+  plan->rhs_col_base.resize(pattern.vector_count());
+  for (std::size_t i = 0; i < pattern.vector_count(); ++i) {
+    plan->rhs_col_base[i] =
+        static_cast<std::size_t>(pattern.col_idx[i]) * col_bytes;
+  }
+
+  simt::KernelRun& run = plan->run;
+  run.launch.grid_blocks = plan->map.row.size();
+  run.launch.warps_per_block = cfg.warps_per_block;
+  run.launch.smem_bytes_per_block = g.smem_bytes;
+  // LHS prefetching never hides the RHS register-load chain (sddmm.hpp).
+  run.pipeline.prefetch = false;
+  run.pipeline.total_steps = plan->map.row.size() * g.steps;
+  for (std::size_t blk = 0; blk < plan->map.row.size(); ++blk) {
+    run.counters += detail::sddmm_block_counters(
+        g, plan->map.slot_base[blk], plan->map.valid[blk]);
+  }
+  run.counters.dram_bytes = detail::sddmm_dram_bytes(g, pattern);
+  return plan;
+}
+
+}  // namespace magicube::core

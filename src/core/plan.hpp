@@ -1,0 +1,272 @@
+#pragma once
+// Plan-once/run-many execution engine: the split of *counting* from
+// *computing*.
+//
+// Every core::spmm / core::sddmm call used to re-derive the tile geometry,
+// rebuild the data-independent lane address schedules, allocate per-block
+// scratch (accumulators, column sums, a fresh SharedMemory image) and
+// simulate all 32 lanes with per-instruction transaction counting. But the
+// schedules and the hardware-event counts depend only on the kernel
+// geometry and the SR-BCRS *structure* — never on operand values — so they
+// can be computed once per (sparsity pattern, kernel config) and replayed
+// against any number of value sets. This mirrors the paper's own design
+// separation (the SR-BCRS layout and Fig. 4/Fig. 10 maps are fixed by the
+// structure) and the tile-schedule precomputation of cuTeSpMM/FlashSparse.
+//
+// An execution plan captures exactly the data-independent half:
+//   * the lane schedules of every phase — LHS fragment sources (plane +
+//     word per lane, Fig. 10b stacking baked in), RHS gather rows and word
+//     columns of the online transpose, and per-slot RHS row byte bases —
+//     with the shared-memory word map already folded into them;
+//   * the full simt::KernelRun (launch shape, pipeline shape and
+//     KernelCounters including compulsory DRAM traffic), computed
+//     analytically from the structure.
+//
+// ExecMode::fast (the default) replays the schedules with little-endian
+// SWAR word gathers straight from the packed plane buffers and an
+// uncounted decode-once mma, reusing thread-local scratch arenas across
+// blocks and run_grid calls. Outputs are bit-exact with the lane-accurate
+// simulation and the analytic counters match the simulated counts exactly
+// (asserted per precision pair x variant by tests/test_plan.cpp).
+// ExecMode::simulate keeps the original instruction-level path as the
+// reference and counter validator.
+//
+// The serving engine caches plans in serve::OperandCache next to the
+// prepared operands (plan bytes charged to the same LRU budget), so
+// repeated-pattern traffic skips planning entirely.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "core/marshal.hpp"
+#include "core/operands.hpp"
+#include "simt/cost_model.hpp"
+
+namespace magicube::core {
+
+struct SpmmConfig;
+struct SddmmConfig;
+
+/// How a kernel entry point executes.
+enum class ExecMode : std::uint8_t {
+  simulate,  // lane-accurate simulation, counting every event as it runs
+  fast,      // value-only replay of an execution plan; counters analytic
+};
+
+const char* to_string(ExecMode m);
+
+/// Process-wide default used when a config leaves `mode` unset. Initialized
+/// from the MAGICUBE_EXEC_MODE environment variable ("simulate" or "fast")
+/// on first use; fast otherwise. set_default_exec_mode overrides at runtime
+/// (the sanitizer CI lanes pin simulate this way without code changes).
+ExecMode default_exec_mode();
+void set_default_exec_mode(ExecMode m);
+
+namespace detail {
+
+/// SpMM geometry shared by the functional kernel, the fast replay loop and
+/// the analytic estimator (formerly private to spmm.cpp).
+struct SpmmGeom {
+  // Datapath.
+  int stride = 16;       // mma k = SR-BCRS stride
+  int chunk = 8;         // plane width (bits)
+  int epw = 4;           // elements per 32-bit word
+  int row_words = 16;    // words per RHS tile row (bsn * chunk / 32)
+  int phases = 4;        // RHS fragment words per thread
+  int rows_per_frag = 4; // consecutive k rows per fragment register
+  bool int4path = false;
+
+  // Operands.
+  int v = 8;             // vector length (BSm)
+  int p = 1;             // LHS planes
+  int q = 1;             // RHS planes
+  int s = 1;             // planes stacked per mma (Fig. 10b)
+  int g = 1;             // plane groups = ceil(p / s)
+  bool lhs_signed = true;
+  bool bias_correct = false;  // last group stacks the signed top plane
+
+  std::size_t n = 0, k = 0, bsn = 64, col_blocks = 0;
+  bool padded = true;    // conflict-free smem layout
+  bool prefetch = false;
+  bool shuffle = false;  // int4 index shuffling
+  RhsTileLayout layout;
+
+  // Shared-memory word map.
+  std::size_t idx_base = 0, lhs_base = 0, rhs_base = 0;
+  std::size_t lhs_words_per_plane = 0, smem_words = 0;
+
+  int group_size(int grp) const {
+    return grp * s + s <= p ? s : p - grp * s;
+  }
+  /// Whether plane `pl` is the signed top plane.
+  bool is_top(int pl) const { return lhs_signed && pl == p - 1; }
+};
+
+SpmmGeom make_spmm_geom(const SparseOperand& a_meta, int q_planes,
+                        std::size_t n, std::size_t k, const SpmmConfig& cfg);
+
+/// Shared-memory bytes of one SpMM block (Algorithm 1 double-buffers the
+/// LHS + indices when prefetching).
+std::size_t spmm_smem_bytes(const SpmmGeom& g);
+
+/// Closed-form counters of one SpMM thread block with `steps` accumulation
+/// steps and `valid` unpadded vectors, mirroring the simulated block event
+/// for event (equality asserted by the test suite).
+simt::KernelCounters spmm_block_counters(const SpmmGeom& g,
+                                         std::uint64_t steps,
+                                         std::uint64_t valid);
+
+/// Compulsory DRAM traffic of one SpMM invocation (operand first-touch
+/// bytes; the RHS working set fits the modeled 40 MB L2).
+std::uint64_t spmm_dram_bytes(const SpmmGeom& g, std::size_t slots,
+                              std::uint64_t valid_vectors,
+                              std::size_t vector_rows);
+
+/// Epilogue event bundle of one SpMM block (staged writeback through a
+/// swizzled smem buffer), shared by the simulated kernel and the estimator.
+struct SpmmEpilogueCounts {
+  std::uint64_t smem_store_req, smem_store_trans;
+  std::uint64_t smem_load_req, smem_load_trans;
+  std::uint64_t gmem_store_req, gmem_store_sectors;
+};
+SpmmEpilogueCounts spmm_epilogue_counts(const SpmmGeom& g);
+
+/// Warp-shuffle instructions of the stacked-plane combine, per accumulator
+/// register (butterfly gather: 1 partner for s=2, 3 partners for s in 3..4).
+inline std::uint64_t stack_shfls(int s) {
+  return s <= 1 ? 0 : (s == 2 ? 1 : 3);
+}
+
+/// SDDMM geometry (formerly private to sddmm.cpp).
+struct SddmmGeom {
+  int stride = 16;  // mma k
+  int chunk = 8;
+  int epw = 4;
+  bool int4path = false;
+
+  int v = 8;
+  int p = 1;  // LHS planes
+  int q = 1;  // RHS planes
+  std::size_t k = 0;
+  std::uint64_t steps = 0;  // k / stride
+  bool prefetch = false;
+
+  std::size_t lhs_words_per_plane = 0;
+  std::size_t smem_bytes = 0;
+};
+
+SddmmGeom make_sddmm_geom(PrecisionPair pr, int p_planes, int q_planes,
+                          int v, std::size_t k, bool prefetch);
+
+inline constexpr int kSddmmSlotsPerBlock = 16;  // 8 vectors/warp x 2 warps
+
+/// SDDMM block decomposition: one entry per thread block.
+struct SddmmBlockMap {
+  std::vector<std::uint32_t> row;        // block -> vector row
+  std::vector<std::uint32_t> slot_base;  // block -> first pattern vector
+  std::vector<std::uint32_t> valid;      // block -> valid slots (<= 16)
+};
+SddmmBlockMap make_sddmm_block_map(const sparse::BlockPattern& pattern);
+
+/// Closed-form counters of one SDDMM block.
+simt::KernelCounters sddmm_block_counters(const SddmmGeom& g,
+                                          std::size_t slot_base,
+                                          std::uint64_t valid);
+
+std::uint64_t sddmm_dram_bytes(const SddmmGeom& g,
+                               const sparse::BlockPattern& pattern);
+
+/// Writeback event bundle of one SDDMM block holding `valid` vectors.
+struct SddmmEpilogueCounts {
+  std::uint64_t smem_store_req, smem_load_req, gmem_store_req,
+      gmem_store_sectors;
+};
+SddmmEpilogueCounts sddmm_epilogue_counts(const SddmmGeom& g,
+                                          std::uint64_t valid);
+
+/// Little-endian 32-bit gather from a packed plane byte buffer: the SWAR
+/// word op of the fast path. Operand words are epw elements of chunk bits
+/// packed element-0-lowest, i.e. exactly the little-endian bytes the
+/// PackedBuffer stores, so one 4-byte read replaces epw get_raw bit loops.
+inline std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+}  // namespace detail
+
+/// Sentinel in SpmmPlan::rhs_row_base for padded slots (the "*" columns).
+inline constexpr std::size_t kNoRhsRow =
+    std::numeric_limits<std::size_t>::max();
+
+/// Execution plan for core::spmm on one (SR-BCRS structure, config, N)
+/// triple. Immutable once built; any number of concurrent replays may
+/// share one plan (the serving engine aliases cached plans exactly like
+/// cached operands).
+struct SpmmPlan {
+  detail::SpmmGeom geom;
+
+  /// Analytic launch + pipeline + counters (DRAM included) of one replay.
+  simt::KernelRun run;
+
+  /// LHS fragment schedule: for plane group `grp`, lane `t` loads word
+  /// `word` of plane `plane`'s current stride tile (word < 0: inactive).
+  struct LaneSrc {
+    std::int8_t plane = -1;
+    std::int8_t word = -1;
+  };
+  std::vector<std::array<LaneSrc, 32>> a_frag_src;  // [group][lane]
+  /// Lanes of the last group whose word belongs to the signed top plane
+  /// (bias-encoded with the msb mask before the mma).
+  std::array<std::uint8_t, 32> bias_lane{};
+
+  /// RHS gather schedule of the online transpose: during fragment phase
+  /// `ph`, lane `t` reads stride row rhs_k_row[ph][t] at word column
+  /// rhs_word_col[w * phases + ph][t].
+  std::vector<std::array<std::int8_t, 32>> rhs_k_row;     // [phase][lane]
+  std::vector<std::array<std::int8_t, 32>> rhs_word_col;  // [w*phases+ph][lane]
+
+  /// Per-slot RHS row byte base (col * N * chunk / 8), kNoRhsRow for
+  /// padding — the SR-BCRS column indices resolved once.
+  std::vector<std::size_t> rhs_row_base;
+
+  /// Heap + inline bytes held by the plan (cache accounting).
+  std::size_t footprint_bytes() const;
+};
+
+using SpmmPlanHandle = std::shared_ptr<const SpmmPlan>;
+
+/// Builds the SpMM plan for a prepared LHS structure and RHS width. The
+/// plan never references `a` afterwards; it applies to any operand pair
+/// prepared from the same pattern/config (compatibility is asserted at
+/// replay time).
+SpmmPlanHandle build_spmm_plan(const SparseOperand& a, std::size_t n_cols,
+                               const SpmmConfig& cfg);
+
+/// Execution plan for core::sddmm on one (pattern, config, K) triple.
+struct SddmmPlan {
+  detail::SddmmGeom geom;
+  simt::KernelRun run;
+  detail::SddmmBlockMap map;
+
+  /// LHS fragment schedule: lane `t` reads word `t % 4` of tile row
+  /// a_row[t] (< 0: inactive, V < 8).
+  std::array<std::int8_t, 32> a_row{};
+
+  /// Per-pattern-vector RHS column byte base (col * K * chunk / 8).
+  std::vector<std::size_t> rhs_col_base;
+
+  std::size_t footprint_bytes() const;
+};
+
+using SddmmPlanHandle = std::shared_ptr<const SddmmPlan>;
+
+SddmmPlanHandle build_sddmm_plan(const sparse::BlockPattern& pattern,
+                                 std::size_t k_depth, const SddmmConfig& cfg);
+
+}  // namespace magicube::core

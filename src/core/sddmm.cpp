@@ -4,6 +4,7 @@
 #include <array>
 #include <vector>
 
+#include "core/plan.hpp"
 #include "simt/launch.hpp"
 #include "simt/memory.hpp"
 #include "simt/tensor_core.hpp"
@@ -18,157 +19,54 @@ using simt::LaneAddrs;
 using simt::LaneWords;
 using simt::WarpReg;
 
-constexpr int kSlotsPerBlock = 16;  // 8 output vectors per warp x 2 warps
+using Geom = detail::SddmmGeom;
+using detail::kSddmmSlotsPerBlock;
+using detail::load_le32;
 
-struct Geom {
-  int stride = 16;  // mma k
-  int chunk = 8;
-  int epw = 4;
-  bool int4path = false;
-
-  int v = 8;
-  int p = 1;  // LHS planes
-  int q = 1;  // RHS planes
-  std::size_t k = 0;
-  std::uint64_t steps = 0;  // k / stride
-  bool prefetch = false;
-
-  std::size_t lhs_words_per_plane = 0;
-  std::size_t smem_bytes = 0;
-};
-
-Geom make_geom(PrecisionPair pr, int p_planes, int q_planes, int v,
-               std::size_t k, bool prefetch) {
-  Geom g;
-  g.int4path = stride_for(pr) == 32;
-  g.stride = g.int4path ? 32 : 16;
-  g.chunk = g.int4path ? 4 : 8;
-  g.epw = 32 / g.chunk;
-  g.v = v;
-  g.p = p_planes;
-  g.q = q_planes;
-  g.k = k;
-  g.steps = k / static_cast<std::size_t>(g.stride);
-  g.prefetch = prefetch;
-  g.lhs_words_per_plane = static_cast<std::size_t>(4 * v);
-  g.smem_bytes = 4 * static_cast<std::size_t>(g.p) * g.lhs_words_per_plane *
-                 (prefetch ? 2 : 1);
-  return g;
-}
-
-/// Sectors of one LHS tile row-segment load (V rows of 16 bytes each, rows
-/// strided by K; each 16-byte segment stays inside one 32-byte sector given
-/// K % 32 == 0).
-std::uint32_t lhs_tile_sectors(const Geom& g) {
-  return static_cast<std::uint32_t>(g.v);
-}
-
-/// Writeback bundle for one block holding `valid` output vectors: stage the
-/// accumulators through swizzled shared memory, then write the contiguous
-/// BCRS value range coalesced.
-struct EpilogueCounts {
-  std::uint64_t smem_store_req, smem_load_req, gmem_store_req,
-      gmem_store_sectors;
-};
-EpilogueCounts epilogue_counts(const Geom& g, std::uint64_t valid) {
-  EpilogueCounts e{};
-  e.smem_store_req = 2 * 2;  // 2 warps x 2 accumulator registers
-  const std::uint64_t bytes = valid * static_cast<std::uint64_t>(g.v) * 4;
-  e.gmem_store_req = (bytes + 127) / 128;  // 32 lanes x 4B per request
-  e.smem_load_req = e.gmem_store_req;
-  e.gmem_store_sectors = (bytes + 31) / 32;
-  return e;
-}
-
-/// Sectors of the index read: `valid` consecutive u32 starting at an
-/// arbitrary (row-pointer-determined) offset.
-std::uint32_t idx_sectors(std::size_t slot_base, std::uint64_t valid) {
-  const std::size_t first = slot_base * 4 / 32;
-  const std::size_t last = ((slot_base + valid) * 4 - 1) / 32;
-  return static_cast<std::uint32_t>(last - first + 1);
-}
-
-KernelCounters block_counters(const Geom& g, std::size_t slot_base,
-                              std::uint64_t valid) {
-  KernelCounters kc;
-  const std::uint64_t p = static_cast<std::uint64_t>(g.p);
-  const std::uint64_t q = static_cast<std::uint64_t>(g.q);
-  const std::uint64_t steps = g.steps;
-
-  // Output column indices for this block.
-  kc.gmem_load_requests = 1;
-  kc.gmem_load_sectors = idx_sectors(slot_base, valid);
-  // LHS tile per step per plane: gmem -> smem.
-  kc.gmem_load_requests += steps * p;
-  kc.gmem_load_sectors += steps * p * lhs_tile_sectors(g);
-  kc.smem_store_requests = steps * p;
-  kc.smem_store_transactions = steps * p;
-  // LHS fragment reads: per warp per step per plane (consecutive words).
-  kc.smem_load_requests = steps * 2 * p;
-  kc.smem_load_transactions = steps * 2 * p;
-  // RHS register loads: per warp per step per plane; one sector per valid
-  // column (16-byte column segments, disjoint sectors across columns).
-  kc.gmem_load_requests += steps * 2 * q;
-  kc.gmem_load_sectors += steps * q * valid;
-  // mma: per warp per step, full plane cross product.
-  const std::uint64_t mmas = steps * 2 * p * q;
-  (g.int4path ? kc.mma_int4 : kc.mma_int8) = mmas;
-  // Epilogue combine (weighted plane sum; trivial for native precisions).
-  kc.alu_ops = 2 * 2 * p * q;
-  kc.syncthreads = steps * (g.prefetch ? 2u : 1u) + 1;
-
-  const EpilogueCounts e = epilogue_counts(g, valid);
-  kc.smem_store_requests += e.smem_store_req;
-  kc.smem_store_transactions += e.smem_store_req;
-  kc.smem_load_requests += e.smem_load_req;
-  kc.smem_load_transactions += e.smem_load_req;
-  kc.gmem_store_requests += e.gmem_store_req;
-  kc.gmem_store_sectors += e.gmem_store_sectors;
-  return kc;
-}
-
-std::uint64_t sddmm_dram_bytes(const Geom& g,
-                               const sparse::BlockPattern& pattern) {
-  const std::uint64_t m = pattern.rows, n = pattern.cols;
-  const std::uint64_t chunk = static_cast<std::uint64_t>(g.chunk);
-  const std::uint64_t a_size =
-      m * g.k * chunk / 8 * static_cast<std::uint64_t>(g.p);
-  const std::uint64_t b_size =
-      g.k * n * chunk / 8 * static_cast<std::uint64_t>(g.q);
-  const std::uint64_t b_loaded = pattern.vector_count() * g.k * chunk / 8 *
-                                 static_cast<std::uint64_t>(g.q);
-  const std::uint64_t c_bytes = pattern.nnz() * 4;
-  const std::uint64_t idx_bytes = pattern.vector_count() * 4;
-  return a_size + std::min(b_size, b_loaded) + c_bytes + idx_bytes;
-}
-
-struct BlockMap {
-  std::vector<std::uint32_t> row;         // block -> vector row
-  std::vector<std::uint32_t> slot_base;   // block -> first pattern vector
-  std::vector<std::uint32_t> valid;       // block -> valid slots (<= 16)
-};
-
-BlockMap make_block_map(const sparse::BlockPattern& pattern) {
-  BlockMap map;
-  for (std::size_t r = 0; r < pattern.vector_rows(); ++r) {
-    const std::uint32_t n_r =
-        static_cast<std::uint32_t>(pattern.vectors_in_row(r));
-    for (std::uint32_t base = 0; base < n_r; base += kSlotsPerBlock) {
-      map.row.push_back(static_cast<std::uint32_t>(r));
-      map.slot_base.push_back(pattern.row_ptr[r] + base);
-      map.valid.push_back(
-          std::min<std::uint32_t>(kSlotsPerBlock, n_r - base));
+/// Weighted plane combine + writeback of one block's accumulators (value
+/// half of the epilogue, shared by both execution paths).
+void sddmm_value_epilogue(const Geom& g, const DenseOperand& a,
+                          const DenseOperand& b, const AccumFrag* acc,
+                          std::size_t slot_base, std::uint32_t valid,
+                          std::vector<std::int32_t>& c_values) {
+  const std::size_t v = static_cast<std::size_t>(g.v);
+  auto acc_at = [&](int w, int pl, int qq) -> const AccumFrag& {
+    return acc[static_cast<std::size_t>((w * g.p + pl) * g.q + qq)];
+  };
+  for (int w = 0; w < 2; ++w) {
+    for (int lane = 0; lane < 32; ++lane) {
+      const int row = lane / 4;
+      if (row >= g.v) continue;
+      for (int cc = 0; cc < 2; ++cc) {
+        const int slot_in_warp = 2 * (lane % 4) + cc;
+        const std::uint32_t slot_in_block =
+            static_cast<std::uint32_t>(w * 8 + slot_in_warp);
+        if (slot_in_block >= valid) continue;
+        std::int64_t total = 0;
+        for (int pl = 0; pl < g.p; ++pl) {
+          for (int qq = 0; qq < g.q; ++qq) {
+            total += a.planes[static_cast<std::size_t>(pl)].weight *
+                     b.planes[static_cast<std::size_t>(qq)].weight *
+                     acc_at(w, pl, qq).c[static_cast<std::size_t>(lane)]
+                         [static_cast<std::size_t>(cc)];
+          }
+        }
+        const std::size_t vec = slot_base + slot_in_block;
+        c_values[vec * v + static_cast<std::size_t>(row)] =
+            static_cast<std::int32_t>(total);
+      }
     }
   }
-  return map;
 }
+
+// ---- Functional (lane-accurate) kernel ------------------------------------
 
 struct BlockArgs {
   const DenseOperand* a;
   const DenseOperand* b;
   const sparse::BlockPattern* pattern;
   const Geom* g;
-  const BlockMap* map;
+  const detail::SddmmBlockMap* map;
   std::vector<std::int32_t>* c_values;  // BCRS vector-major
 };
 
@@ -295,34 +193,13 @@ void run_block(simt::BlockContext& ctx, const BlockArgs& args) {
   }
 
   // Epilogue: weighted plane combine, write the BCRS value range.
-  for (int w = 0; w < 2; ++w) {
-    for (int lane = 0; lane < 32; ++lane) {
-      const int row = lane / 4;
-      if (row >= g.v) continue;
-      for (int cc = 0; cc < 2; ++cc) {
-        const int slot_in_warp = 2 * (lane % 4) + cc;
-        const std::uint32_t slot_in_block =
-            static_cast<std::uint32_t>(w * 8 + slot_in_warp);
-        if (slot_in_block >= valid) continue;
-        std::int64_t total = 0;
-        for (int pl = 0; pl < g.p; ++pl) {
-          for (int qq = 0; qq < g.q; ++qq) {
-            total += a.planes[static_cast<std::size_t>(pl)].weight *
-                     b.planes[static_cast<std::size_t>(qq)].weight *
-                     acc_at(w, pl, qq).c[static_cast<std::size_t>(lane)]
-                         [static_cast<std::size_t>(cc)];
-          }
-        }
-        const std::size_t vec = slot_base + slot_in_block;
-        (*args.c_values)[vec * v + static_cast<std::size_t>(row)] =
-            static_cast<std::int32_t>(total);
-      }
-    }
-  }
+  sddmm_value_epilogue(g, a, b, acc.data(), slot_base, valid,
+                       *args.c_values);
   kc.alu_ops += static_cast<std::uint64_t>(2 * 2 * g.p * g.q);
   kc.syncthreads += 1;
 
-  const EpilogueCounts e = epilogue_counts(g, valid);
+  const detail::SddmmEpilogueCounts e =
+      detail::sddmm_epilogue_counts(g, valid);
   kc.smem_store_requests += e.smem_store_req;
   kc.smem_store_transactions += e.smem_store_req;
   kc.smem_load_requests += e.smem_load_req;
@@ -331,31 +208,113 @@ void run_block(simt::BlockContext& ctx, const BlockArgs& args) {
   kc.gmem_store_sectors += e.gmem_store_sectors;
 }
 
-}  // namespace
+// ---- Fast path: value-only plan replay ------------------------------------
 
-SddmmResult sddmm(const DenseOperand& a, const DenseOperand& b,
-                  const sparse::BlockPattern& pattern,
-                  const SddmmConfig& cfg) {
+struct SddmmScratch {
+  std::vector<AccumFrag> acc;
+  std::vector<simt::DecodedFrag> a_dec;  // one per LHS plane
+};
+
+SddmmScratch& sddmm_scratch() {
+  thread_local SddmmScratch scratch;
+  return scratch;
+}
+
+void fast_block(std::size_t blk, const DenseOperand& a,
+                const DenseOperand& b, const SddmmPlan& plan,
+                std::vector<std::int32_t>& c_values) {
+  const Geom& g = plan.geom;
+  const std::size_t r = plan.map.row[blk];
+  const std::size_t slot_base = plan.map.slot_base[blk];
+  const std::uint32_t valid = plan.map.valid[blk];
+  const std::size_t v = static_cast<std::size_t>(g.v);
+  const std::size_t chunk = static_cast<std::size_t>(g.chunk);
+  const std::size_t row_bytes = g.k * chunk / 8;  // one A row / B column
+
+  SddmmScratch& s = sddmm_scratch();
+  s.acc.assign(static_cast<std::size_t>(2 * g.p * g.q), AccumFrag{});
+  s.a_dec.resize(static_cast<std::size_t>(g.p));
+  auto acc_at = [&](int w, int pl, int qq) -> AccumFrag& {
+    return s.acc[static_cast<std::size_t>((w * g.p + pl) * g.q + qq)];
+  };
+
+  for (std::uint64_t st = 0; st < g.steps; ++st) {
+    const std::size_t kbyte =
+        static_cast<std::size_t>(st) * static_cast<std::size_t>(g.stride) *
+        chunk / 8;
+
+    // LHS fragments: gathered straight from the plane bytes (the staged
+    // tile is a row-major copy); identical for both warps, so gathered and
+    // decoded once per step and reused across the plane cross product.
+    for (int pl = 0; pl < g.p; ++pl) {
+      const std::uint8_t* a_bytes =
+          a.planes[static_cast<std::size_t>(pl)].values.data();
+      WarpReg frag{};
+      for (int lane = 0; lane < 32; ++lane) {
+        const std::int8_t row = plan.a_row[static_cast<std::size_t>(lane)];
+        frag[static_cast<std::size_t>(lane)] =
+            row < 0 ? 0
+                    : load_le32(a_bytes +
+                                (r * v + static_cast<std::size_t>(row)) *
+                                    row_bytes +
+                                kbyte + 4u * static_cast<unsigned>(lane % 4));
+      }
+      simt::DecodedFrag& dec = s.a_dec[static_cast<std::size_t>(pl)];
+      const bool a_signed = a.planes[static_cast<std::size_t>(pl)].is_signed;
+      if (g.int4path) {
+        simt::decode_frag_int4(frag, a_signed, dec);
+      } else {
+        simt::decode_frag_int8(frag, a_signed, dec);
+      }
+    }
+
+    for (int w = 0; w < 2; ++w) {
+      for (int qq = 0; qq < g.q; ++qq) {
+        const auto& bplane = b.planes[static_cast<std::size_t>(qq)];
+        const std::uint8_t* b_bytes = bplane.values.data();
+        // RHS fragment once per (warp, plane): the simulated path rebuilds
+        // it per LHS plane with identical values (register reuse).
+        WarpReg b_frag{};
+        for (int lane = 0; lane < 32; ++lane) {
+          const std::uint32_t slot_in_block =
+              static_cast<std::uint32_t>(w * 8 + lane / 4);
+          if (slot_in_block >= valid) continue;
+          b_frag[static_cast<std::size_t>(lane)] = load_le32(
+              b_bytes + plan.rhs_col_base[slot_base + slot_in_block] +
+              kbyte + 4u * static_cast<unsigned>(lane % 4));
+        }
+        simt::DecodedFrag b_dec;
+        if (g.int4path) {
+          simt::decode_frag_int4(b_frag, bplane.is_signed, b_dec);
+        } else {
+          simt::decode_frag_int8(b_frag, bplane.is_signed, b_dec);
+        }
+        for (int pl = 0; pl < g.p; ++pl) {
+          simt::mma_decoded(acc_at(w, pl, qq),
+                            s.a_dec[static_cast<std::size_t>(pl)], b_dec);
+        }
+      }
+    }
+  }
+
+  sddmm_value_epilogue(g, a, b, s.acc.data(), slot_base, valid, c_values);
+}
+
+void validate_sddmm_inputs(const DenseOperand& a, const DenseOperand& b,
+                           const sparse::BlockPattern& pattern,
+                           const SddmmConfig& cfg) {
   pattern.validate();
   MAGICUBE_CHECK(a.row_major && !b.row_major);
   MAGICUBE_CHECK(a.cols == b.rows);
   MAGICUBE_CHECK(a.rows == pattern.rows && b.cols == pattern.cols);
-  const std::size_t k = a.cols;
   // Alignment needed for the closed-form sector counts (segments never
   // straddle a 32-byte sector): K % 32 on the int8 path, K % 64 on int4.
-  MAGICUBE_CHECK_MSG(k % (stride_for(cfg.precision) == 32 ? 64 : 32) == 0,
-                     "K alignment requirement violated");
+  MAGICUBE_CHECK_MSG(
+      a.cols % (stride_for(cfg.precision) == 32 ? 64 : 32) == 0,
+      "K alignment requirement violated");
+}
 
-  Geom g = make_geom(cfg.precision, static_cast<int>(a.plane_count()),
-                     static_cast<int>(b.plane_count()),
-                     pattern.vector_length, k, cfg.prefetch);
-  const BlockMap map = make_block_map(pattern);
-
-  simt::LaunchConfig launch;
-  launch.grid_blocks = map.row.size();
-  launch.warps_per_block = cfg.warps_per_block;
-  launch.smem_bytes_per_block = g.smem_bytes;
-
+SddmmResult make_result_shell(const sparse::BlockPattern& pattern, int v) {
   SddmmResult result;
   result.c.rows = pattern.rows;
   result.c.cols = pattern.cols;
@@ -363,8 +322,26 @@ SddmmResult sddmm(const DenseOperand& a, const DenseOperand& b,
   result.c.row_ptr = pattern.row_ptr;
   result.c.col_idx = pattern.col_idx;
   result.c.values.assign(
-      pattern.vector_count() * static_cast<std::size_t>(g.v), 0);
+      pattern.vector_count() * static_cast<std::size_t>(v), 0);
+  return result;
+}
 
+SddmmResult run_simulate(const DenseOperand& a, const DenseOperand& b,
+                         const sparse::BlockPattern& pattern,
+                         const SddmmConfig& cfg) {
+  const std::size_t k = a.cols;
+  Geom g = detail::make_sddmm_geom(cfg.precision,
+                                   static_cast<int>(a.plane_count()),
+                                   static_cast<int>(b.plane_count()),
+                                   pattern.vector_length, k, cfg.prefetch);
+  const detail::SddmmBlockMap map = detail::make_sddmm_block_map(pattern);
+
+  simt::LaunchConfig launch;
+  launch.grid_blocks = map.row.size();
+  launch.warps_per_block = cfg.warps_per_block;
+  launch.smem_bytes_per_block = g.smem_bytes;
+
+  SddmmResult result = make_result_shell(pattern, g.v);
   BlockArgs args{&a, &b, &pattern, &g, &map, &result.c.values};
   result.run = simt::run_grid(
       launch, [&](simt::BlockContext& ctx) { run_block(ctx, args); });
@@ -372,9 +349,83 @@ SddmmResult sddmm(const DenseOperand& a, const DenseOperand& b,
   result.run.pipeline.total_steps = map.row.size() * g.steps;
   // LHS prefetching never hides the RHS register-load chain (see header).
   result.run.pipeline.prefetch = false;
-  result.run.counters.dram_bytes = sddmm_dram_bytes(g, pattern);
+  result.run.counters.dram_bytes = detail::sddmm_dram_bytes(g, pattern);
   result.c.validate();
   return result;
+}
+
+SddmmResult run_fast(const DenseOperand& a, const DenseOperand& b,
+                     const sparse::BlockPattern& pattern,
+                     const SddmmConfig& cfg, const SddmmPlan& plan) {
+  const Geom& g = plan.geom;
+  MAGICUBE_CHECK_MSG(g.k == a.cols && g.v == pattern.vector_length,
+                     "execution plan built for a different problem shape");
+  MAGICUBE_CHECK_MSG(g.p == static_cast<int>(a.plane_count()) &&
+                         g.q == static_cast<int>(b.plane_count()),
+                     "execution plan built for a different precision pair");
+  MAGICUBE_CHECK_MSG(plan.rhs_col_base.size() == pattern.vector_count(),
+                     "execution plan built for a different sparsity "
+                     "pattern — plans are per pattern fingerprint");
+  MAGICUBE_CHECK(g.prefetch == cfg.prefetch);
+  // Exact structural validation (vector_count alone would admit a
+  // different pattern of equal density): column bases slot for slot, and
+  // the block map against the row pointers. O(vectors + blocks), cheap
+  // next to the O(nnz * K) replay.
+  const std::size_t col_bytes = g.k * static_cast<std::size_t>(g.chunk) / 8;
+  for (std::size_t i = 0; i < plan.rhs_col_base.size(); ++i) {
+    MAGICUBE_CHECK_MSG(
+        plan.rhs_col_base[i] ==
+            static_cast<std::size_t>(pattern.col_idx[i]) * col_bytes,
+        "execution plan built for a different sparsity pattern — plans "
+        "are per pattern fingerprint");
+  }
+  {
+    std::size_t blk = 0;
+    for (std::size_t r = 0; r < pattern.vector_rows(); ++r) {
+      const std::uint32_t n_r =
+          static_cast<std::uint32_t>(pattern.vectors_in_row(r));
+      for (std::uint32_t base = 0; base < n_r;
+           base += kSddmmSlotsPerBlock, ++blk) {
+        MAGICUBE_CHECK_MSG(
+            blk < plan.map.row.size() && plan.map.row[blk] == r &&
+                plan.map.slot_base[blk] == pattern.row_ptr[r] + base,
+            "execution plan built for a different sparsity pattern — "
+            "plans are per pattern fingerprint");
+      }
+    }
+    MAGICUBE_CHECK(blk == plan.map.row.size());
+  }
+
+  SddmmResult result = make_result_shell(pattern, g.v);
+  simt::run_grid_values(plan.run.launch.grid_blocks, [&](std::size_t blk) {
+    fast_block(blk, a, b, plan, result.c.values);
+  });
+  result.run = plan.run;
+  result.c.validate();
+  return result;
+}
+
+}  // namespace
+
+SddmmResult sddmm(const DenseOperand& a, const DenseOperand& b,
+                  const sparse::BlockPattern& pattern,
+                  const SddmmConfig& cfg) {
+  validate_sddmm_inputs(a, b, pattern, cfg);
+  if (cfg.mode.value_or(default_exec_mode()) == ExecMode::fast) {
+    const SddmmPlanHandle plan = build_sddmm_plan(pattern, a.cols, cfg);
+    return run_fast(a, b, pattern, cfg, *plan);
+  }
+  return run_simulate(a, b, pattern, cfg);
+}
+
+SddmmResult sddmm(const DenseOperand& a, const DenseOperand& b,
+                  const sparse::BlockPattern& pattern, const SddmmConfig& cfg,
+                  const SddmmPlan& plan) {
+  validate_sddmm_inputs(a, b, pattern, cfg);
+  if (cfg.mode.value_or(default_exec_mode()) == ExecMode::simulate) {
+    return run_simulate(a, b, pattern, cfg);
+  }
+  return run_fast(a, b, pattern, cfg, plan);
 }
 
 simt::KernelRun sddmm_estimate(const sparse::BlockPattern& pattern,
@@ -384,8 +435,9 @@ simt::KernelRun sddmm_estimate(const sparse::BlockPattern& pattern,
       cfg.precision.lhs, bits_of(cfg.precision.rhs) <= 4 ? 4 : 8);
   const int q_planes = quant::plane_count(
       cfg.precision.rhs, bits_of(cfg.precision.rhs) <= 4 ? 4 : 8);
-  Geom g = make_geom(cfg.precision, p_planes, q_planes,
-                     pattern.vector_length, k_depth, cfg.prefetch);
+  Geom g = detail::make_sddmm_geom(cfg.precision, p_planes, q_planes,
+                                   pattern.vector_length, k_depth,
+                                   cfg.prefetch);
 
   simt::KernelRun run;
   run.launch.warps_per_block = cfg.warps_per_block;
@@ -395,16 +447,17 @@ simt::KernelRun sddmm_estimate(const sparse::BlockPattern& pattern,
   std::uint64_t blocks = 0;
   for (std::size_t r = 0; r < pattern.vector_rows(); ++r) {
     const std::uint64_t n_r = pattern.vectors_in_row(r);
-    for (std::uint64_t base = 0; base < n_r; base += kSlotsPerBlock) {
+    for (std::uint64_t base = 0; base < n_r; base += kSddmmSlotsPerBlock) {
       const std::uint64_t valid =
-          std::min<std::uint64_t>(kSlotsPerBlock, n_r - base);
-      run.counters += block_counters(g, pattern.row_ptr[r] + base, valid);
+          std::min<std::uint64_t>(kSddmmSlotsPerBlock, n_r - base);
+      run.counters += detail::sddmm_block_counters(
+          g, pattern.row_ptr[r] + base, valid);
       blocks += 1;
     }
   }
   run.launch.grid_blocks = blocks;
   run.pipeline.total_steps = blocks * g.steps;
-  run.counters.dram_bytes = sddmm_dram_bytes(g, pattern);
+  run.counters.dram_bytes = detail::sddmm_dram_bytes(g, pattern);
   return run;
 }
 
@@ -418,6 +471,14 @@ SddmmResult sddmm(const DenseOperandHandle& a, const DenseOperandHandle& b,
                   const SddmmConfig& cfg) {
   MAGICUBE_CHECK_MSG(a && b, "sddmm handles must be non-null");
   return sddmm(*a, *b, pattern, cfg);
+}
+
+SddmmResult sddmm(const DenseOperandHandle& a, const DenseOperandHandle& b,
+                  const sparse::BlockPattern& pattern, const SddmmConfig& cfg,
+                  const SddmmPlanHandle& plan) {
+  MAGICUBE_CHECK_MSG(a && b, "sddmm handles must be non-null");
+  MAGICUBE_CHECK_MSG(plan != nullptr, "sddmm plan handle must be non-null");
+  return sddmm(*a, *b, pattern, cfg, *plan);
 }
 
 }  // namespace magicube::core

@@ -20,9 +20,11 @@
 // shared-memory footprint. The cost model reflects exactly that.
 
 #include <cstdint>
+#include <optional>
 
 #include "common/matrix.hpp"
 #include "core/operands.hpp"
+#include "core/plan.hpp"
 #include "simt/cost_model.hpp"
 #include "sparse/bcrs.hpp"
 
@@ -32,6 +34,10 @@ struct SddmmConfig {
   PrecisionPair precision = precision::L8R8;
   bool prefetch = false;
   int warps_per_block = 2;
+  /// Execution engine; unset defers to default_exec_mode() (fast unless
+  /// MAGICUBE_EXEC_MODE / set_default_exec_mode says otherwise). Both modes
+  /// produce bit-exact results and identical counters.
+  std::optional<ExecMode> mode = std::nullopt;
 };
 
 struct SddmmResult {
@@ -51,6 +57,16 @@ SddmmResult sddmm(const DenseOperand& a, const DenseOperand& b,
 /// cached preparation). Handles must be non-null.
 SddmmResult sddmm(const DenseOperandHandle& a, const DenseOperandHandle& b,
                   const sparse::BlockPattern& pattern, const SddmmConfig& cfg);
+
+/// Plan-once/run-many entry point: replays a prebuilt ExecutionPlan when
+/// the resolved mode is fast, falls back to the lane-accurate simulation
+/// otherwise. The plan must match (pattern, K, config); asserted.
+SddmmResult sddmm(const DenseOperand& a, const DenseOperand& b,
+                  const sparse::BlockPattern& pattern, const SddmmConfig& cfg,
+                  const SddmmPlan& plan);
+SddmmResult sddmm(const DenseOperandHandle& a, const DenseOperandHandle& b,
+                  const sparse::BlockPattern& pattern, const SddmmConfig& cfg,
+                  const SddmmPlanHandle& plan);
 
 /// Analytic counters for the same kernel (no data).
 simt::KernelRun sddmm_estimate(const sparse::BlockPattern& pattern,

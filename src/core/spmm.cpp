@@ -4,6 +4,7 @@
 #include <array>
 
 #include "core/marshal.hpp"
+#include "core/plan.hpp"
 #include "simt/launch.hpp"
 #include "simt/memory.hpp"
 #include "simt/tensor_core.hpp"
@@ -28,216 +29,139 @@ using simt::LaneAddrs;
 using simt::LaneWords;
 using simt::WarpReg;
 
-/// Geometry shared by the functional kernel and the analytic estimator.
-struct Geom {
-  // Datapath.
-  int stride = 16;       // mma k = SR-BCRS stride
-  int chunk = 8;         // plane width (bits)
-  int epw = 4;           // elements per 32-bit word
-  int row_words = 16;    // words per RHS tile row (bsn * chunk / 32)
-  int phases = 4;        // RHS fragment words per thread
-  int rows_per_frag = 4; // consecutive k rows per fragment register
-  bool int4path = false;
-
-  // Operands.
-  int v = 8;             // vector length (BSm)
-  int p = 1;             // LHS planes
-  int q = 1;             // RHS planes
-  int s = 1;             // planes stacked per mma (Fig. 10b)
-  int g = 1;             // plane groups = ceil(p / s)
-  bool lhs_signed = true;
-  bool bias_correct = false;  // last group stacks the signed top plane
-
-  std::size_t n = 0, k = 0, bsn = 64, col_blocks = 0;
-  bool padded = true;    // conflict-free smem layout
-  bool prefetch = false;
-  bool shuffle = false;  // int4 index shuffling
-  RhsTileLayout layout;
-
-  // Shared-memory word map.
-  std::size_t idx_base = 0, lhs_base = 0, rhs_base = 0;
-  std::size_t lhs_words_per_plane = 0, smem_words = 0;
-
-  int group_size(int grp) const {
-    return std::min(p - grp * s, s);
-  }
-  /// Whether plane `pl` is the signed top plane.
-  bool is_top(int pl) const { return lhs_signed && pl == p - 1; }
-};
-
-Geom make_geom(const SparseOperand& a_meta, int q_planes, std::size_t n,
-               std::size_t k, const SpmmConfig& cfg) {
-  Geom g;
-  g.int4path = stride_for(cfg.precision) == 32;
-  g.stride = g.int4path ? 32 : 16;
-  g.chunk = g.int4path ? 4 : 8;
-  g.epw = 32 / g.chunk;
-  g.row_words = static_cast<int>(cfg.bsn) * g.chunk / 32;
-  g.phases = g.int4path ? 8 : 4;
-  g.rows_per_frag = g.int4path ? 8 : 4;
-
-  g.v = a_meta.structure.vector_length;
-  g.p = static_cast<int>(a_meta.plane_count());
-  g.q = q_planes;
-  g.s = std::max(1, std::min(8 / g.v, g.p));
-  g.g = (g.p + g.s - 1) / g.s;
-  g.lhs_signed = is_signed(a_meta.logical_type);
-  g.bias_correct = g.lhs_signed && g.group_size(g.g - 1) > 1;
-
-  g.n = n;
-  g.k = k;
-  g.bsn = static_cast<std::size_t>(cfg.bsn);
-  g.col_blocks = n / g.bsn;
-  g.padded = cfg.variant != SpmmVariant::basic;
-  g.prefetch = cfg.variant == SpmmVariant::conflict_free_prefetch ||
-               cfg.variant == SpmmVariant::full;
-  g.shuffle = needs_shuffle(cfg);
-  g.layout = RhsTileLayout{g.stride, g.row_words, g.padded};
-
-  // Shared memory map: [indices][LHS planes][RHS planes].
-  g.idx_base = 0;
-  g.lhs_base = static_cast<std::size_t>(g.stride);
-  g.lhs_words_per_plane = static_cast<std::size_t>(4 * g.v);
-  g.rhs_base = g.lhs_base +
-               static_cast<std::size_t>(g.p) * g.lhs_words_per_plane;
-  g.smem_words = g.rhs_base +
-                 static_cast<std::size_t>(g.q) * g.layout.total_words();
-  return g;
-}
-
-std::size_t smem_bytes(const Geom& g) {
-  // Algorithm 1 double-buffers the LHS values + indices when prefetching.
-  const std::size_t lhs_part =
-      (static_cast<std::size_t>(g.stride) +
-       static_cast<std::size_t>(g.p) * g.lhs_words_per_plane) *
-      (g.prefetch ? 2 : 1);
-  const std::size_t rhs_part =
-      static_cast<std::size_t>(g.q) * g.layout.total_words();
-  return 4 * (lhs_part + rhs_part);
-}
+using Geom = detail::SpmmGeom;
+using detail::load_le32;
+using detail::stack_shfls;
 
 int output_col(const Geom& g, int mma, int tile_col) {
   return g.int4path ? spmm_output_col_int4(mma, tile_col)
                     : spmm_output_col_int8(mma, tile_col);
 }
 
-// ---- Closed-form per-event helpers (shared derivations) -------------------
+// ---- Value helpers shared by the simulated and fast paths -----------------
+// Pure data transformations; event counting stays with each caller.
 
-/// Sectors of one LHS stride-tile load (16V bytes, 16V-aligned).
-std::uint32_t lhs_tile_sectors(const Geom& g) {
-  return static_cast<std::uint32_t>((16u * static_cast<unsigned>(g.v) + 31) / 32);
-}
-/// Sectors of one index load (stride * 4 bytes, aligned).
-std::uint32_t idx_sectors(const Geom& g) {
-  return static_cast<std::uint32_t>(g.stride * 4 / 32);
-}
-/// Sectors of one RHS row-segment load (bsn * chunk / 8 bytes, aligned).
-std::uint32_t rhs_row_sectors(const Geom& g) {
-  return static_cast<std::uint32_t>(g.bsn * static_cast<std::size_t>(g.chunk) /
-                                    8 / 32);
-}
-/// Shared-memory transactions of one RHS fragment-load phase.
-std::uint32_t rhs_phase_transactions(const Geom& g) {
-  // Padded layout: all 32 banks distinct (proved in marshal.hpp comment and
-  // asserted by tests). Unpadded: the warp touches only 8 distinct banks
-  // with 4 lanes each on both datapaths -> 4-way conflict.
-  return g.padded ? 1 : 4;
-}
-/// Epilogue event bundle (per block): the C tile is staged through a
-/// swizzled shared-memory buffer and written back coalesced.
-struct EpilogueCounts {
-  std::uint64_t smem_store_req, smem_store_trans;
-  std::uint64_t smem_load_req, smem_load_trans;
-  std::uint64_t gmem_store_req, gmem_store_sectors;
-};
-EpilogueCounts epilogue_counts(const Geom& g) {
-  EpilogueCounts e{};
-  // 2 warps x 4 mma x 2 accumulator registers, swizzled -> conflict-free.
-  e.smem_store_req = e.smem_store_trans = 2 * 4 * 2;
-  // Read back V rows of bsn int32 (bsn/32 = 2 requests per row).
-  e.smem_load_req = e.smem_load_trans =
-      static_cast<std::uint64_t>(g.v) * (g.bsn / 32);
-  e.gmem_store_req = static_cast<std::uint64_t>(g.v) * (g.bsn / 32);
-  // 32 lanes x 4B consecutive = 128B = 4 sectors per request.
-  e.gmem_store_sectors = e.gmem_store_req * 4;
-  return e;
-}
-
-/// Warp-shuffle instructions of the stacked-plane combine, per accumulator
-/// register (butterfly gather: 1 partner for s=2, 3 partners for s in 3..4).
-std::uint64_t stack_shfls(int s) { return s <= 1 ? 0 : (s == 2 ? 1 : 3); }
-
-/// Compulsory DRAM traffic: operand first-touch bytes. The RHS working set
-/// of DLMC-scale problems fits comfortably in the 40 MB L2, so DRAM sees
-/// each B byte once (or the loaded subset, when sparsity leaves B rows
-/// untouched); A, its indices and C are streamed once.
-std::uint64_t spmm_dram_bytes(const Geom& g, std::size_t slots,
-                              std::uint64_t valid_vectors,
-                              std::size_t vector_rows) {
-  const std::uint64_t a_bytes =
-      static_cast<std::uint64_t>(slots) * static_cast<std::uint64_t>(g.v) *
-      static_cast<std::uint64_t>(g.chunk) / 8 * static_cast<std::uint64_t>(g.p);
-  const std::uint64_t idx_bytes = static_cast<std::uint64_t>(slots) * 4;
-  const std::uint64_t b_size = static_cast<std::uint64_t>(g.k) * g.n *
-                               static_cast<std::uint64_t>(g.chunk) / 8 *
-                               static_cast<std::uint64_t>(g.q);
-  const std::uint64_t b_loaded =
-      valid_vectors * static_cast<std::uint64_t>(g.q) * g.col_blocks *
-      (g.bsn * static_cast<std::uint64_t>(g.chunk) / 8);
-  const std::uint64_t c_bytes = static_cast<std::uint64_t>(vector_rows) *
-                                static_cast<std::uint64_t>(g.v) * g.n * 4;
-  return a_bytes + idx_bytes + std::min(b_size, b_loaded) + c_bytes;
-}
-
-/// Closed-form counters of one thread block with `steps` accumulation steps
-/// and `valid` unpadded vectors, mirroring run_block event for event.
-KernelCounters block_counters(const Geom& g, std::uint64_t steps,
-                              std::uint64_t valid) {
-  KernelCounters kc;
-  const std::uint64_t p = static_cast<std::uint64_t>(g.p);
-  const std::uint64_t q = static_cast<std::uint64_t>(g.q);
-  const std::uint64_t grp = static_cast<std::uint64_t>(g.g);
-  const std::uint64_t phases = static_cast<std::uint64_t>(g.phases);
-  const std::uint64_t stride = static_cast<std::uint64_t>(g.stride);
-
-  // RHS rows are batched 32/row_words per request (2 on int8, 4 on int4).
-  const std::uint64_t rhs_reqs_per_step =
-      stride / (32 / static_cast<std::uint64_t>(g.row_words));
-  kc.gmem_load_requests = steps * (1 + p + rhs_reqs_per_step * q);
-  kc.gmem_load_sectors = steps * (idx_sectors(g) + p * lhs_tile_sectors(g)) +
-                         valid * q * rhs_row_sectors(g);
-  kc.smem_store_requests = steps * (1 + p + rhs_reqs_per_step * q);
-  kc.smem_store_transactions = kc.smem_store_requests;
-  kc.smem_load_requests = steps * (1 + 2 * (grp + q * phases));
-  kc.smem_load_transactions =
-      steps * (1 + 2 * (grp + q * phases * rhs_phase_transactions(g)));
-
-  const std::uint64_t mmas = steps * 8 * grp * q;
-  (g.int4path ? kc.mma_int4 : kc.mma_int8) = mmas;
-
-  const std::uint64_t transpose_alu =
-      g.int4path ? (g.shuffle ? kInt4ShuffledAluOps : kInt4NaiveAluOps)
-                 : kInt8TransposeAluOps;
-  kc.alu_ops = steps * 2 * q * transpose_alu;
-  if (g.bias_correct) {
-    kc.alu_ops += steps * 2;                    // bias encode, per warp
-    kc.alu_ops += steps * 2 * q * 4 * phases;   // column-sum updates
+/// Register transpose of one loaded RHS phase set (Fig. 5 / Fig. 7):
+/// b_regs[lane][i] = fragment register of mma i for this lane.
+void transpose_b_regs(const Geom& g,
+                      const std::array<std::array<std::uint32_t, 8>, 32>& loaded,
+                      std::array<std::array<std::uint32_t, 4>, 32>& b_regs) {
+  if (g.int4path) {
+    for (int lane = 0; lane < 32; ++lane) {
+      std::array<std::uint32_t, 8> in{};
+      for (int i = 0; i < 8; ++i) {
+        in[static_cast<std::size_t>(i)] =
+            loaded[static_cast<std::size_t>(lane)][static_cast<std::size_t>(i)];
+      }
+      const auto out = g.shuffle ? transpose_int4_shuffled(in)
+                                 : transpose_int4_naive(in);
+      const int h = (lane / 4) / 4;
+      for (int i = 0; i < 4; ++i) {
+        b_regs[static_cast<std::size_t>(lane)][static_cast<std::size_t>(i)] =
+            out[static_cast<std::size_t>(4 * h + i)];
+      }
+    }
+  } else {
+    for (int lane = 0; lane < 32; ++lane) {
+      std::array<std::uint32_t, 4> in{};
+      for (int i = 0; i < 4; ++i) {
+        in[static_cast<std::size_t>(i)] =
+            loaded[static_cast<std::size_t>(lane)][static_cast<std::size_t>(i)];
+      }
+      b_regs[static_cast<std::size_t>(lane)] = transpose_4x4_bytes(in);
+    }
   }
-  kc.alu_ops += 32 * p * q;                     // epilogue combine
-  kc.shfl_ops = 16 * stack_shfls(g.s) * grp * q;
-  kc.syncthreads = steps * (g.prefetch ? 3u : 2u) + 1;
-
-  const EpilogueCounts e = epilogue_counts(g);
-  kc.smem_store_requests += e.smem_store_req;
-  kc.smem_store_transactions += e.smem_store_trans;
-  kc.smem_load_requests += e.smem_load_req;
-  kc.smem_load_transactions += e.smem_load_trans;
-  kc.gmem_store_requests += e.gmem_store_req;
-  kc.gmem_store_sectors += e.gmem_store_sectors;
-  return kc;
 }
 
-// ---- Functional kernel ----------------------------------------------------
+/// Bias-correction column sums of one transposed RHS fragment set.
+void update_colsum(const Geom& g,
+                   const std::array<std::array<std::uint32_t, 4>, 32>& b_regs,
+                   bool b_signed, int w, int qq, std::int64_t* colsum) {
+  for (int lane = 0; lane < 32; ++lane) {
+    for (int i = 0; i < 4; ++i) {
+      const std::uint32_t reg =
+          b_regs[static_cast<std::size_t>(lane)][static_cast<std::size_t>(i)];
+      const int tile_col = lane / 4;
+      const int local_col = output_col(g, i, tile_col);
+      std::int64_t sum = 0;
+      for (int e = 0; e < g.epw; ++e) {
+        const std::uint32_t raw =
+            (reg >> (g.chunk * e)) & ((1u << g.chunk) - 1u);
+        sum += b_signed ? sign_extend(raw, g.chunk)
+                        : static_cast<std::int32_t>(raw);
+      }
+      colsum[static_cast<std::size_t>((w * g.q + qq) * 32 + local_col)] += sum;
+    }
+  }
+}
+
+/// Operand signedness of the LHS fragment of group `grp` as issued to the
+/// mma (stacked/biased groups run unsigned; see §IV-D).
+bool lhs_group_signed(const Geom& g, const SparseOperand& a, int grp) {
+  const bool stacked_bias = g.bias_correct && grp == g.g - 1;
+  if (g.group_size(grp) == 1) {
+    bool a_signed = a.planes[static_cast<std::size_t>(grp * g.s)].is_signed;
+    if (g.is_top(grp * g.s) && stacked_bias) a_signed = false;
+    return a_signed;
+  }
+  return false;  // raw / biased chunks
+}
+
+/// Weighted plane combine + writeback of one block's accumulators (the
+/// value half of the epilogue; callers add the event counts).
+void spmm_value_epilogue(const Geom& g, const SparseOperand& a,
+                         const DenseOperand& b, const AccumFrag* acc,
+                         const std::int64_t* colsum, std::size_t r,
+                         std::size_t cb, Matrix<std::int32_t>& c) {
+  const std::size_t v = static_cast<std::size_t>(g.v);
+  auto acc_at = [&](int w, int grp, int qq, int mma) -> const AccumFrag& {
+    return acc[static_cast<std::size_t>(((w * g.g + grp) * g.q + qq) * 4 +
+                                        mma)];
+  };
+  for (int w = 0; w < 2; ++w) {
+    for (int mma = 0; mma < 4; ++mma) {
+      for (int lane = 0; lane < 32; ++lane) {
+        const int row = lane / 4;
+        if (row >= g.v) continue;
+        const std::size_t out_row = r * v + static_cast<std::size_t>(row);
+        for (int cc = 0; cc < 2; ++cc) {
+          const int tile_col = 2 * (lane % 4) + cc;
+          const int local_col = output_col(g, mma, tile_col);
+          std::int64_t total = 0;
+          for (int grp = 0; grp < g.g; ++grp) {
+            for (int lp = 0; lp < g.group_size(grp); ++lp) {
+              const int pl = grp * g.s + lp;
+              const std::int64_t wp =
+                  a.planes[static_cast<std::size_t>(pl)].weight;
+              const int src_lane = (lp * g.v + row) * 4 + (lane % 4);
+              for (int qq = 0; qq < g.q; ++qq) {
+                const std::int64_t vq =
+                    b.planes[static_cast<std::size_t>(qq)].weight;
+                std::int64_t part =
+                    acc_at(w, grp, qq, mma)
+                        .c[static_cast<std::size_t>(src_lane)]
+                        [static_cast<std::size_t>(cc)];
+                if (g.bias_correct && grp == g.g - 1 && g.is_top(pl)) {
+                  // Undo the excess encoding: C_top = C_raw - 2^(b-1)*colsum.
+                  part -= (std::int64_t{1} << (g.chunk - 1)) *
+                          colsum[static_cast<std::size_t>(
+                              (w * g.q + qq) * 32 + local_col)];
+                }
+                total += wp * vq * part;
+              }
+            }
+          }
+          const std::size_t out_col =
+              cb * g.bsn + static_cast<std::size_t>(w) * 32 +
+              static_cast<std::size_t>(local_col);
+          c(out_row, out_col) = static_cast<std::int32_t>(total);
+        }
+      }
+    }
+  }
+}
+
+// ---- Functional (lane-accurate) kernel ------------------------------------
 
 struct BlockArgs {
   const SparseOperand* a;
@@ -413,15 +337,8 @@ void run_block(simt::BlockContext& ctx, const BlockArgs& args) {
           LaneAddrs sa;
           sa.fill(simt::kInactiveLane);
           for (int lane = 0; lane < 32; ++lane) {
-            const int qq4 = lane % 4;
-            int word_col, k_row;
-            if (g.int4path) {
-              word_col = w * 4 + (lane / 4) % 4;
-              k_row = 8 * qq4 + ph;
-            } else {
-              word_col = w * 8 + lane / 4;
-              k_row = 4 * qq4 + ph;
-            }
+            const int word_col = spmm_rhs_word_col(g.int4path, w, lane);
+            const int k_row = spmm_rhs_k_row(g.int4path, ph, lane);
             sa[static_cast<std::size_t>(lane)] =
                 g.rhs_base +
                 static_cast<std::size_t>(qq) * g.layout.total_words() +
@@ -436,61 +353,18 @@ void run_block(simt::BlockContext& ctx, const BlockArgs& args) {
           }
         }
 
-        // Transpose on registers. b_regs[lane][i] = fragment register of
-        // mma i for this lane.
+        // Transpose on registers.
         std::array<std::array<std::uint32_t, 4>, 32> b_regs{};
-        if (g.int4path) {
-          for (int lane = 0; lane < 32; ++lane) {
-            std::array<std::uint32_t, 8> in{};
-            for (int i = 0; i < 8; ++i) {
-              in[static_cast<std::size_t>(i)] =
-                  loaded[static_cast<std::size_t>(lane)]
-                        [static_cast<std::size_t>(i)];
-            }
-            const auto out = g.shuffle ? transpose_int4_shuffled(in)
-                                       : transpose_int4_naive(in);
-            const int h = (lane / 4) / 4;
-            for (int i = 0; i < 4; ++i) {
-              b_regs[static_cast<std::size_t>(lane)]
-                    [static_cast<std::size_t>(i)] =
-                        out[static_cast<std::size_t>(4 * h + i)];
-            }
-          }
-          kc.alu_ops += g.shuffle ? kInt4ShuffledAluOps : kInt4NaiveAluOps;
-        } else {
-          for (int lane = 0; lane < 32; ++lane) {
-            std::array<std::uint32_t, 4> in{};
-            for (int i = 0; i < 4; ++i) {
-              in[static_cast<std::size_t>(i)] =
-                  loaded[static_cast<std::size_t>(lane)]
-                        [static_cast<std::size_t>(i)];
-            }
-            b_regs[static_cast<std::size_t>(lane)] = transpose_4x4_bytes(in);
-          }
-          kc.alu_ops += kInt8TransposeAluOps;
-        }
+        transpose_b_regs(g, loaded, b_regs);
+        kc.alu_ops += g.int4path ? (g.shuffle ? kInt4ShuffledAluOps
+                                              : kInt4NaiveAluOps)
+                                 : kInt8TransposeAluOps;
 
         // Bias-correction column sums (signed values of this RHS plane).
         if (g.bias_correct) {
-          const bool bsig = b.planes[static_cast<std::size_t>(qq)].is_signed;
-          for (int lane = 0; lane < 32; ++lane) {
-            for (int i = 0; i < 4; ++i) {
-              const std::uint32_t reg =
-                  b_regs[static_cast<std::size_t>(lane)]
-                        [static_cast<std::size_t>(i)];
-              const int tile_col = lane / 4;
-              const int local_col = output_col(g, i, tile_col);
-              std::int64_t sum = 0;
-              for (int e = 0; e < g.epw; ++e) {
-                const std::uint32_t raw =
-                    (reg >> (g.chunk * e)) & ((1u << g.chunk) - 1u);
-                sum += bsig ? sign_extend(raw, g.chunk)
-                            : static_cast<std::int32_t>(raw);
-              }
-              colsum[static_cast<std::size_t>(
-                  (w * g.q + qq) * 32 + local_col)] += sum;
-            }
-          }
+          update_colsum(g, b_regs,
+                        b.planes[static_cast<std::size_t>(qq)].is_signed, w,
+                        qq, colsum.data());
           kc.alu_ops += static_cast<std::uint64_t>(4 * g.phases);
         }
 
@@ -498,14 +372,7 @@ void run_block(simt::BlockContext& ctx, const BlockArgs& args) {
         const bool b_signed =
             b.planes[static_cast<std::size_t>(qq)].is_signed;
         for (int grp = 0; grp < g.g; ++grp) {
-          const bool stacked_bias = g.bias_correct && grp == g.g - 1;
-          bool a_signed;
-          if (g.group_size(grp) == 1) {
-            a_signed = a.planes[static_cast<std::size_t>(grp * g.s)].is_signed;
-            if (g.is_top(grp * g.s) && stacked_bias) a_signed = false;
-          } else {
-            a_signed = false;  // raw / biased chunks
-          }
+          const bool a_signed = lhs_group_signed(g, a, grp);
           for (int mma = 0; mma < 4; ++mma) {
             WarpReg b_frag{};
             for (int lane = 0; lane < 32; ++lane) {
@@ -529,55 +396,14 @@ void run_block(simt::BlockContext& ctx, const BlockArgs& args) {
   }
 
   // ---- Epilogue: weighted plane combine + writeback ----
-  Matrix<std::int32_t>& c = *args.c;
-  for (int w = 0; w < 2; ++w) {
-    for (int mma = 0; mma < 4; ++mma) {
-      for (int lane = 0; lane < 32; ++lane) {
-        const int row = lane / 4;
-        if (row >= g.v) continue;
-        const std::size_t out_row = r * v + static_cast<std::size_t>(row);
-        for (int cc = 0; cc < 2; ++cc) {
-          const int tile_col = 2 * (lane % 4) + cc;
-          const int local_col = output_col(g, mma, tile_col);
-          std::int64_t total = 0;
-          for (int grp = 0; grp < g.g; ++grp) {
-            for (int lp = 0; lp < g.group_size(grp); ++lp) {
-              const int pl = grp * g.s + lp;
-              const std::int64_t wp =
-                  a.planes[static_cast<std::size_t>(pl)].weight;
-              const int src_lane = (lp * g.v + row) * 4 + (lane % 4);
-              for (int qq = 0; qq < g.q; ++qq) {
-                const std::int64_t vq =
-                    b.planes[static_cast<std::size_t>(qq)].weight;
-                std::int64_t part =
-                    acc_at(w, grp, qq, mma)
-                        .c[static_cast<std::size_t>(src_lane)]
-                        [static_cast<std::size_t>(cc)];
-                if (g.bias_correct && grp == g.g - 1 && g.is_top(pl)) {
-                  // Undo the excess encoding: C_top = C_raw - 2^(b-1)*colsum.
-                  part -= (std::int64_t{1} << (g.chunk - 1)) *
-                          colsum[static_cast<std::size_t>(
-                              (w * g.q + qq) * 32 + local_col)];
-                }
-                total += wp * vq * part;
-              }
-            }
-          }
-          const std::size_t out_col =
-              cb * g.bsn + static_cast<std::size_t>(w) * 32 +
-              static_cast<std::size_t>(local_col);
-          c(out_row, out_col) = static_cast<std::int32_t>(total);
-        }
-      }
-      // Shuffle + ALU cost of the combine, counted per warp.
-      kc.shfl_ops += 2 * stack_shfls(g.s) * static_cast<std::uint64_t>(g.g) *
-                     static_cast<std::uint64_t>(g.q);
-      kc.alu_ops += 2 * 2 * static_cast<std::uint64_t>(g.p) *
-                    static_cast<std::uint64_t>(g.q);
-    }
-  }
-  // Staged writeback events (see epilogue_counts derivation).
-  const EpilogueCounts e = epilogue_counts(g);
+  spmm_value_epilogue(g, a, b, acc.data(), colsum.data(), r, cb, *args.c);
+  // Shuffle + ALU cost of the combine (2 per warp x 8 (w, mma) pairs).
+  kc.shfl_ops += 16 * stack_shfls(g.s) * static_cast<std::uint64_t>(g.g) *
+                 static_cast<std::uint64_t>(g.q);
+  kc.alu_ops += 32 * static_cast<std::uint64_t>(g.p) *
+                static_cast<std::uint64_t>(g.q);
+  // Staged writeback events (see spmm_epilogue_counts derivation).
+  const detail::SpmmEpilogueCounts e = detail::spmm_epilogue_counts(g);
   kc.smem_store_requests += e.smem_store_req;
   kc.smem_store_transactions += e.smem_store_trans;
   kc.smem_load_requests += e.smem_load_req;
@@ -587,10 +413,144 @@ void run_block(simt::BlockContext& ctx, const BlockArgs& args) {
   kc.syncthreads += 1;
 }
 
-}  // namespace
+// ---- Fast path: value-only plan replay ------------------------------------
 
-SpmmResult spmm(const SparseOperand& a, const DenseOperand& b,
-                const SpmmConfig& cfg) {
+/// Thread-local scratch arena reused across blocks and run_grid calls (the
+/// fast path never allocates per block).
+struct SpmmScratch {
+  std::vector<AccumFrag> acc;
+  std::vector<std::int64_t> colsum;
+  std::vector<simt::DecodedFrag> a_dec;       // one per plane group
+  std::array<simt::DecodedFrag, 4> b_dec{};   // one per mma index
+};
+
+SpmmScratch& spmm_scratch() {
+  thread_local SpmmScratch scratch;
+  return scratch;
+}
+
+void fast_block(std::size_t blk, const SparseOperand& a,
+                const DenseOperand& b, const SpmmPlan& plan,
+                Matrix<std::int32_t>& c) {
+  const Geom& g = plan.geom;
+  const sparse::SrBcrs& sr = a.structure;
+  const std::size_t r = blk / g.col_blocks;
+  const std::size_t cb = blk % g.col_blocks;
+  const std::size_t steps = sr.strides_in_row(r);
+  const std::size_t stride = static_cast<std::size_t>(g.stride);
+  const std::size_t v = static_cast<std::size_t>(g.v);
+  const std::size_t chunk = static_cast<std::size_t>(g.chunk);
+
+  SpmmScratch& s = spmm_scratch();
+  s.acc.assign(static_cast<std::size_t>(2 * g.g * g.q * 4), AccumFrag{});
+  s.colsum.assign(
+      g.bias_correct ? static_cast<std::size_t>(2 * g.q * 32) : 0, 0);
+  s.a_dec.resize(static_cast<std::size_t>(g.g));
+  auto acc_at = [&](int w, int grp, int qq, int mma) -> AccumFrag& {
+    return s.acc[static_cast<std::size_t>(
+        ((w * g.g + grp) * g.q + qq) * 4 + mma)];
+  };
+
+  const std::size_t cb_byte = cb * g.bsn * chunk / 8;
+  const std::uint32_t msb_mask = g.chunk == 4 ? 0x88888888u : 0x80808080u;
+
+  for (std::size_t st = 0; st < steps; ++st) {
+    const std::size_t slot_base = sr.first_ptr[r] + st * stride;
+    const std::size_t lhs_byte = slot_base * v * chunk / 8;
+
+    // LHS fragments: the staged stride tile is a contiguous copy of the
+    // plane bytes, so the schedule gathers words straight from them. Both
+    // warps load identical fragments — gathered and decoded once per step.
+    for (int grp = 0; grp < g.g; ++grp) {
+      WarpReg frag{};
+      const auto& srcs = plan.a_frag_src[static_cast<std::size_t>(grp)];
+      const bool biased = g.bias_correct && grp == g.g - 1;
+      for (int lane = 0; lane < 32; ++lane) {
+        const SpmmPlan::LaneSrc src = srcs[static_cast<std::size_t>(lane)];
+        std::uint32_t word = 0;
+        if (src.word >= 0) {
+          word = load_le32(
+              a.planes[static_cast<std::size_t>(src.plane)].values.data() +
+              lhs_byte + 4u * static_cast<unsigned>(src.word));
+          if (biased && plan.bias_lane[static_cast<std::size_t>(lane)]) {
+            word ^= msb_mask;
+          }
+        }
+        frag[static_cast<std::size_t>(lane)] = word;
+      }
+      simt::DecodedFrag& dec = s.a_dec[static_cast<std::size_t>(grp)];
+      if (g.int4path) {
+        simt::decode_frag_int4(frag, lhs_group_signed(g, a, grp), dec);
+      } else {
+        simt::decode_frag_int8(frag, lhs_group_signed(g, a, grp), dec);
+      }
+    }
+
+    for (int w = 0; w < 2; ++w) {
+      for (int qq = 0; qq < g.q; ++qq) {
+        const std::uint8_t* b_bytes =
+            b.planes[static_cast<std::size_t>(qq)].values.data();
+        std::array<std::array<std::uint32_t, 8>, 32> loaded{};
+        for (int ph = 0; ph < g.phases; ++ph) {
+          const auto& k_row = plan.rhs_k_row[static_cast<std::size_t>(ph)];
+          const auto& word_col =
+              plan.rhs_word_col[static_cast<std::size_t>(w * g.phases + ph)];
+          for (int lane = 0; lane < 32; ++lane) {
+            const std::size_t base = plan.rhs_row_base
+                [slot_base +
+                 static_cast<std::size_t>(k_row[static_cast<std::size_t>(lane)])];
+            loaded[static_cast<std::size_t>(lane)]
+                  [static_cast<std::size_t>(ph)] =
+                base == kNoRhsRow
+                    ? 0
+                    : load_le32(b_bytes + base + cb_byte +
+                                4u * static_cast<unsigned>(
+                                         word_col[static_cast<std::size_t>(
+                                             lane)]));
+          }
+        }
+
+        std::array<std::array<std::uint32_t, 4>, 32> b_regs{};
+        transpose_b_regs(g, loaded, b_regs);
+        if (g.bias_correct) {
+          update_colsum(g, b_regs,
+                        b.planes[static_cast<std::size_t>(qq)].is_signed, w,
+                        qq, s.colsum.data());
+        }
+
+        // Decode each mma's RHS fragment once; every plane group reuses it.
+        const bool b_signed =
+            b.planes[static_cast<std::size_t>(qq)].is_signed;
+        for (int mma = 0; mma < 4; ++mma) {
+          WarpReg b_frag{};
+          for (int lane = 0; lane < 32; ++lane) {
+            b_frag[static_cast<std::size_t>(lane)] =
+                b_regs[static_cast<std::size_t>(lane)]
+                      [static_cast<std::size_t>(mma)];
+          }
+          simt::DecodedFrag& dec = s.b_dec[static_cast<std::size_t>(mma)];
+          if (g.int4path) {
+            simt::decode_frag_int4(b_frag, b_signed, dec);
+          } else {
+            simt::decode_frag_int8(b_frag, b_signed, dec);
+          }
+        }
+        for (int grp = 0; grp < g.g; ++grp) {
+          for (int mma = 0; mma < 4; ++mma) {
+            simt::mma_decoded(acc_at(w, grp, qq, mma),
+                              s.a_dec[static_cast<std::size_t>(grp)],
+                              s.b_dec[static_cast<std::size_t>(mma)]);
+          }
+        }
+      }
+    }
+  }
+
+  spmm_value_epilogue(g, a, b, s.acc.data(), s.colsum.data(), r, cb, c);
+}
+
+void validate_spmm_inputs(const SparseOperand& a, const DenseOperand& b,
+                          const SpmmConfig& cfg) {
   const sparse::SrBcrs& sr = a.structure;
   MAGICUBE_CHECK_MSG(sr.stride == stride_for(cfg.precision),
                      "LHS stride does not match the precision datapath");
@@ -600,14 +560,18 @@ SpmmResult spmm(const SparseOperand& a, const DenseOperand& b,
   MAGICUBE_CHECK_MSG(b.cols % static_cast<std::size_t>(cfg.bsn) == 0,
                      "N must be a multiple of the block tile width");
   MAGICUBE_CHECK(b.rows == sr.cols);
+}
 
-  Geom g = make_geom(a, static_cast<int>(b.plane_count()), b.cols, b.rows,
-                     cfg);
+SpmmResult run_simulate(const SparseOperand& a, const DenseOperand& b,
+                        const SpmmConfig& cfg) {
+  const sparse::SrBcrs& sr = a.structure;
+  Geom g = detail::make_spmm_geom(a, static_cast<int>(b.plane_count()),
+                                  b.cols, b.rows, cfg);
 
   simt::LaunchConfig launch;
   launch.grid_blocks = sr.vector_rows() * g.col_blocks;
   launch.warps_per_block = cfg.warps_per_block;
-  launch.smem_bytes_per_block = smem_bytes(g);
+  launch.smem_bytes_per_block = detail::spmm_smem_bytes(g);
 
   SpmmResult result;
   result.c = Matrix<std::int32_t>(sr.rows, b.cols, 0);
@@ -624,9 +588,73 @@ SpmmResult spmm(const SparseOperand& a, const DenseOperand& b,
   }
   result.run.pipeline.total_steps = total_steps * g.col_blocks;
   result.run.pipeline.prefetch = g.prefetch;
-  result.run.counters.dram_bytes =
-      spmm_dram_bytes(g, sr.slot_count(), valid_vectors, sr.vector_rows());
+  result.run.counters.dram_bytes = detail::spmm_dram_bytes(
+      g, sr.slot_count(), valid_vectors, sr.vector_rows());
   return result;
+}
+
+SpmmResult run_fast(const SparseOperand& a, const DenseOperand& b,
+                    const SpmmConfig& cfg, const SpmmPlan& plan) {
+  const Geom& g = plan.geom;
+  MAGICUBE_CHECK_MSG(g.n == b.cols && g.k == b.rows,
+                     "execution plan built for a different problem shape");
+  MAGICUBE_CHECK_MSG(g.p == static_cast<int>(a.plane_count()) &&
+                         g.q == static_cast<int>(b.plane_count()) &&
+                         g.lhs_signed == is_signed(a.logical_type),
+                     "execution plan built for a different precision pair");
+  MAGICUBE_CHECK_MSG(plan.rhs_row_base.size() == a.structure.slot_count() &&
+                         plan.run.launch.grid_blocks ==
+                             a.structure.vector_rows() * g.col_blocks,
+                     "execution plan built for a different sparsity "
+                     "structure — plans are per pattern fingerprint");
+  MAGICUBE_CHECK(g.stride == a.structure.stride &&
+                 g.shuffle == a.structure.shuffled &&
+                 g.v == a.structure.vector_length);
+  // Exact structural validation: the plan's resolved row bases must agree
+  // with the operand's column indices slot for slot (same vector count but
+  // different columns would otherwise replay silently wrong). O(slots)
+  // multiply-compares, negligible next to the replay itself.
+  const std::size_t row_bytes = g.n * static_cast<std::size_t>(g.chunk) / 8;
+  for (std::size_t slot = 0; slot < plan.rhs_row_base.size(); ++slot) {
+    const std::uint32_t col = a.structure.col_idx[slot];
+    const std::size_t want =
+        col == sparse::kInvalidCol
+            ? kNoRhsRow
+            : static_cast<std::size_t>(col) * row_bytes;
+    MAGICUBE_CHECK_MSG(plan.rhs_row_base[slot] == want,
+                       "execution plan built for a different sparsity "
+                       "structure — plans are per pattern fingerprint");
+  }
+  (void)cfg;
+
+  SpmmResult result;
+  result.c = Matrix<std::int32_t>(a.structure.rows, b.cols, 0);
+  simt::run_grid_values(plan.run.launch.grid_blocks, [&](std::size_t blk) {
+    fast_block(blk, a, b, plan, result.c);
+  });
+  result.run = plan.run;
+  return result;
+}
+
+}  // namespace
+
+SpmmResult spmm(const SparseOperand& a, const DenseOperand& b,
+                const SpmmConfig& cfg) {
+  validate_spmm_inputs(a, b, cfg);
+  if (cfg.mode.value_or(default_exec_mode()) == ExecMode::fast) {
+    const SpmmPlanHandle plan = build_spmm_plan(a, b.cols, cfg);
+    return run_fast(a, b, cfg, *plan);
+  }
+  return run_simulate(a, b, cfg);
+}
+
+SpmmResult spmm(const SparseOperand& a, const DenseOperand& b,
+                const SpmmConfig& cfg, const SpmmPlan& plan) {
+  validate_spmm_inputs(a, b, cfg);
+  if (cfg.mode.value_or(default_exec_mode()) == ExecMode::simulate) {
+    return run_simulate(a, b, cfg);
+  }
+  return run_fast(a, b, cfg, plan);
 }
 
 simt::KernelRun spmm_estimate(const sparse::BlockPattern& pattern,
@@ -645,13 +673,13 @@ simt::KernelRun spmm_estimate(const sparse::BlockPattern& pattern,
   const int q_planes =
       quant::plane_count(cfg.precision.rhs,
                          bits_of(cfg.precision.rhs) <= 4 ? 4 : 8);
-  Geom g = make_geom(meta, q_planes, n_cols, pattern.cols, cfg);
+  Geom g = detail::make_spmm_geom(meta, q_planes, n_cols, pattern.cols, cfg);
 
   const std::size_t stride = static_cast<std::size_t>(g.stride);
   simt::KernelRun run;
   run.launch.grid_blocks = pattern.vector_rows() * g.col_blocks;
   run.launch.warps_per_block = cfg.warps_per_block;
-  run.launch.smem_bytes_per_block = smem_bytes(g);
+  run.launch.smem_bytes_per_block = detail::spmm_smem_bytes(g);
   run.pipeline.prefetch = g.prefetch;
 
   std::uint64_t slots = 0, valid = 0, total_steps = 0;
@@ -661,22 +689,14 @@ simt::KernelRun spmm_estimate(const sparse::BlockPattern& pattern,
     slots += steps * stride;
     valid += n_r;
     total_steps += steps;
-    KernelCounters kc = block_counters(g, steps, n_r);
+    KernelCounters kc = detail::spmm_block_counters(g, steps, n_r);
     // Every block of this row (one per column tile) counts identically.
-    for (auto* field :
-         {&kc.gmem_load_requests, &kc.gmem_load_sectors,
-          &kc.gmem_store_requests, &kc.gmem_store_sectors,
-          &kc.smem_load_requests, &kc.smem_load_transactions,
-          &kc.smem_store_requests, &kc.smem_store_transactions,
-          &kc.mma_int8, &kc.mma_int4, &kc.alu_ops, &kc.shfl_ops,
-          &kc.syncthreads}) {
-      *field *= g.col_blocks;
-    }
+    kc *= g.col_blocks;
     run.counters += kc;
   }
   run.pipeline.total_steps = total_steps * g.col_blocks;
   run.counters.dram_bytes =
-      spmm_dram_bytes(g, slots, valid, pattern.vector_rows());
+      detail::spmm_dram_bytes(g, slots, valid, pattern.vector_rows());
   return run;
 }
 
@@ -689,6 +709,13 @@ SpmmResult spmm(const SparseOperandHandle& a, const DenseOperandHandle& b,
                 const SpmmConfig& cfg) {
   MAGICUBE_CHECK_MSG(a && b, "spmm handles must be non-null");
   return spmm(*a, *b, cfg);
+}
+
+SpmmResult spmm(const SparseOperandHandle& a, const DenseOperandHandle& b,
+                const SpmmConfig& cfg, const SpmmPlanHandle& plan) {
+  MAGICUBE_CHECK_MSG(a && b, "spmm handles must be non-null");
+  MAGICUBE_CHECK_MSG(plan != nullptr, "spmm plan handle must be non-null");
+  return spmm(*a, *b, cfg, *plan);
 }
 
 }  // namespace magicube::core

@@ -22,9 +22,11 @@
 //                     executed counters is asserted by the test suite.
 
 #include <cstdint>
+#include <optional>
 
 #include "common/matrix.hpp"
 #include "core/operands.hpp"
+#include "core/plan.hpp"
 #include "simt/cost_model.hpp"
 
 namespace magicube::core {
@@ -45,6 +47,10 @@ struct SpmmConfig {
   SpmmVariant variant = SpmmVariant::full;
   int bsn = 64;            // RHS/C tile width per block
   int warps_per_block = 2;
+  /// Execution engine; unset defers to default_exec_mode() (fast unless
+  /// MAGICUBE_EXEC_MODE / set_default_exec_mode says otherwise). Both modes
+  /// produce bit-exact results and identical counters.
+  std::optional<ExecMode> mode = std::nullopt;
 };
 
 /// Whether the LHS operand must be column-shuffled for this config.
@@ -69,6 +75,17 @@ SpmmResult spmm(const SparseOperand& a, const DenseOperand& b,
 /// cached preparation). Handles must be non-null.
 SpmmResult spmm(const SparseOperandHandle& a, const DenseOperandHandle& b,
                 const SpmmConfig& cfg);
+
+/// Plan-once/run-many entry point: replays a prebuilt ExecutionPlan when
+/// the resolved mode is fast (skipping planning entirely — the serving
+/// engine's hot path), and falls back to the lane-accurate simulation when
+/// the resolved mode is simulate (the plan is validated but unused). The
+/// plan must have been built from the same pattern/config/N; compatibility
+/// is asserted.
+SpmmResult spmm(const SparseOperand& a, const DenseOperand& b,
+                const SpmmConfig& cfg, const SpmmPlan& plan);
+SpmmResult spmm(const SparseOperandHandle& a, const DenseOperandHandle& b,
+                const SpmmConfig& cfg, const SpmmPlanHandle& plan);
 
 /// Analytic counters for the same kernel on this pattern/shape (no values).
 simt::KernelRun spmm_estimate(const sparse::BlockPattern& pattern,

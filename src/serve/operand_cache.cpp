@@ -204,6 +204,74 @@ core::DenseOperandHandle OperandCache::get_or_prepare_dense(
   return insert(key, std::move(entry)).dense;
 }
 
+core::SpmmPlanHandle OperandCache::get_or_build_spmm_plan(
+    const std::shared_ptr<const sparse::BlockPattern>& pattern,
+    const core::SparseOperandHandle& lhs, std::size_t n_cols,
+    const core::SpmmConfig& cfg, std::uint64_t pattern_content,
+    bool* was_hit) {
+  MAGICUBE_CHECK(pattern != nullptr && lhs != nullptr);
+  if (pattern_content == 0) pattern_content = memoized_fingerprint(pattern);
+
+  // Plans are keyed by everything the schedule depends on: structure
+  // identity, RHS width and the kernel-config knobs folded into the content
+  // hash (precision rides in the key's scalar slots).
+  Fnv1a h;
+  h.mix(pattern_content);
+  h.mix(n_cols);
+  h.mix(static_cast<std::uint64_t>(cfg.variant), 1);
+  h.mix(static_cast<std::uint64_t>(cfg.bsn), 4);
+  h.mix(static_cast<std::uint64_t>(cfg.warps_per_block), 4);
+
+  OperandKey key;
+  key.kind = OperandKind::spmm_plan;
+  key.content = h.state;
+  key.lhs = cfg.precision.lhs;
+  key.rhs = cfg.precision.rhs;
+  key.shuffled = core::needs_shuffle(cfg);
+
+  if (was_hit) *was_hit = false;
+  if (CachedOperand hit = find(key)) {
+    if (was_hit) *was_hit = true;
+    return hit.spmm_plan;
+  }
+  CachedOperand entry;
+  entry.spmm_plan = core::build_spmm_plan(*lhs, n_cols, cfg);
+  entry.bytes = entry.spmm_plan->footprint_bytes();
+  entry.content_probe = key.content;  // plans are value-free
+  return insert(key, std::move(entry)).spmm_plan;
+}
+
+core::SddmmPlanHandle OperandCache::get_or_build_sddmm_plan(
+    const std::shared_ptr<const sparse::BlockPattern>& pattern,
+    std::size_t k_depth, const core::SddmmConfig& cfg,
+    std::uint64_t pattern_content, bool* was_hit) {
+  MAGICUBE_CHECK(pattern != nullptr);
+  if (pattern_content == 0) pattern_content = memoized_fingerprint(pattern);
+
+  Fnv1a h;
+  h.mix(pattern_content);
+  h.mix(k_depth);
+  h.mix(cfg.prefetch ? 1 : 0, 1);
+  h.mix(static_cast<std::uint64_t>(cfg.warps_per_block), 4);
+
+  OperandKey key;
+  key.kind = OperandKind::sddmm_plan;
+  key.content = h.state;
+  key.lhs = cfg.precision.lhs;
+  key.rhs = cfg.precision.rhs;
+
+  if (was_hit) *was_hit = false;
+  if (CachedOperand hit = find(key)) {
+    if (was_hit) *was_hit = true;
+    return hit.sddmm_plan;
+  }
+  CachedOperand entry;
+  entry.sddmm_plan = core::build_sddmm_plan(*pattern, k_depth, cfg);
+  entry.bytes = entry.sddmm_plan->footprint_bytes();
+  entry.content_probe = key.content;
+  return insert(key, std::move(entry)).sddmm_plan;
+}
+
 CacheStats OperandCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;

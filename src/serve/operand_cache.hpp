@@ -31,17 +31,24 @@
 
 #include "common/hash.hpp"
 #include "core/operands.hpp"
+#include "core/sddmm.hpp"
+#include "core/spmm.hpp"
 #include "sparse/pattern.hpp"
 
 namespace magicube::serve {
 
 /// Which prepared form an entry holds (part of the key: the same content
-/// prepared for a different slot has a different layout).
+/// prepared for a different slot has a different layout). Execution plans
+/// live next to the operands they schedule, charged to the same LRU byte
+/// budget — repeated-pattern traffic skips planning the same way it skips
+/// preparation.
 enum class OperandKind : std::uint8_t {
-  spmm_lhs,   // SparseOperand (SR-BCRS + planes)
-  spmm_rhs,   // DenseOperand, row-major
-  sddmm_lhs,  // DenseOperand, row-major
-  sddmm_rhs,  // DenseOperand, column-major
+  spmm_lhs,    // SparseOperand (SR-BCRS + planes)
+  spmm_rhs,    // DenseOperand, row-major
+  sddmm_lhs,   // DenseOperand, row-major
+  sddmm_rhs,   // DenseOperand, column-major
+  spmm_plan,   // core::SpmmPlan (per pattern fingerprint x config x N)
+  sddmm_plan,  // core::SddmmPlan (per pattern fingerprint x config x K)
 };
 
 struct OperandKey {
@@ -106,15 +113,19 @@ struct CacheStats {
 struct CachedOperand {
   core::SparseOperandHandle sparse;
   core::DenseOperandHandle dense;
+  core::SpmmPlanHandle spmm_plan;
+  core::SddmmPlanHandle sddmm_plan;
   std::size_t bytes = 0;
   /// Strided-sample hash of the source value matrix. Keys identify contents
   /// by proxy (pattern fingerprint / client id); the probe catches the
   /// contract violation of re-serving changed values under an unchanged key
-  /// without paying an O(M·K) hash per request.
+  /// without paying an O(M·K) hash per request. Plans are value-free; their
+  /// probe is the key content itself.
   std::uint64_t content_probe = 0;
 
   explicit operator bool() const {
-    return static_cast<bool>(sparse) || static_cast<bool>(dense);
+    return static_cast<bool>(sparse) || static_cast<bool>(dense) ||
+           static_cast<bool>(spmm_plan) || static_cast<bool>(sddmm_plan);
   }
 };
 
@@ -164,6 +175,24 @@ class OperandCache {
       OperandKind kind, const Matrix<std::int32_t>& values,
       PrecisionPair precision, std::uint64_t content_id,
       bool* was_hit = nullptr);
+
+  /// Memoized execution-plan build for core::spmm. Plans depend only on the
+  /// *structure*, so identity is the pattern (never a weight-version id):
+  /// `pattern_content` = 0 uses pattern.fingerprint() via the same per-live-
+  /// pattern memo as the operand path. `lhs` provides the prepared structure
+  /// a miss builds from. Plan bytes are charged to the LRU budget.
+  core::SpmmPlanHandle get_or_build_spmm_plan(
+      const std::shared_ptr<const sparse::BlockPattern>& pattern,
+      const core::SparseOperandHandle& lhs, std::size_t n_cols,
+      const core::SpmmConfig& cfg, std::uint64_t pattern_content = 0,
+      bool* was_hit = nullptr);
+
+  /// Memoized execution-plan build for core::sddmm (keyed by pattern
+  /// fingerprint x precision x prefetch x K).
+  core::SddmmPlanHandle get_or_build_sddmm_plan(
+      const std::shared_ptr<const sparse::BlockPattern>& pattern,
+      std::size_t k_depth, const core::SddmmConfig& cfg,
+      std::uint64_t pattern_content = 0, bool* was_hit = nullptr);
 
   CacheStats stats() const;
   std::size_t bytes_cached() const;

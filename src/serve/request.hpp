@@ -56,6 +56,7 @@ struct Response {
 
   bool lhs_cache_hit = false;
   bool rhs_cache_hit = false;
+  bool plan_cache_hit = false;  // execution plan served from the cache
   std::uint64_t batch_id = 0;   // which execution batch served this request
   std::size_t batch_size = 0;   // how many requests shared that batch
   double modeled_seconds = 0.0; // A100 cost-model estimate of the kernel run

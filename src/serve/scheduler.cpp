@@ -33,7 +33,12 @@ Response serve_request(const Request& req, OperandCache& cache) {
     const auto rhs = cache.get_or_prepare_dense(
         OperandKind::spmm_rhs, *req.rhs_values, req.precision, req.rhs_id,
         &resp.rhs_cache_hit);
-    resp.spmm = core::spmm(lhs, rhs, cfg);
+    // Plans are keyed by the pattern (structure), never the weight version:
+    // distinct weights over one pattern replay one plan.
+    const auto plan = cache.get_or_build_spmm_plan(
+        req.pattern, lhs, req.rhs_values->cols(), cfg, /*pattern_content=*/0,
+        &resp.plan_cache_hit);
+    resp.spmm = core::spmm(lhs, rhs, cfg, plan);
     resp.modeled_seconds = simt::estimate_seconds(simt::a100(),
                                                   resp.spmm->run);
   } else {
@@ -46,7 +51,10 @@ Response serve_request(const Request& req, OperandCache& cache) {
     const auto b = cache.get_or_prepare_dense(
         OperandKind::sddmm_rhs, *req.rhs_values, req.precision, req.rhs_id,
         &resp.rhs_cache_hit);
-    resp.sddmm = core::sddmm(a, b, *req.pattern, cfg);
+    const auto plan = cache.get_or_build_sddmm_plan(
+        req.pattern, req.lhs_values->cols(), cfg, /*pattern_content=*/0,
+        &resp.plan_cache_hit);
+    resp.sddmm = core::sddmm(a, b, *req.pattern, cfg, plan);
     resp.modeled_seconds = simt::estimate_seconds(simt::a100(),
                                                   resp.sddmm->run);
   }
@@ -77,12 +85,14 @@ struct BatchScheduler::Impl {
 
   std::mutex mutex;
   std::condition_variable queue_changed;  // scheduler wakes on submits/stop
+  std::condition_variable queue_space;    // bounded submitters wake on drain
   std::condition_variable idle;           // drain()/dtor wake on completion
   std::deque<Pending> queue;
   bool stopping = false;
   SchedulerStats stats;
   std::uint64_t next_batch_id = 1;
   std::uint64_t outstanding = 0;  // submitted, promise not yet fulfilled
+  std::uint64_t blocked_submitters = 0;  // inside the backpressure wait
   std::thread thread;
 
   void loop() {
@@ -94,12 +104,18 @@ struct BatchScheduler::Impl {
         if (queue.empty()) return;  // stopping && drained
         if (!stopping && owner->cfg_.linger.count() > 0 &&
             queue.size() < owner->cfg_.max_batch) {
-          // Linger: give a burst the chance to fill one batch.
+          // Linger: give a burst the chance to fill one batch. A full
+          // bounded queue cuts the linger short — submitters are blocked
+          // on space, so waiting longer cannot grow the batch.
+          const std::size_t depth = owner->cfg_.max_queue_depth;
           queue_changed.wait_for(lock, owner->cfg_.linger, [&] {
-            return stopping || queue.size() >= owner->cfg_.max_batch;
+            return stopping || queue.size() >= owner->cfg_.max_batch ||
+                   (depth > 0 && queue.size() >= depth);
           });
         }
         taken.swap(queue);
+        // The queue is empty again: wake submitters blocked on depth.
+        queue_space.notify_all();
       }
       dispatch(std::move(taken));
     }
@@ -174,11 +190,16 @@ BatchScheduler::~BatchScheduler() {
     impl_->stopping = true;
   }
   impl_->queue_changed.notify_all();
+  impl_->queue_space.notify_all();  // blocked submitters must observe stop
   impl_->thread.join();  // loop exits only once the queue is drained
-  // Wait for dispatched requests still executing on the pool: their tasks
-  // reference this object's cache and stats.
+  // Wait for dispatched requests still executing on the pool (their tasks
+  // reference this object's cache and stats) and for backpressure-blocked
+  // submitters to exit the queue_space wait (they are about to throw; the
+  // mutex/condvar must outlive their unwinding).
   std::unique_lock<std::mutex> lock(impl_->mutex);
-  impl_->idle.wait(lock, [&] { return impl_->outstanding == 0; });
+  impl_->idle.wait(lock, [&] {
+    return impl_->outstanding == 0 && impl_->blocked_submitters == 0;
+  });
 }
 
 std::future<Response> BatchScheduler::submit(Request req) {
@@ -186,9 +207,27 @@ std::future<Response> BatchScheduler::submit(Request req) {
   p.req = std::move(req);
   std::future<Response> out = p.promise.get_future();
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    std::unique_lock<std::mutex> lock(impl_->mutex);
     MAGICUBE_CHECK_MSG(!impl_->stopping,
                        "submit on a stopping BatchScheduler");
+    if (cfg_.max_queue_depth > 0) {
+      // Backpressure: block until the scheduler collects the queue (it
+      // always takes the whole queue, so space frees in bulk) or shutdown
+      // begins. The wait never deadlocks: the scheduler thread consumes
+      // the queue without ever calling submit(). The blocked count lets
+      // the destructor wait for woken submitters to leave the wait before
+      // it destroys the mutex/condvar (notify under the lock, same
+      // discipline as run_one's idle notification).
+      impl_->blocked_submitters += 1;
+      impl_->queue_space.wait(lock, [&] {
+        return impl_->stopping ||
+               impl_->queue.size() < cfg_.max_queue_depth;
+      });
+      impl_->blocked_submitters -= 1;
+      if (impl_->blocked_submitters == 0) impl_->idle.notify_all();
+      MAGICUBE_CHECK_MSG(!impl_->stopping,
+                         "submit on a stopping BatchScheduler");
+    }
     impl_->queue.push_back(std::move(p));
     impl_->stats.submitted += 1;
     impl_->outstanding += 1;

@@ -33,8 +33,13 @@ struct BatchSchedulerConfig {
   /// How long the scheduler waits for a forming batch to fill before
   /// dispatching what it has. Zero dispatches immediately.
   std::chrono::microseconds linger{200};
-  /// Operand-cache budget (prepared-operand bytes).
+  /// Operand-cache budget (prepared operands + execution plans).
   std::size_t cache_capacity_bytes = 256ull << 20;
+  /// Upper bound on requests sitting in the submit queue (accepted but not
+  /// yet collected by the scheduler thread). When the bound is reached,
+  /// submit() blocks until the scheduler drains the queue — backpressure
+  /// instead of unbounded growth under overload. 0 = unbounded.
+  std::size_t max_queue_depth = 0;
 };
 
 /// Engine-level counters, reduced with += like simt::KernelCounters.
@@ -72,7 +77,8 @@ class BatchScheduler {
   ~BatchScheduler();
 
   /// Enqueues a request; the future carries the Response (or the exception
-  /// the request failed with). Throws Error after shutdown began.
+  /// the request failed with). Blocks while the submit queue is at
+  /// max_queue_depth (backpressure). Throws Error after shutdown began.
   std::future<Response> submit(Request req);
 
   /// Blocks until every request submitted so far has completed.

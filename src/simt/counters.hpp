@@ -64,6 +64,29 @@ struct KernelCounters {
     a += b;
     return a;
   }
+
+  /// Scales every event count by `f` — the "this block repeats f times"
+  /// reduction used by the analytic estimators and execution plans (e.g.
+  /// one SpMM row's block counted once per column tile).
+  KernelCounters& operator*=(std::uint64_t f) {
+    mma_int8 *= f;
+    mma_int4 *= f;
+    mma_fp16 *= f;
+    smem_load_requests *= f;
+    smem_load_transactions *= f;
+    smem_store_requests *= f;
+    smem_store_transactions *= f;
+    gmem_load_requests *= f;
+    gmem_load_sectors *= f;
+    gmem_store_requests *= f;
+    gmem_store_sectors *= f;
+    dram_bytes *= f;
+    alu_ops *= f;
+    shfl_ops *= f;
+    fp32_ops *= f;
+    syncthreads *= f;
+    return *this;
+  }
   friend bool operator==(const KernelCounters&, const KernelCounters&) =
       default;
 

@@ -2,9 +2,14 @@
 // Grid launcher: executes the thread blocks of a simulated kernel in
 // parallel on the host, giving each block private shared memory and a
 // private counter set, then reduces counters deterministically.
+//
+// run_grid is templated on the block body (no std::function indirection on
+// the per-block call); run_grid_values is the execution-plan fast path's
+// launcher — no per-block SharedMemory or counter allocation, because a
+// value-only replay takes its counters from the plan.
 
 #include <cstdint>
-#include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/thread_pool.hpp"
@@ -26,8 +31,8 @@ struct BlockContext {
 /// Runs `body` once per block of the grid (in parallel over host threads;
 /// bodies must only write disjoint outputs) and returns the merged KernelRun.
 /// The caller fills in the pipeline shape afterwards.
-inline KernelRun run_grid(const LaunchConfig& cfg,
-                          const std::function<void(BlockContext&)>& body) {
+template <typename Body>
+KernelRun run_grid(const LaunchConfig& cfg, Body&& body) {
   std::vector<KernelCounters> per_block(cfg.grid_blocks);
   parallel_for(cfg.grid_blocks, [&](std::size_t b) {
     BlockContext ctx(b, cfg.smem_bytes_per_block);
@@ -39,6 +44,15 @@ inline KernelRun run_grid(const LaunchConfig& cfg,
   run.launch = cfg;
   for (const auto& c : per_block) run.counters += c;
   return run;
+}
+
+/// Value-only grid: runs `body(block_id)` once per block with no per-block
+/// context, shared-memory image or counter reduction. Bodies must only
+/// write disjoint outputs and are expected to reuse thread-local scratch.
+template <typename Body>
+void run_grid_values(std::uint64_t grid_blocks, Body&& body) {
+  parallel_for(static_cast<std::size_t>(grid_blocks),
+               [&](std::size_t b) { body(b); });
 }
 
 }  // namespace magicube::simt

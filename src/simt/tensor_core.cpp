@@ -37,6 +37,17 @@ void mma_impl(AccumFrag& d, const WarpReg& a, const WarpReg& b,
   }
 }
 
+template <int kElems, int kBits>
+void decode_frag_impl(const WarpReg& frag, bool is_signed, DecodedFrag& out) {
+  out.k = 4 * kElems;
+  for (int r = 0; r < 8; ++r) {
+    for (int k = 0; k < 4 * kElems; ++k) {
+      out.v[r][k] =
+          decode(frag[r * 4 + k / kElems], k % kElems, kBits, is_signed);
+    }
+  }
+}
+
 }  // namespace
 
 void mma_m8n8k16(AccumFrag& d, const WarpReg& a, const WarpReg& b,
@@ -51,6 +62,50 @@ void mma_m8n8k32(AccumFrag& d, const WarpReg& a, const WarpReg& b,
                  KernelCounters& counters) {
   mma_impl<8, 4>(d, a, b, c, a_signed, b_signed);
   counters.mma_int4 += 1;
+}
+
+void decode_frag_int8(const WarpReg& frag, bool is_signed, DecodedFrag& out) {
+  decode_frag_impl<4, 8>(frag, is_signed, out);
+}
+
+void decode_frag_int4(const WarpReg& frag, bool is_signed, DecodedFrag& out) {
+  decode_frag_impl<8, 4>(frag, is_signed, out);
+}
+
+namespace {
+
+// Wraparound uint32 accumulation is bit-exact with mma_impl's
+// int64-carry-then-truncate: truncation mod 2^32 is a ring homomorphism
+// (it commutes with sums and products), and both paths truncate once per
+// mma issue. The compile-time trip count lets the optimizer unroll and
+// vectorize the 32-bit multiply-add reduction.
+template <int kK>
+void mma_decoded_k(AccumFrag& acc, const DecodedFrag& a,
+                   const DecodedFrag& b) {
+  for (int lane = 0; lane < 32; ++lane) {
+    const int row = lane / 4;
+    const int col0 = 2 * (lane % 4);
+    for (int cc = 0; cc < 2; ++cc) {
+      std::uint32_t sum = static_cast<std::uint32_t>(acc.c[lane][cc]);
+      const std::int32_t* ar = a.v[row].data();
+      const std::int32_t* bc = b.v[col0 + cc].data();
+      for (int k = 0; k < kK; ++k) {
+        sum += static_cast<std::uint32_t>(ar[k]) *
+               static_cast<std::uint32_t>(bc[k]);
+      }
+      acc.c[lane][cc] = static_cast<std::int32_t>(sum);  // C++20: modular
+    }
+  }
+}
+
+}  // namespace
+
+void mma_decoded(AccumFrag& acc, const DecodedFrag& a, const DecodedFrag& b) {
+  if (a.k == 32) {
+    mma_decoded_k<32>(acc, a, b);
+  } else {
+    mma_decoded_k<16>(acc, a, b);
+  }
 }
 
 WarpReg make_a_frag_int8(const Matrix<std::uint8_t>& a) {

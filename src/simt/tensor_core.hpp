@@ -51,6 +51,25 @@ void mma_m8n8k32(AccumFrag& d, const WarpReg& a, const WarpReg& b,
                  const AccumFrag& c, bool a_signed, bool b_signed,
                  KernelCounters& counters);
 
+/// Uncounted mma primitives for the execution-plan fast path. A DecodedFrag
+/// holds the logical elements of one operand fragment (A row-major 8 x K or
+/// B col-major K x 8) unpacked from the packed lane registers once, so a
+/// fragment reused across several mma issues — stacked plane groups, the
+/// emulation plane cross product, both warps of a block — pays decode once
+/// instead of once per issue. K = 16 (int8) or 32 (int4).
+struct DecodedFrag {
+  std::array<std::array<std::int32_t, 32>, 8> v{};  // [row-or-col][k]
+  int k = 16;
+};
+
+void decode_frag_int8(const WarpReg& frag, bool is_signed, DecodedFrag& out);
+void decode_frag_int4(const WarpReg& frag, bool is_signed, DecodedFrag& out);
+
+/// acc += A * B over decoded fragments, with identical int32 wraparound
+/// semantics to the counted mma (the k sum is carried in int64 before the
+/// single wrapping store, so any summation order is bit-exact).
+void mma_decoded(AccumFrag& acc, const DecodedFrag& a, const DecodedFrag& b);
+
 // ---- Fragment <-> logical-matrix converters (tests, kernel epilogues) ----
 
 /// Builds the A fragment of m8n8k16 from a logical 8x16 matrix of raw bytes.

@@ -1,0 +1,363 @@
+// Plan-once/run-many equivalence suite: ExecMode::fast must be bit-exact
+// with ExecMode::simulate and its analytic KernelCounters must match the
+// simulated counts exactly — for every precision pair, every SpmmVariant
+// and both SDDMM prefetch settings. Plus plan-reuse regressions: a plan
+// built once replays correctly against mutated values (structure identity,
+// value independence) and rejects structurally incompatible operands.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/api.hpp"
+
+namespace magicube::core {
+namespace {
+
+/// Mutates one column of `p` while keeping it a valid pattern: the first
+/// vector of some row with a nonzero first column moves one column left
+/// (stays strictly below its right neighbor). Same vector count, different
+/// structure.
+sparse::BlockPattern shift_one_column(const sparse::BlockPattern& p) {
+  sparse::BlockPattern out = p;
+  for (std::size_t r = 0; r < out.vector_rows(); ++r) {
+    const std::uint32_t i = out.row_ptr[r];
+    if (i < out.row_ptr[r + 1] && out.col_idx[i] > 0) {
+      out.col_idx[i] -= 1;
+      out.validate();
+      return out;
+    }
+  }
+  ADD_FAILURE() << "no mutable column found";
+  return out;
+}
+
+void expect_runs_match(const simt::KernelRun& fast,
+                       const simt::KernelRun& sim) {
+  EXPECT_EQ(fast.counters, sim.counters);
+  EXPECT_EQ(fast.launch.grid_blocks, sim.launch.grid_blocks);
+  EXPECT_EQ(fast.launch.warps_per_block, sim.launch.warps_per_block);
+  EXPECT_EQ(fast.launch.smem_bytes_per_block, sim.launch.smem_bytes_per_block);
+  EXPECT_EQ(fast.pipeline.total_steps, sim.pipeline.total_steps);
+  EXPECT_EQ(fast.pipeline.prefetch, sim.pipeline.prefetch);
+}
+
+// ---- SpMM: fast vs simulate across pairs x variants -----------------------
+
+struct SpmmPlanCase {
+  PrecisionPair precision;
+  int v;
+  double sparsity;
+  SpmmVariant variant;
+};
+
+std::string spmm_case_name(const ::testing::TestParamInfo<SpmmPlanCase>& info) {
+  const auto& p = info.param;
+  std::string s = to_string(p.precision) + "_v" + std::to_string(p.v) + "_s" +
+                  std::to_string(static_cast<int>(p.sparsity * 100)) + "_" +
+                  to_string(p.variant);
+  for (auto& ch : s) {
+    if (ch == '-' || ch == '+' || ch == '.') ch = '_';
+  }
+  return s;
+}
+
+class SpmmPlanTest : public ::testing::TestWithParam<SpmmPlanCase> {};
+
+TEST_P(SpmmPlanTest, FastBitExactAndCounterExactVsSimulate) {
+  const SpmmPlanCase& tc = GetParam();
+  constexpr std::size_t kK = 72;  // not a stride multiple: padding slots
+  constexpr std::size_t kN = 128;
+  Rng rng(0x91a0 + static_cast<std::uint64_t>(tc.v) +
+          static_cast<std::uint64_t>(bits_of(tc.precision.lhs)) * 10);
+  const std::size_t rows = 4 * static_cast<std::size_t>(tc.v);
+  const auto pattern =
+      sparse::make_uniform_pattern(rows, kK, tc.v, tc.sparsity, rng);
+  const auto a_vals = random_values(rows, kK, tc.precision.lhs, rng);
+  const auto b_vals = random_values(kK, kN, tc.precision.rhs, rng);
+
+  SpmmConfig cfg;
+  cfg.precision = tc.precision;
+  cfg.variant = tc.variant;
+  const auto a = prepare_spmm_lhs(pattern, a_vals, cfg.precision,
+                                  needs_shuffle(cfg));
+  const auto b = prepare_spmm_rhs(b_vals, cfg.precision);
+
+  cfg.mode = ExecMode::simulate;
+  const SpmmResult sim = spmm(a, b, cfg);
+  cfg.mode = ExecMode::fast;
+  const SpmmResult fast = spmm(a, b, cfg);
+
+  EXPECT_EQ(fast.c, sim.c);
+  expect_runs_match(fast.run, sim.run);
+
+  // The plan's analytic run is the fast result's run verbatim.
+  const SpmmPlanHandle plan = build_spmm_plan(a, kN, cfg);
+  EXPECT_EQ(plan->run.counters, sim.run.counters);
+  EXPECT_GT(plan->footprint_bytes(), sizeof(SpmmPlan));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PrecisionSweep, SpmmPlanTest,
+    ::testing::Values(
+        SpmmPlanCase{precision::L8R8, 8, 0.7, SpmmVariant::full},
+        SpmmPlanCase{precision::L8R8, 2, 0.5, SpmmVariant::full},
+        SpmmPlanCase{precision::L4R4, 8, 0.7, SpmmVariant::full},
+        SpmmPlanCase{precision::L4R4, 4, 0.8, SpmmVariant::full},
+        SpmmPlanCase{precision::L16R8, 8, 0.7, SpmmVariant::full},
+        SpmmPlanCase{precision::L16R8, 4, 0.7, SpmmVariant::full},
+        SpmmPlanCase{precision::L16R16, 8, 0.7, SpmmVariant::full},
+        SpmmPlanCase{precision::L16R16, 2, 0.7, SpmmVariant::full},
+        SpmmPlanCase{precision::L16R4, 8, 0.7, SpmmVariant::full},
+        SpmmPlanCase{precision::L16R4, 2, 0.8, SpmmVariant::full},
+        SpmmPlanCase{precision::L12R4, 8, 0.7, SpmmVariant::full},
+        SpmmPlanCase{precision::L8R4, 4, 0.9, SpmmVariant::full}),
+    spmm_case_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    VariantSweep, SpmmPlanTest,
+    ::testing::Values(
+        SpmmPlanCase{precision::L8R8, 8, 0.7, SpmmVariant::basic},
+        SpmmPlanCase{precision::L8R8, 8, 0.7, SpmmVariant::conflict_free},
+        SpmmPlanCase{precision::L8R8, 8, 0.7,
+                     SpmmVariant::conflict_free_prefetch},
+        SpmmPlanCase{precision::L4R4, 8, 0.7, SpmmVariant::basic},
+        SpmmPlanCase{precision::L4R4, 8, 0.7, SpmmVariant::conflict_free},
+        SpmmPlanCase{precision::L4R4, 8, 0.7,
+                     SpmmVariant::conflict_free_prefetch},
+        SpmmPlanCase{precision::L16R8, 4, 0.7, SpmmVariant::basic},
+        SpmmPlanCase{precision::L16R4, 2, 0.7, SpmmVariant::conflict_free}),
+    spmm_case_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    SparsityEdges, SpmmPlanTest,
+    ::testing::Values(
+        SpmmPlanCase{precision::L8R8, 8, 0.0, SpmmVariant::full},   // dense
+        SpmmPlanCase{precision::L8R8, 8, 0.98, SpmmVariant::full},  // sparse
+        SpmmPlanCase{precision::L4R4, 8, 1.0, SpmmVariant::full},   // empty
+        SpmmPlanCase{precision::L16R16, 2, 0.98, SpmmVariant::full}),
+    spmm_case_name);
+
+// ---- SDDMM: fast vs simulate across pairs x prefetch ----------------------
+
+struct SddmmPlanCase {
+  PrecisionPair precision;
+  int v;
+  bool prefetch;
+};
+
+std::string sddmm_case_name(
+    const ::testing::TestParamInfo<SddmmPlanCase>& info) {
+  const auto& p = info.param;
+  std::string s = to_string(p.precision) + "_v" + std::to_string(p.v) +
+                  (p.prefetch ? "_pf" : "_nopf");
+  for (auto& ch : s) {
+    if (ch == '-') ch = '_';
+  }
+  return s;
+}
+
+class SddmmPlanTest : public ::testing::TestWithParam<SddmmPlanCase> {};
+
+TEST_P(SddmmPlanTest, FastBitExactAndCounterExactVsSimulate) {
+  const SddmmPlanCase& tc = GetParam();
+  constexpr std::size_t kKDepth = 128;  // satisfies both K alignments
+  constexpr std::size_t kNCols = 96;
+  Rng rng(0x5dd + static_cast<std::uint64_t>(tc.v));
+  const std::size_t rows = 4 * static_cast<std::size_t>(tc.v);
+  const auto pattern =
+      sparse::make_uniform_pattern(rows, kNCols, tc.v, 0.6, rng);
+  const auto a_vals = random_values(rows, kKDepth, tc.precision.lhs, rng);
+  const auto b_vals = random_values(kKDepth, kNCols, tc.precision.rhs, rng);
+
+  SddmmConfig cfg;
+  cfg.precision = tc.precision;
+  cfg.prefetch = tc.prefetch;
+  const int chunk = rhs_chunk_bits(tc.precision);
+  const auto a = prepare_dense(a_vals, tc.precision.lhs, true, chunk);
+  const auto b = prepare_dense(b_vals, tc.precision.rhs, false, chunk);
+
+  cfg.mode = ExecMode::simulate;
+  const SddmmResult sim = sddmm(a, b, pattern, cfg);
+  cfg.mode = ExecMode::fast;
+  const SddmmResult fast = sddmm(a, b, pattern, cfg);
+
+  EXPECT_EQ(fast.c.values, sim.c.values);
+  expect_runs_match(fast.run, sim.run);
+
+  const SddmmPlanHandle plan = build_sddmm_plan(pattern, kKDepth, cfg);
+  EXPECT_EQ(plan->run.counters, sim.run.counters);
+  EXPECT_GT(plan->footprint_bytes(), sizeof(SddmmPlan));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PrecisionSweep, SddmmPlanTest,
+    ::testing::Values(SddmmPlanCase{precision::L8R8, 8, false},
+                      SddmmPlanCase{precision::L8R8, 8, true},
+                      SddmmPlanCase{precision::L8R8, 4, false},
+                      SddmmPlanCase{precision::L4R4, 8, false},
+                      SddmmPlanCase{precision::L4R4, 8, true},
+                      SddmmPlanCase{precision::L4R4, 2, false},
+                      SddmmPlanCase{precision::L16R16, 8, false},
+                      SddmmPlanCase{precision::L16R16, 4, true}),
+    sddmm_case_name);
+
+// ---- Plan reuse -----------------------------------------------------------
+
+TEST(SpmmPlan, ReplaysCorrectlyAgainstMutatedValues) {
+  // One plan, many value sets: the plan is built from structure alone, so
+  // operands re-prepared from the same pattern with different values must
+  // replay bit-exactly against their own reference.
+  Rng rng(123);
+  const auto pattern = sparse::make_uniform_pattern(64, 96, 8, 0.6, rng);
+  SpmmConfig cfg;
+  cfg.precision = precision::L16R8;
+  cfg.mode = ExecMode::fast;
+
+  const auto a1_vals = random_values(64, 96, Scalar::s16, rng);
+  const auto a1 = prepare_spmm_lhs(pattern, a1_vals, cfg.precision,
+                                   needs_shuffle(cfg));
+  const SpmmPlanHandle plan = build_spmm_plan(a1, 128, cfg);
+
+  for (int round = 0; round < 3; ++round) {
+    const auto a_vals = random_values(64, 96, Scalar::s16, rng);
+    const auto b_vals = random_values(96, 128, Scalar::s8, rng);
+    const auto a = prepare_spmm_lhs(pattern, a_vals, cfg.precision,
+                                    needs_shuffle(cfg));
+    const auto b = prepare_spmm_rhs(b_vals, cfg.precision);
+    const SpmmResult got = spmm(a, b, cfg, *plan);
+    EXPECT_EQ(got.c, reference_spmm(pattern, a_vals, b_vals)) << round;
+    EXPECT_EQ(got.run.counters, plan->run.counters);
+  }
+}
+
+TEST(SddmmPlan, ReplaysCorrectlyAgainstMutatedValues) {
+  Rng rng(124);
+  const auto pattern = sparse::make_uniform_pattern(32, 64, 8, 0.5, rng);
+  SddmmConfig cfg;
+  cfg.precision = precision::L8R8;
+  cfg.mode = ExecMode::fast;
+  const SddmmPlanHandle plan = build_sddmm_plan(pattern, 64, cfg);
+
+  for (int round = 0; round < 3; ++round) {
+    const auto a_vals = random_values(32, 64, Scalar::s8, rng);
+    const auto b_vals = random_values(64, 64, Scalar::s8, rng);
+    const auto a = prepare_dense(a_vals, Scalar::s8, true, 8);
+    const auto b = prepare_dense(b_vals, Scalar::s8, false, 8);
+    const SddmmResult got = sddmm(a, b, pattern, cfg, *plan);
+    EXPECT_EQ(got.c.values,
+              reference_sddmm(pattern, a_vals, b_vals).values)
+        << round;
+  }
+}
+
+TEST(SpmmPlan, RejectsStructurallyIncompatibleOperands) {
+  Rng rng(125);
+  const auto p1 = sparse::make_uniform_pattern(64, 96, 8, 0.5, rng);
+  const auto p2 = sparse::make_uniform_pattern(64, 96, 8, 0.9, rng);
+  SpmmConfig cfg;
+  cfg.mode = ExecMode::fast;
+  const auto a1 = prepare_spmm_lhs(p1, random_values(64, 96, Scalar::s8, rng),
+                                   cfg.precision, needs_shuffle(cfg));
+  const auto a2 = prepare_spmm_lhs(p2, random_values(64, 96, Scalar::s8, rng),
+                                   cfg.precision, needs_shuffle(cfg));
+  const auto b = prepare_spmm_rhs(random_values(96, 128, Scalar::s8, rng),
+                                  cfg.precision);
+  const SpmmPlanHandle plan = build_spmm_plan(a1, 128, cfg);
+  EXPECT_NO_THROW(spmm(a1, b, cfg, *plan));
+  EXPECT_THROW(spmm(a2, b, cfg, *plan), Error);  // different slot layout
+  // Different N than planned.
+  const auto b_wide = prepare_spmm_rhs(
+      random_values(96, 256, Scalar::s8, rng), cfg.precision);
+  EXPECT_THROW(spmm(a1, b_wide, cfg, *plan), Error);
+
+  // Same vector count but different columns: the per-slot row-base check
+  // must reject what the size proxies cannot distinguish.
+  const auto p3 = shift_one_column(p1);
+  const auto a3 = prepare_spmm_lhs(p3, random_values(64, 96, Scalar::s8, rng),
+                                   cfg.precision, needs_shuffle(cfg));
+  EXPECT_THROW(spmm(a3, b, cfg, *plan), Error);
+}
+
+TEST(SpmmPlan, RejectsSignednessMismatch) {
+  // A plan built for a signed LHS bakes in the bias-correction schedule;
+  // replaying it against an unsigned operand of the same plane count must
+  // throw, not silently bias-correct unsigned data (v=2 stacks the two s16
+  // planes, so bias_correct is armed).
+  Rng rng(127);
+  const auto pattern = sparse::make_uniform_pattern(8, 32, 2, 0.25, rng);
+  SpmmConfig cfg;
+  cfg.precision = PrecisionPair{Scalar::s16, Scalar::s8};
+  cfg.mode = ExecMode::fast;
+  const auto a_signed = prepare_spmm_lhs(
+      pattern, random_values(8, 32, Scalar::s16, rng), cfg.precision,
+      needs_shuffle(cfg));
+  const SpmmPlanHandle plan = build_spmm_plan(a_signed, 64, cfg);
+
+  SpmmConfig ucfg = cfg;
+  ucfg.precision = PrecisionPair{Scalar::u16, Scalar::s8};
+  const auto a_unsigned = prepare_spmm_lhs(
+      pattern, random_values(8, 32, Scalar::u16, rng), ucfg.precision,
+      needs_shuffle(ucfg));
+  const auto b = prepare_spmm_rhs(random_values(32, 64, Scalar::s8, rng),
+                                  cfg.precision);
+  EXPECT_THROW(spmm(a_unsigned, b, ucfg, *plan), Error);
+}
+
+TEST(SddmmPlan, RejectsDifferentPatternOfSameVectorCount) {
+  // Two patterns with identical vector counts but different columns: the
+  // SDDMM plan's column-base validation must reject the mismatch.
+  Rng rng(128);
+  const auto p1 = sparse::make_uniform_pattern(32, 64, 8, 0.5, rng);
+  const auto p2 = shift_one_column(p1);
+  SddmmConfig cfg;
+  cfg.mode = ExecMode::fast;
+  const SddmmPlanHandle plan = build_sddmm_plan(p1, 64, cfg);
+  const auto a = prepare_dense(random_values(32, 64, Scalar::s8, rng),
+                               Scalar::s8, true, 8);
+  const auto b = prepare_dense(random_values(64, 64, Scalar::s8, rng),
+                               Scalar::s8, false, 8);
+  EXPECT_NO_THROW(sddmm(a, b, p1, cfg, *plan));
+  EXPECT_THROW(sddmm(a, b, p2, cfg, *plan), Error);
+}
+
+// ---- Mode selection -------------------------------------------------------
+
+TEST(ExecModeTest, DefaultSwitchRoundTrips) {
+  const ExecMode original = default_exec_mode();
+  set_default_exec_mode(ExecMode::simulate);
+  EXPECT_EQ(default_exec_mode(), ExecMode::simulate);
+  set_default_exec_mode(ExecMode::fast);
+  EXPECT_EQ(default_exec_mode(), ExecMode::fast);
+  set_default_exec_mode(original);
+  EXPECT_STREQ(to_string(ExecMode::simulate), "simulate");
+  EXPECT_STREQ(to_string(ExecMode::fast), "fast");
+}
+
+TEST(ExecModeTest, ConfigModeOverridesProcessDefault) {
+  // An explicit config mode wins over the process default in both
+  // directions; results agree either way (sanity anchor).
+  Rng rng(126);
+  const auto pattern = sparse::make_uniform_pattern(32, 64, 8, 0.5, rng);
+  const auto a_vals = random_values(32, 64, Scalar::s8, rng);
+  const auto b_vals = random_values(64, 64, Scalar::s8, rng);
+  SpmmConfig cfg;
+  const auto a = prepare_spmm_lhs(pattern, a_vals, cfg.precision,
+                                  needs_shuffle(cfg));
+  const auto b = prepare_spmm_rhs(b_vals, cfg.precision);
+
+  const ExecMode original = default_exec_mode();
+  set_default_exec_mode(ExecMode::fast);
+  cfg.mode = ExecMode::simulate;
+  const SpmmResult sim = spmm(a, b, cfg);
+  set_default_exec_mode(ExecMode::simulate);
+  cfg.mode = ExecMode::fast;
+  const SpmmResult fast = spmm(a, b, cfg);
+  set_default_exec_mode(original);
+
+  EXPECT_EQ(fast.c, sim.c);
+  EXPECT_EQ(fast.run.counters, sim.run.counters);
+}
+
+}  // namespace
+}  // namespace magicube::core

@@ -236,15 +236,16 @@ TEST_P(ServePrecisionTest, BatchedSpmmBitExactVsSequential) {
     EXPECT_EQ(resp.spmm->run.counters, expect.run.counters);
     EXPECT_GT(resp.modeled_seconds, 0.0);
   }
-  // One preparation amortized over the burst: 6 LHS lookups, exactly one
-  // winning insertion; concurrent batch members that miss before the winner
-  // lands re-prepare and discard (counted race_discards).
+  // One preparation and one execution plan amortized over the burst: each
+  // request looks up the LHS and the plan (12 lookups), with exactly one
+  // winning insertion per kind; concurrent batch members that miss before
+  // the winner lands re-prepare and discard (counted race_discards).
   const CacheStats cs = engine.cache().stats();
-  EXPECT_EQ(cs.lookups, 6u);
+  EXPECT_EQ(cs.lookups, 12u);
   EXPECT_EQ(cs.hits + cs.misses, cs.lookups);
-  EXPECT_EQ(cs.insertions, 1u);
-  EXPECT_EQ(cs.misses, 1u + cs.race_discards);
-  EXPECT_EQ(engine.cache().entry_count(), 1u);
+  EXPECT_EQ(cs.insertions, 2u);
+  EXPECT_EQ(cs.misses, 2u + cs.race_discards);
+  EXPECT_EQ(engine.cache().entry_count(), 2u);
 }
 
 TEST_P(ServePrecisionTest, BatchedSddmmBitExactVsSequential) {
@@ -361,6 +362,126 @@ TEST(BatchScheduler, DrainCompletesAllSubmitted) {
   }
 }
 
+// ---- Execution-plan caching ----------------------------------------------
+
+TEST(OperandCache, PlanBytesChargedToLruBudget) {
+  OperandCache cache(64ull << 20);
+  const Problem p = make_problem(precision::L8R8, 40);
+  core::SpmmConfig cfg;
+  cfg.precision = precision::L8R8;
+  const auto lhs = core::prepare_spmm_lhs_shared(*p.pattern, *p.lhs,
+                                                 cfg.precision,
+                                                 core::needs_shuffle(cfg));
+
+  bool hit = true;
+  const auto plan =
+      cache.get_or_build_spmm_plan(p.pattern, lhs, kN, cfg, 0, &hit);
+  ASSERT_TRUE(plan);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_EQ(cache.bytes_cached(), plan->footprint_bytes());
+  EXPECT_GT(plan->footprint_bytes(), sizeof(core::SpmmPlan));
+
+  const auto again =
+      cache.get_or_build_spmm_plan(p.pattern, lhs, kN, cfg, 0, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(plan.get(), again.get());  // one plan aliased
+
+  // A different N is a different schedule: its own entry.
+  cache.get_or_build_spmm_plan(p.pattern, lhs, 2 * kN, cfg, 0, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(cache.entry_count(), 2u);
+
+  // Eviction accounting covers plan bytes: a capacity of one plan evicts
+  // the older plan when the next is inserted, returning the evicted bytes.
+  OperandCache tiny(plan->footprint_bytes() + plan->footprint_bytes() / 4);
+  tiny.get_or_build_spmm_plan(p.pattern, lhs, kN, cfg);
+  const std::size_t first_bytes = tiny.bytes_cached();
+  EXPECT_GT(first_bytes, 0u);
+  tiny.get_or_build_spmm_plan(p.pattern, lhs, 2 * kN, cfg);
+  EXPECT_EQ(tiny.stats().evictions, 1u);
+  EXPECT_EQ(tiny.stats().bytes_evicted, first_bytes);
+}
+
+TEST(OperandCache, PlanSharedAcrossWeightVersionsOfOnePattern) {
+  // Plans depend only on the structure: distinct weight matrices pruned to
+  // one pattern (distinct lhs_id) replay one cached plan.
+  BatchScheduler engine;
+  const Problem p = make_problem(precision::L8R8, 41);
+  Rng rng(42);
+  const auto other_weights = std::make_shared<const Matrix<std::int32_t>>(
+      core::random_values(kM, kK, Scalar::s8, rng));
+
+  Request first = spmm_request(p, precision::L8R8);
+  first.lhs_id = 1;
+  Request second = spmm_request(p, precision::L8R8);
+  second.lhs_values = other_weights;
+  second.lhs_id = 2;
+
+  const Response r1 = engine.submit(std::move(first)).get();
+  EXPECT_FALSE(r1.plan_cache_hit);
+  const Response r2 = engine.submit(std::move(second)).get();
+  EXPECT_TRUE(r2.plan_cache_hit);
+  EXPECT_FALSE(r2.lhs_cache_hit);  // different weights, fresh preparation
+
+  // Both results bit-exact against sequential execution of their own
+  // weights (the shared plan routes values, it does not alias them).
+  core::SpmmConfig cfg;
+  cfg.precision = precision::L8R8;
+  const auto lhs2 = core::prepare_spmm_lhs(*p.pattern, *other_weights,
+                                           cfg.precision,
+                                           core::needs_shuffle(cfg));
+  const auto rhs = core::prepare_spmm_rhs(*p.rhs, cfg.precision);
+  EXPECT_EQ(r2.spmm->c, core::spmm(lhs2, rhs, cfg).c);
+}
+
+// ---- Bounded submit queue -------------------------------------------------
+
+TEST(BatchScheduler, BoundedQueueCompletesEverything) {
+  BatchSchedulerConfig cfg;
+  cfg.max_queue_depth = 2;
+  cfg.max_batch = 2;
+  cfg.linger = std::chrono::microseconds(50);
+  BatchScheduler engine(cfg);
+
+  const Problem p = make_problem(precision::L8R8, 50);
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 16; ++i) {
+    // submit() may block on backpressure; it must never drop or deadlock.
+    futures.push_back(engine.submit(spmm_request(p, precision::L8R8)));
+  }
+  for (auto& f : futures) EXPECT_TRUE(f.get().spmm.has_value());
+  engine.drain();  // stats are final only once the engine is idle
+  const SchedulerStats ss = engine.stats();
+  EXPECT_EQ(ss.submitted, 16u);
+  EXPECT_EQ(ss.completed, 16u);
+}
+
+TEST(BatchScheduler, BoundedQueueBackpressureAcrossThreads) {
+  BatchSchedulerConfig cfg;
+  cfg.max_queue_depth = 1;  // every concurrent submitter contends
+  cfg.linger = std::chrono::microseconds(0);
+  BatchScheduler engine(cfg);
+
+  const Problem p = make_problem(precision::L8R8, 51);
+  constexpr int kThreads = 4, kEach = 8;
+  std::vector<std::thread> threads;
+  std::vector<int> ok(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kEach; ++i) {
+        auto f = engine.submit(spmm_request(p, precision::L8R8));
+        if (f.get().spmm.has_value()) ok[t] += 1;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(ok[t], kEach);
+  engine.drain();  // stats are final only once the engine is idle
+  EXPECT_EQ(engine.stats().completed,
+            static_cast<std::uint64_t>(kThreads) * kEach);
+}
+
 // ---- Multi-threaded stress ------------------------------------------------
 
 TEST(BatchScheduler, MultiThreadedSubmitStress) {
@@ -438,9 +559,11 @@ TEST(BatchScheduler, MultiThreadedSubmitStress) {
 
   const CacheStats cs = engine.cache().stats();
   EXPECT_EQ(cs.hits + cs.misses, cs.lookups);
-  // Every request looks up its LHS; only the first per (problem, precision)
-  // misses (modulo prepare races, which the cache reconciles).
-  EXPECT_GE(cs.hits, cs.lookups - 3 - cs.race_discards);
+  // Every request looks up its LHS (SpMM only) and its execution plan; only
+  // the first per (problem, precision, kind) misses — 3 SpMM LHS + 3 SpMM
+  // plans + 3 SDDMM plans (modulo prepare races, which the cache
+  // reconciles).
+  EXPECT_GE(cs.hits, cs.lookups - 9 - cs.race_discards);
 }
 
 }  // namespace
