@@ -6,8 +6,10 @@
 
 #include <cstdio>
 #include <map>
+#include <memory>
 
 #include "bench_util.hpp"
+#include "serve/operand_cache.hpp"
 #include "transformer/latency.hpp"
 
 using namespace magicube;
@@ -30,13 +32,22 @@ int main(int argc, char** argv) {
   const std::vector<int> head_counts =
       opt.smoke ? std::vector<int>{4} : std::vector<int>{4, 8};
 
-  // Mask patterns are shared per (seq_len, sparsity).
+  // Mask patterns are shared per (seq_len, sparsity), and each mask gets
+  // one AttentionPlanContext over a shared operand cache: the attention
+  // execution plans build once per (mask, precision, op) and every layer /
+  // batch / head-count sweep replays them — no per-call plan rebuilds.
+  const auto plan_cache = std::make_shared<serve::OperandCache>();
   std::map<std::pair<std::size_t, int>, sparse::BlockPattern> masks;
+  std::map<std::pair<std::size_t, int>,
+           std::unique_ptr<transformer::AttentionPlanContext>>
+      plan_contexts;
   for (std::size_t seq : seqs) {
     for (double sparsity : sparsities) {
       Rng rng(0xa77e + seq + static_cast<std::uint64_t>(sparsity * 100));
-      masks[{seq, static_cast<int>(sparsity * 100)}] =
-          sparse::make_attention_mask_pattern(seq, 8, sparsity, rng);
+      const auto key = std::make_pair(seq, static_cast<int>(sparsity * 100));
+      masks[key] = sparse::make_attention_mask_pattern(seq, 8, sparsity, rng);
+      plan_contexts[key] = std::make_unique<transformer::AttentionPlanContext>(
+          plan_cache, masks.at(key));
     }
   }
 
@@ -50,6 +61,8 @@ int main(int argc, char** argv) {
                             "speedup vs vectorSparse (b=2)"});
         const auto& mask =
             masks.at({seq, static_cast<int>(sparsity * 100)});
+        transformer::AttentionPlanContext* plans =
+            plan_contexts.at({seq, static_cast<int>(sparsity * 100)}).get();
         double dense_b2 = 0.0, vs_b2 = 0.0;
         for (const auto scheme : schemes) {
           std::string cells[2];
@@ -63,7 +76,7 @@ int main(int argc, char** argv) {
             cfg.batch = bi == 0 ? 2 : 8;
             cfg.sparsity = sparsity;
             const auto result =
-                transformer::transformer_inference(cfg, scheme, mask);
+                transformer::transformer_inference(cfg, scheme, mask, plans);
             cells[bi] = result.oom ? "OOM"
                                    : bench::fmt(result.seconds * 1e3, 2);
             if (bi == 0 && !result.oom) b2_seconds = result.seconds;
@@ -90,6 +103,28 @@ int main(int argc, char** argv) {
       "Expected shape (paper): Magicube 1.4-1.9x over vectorSparse and\n"
       "1.5-1.7x over dense fp16 at seq 4096 / sparsity 0.9; dense OOMs at\n"
       "seq 8192 with batch 8; runtime roughly doubles from 4 to 8 heads;\n"
-      "longer sequences and higher sparsity favor the sparse schemes.\n");
-  return 0;
+      "longer sequences and higher sparsity favor the sparse schemes.\n\n");
+
+  // Plan-reuse gate: per mask, the four Magicube schemes touch exactly 2
+  // SDDMM plans ({s8,s8} and {s4,s4} — 16b-8b and 8b-8b share the QKV
+  // precision) and 4 SpMM plans (distinct {softmax, qkv} pairs), so every
+  // lookup beyond those 6 must be a replay. Any extra build means a
+  // per-call plan rebuild crept back in.
+  constexpr std::uint64_t kPlansPerMask = 6;
+  bool reuse_ok = true;
+  std::uint64_t builds = 0, replays = 0;
+  for (const auto& [key, ctx] : plan_contexts) {
+    builds += ctx->plan_builds;
+    replays += ctx->plan_replays;
+    if (ctx->plan_builds != kPlansPerMask || ctx->plan_replays == 0) {
+      reuse_ok = false;
+    }
+  }
+  std::printf("attention plan cache: %llu plans built once, %llu replays "
+              "across layers/batches/heads — %s\n",
+              static_cast<unsigned long long>(builds),
+              static_cast<unsigned long long>(replays),
+              reuse_ok ? "no per-call plan rebuilds"
+                       : "REBUILD DETECTED (gate failure)");
+  return reuse_ok ? 0 : 1;
 }

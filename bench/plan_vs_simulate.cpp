@@ -1,29 +1,39 @@
-// Plan-once/run-many vs lane-accurate simulation: wall-clock comparison of
-// ExecMode::fast (plan replay) against ExecMode::simulate, plus the
-// one-time plan-build cost, on the Fig. 12 SpMM shapes (uniform DLMC-style
-// patterns, every precision pair) and the Fig. 13 SDDMM pairs.
+// Replay engines vs lane-accurate simulation: wall-clock comparison of the
+// block-panel replay (ExecMode::fast, ReplayKernel::panel — the default),
+// the PR-3 per-fragment replay (ReplayKernel::fragment) and
+// ExecMode::simulate, plus the one-time plan-build cost, on the Fig. 12
+// SpMM shapes (uniform DLMC-style patterns, every precision pair) and the
+// Fig. 13 SDDMM pairs.
 //
-// Bit-exactness and counter equality between the modes are re-asserted
-// inline on every shape before timing (a bench that measured a wrong
-// kernel would be worse than no bench). The enforced acceptance gate is
-// the aggregate SpMM speedup: ExecMode::fast must beat ExecMode::simulate
-// by >= 3x across the precision sweep, or the binary exits nonzero — the
-// bench-smoke CTest registration turns a fast-path regression into a red
-// build. Sanitizer builds report without enforcing (distorted timings).
+// Bit-exactness and counter equality across all three engines are
+// re-asserted inline on every shape before timing (a bench that measured a
+// wrong kernel would be worse than no bench). The enforced acceptance
+// gates compare against the *recorded baseline* JSON in bench/baselines/
+// (bars rise by re-recording, never by editing code):
+//   * aggregate SpMM panel-vs-simulate speedup >= recorded bar
+//   * aggregate SpMM panel-vs-fragment speedup >= recorded bar (the
+//     micro-kernel must keep beating the engine it replaced)
+// The binary exits nonzero on a miss, so the bench-smoke CTest
+// registration turns a fast-path regression into a red build. Sanitizer
+// builds report without enforcing (distorted timings).
 //
 // Like serve_throughput, --smoke is peeled off argv and the rest forwards
 // to google-benchmark (--benchmark_out, ...); CI uploads the JSON so the
-// BENCH_* perf trajectory populates.
+// BENCH_* perf trajectory populates — once per MAGICUBE_SIMD leg.
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "core/api.hpp"
+#include "simt/tensor_core.hpp"
 
 #if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
 #define MAGICUBE_BENCH_SANITIZED 1
@@ -34,6 +44,10 @@
 #endif
 #ifndef MAGICUBE_BENCH_SANITIZED
 #define MAGICUBE_BENCH_SANITIZED 0
+#endif
+
+#ifndef MAGICUBE_BENCH_BASELINE_DIR
+#define MAGICUBE_BENCH_BASELINE_DIR "bench/baselines"
 #endif
 
 namespace {
@@ -79,12 +93,13 @@ void time_batch_min(int reps, Fn&& fn, double& best) {
 
 constexpr int kTimingRounds = 2;
 
-struct SpmmTimings {
-  double simulate_s = 1e30, fast_s = 1e30, plan_build_s = 0;
+struct OpTimings {
+  double simulate_s = 1e30, fragment_s = 1e30, panel_s = 1e30;
+  double plan_build_s = 0;
 };
 
-SpmmTimings time_spmm(const Shape& shape, PrecisionPair prec,
-                      std::uint64_t seed) {
+OpTimings time_spmm(const Shape& shape, PrecisionPair prec,
+                    std::uint64_t seed) {
   Rng rng(seed);
   const auto pattern = sparse::make_uniform_pattern(shape.m, shape.k, shape.v,
                                                     shape.sparsity, rng);
@@ -97,36 +112,48 @@ SpmmTimings time_spmm(const Shape& shape, PrecisionPair prec,
                                         core::needs_shuffle(cfg));
   const auto b = core::prepare_spmm_rhs(b_vals, prec);
 
-  SpmmTimings t;
+  OpTimings t;
   auto start = Clock::now();
   const core::SpmmPlanHandle plan = core::build_spmm_plan(a, shape.n, cfg);
   t.plan_build_s = seconds_since(start);
 
-  // Correctness anchor before timing: both modes bit-exact, counters equal.
+  // Correctness anchor before timing: all three engines bit-exact, counters
+  // equal.
   cfg.mode = core::ExecMode::simulate;
   const core::SpmmResult sim = core::spmm(a, b, cfg);
   cfg.mode = core::ExecMode::fast;
-  const core::SpmmResult fast = core::spmm(a, b, cfg, *plan);
-  MAGICUBE_CHECK_MSG(fast.c == sim.c, "fast/simulate result mismatch");
-  MAGICUBE_CHECK_MSG(fast.run.counters == sim.run.counters,
+  cfg.replay = core::ReplayKernel::fragment;
+  const core::SpmmResult frag = core::spmm(a, b, cfg, *plan);
+  cfg.replay = core::ReplayKernel::panel;
+  const core::SpmmResult panel = core::spmm(a, b, cfg, *plan);
+  MAGICUBE_CHECK_MSG(frag.c == sim.c, "fragment/simulate result mismatch");
+  MAGICUBE_CHECK_MSG(panel.c == sim.c, "panel/simulate result mismatch");
+  MAGICUBE_CHECK_MSG(panel.run.counters == sim.run.counters,
                      "fast/simulate counter mismatch");
 
   for (int round = 0; round < kTimingRounds; ++round) {
     cfg.mode = core::ExecMode::simulate;
+    cfg.replay = std::nullopt;
     time_batch_min(
         shape.reps, [&] { benchmark::DoNotOptimize(core::spmm(a, b, cfg)); },
         t.simulate_s);
     cfg.mode = core::ExecMode::fast;
+    cfg.replay = core::ReplayKernel::fragment;
     time_batch_min(
         shape.reps,
         [&] { benchmark::DoNotOptimize(core::spmm(a, b, cfg, *plan)); },
-        t.fast_s);
+        t.fragment_s);
+    cfg.replay = core::ReplayKernel::panel;
+    time_batch_min(
+        shape.reps,
+        [&] { benchmark::DoNotOptimize(core::spmm(a, b, cfg, *plan)); },
+        t.panel_s);
   }
   return t;
 }
 
-SpmmTimings time_sddmm(const Shape& shape, PrecisionPair prec,
-                       std::uint64_t seed) {
+OpTimings time_sddmm(const Shape& shape, PrecisionPair prec,
+                     std::uint64_t seed) {
   Rng rng(seed);
   // K must satisfy the SDDMM alignment on both datapaths.
   const std::size_t k = shape.k;
@@ -141,7 +168,7 @@ SpmmTimings time_sddmm(const Shape& shape, PrecisionPair prec,
   const auto a = core::prepare_dense(a_vals, prec.lhs, true, chunk);
   const auto b = core::prepare_dense(b_vals, prec.rhs, false, chunk);
 
-  SpmmTimings t;
+  OpTimings t;
   auto start = Clock::now();
   const core::SddmmPlanHandle plan = core::build_sddmm_plan(pattern, k, cfg);
   t.plan_build_s = seconds_since(start);
@@ -149,77 +176,174 @@ SpmmTimings time_sddmm(const Shape& shape, PrecisionPair prec,
   cfg.mode = core::ExecMode::simulate;
   const core::SddmmResult sim = core::sddmm(a, b, pattern, cfg);
   cfg.mode = core::ExecMode::fast;
-  const core::SddmmResult fast = core::sddmm(a, b, pattern, cfg, *plan);
-  MAGICUBE_CHECK_MSG(fast.c.values == sim.c.values,
-                     "fast/simulate result mismatch");
-  MAGICUBE_CHECK_MSG(fast.run.counters == sim.run.counters,
+  cfg.replay = core::ReplayKernel::fragment;
+  const core::SddmmResult frag = core::sddmm(a, b, pattern, cfg, *plan);
+  cfg.replay = core::ReplayKernel::panel;
+  const core::SddmmResult panel = core::sddmm(a, b, pattern, cfg, *plan);
+  MAGICUBE_CHECK_MSG(frag.c.values == sim.c.values,
+                     "fragment/simulate result mismatch");
+  MAGICUBE_CHECK_MSG(panel.c.values == sim.c.values,
+                     "panel/simulate result mismatch");
+  MAGICUBE_CHECK_MSG(panel.run.counters == sim.run.counters,
                      "fast/simulate counter mismatch");
 
   for (int round = 0; round < kTimingRounds; ++round) {
     cfg.mode = core::ExecMode::simulate;
+    cfg.replay = std::nullopt;
     time_batch_min(
         shape.reps,
         [&] { benchmark::DoNotOptimize(core::sddmm(a, b, pattern, cfg)); },
         t.simulate_s);
     cfg.mode = core::ExecMode::fast;
+    cfg.replay = core::ReplayKernel::fragment;
     time_batch_min(
         shape.reps,
-        [&] { benchmark::DoNotOptimize(core::sddmm(a, b, pattern, cfg, *plan)); },
-        t.fast_s);
+        [&] {
+          benchmark::DoNotOptimize(core::sddmm(a, b, pattern, cfg, *plan));
+        },
+        t.fragment_s);
+    cfg.replay = core::ReplayKernel::panel;
+    time_batch_min(
+        shape.reps,
+        [&] {
+          benchmark::DoNotOptimize(core::sddmm(a, b, pattern, cfg, *plan));
+        },
+        t.panel_s);
   }
   return t;
+}
+
+// ---- Recorded baseline gates ----------------------------------------------
+
+/// Flat {"key": number} lookup over the baseline JSON (no JSON dependency;
+/// the file is a hand-recorded bar sheet, not machine output).
+struct Baselines {
+  bool loaded = false;
+  std::string path;
+  std::string text;
+
+  double get(const std::string& key, bool* ok) const {
+    const std::string needle = "\"" + key + "\"";
+    const std::size_t at = text.find(needle);
+    if (at == std::string::npos) {
+      *ok = false;
+      return 0;
+    }
+    const std::size_t colon = text.find(':', at + needle.size());
+    if (colon == std::string::npos) {
+      *ok = false;
+      return 0;
+    }
+    try {
+      return std::stod(text.substr(colon + 1));
+    } catch (const std::exception&) {
+      *ok = false;  // malformed value: fail the gate cleanly, don't throw
+      return 0;
+    }
+  }
+};
+
+Baselines load_baselines() {
+  Baselines b;
+  b.path = std::string(MAGICUBE_BENCH_BASELINE_DIR) + "/plan_vs_simulate.json";
+  std::ifstream in(b.path);
+  if (in) {
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    b.text = ss.str();
+    b.loaded = true;
+  }
+  return b;
 }
 
 bool g_smoke = false;
 
 bool comparison_table(bool smoke) {
   const Shape shape = shape_for(smoke);
-  std::printf("== plan-once/run-many: ExecMode::fast vs ExecMode::simulate"
-              "%s ==\n", smoke ? " [smoke]" : "");
+  std::printf("== replay engines: panel vs fragment vs ExecMode::simulate"
+              "%s (SIMD micro-kernel: %s) ==\n",
+              smoke ? " [smoke]" : "",
+              simt::simd_enabled() ? "on" : "off (scalar fallback)");
   std::printf("SpMM shapes (Fig. 12): M=%zu K=%zu N=%zu V=%d, sparsity "
               "%.2f; SDDMM (Fig. 13) on the M x N pattern at K=%zu\n\n",
               shape.m, shape.k, shape.n, shape.v, shape.sparsity, shape.k);
 
-  bench::Table table({"op", "precision", "simulate (ms)", "fast (ms)",
-                      "speedup", "plan build (ms)"});
-  double sim_total = 0, fast_total = 0;
+  bench::Table table({"op", "precision", "simulate (ms)", "fragment (ms)",
+                      "panel (ms)", "panel vs sim", "panel vs frag",
+                      "plan build (ms)"});
+  double sim_total = 0, frag_total = 0, panel_total = 0;
 
   const PrecisionPair spmm_pairs[] = {
       precision::L16R16, precision::L16R8, precision::L8R8,
       precision::L16R4,  precision::L12R4, precision::L8R4,
       precision::L4R4};
   for (const PrecisionPair prec : spmm_pairs) {
-    const SpmmTimings t =
+    const OpTimings t =
         time_spmm(shape, prec, 0x916 + bits_of(prec.lhs) * 8u +
                                    static_cast<unsigned>(bits_of(prec.rhs)));
     sim_total += t.simulate_s;
-    fast_total += t.fast_s;
+    frag_total += t.fragment_s;
+    panel_total += t.panel_s;
     table.add_row({"spmm", to_string(prec), bench::fmt(t.simulate_s * 1e3, 2),
-                   bench::fmt(t.fast_s * 1e3, 2),
-                   bench::fmt(t.simulate_s / t.fast_s, 2) + "x",
+                   bench::fmt(t.fragment_s * 1e3, 2),
+                   bench::fmt(t.panel_s * 1e3, 2),
+                   bench::fmt(t.simulate_s / t.panel_s, 2) + "x",
+                   bench::fmt(t.fragment_s / t.panel_s, 2) + "x",
                    bench::fmt(t.plan_build_s * 1e3, 3)});
   }
 
   const PrecisionPair sddmm_pairs[] = {precision::L8R8, precision::L4R4,
                                        precision::L16R16};
   for (const PrecisionPair prec : sddmm_pairs) {
-    const SpmmTimings t = time_sddmm(shape, prec, 0x5dd1 + bits_of(prec.lhs));
+    const OpTimings t = time_sddmm(shape, prec, 0x5dd1 + bits_of(prec.lhs));
     table.add_row({"sddmm", to_string(prec),
                    bench::fmt(t.simulate_s * 1e3, 2),
-                   bench::fmt(t.fast_s * 1e3, 2),
-                   bench::fmt(t.simulate_s / t.fast_s, 2) + "x",
+                   bench::fmt(t.fragment_s * 1e3, 2),
+                   bench::fmt(t.panel_s * 1e3, 2),
+                   bench::fmt(t.simulate_s / t.panel_s, 2) + "x",
+                   bench::fmt(t.fragment_s / t.panel_s, 2) + "x",
                    bench::fmt(t.plan_build_s * 1e3, 3)});
   }
   table.print();
 
-  const double speedup = sim_total / fast_total;
-  const bool gate = speedup >= 3.0;
-  std::printf("\naggregate SpMM fast-vs-simulate speedup: %.2fx (gate: "
-              ">= 3x) — %s%s\n\n",
-              speedup, gate ? "PASS" : "FAIL",
-              MAGICUBE_BENCH_SANITIZED
-                  ? " [sanitized build: gate reported, not enforced]"
-                  : "");
+  const double vs_sim = sim_total / panel_total;
+  const double vs_frag = frag_total / panel_total;
+
+  const Baselines bars = load_baselines();
+  // Bars are recorded per shape set and per MAGICUBE_SIMD build flavor (the
+  // scalar fallback is a correctness kernel first; its bar only guards
+  // against pathological regressions).
+  const std::string prefix = std::string(smoke ? "smoke_" : "full_") +
+                             (simt::simd_enabled() ? "simd_" : "scalar_");
+  bool bars_ok = bars.loaded;
+  double sim_bar = 0, frag_bar = 0;
+  if (bars.loaded) {
+    sim_bar = bars.get(prefix + "spmm_panel_vs_simulate_min", &bars_ok);
+    frag_bar = bars.get(prefix + "spmm_panel_vs_fragment_min", &bars_ok);
+  }
+
+  bool gate = true;
+  if (!bars_ok) {
+    std::printf("\ncannot read recorded baselines from %s — gate FAILED\n",
+                bars.path.c_str());
+    gate = false;
+  } else {
+    const bool sim_ok = vs_sim >= sim_bar;
+    const bool frag_ok = vs_frag >= frag_bar;
+    gate = sim_ok && frag_ok;
+    std::printf("\naggregate SpMM panel-vs-simulate speedup: %.2fx "
+                "(recorded bar: >= %.2fx) — %s\n",
+                vs_sim, sim_bar, sim_ok ? "PASS" : "FAIL");
+    std::printf("aggregate SpMM panel-vs-fragment speedup: %.2fx "
+                "(recorded bar: >= %.2fx) — %s\n",
+                vs_frag, frag_bar, frag_ok ? "PASS" : "FAIL");
+    std::printf("(bars recorded in %s; raise them by re-recording, not by "
+                "editing the gate)%s\n\n",
+                bars.path.c_str(),
+                MAGICUBE_BENCH_SANITIZED
+                    ? " [sanitized build: gates reported, not enforced]"
+                    : "");
+  }
   return gate || MAGICUBE_BENCH_SANITIZED;
 }
 
@@ -240,7 +364,7 @@ void BM_SpmmSimulate(benchmark::State& state) {
 }
 BENCHMARK(BM_SpmmSimulate)->Unit(benchmark::kMillisecond);
 
-void BM_SpmmFastReplay(benchmark::State& state) {
+void BM_SpmmPanelReplay(benchmark::State& state) {
   const Shape shape = shape_for(g_smoke);
   Rng rng(1);
   const auto pattern = sparse::make_uniform_pattern(shape.m, shape.k, shape.v,
@@ -249,6 +373,7 @@ void BM_SpmmFastReplay(benchmark::State& state) {
   const auto b_vals = core::random_values(shape.k, shape.n, Scalar::s8, rng);
   core::SpmmConfig cfg;
   cfg.mode = core::ExecMode::fast;
+  cfg.replay = core::ReplayKernel::panel;
   const auto a = core::prepare_spmm_lhs(pattern, a_vals, cfg.precision,
                                         core::needs_shuffle(cfg));
   const auto b = core::prepare_spmm_rhs(b_vals, cfg.precision);
@@ -257,7 +382,27 @@ void BM_SpmmFastReplay(benchmark::State& state) {
     benchmark::DoNotOptimize(core::spmm(a, b, cfg, *plan));
   }
 }
-BENCHMARK(BM_SpmmFastReplay)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SpmmPanelReplay)->Unit(benchmark::kMillisecond);
+
+void BM_SpmmFragmentReplay(benchmark::State& state) {
+  const Shape shape = shape_for(g_smoke);
+  Rng rng(1);
+  const auto pattern = sparse::make_uniform_pattern(shape.m, shape.k, shape.v,
+                                                    shape.sparsity, rng);
+  const auto a_vals = core::random_values(shape.m, shape.k, Scalar::s8, rng);
+  const auto b_vals = core::random_values(shape.k, shape.n, Scalar::s8, rng);
+  core::SpmmConfig cfg;
+  cfg.mode = core::ExecMode::fast;
+  cfg.replay = core::ReplayKernel::fragment;
+  const auto a = core::prepare_spmm_lhs(pattern, a_vals, cfg.precision,
+                                        core::needs_shuffle(cfg));
+  const auto b = core::prepare_spmm_rhs(b_vals, cfg.precision);
+  const auto plan = core::build_spmm_plan(a, shape.n, cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::spmm(a, b, cfg, *plan));
+  }
+}
+BENCHMARK(BM_SpmmFragmentReplay)->Unit(benchmark::kMillisecond);
 
 void BM_SpmmPlanBuild(benchmark::State& state) {
   const Shape shape = shape_for(g_smoke);
@@ -274,7 +419,7 @@ void BM_SpmmPlanBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_SpmmPlanBuild)->Unit(benchmark::kMillisecond);
 
-void BM_SddmmFastReplay(benchmark::State& state) {
+void BM_SddmmPanelReplay(benchmark::State& state) {
   const Shape shape = shape_for(g_smoke);
   Rng rng(2);
   const auto pattern = sparse::make_uniform_pattern(shape.m, shape.n, shape.v,
@@ -283,6 +428,7 @@ void BM_SddmmFastReplay(benchmark::State& state) {
   const auto b_vals = core::random_values(shape.k, shape.n, Scalar::s8, rng);
   core::SddmmConfig cfg;
   cfg.mode = core::ExecMode::fast;
+  cfg.replay = core::ReplayKernel::panel;
   const auto a = core::prepare_dense(a_vals, Scalar::s8, true, 8);
   const auto b = core::prepare_dense(b_vals, Scalar::s8, false, 8);
   const auto plan = core::build_sddmm_plan(pattern, shape.k, cfg);
@@ -290,7 +436,7 @@ void BM_SddmmFastReplay(benchmark::State& state) {
     benchmark::DoNotOptimize(core::sddmm(a, b, pattern, cfg, *plan));
   }
 }
-BENCHMARK(BM_SddmmFastReplay)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SddmmPanelReplay)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -46,6 +46,41 @@ void set_default_exec_mode(ExecMode m) {
   exec_mode_slot().store(m, std::memory_order_relaxed);
 }
 
+const char* to_string(ReplayKernel k) {
+  switch (k) {
+    case ReplayKernel::panel: return "panel";
+    case ReplayKernel::fragment: return "fragment";
+  }
+  return "?";
+}
+
+namespace {
+
+ReplayKernel initial_replay_kernel() {
+  if (const char* e = std::getenv("MAGICUBE_REPLAY_KERNEL")) {
+    if (std::strcmp(e, "panel") == 0) return ReplayKernel::panel;
+    if (std::strcmp(e, "fragment") == 0) return ReplayKernel::fragment;
+    MAGICUBE_CHECK_MSG(false, "MAGICUBE_REPLAY_KERNEL must be 'panel' or "
+                              "'fragment', got '" << e << "'");
+  }
+  return ReplayKernel::panel;
+}
+
+std::atomic<ReplayKernel>& replay_kernel_slot() {
+  static std::atomic<ReplayKernel> kernel{initial_replay_kernel()};
+  return kernel;
+}
+
+}  // namespace
+
+ReplayKernel default_replay_kernel() {
+  return replay_kernel_slot().load(std::memory_order_relaxed);
+}
+
+void set_default_replay_kernel(ReplayKernel k) {
+  replay_kernel_slot().store(k, std::memory_order_relaxed);
+}
+
 namespace detail {
 
 SpmmGeom make_spmm_geom(const SparseOperand& a_meta, int q_planes,
@@ -333,7 +368,8 @@ std::size_t SpmmPlan::footprint_bytes() const {
          a_frag_src.size() * sizeof(std::array<LaneSrc, 32>) +
          (rhs_k_row.size() + rhs_word_col.size()) *
              sizeof(std::array<std::int8_t, 32>) +
-         rhs_row_base.size() * sizeof(std::size_t);
+         rhs_row_base.size() * sizeof(std::size_t) +
+         a_panel_src.size() * sizeof(std::array<PanelRow, 8>);
 }
 
 SpmmPlanHandle build_spmm_plan(const SparseOperand& a, std::size_t n_cols,
@@ -371,6 +407,42 @@ SpmmPlanHandle build_spmm_plan(const SparseOperand& a, std::size_t n_cols,
         plan->bias_lane[static_cast<std::size_t>(lane)] = 1;
       }
     }
+  }
+
+  // Panel schedule: the same plane stacking by tile coordinates. Panel row
+  // rr = lp * V + rb decodes tile row rb of plane grp * s + lp; rows beyond
+  // the group's stacked planes stay inactive (the panel kernel zeroes them
+  // and the epilogue never reads their accumulators).
+  plan->a_panel_src.resize(static_cast<std::size_t>(g.g));
+  for (int grp = 0; grp < g.g; ++grp) {
+    auto& rows = plan->a_panel_src[static_cast<std::size_t>(grp)];
+    for (int rr = 0; rr < 8; ++rr) {
+      const int lp = rr / g.v;
+      const int pl = grp * g.s + lp;
+      if (pl >= g.p || lp >= g.group_size(grp)) continue;
+      rows[static_cast<std::size_t>(rr)] = {
+          static_cast<std::int8_t>(pl), static_cast<std::int8_t>(rr % g.v),
+          static_cast<std::uint8_t>(
+              g.bias_correct && grp == g.g - 1 && g.is_top(pl) ? 1 : 0)};
+    }
+  }
+
+  // B-panel k schedule: where natural reduction row k lives within the
+  // stride tile's index slots (inverse block-of-8 shuffle when the indices
+  // are stored shuffled).
+  for (int k = 0; k < g.stride; ++k) {
+    int pos = k;
+    if (g.shuffle) {
+      const int base = k / 8 * 8;
+      for (int p = 0; p < 8; ++p) {
+        if (sparse::kShuffleOrder[static_cast<std::size_t>(p)] == k % 8) {
+          pos = base + p;
+          break;
+        }
+      }
+    }
+    plan->panel_k_slot[static_cast<std::size_t>(k)] =
+        static_cast<std::uint8_t>(pos);
   }
 
   // RHS gather schedule of the online transpose (Fig. 4 staging + the
@@ -426,6 +498,47 @@ SpmmPlanHandle build_spmm_plan(const SparseOperand& a, std::size_t n_cols,
   return plan;
 }
 
+SpmmPlanHandle build_spmm_plan(const sparse::BlockPattern& pattern,
+                               std::size_t n_cols, const SpmmConfig& cfg) {
+  pattern.validate();
+  // Encode the SR-BCRS *structure* only (pointers + padded column indices,
+  // shuffled when the datapath requires it): the plan never reads values,
+  // so this matches build_sr_bcrs slot for slot at O(slots) with no value
+  // buffer in sight.
+  SparseOperand meta;
+  sparse::SrBcrs& sr = meta.structure;
+  sr.rows = pattern.rows;
+  sr.cols = pattern.cols;
+  sr.vector_length = pattern.vector_length;
+  sr.stride = stride_for(cfg.precision);
+  const std::size_t st = static_cast<std::size_t>(sr.stride);
+  const std::size_t vr = pattern.vector_rows();
+  sr.first_ptr.resize(vr);
+  sr.end_ptr.resize(vr);
+  std::size_t slots = 0;
+  for (std::size_t r = 0; r < vr; ++r) {
+    sr.first_ptr[r] = static_cast<std::uint32_t>(slots);
+    slots += (pattern.vectors_in_row(r) + st - 1) / st * st;
+    sr.end_ptr[r] = static_cast<std::uint32_t>(slots);
+  }
+  sr.col_idx.assign(slots, sparse::kInvalidCol);
+  for (std::size_t r = 0; r < vr; ++r) {
+    const std::size_t n = pattern.vectors_in_row(r);
+    for (std::size_t j = 0; j < n; ++j) {
+      sr.col_idx[sr.first_ptr[r] + j] = pattern.col_idx[pattern.row_ptr[r] + j];
+    }
+  }
+  if (needs_shuffle(cfg)) {
+    // Permutes only the column indices; the empty value buffer is carried
+    // through untouched.
+    sr = sparse::shuffle_columns(sr);
+  }
+  meta.logical_type = cfg.precision.lhs;
+  meta.planes.resize(static_cast<std::size_t>(
+      quant::plane_count(cfg.precision.lhs, lhs_chunk_bits(cfg.precision))));
+  return build_spmm_plan(meta, n_cols, cfg);
+}
+
 std::size_t SddmmPlan::footprint_bytes() const {
   return sizeof(SddmmPlan) +
          (map.row.size() + map.slot_base.size() + map.valid.size()) *
@@ -463,6 +576,13 @@ SddmmPlanHandle build_sddmm_plan(const sparse::BlockPattern& pattern,
   for (std::size_t i = 0; i < pattern.vector_count(); ++i) {
     plan->rhs_col_base[i] =
         static_cast<std::size_t>(pattern.col_idx[i]) * col_bytes;
+  }
+  // Panel schedule: LHS rows span the full reduction depth (A rows and B
+  // columns are both K contiguous elements), so one byte base per tile row
+  // is the whole schedule.
+  for (int row = 0; row < 8; ++row) {
+    plan->a_panel_row_base[static_cast<std::size_t>(row)] =
+        row < g.v ? static_cast<std::size_t>(row) * col_bytes : 0;
   }
 
   simt::KernelRun& run = plan->run;

@@ -65,6 +65,30 @@ const char* to_string(ExecMode m);
 ExecMode default_exec_mode();
 void set_default_exec_mode(ExecMode m);
 
+/// Which replay implementation ExecMode::fast runs.
+///
+///   panel    — block-panel engine: operand plane groups are decoded once
+///              per stride tile into contiguous thread-local panel arenas
+///              and multiplied with the vectorizable simt::mma_panel /
+///              simt::dot_wrap micro-kernels, one invocation covering all
+///              adjacent 8-column mma tiles of a block. The default.
+///   fragment — the PR-3 per-fragment replay (lane-schedule word gathers,
+///              register transpose, one scalar mma_decoded per 8x8 tile).
+///              Kept as the in-tree comparison point and second reference.
+///
+/// Both kernels replay the same plan and are bit-exact with each other and
+/// with ExecMode::simulate (asserted by tests/test_plan.cpp and inline by
+/// bench/plan_vs_simulate before timing).
+enum class ReplayKernel : std::uint8_t { panel, fragment };
+
+const char* to_string(ReplayKernel k);
+
+/// Process-wide default used when a config leaves `replay` unset.
+/// Initialized from MAGICUBE_REPLAY_KERNEL ("panel" or "fragment") on first
+/// use; panel otherwise. set_default_replay_kernel overrides at runtime.
+ReplayKernel default_replay_kernel();
+void set_default_replay_kernel(ReplayKernel k);
+
 namespace detail {
 
 /// SpMM geometry shared by the functional kernel, the fast replay loop and
@@ -235,6 +259,28 @@ struct SpmmPlan {
   /// padding — the SR-BCRS column indices resolved once.
   std::vector<std::size_t> rhs_row_base;
 
+  /// Panel replay schedule: the lane schedules above flattened to tile
+  /// coordinates. For plane group `grp`, panel row `rr` (0..7, the mma A
+  /// row with Fig. 10b plane stacking baked in) decodes LHS plane `plane`,
+  /// tile row `row` (both < 0: inactive, zero row); `biased` rows
+  /// bias-encode the stacked signed top plane before the unsigned decode.
+  /// The RHS panel needs no schedule of its own — rhs_row_base already
+  /// names each stride row's bytes, and a block's bsn columns are
+  /// contiguous in the plane buffer.
+  struct PanelRow {
+    std::int8_t plane = -1;
+    std::int8_t row = -1;
+    std::uint8_t biased = 0;
+  };
+  std::vector<std::array<PanelRow, 8>> a_panel_src;  // [group][panel row]
+
+  /// B-panel k schedule: natural reduction row `k` of a stride tile gathers
+  /// from slot `slot_base + panel_k_slot[k]`. Identity except on the
+  /// shuffled int4 format, where the column indices sit in block-of-8
+  /// shuffled order while the values (and thus the A panel) stay natural —
+  /// the inverse permutation the Fig. 7 register transpose applies.
+  std::array<std::uint8_t, 32> panel_k_slot{};
+
   /// Heap + inline bytes held by the plan (cache accounting).
   std::size_t footprint_bytes() const;
 };
@@ -248,6 +294,15 @@ using SpmmPlanHandle = std::shared_ptr<const SpmmPlan>;
 SpmmPlanHandle build_spmm_plan(const SparseOperand& a, std::size_t n_cols,
                                const SpmmConfig& cfg);
 
+/// Builds the SpMM plan from the sparsity pattern alone: plans are
+/// value-free, so encoding just the SR-BCRS *structure* (row pointers +
+/// column indices, shuffled when the config requires it) yields the exact
+/// plan a prepared operand would. O(slots), no value buffers touched —
+/// this is how plan-threaded layers (transformer::, the latency model)
+/// plan before any weights exist.
+SpmmPlanHandle build_spmm_plan(const sparse::BlockPattern& pattern,
+                               std::size_t n_cols, const SpmmConfig& cfg);
+
 /// Execution plan for core::sddmm on one (pattern, config, K) triple.
 struct SddmmPlan {
   detail::SddmmGeom geom;
@@ -260,6 +315,13 @@ struct SddmmPlan {
 
   /// Per-pattern-vector RHS column byte base (col * K * chunk / 8).
   std::vector<std::size_t> rhs_col_base;
+
+  /// Panel replay schedule: byte base of LHS tile row `row` within a
+  /// vector-row panel (row * K * chunk / 8, rows 0..V-1). The A panel of
+  /// block row r then lives at (r * V) * a_row_bytes + a_panel_row_base[row]
+  /// for the full reduction depth — the SDDMM panel kernel dots whole rows,
+  /// no per-step staging.
+  std::array<std::size_t, 8> a_panel_row_base{};
 
   std::size_t footprint_bytes() const;
 };

@@ -300,6 +300,85 @@ void fast_block(std::size_t blk, const DenseOperand& a,
   sddmm_value_epilogue(g, a, b, s.acc.data(), slot_base, valid, c_values);
 }
 
+// ---- Panel fast path: block-panel replay ----------------------------------
+//
+// A rows and B columns are both K contiguous elements in their plane
+// buffers (row-major A, column-major B), so the panel engine decodes the
+// block's V x K LHS panel once, decodes each sampled column once per RHS
+// plane, and reduces whole rows with the vectorized simt::dot_wrap — no
+// per-step staging, no fragment gathers. The mod-2^32 dot over the full
+// depth is bit-exact with the per-stride mma truncation chain it replaces.
+
+struct SddmmPanelScratch {
+  std::vector<std::int32_t> a_panel;  // [p][v][K] decoded LHS rows
+  std::vector<std::int32_t> b_col;    // [q][K] decoded RHS column
+};
+
+SddmmPanelScratch& sddmm_panel_scratch() {
+  thread_local SddmmPanelScratch scratch;
+  return scratch;
+}
+
+void panel_block(std::size_t blk, const DenseOperand& a,
+                 const DenseOperand& b, const SddmmPlan& plan,
+                 std::vector<std::int32_t>& c_values) {
+  const Geom& g = plan.geom;
+  const std::size_t r = plan.map.row[blk];
+  const std::size_t slot_base = plan.map.slot_base[blk];
+  const std::uint32_t valid = plan.map.valid[blk];
+  const std::size_t v = static_cast<std::size_t>(g.v);
+  const std::size_t k = g.k;
+  const std::size_t row_bytes = k * static_cast<std::size_t>(g.chunk) / 8;
+  const bool int4 = g.int4path;
+
+  SddmmPanelScratch& s = sddmm_panel_scratch();
+  s.a_panel.resize(static_cast<std::size_t>(g.p) * v * k);
+  s.b_col.resize(static_cast<std::size_t>(g.q) * k);
+
+  for (int pl = 0; pl < g.p; ++pl) {
+    const auto& plane = a.planes[static_cast<std::size_t>(pl)];
+    const std::uint8_t* base = plane.values.data() + r * v * row_bytes;
+    for (std::size_t row = 0; row < v; ++row) {
+      std::int32_t* dst =
+          s.a_panel.data() + (static_cast<std::size_t>(pl) * v + row) * k;
+      const std::uint8_t* bytes = base + plan.a_panel_row_base[row];
+      if (int4) {
+        simt::decode_span_int4(bytes, k, plane.is_signed, dst);
+      } else {
+        simt::decode_span_int8(bytes, k, plane.is_signed, dst);
+      }
+    }
+  }
+
+  for (std::uint32_t slot = 0; slot < valid; ++slot) {
+    const std::size_t vec = slot_base + slot;
+    for (int qq = 0; qq < g.q; ++qq) {
+      const auto& plane = b.planes[static_cast<std::size_t>(qq)];
+      std::int32_t* dst = s.b_col.data() + static_cast<std::size_t>(qq) * k;
+      const std::uint8_t* bytes = plane.values.data() + plan.rhs_col_base[vec];
+      if (int4) {
+        simt::decode_span_int4(bytes, k, plane.is_signed, dst);
+      } else {
+        simt::decode_span_int8(bytes, k, plane.is_signed, dst);
+      }
+    }
+    for (std::size_t row = 0; row < v; ++row) {
+      std::int64_t total = 0;
+      for (int pl = 0; pl < g.p; ++pl) {
+        const std::int32_t* arow =
+            s.a_panel.data() + (static_cast<std::size_t>(pl) * v + row) * k;
+        const std::int64_t wa = a.planes[static_cast<std::size_t>(pl)].weight;
+        for (int qq = 0; qq < g.q; ++qq) {
+          const std::int32_t part = simt::dot_wrap(
+              arow, s.b_col.data() + static_cast<std::size_t>(qq) * k, k, 0);
+          total += wa * b.planes[static_cast<std::size_t>(qq)].weight * part;
+        }
+      }
+      c_values[vec * v + row] = static_cast<std::int32_t>(total);
+    }
+  }
+}
+
 void validate_sddmm_inputs(const DenseOperand& a, const DenseOperand& b,
                            const sparse::BlockPattern& pattern,
                            const SddmmConfig& cfg) {
@@ -357,6 +436,7 @@ SddmmResult run_simulate(const DenseOperand& a, const DenseOperand& b,
 SddmmResult run_fast(const DenseOperand& a, const DenseOperand& b,
                      const sparse::BlockPattern& pattern,
                      const SddmmConfig& cfg, const SddmmPlan& plan) {
+  const ReplayKernel kernel = cfg.replay.value_or(default_replay_kernel());
   const Geom& g = plan.geom;
   MAGICUBE_CHECK_MSG(g.k == a.cols && g.v == pattern.vector_length,
                      "execution plan built for a different problem shape");
@@ -397,9 +477,15 @@ SddmmResult run_fast(const DenseOperand& a, const DenseOperand& b,
   }
 
   SddmmResult result = make_result_shell(pattern, g.v);
-  simt::run_grid_values(plan.run.launch.grid_blocks, [&](std::size_t blk) {
-    fast_block(blk, a, b, plan, result.c.values);
-  });
+  if (kernel == ReplayKernel::panel) {
+    simt::run_grid_values(plan.run.launch.grid_blocks, [&](std::size_t blk) {
+      panel_block(blk, a, b, plan, result.c.values);
+    });
+  } else {
+    simt::run_grid_values(plan.run.launch.grid_blocks, [&](std::size_t blk) {
+      fast_block(blk, a, b, plan, result.c.values);
+    });
+  }
   result.run = plan.run;
   result.c.validate();
   return result;

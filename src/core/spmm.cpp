@@ -549,6 +549,187 @@ void fast_block(std::size_t blk, const SparseOperand& a,
   spmm_value_epilogue(g, a, b, s.acc.data(), s.colsum.data(), r, cb, c);
 }
 
+// ---- Panel fast path: block-panel replay ----------------------------------
+//
+// One invocation of simt::mma_panel per (plane group, RHS plane, step)
+// covers the block's whole bsn-column tile — all 8 adjacent 8-column mma
+// tiles that the fragment replay walked one scalar mma_decoded at a time
+// (2 warps x 4 mma). Operands decode once per stride tile straight from
+// the packed plane bytes into contiguous arenas: the LHS tile is stored
+// [V rows][stride] row-major by SR-BCRS, and a block's RHS columns are
+// adjacent bytes of each gathered row, so no lane gathers, no register
+// transpose, no per-fragment decode.
+
+struct SpmmPanelScratch {
+  std::vector<std::uint32_t> acc;        // [group][q][8 rows][bsn] wrapping
+  std::vector<std::int64_t> colsum;      // [q][bsn] bias-correction sums
+  std::vector<std::int64_t> total;       // [bsn] epilogue combine
+  std::vector<simt::DecodedFrag> a_dec;  // one per plane group
+  std::vector<std::int32_t> b_panel;     // [q][stride][bsn]
+};
+
+SpmmPanelScratch& spmm_panel_scratch() {
+  thread_local SpmmPanelScratch scratch;
+  return scratch;
+}
+
+/// Weighted plane combine + writeback over the panel accumulators — the
+/// same epilogue math as spmm_value_epilogue, indexed by natural columns
+/// instead of fragment lanes.
+void spmm_panel_epilogue(const Geom& g, const SparseOperand& a,
+                         const DenseOperand& b, const std::uint32_t* acc,
+                         const std::int64_t* colsum, std::int64_t* total,
+                         std::size_t r, std::size_t cb,
+                         Matrix<std::int32_t>& c) {
+  const std::size_t v = static_cast<std::size_t>(g.v);
+  const std::size_t n = g.bsn;
+  const std::int64_t bias = std::int64_t{1} << (g.chunk - 1);
+  for (int rb = 0; rb < g.v; ++rb) {
+    std::fill_n(total, n, std::int64_t{0});
+    for (int grp = 0; grp < g.g; ++grp) {
+      for (int lp = 0; lp < g.group_size(grp); ++lp) {
+        const int pl = grp * g.s + lp;
+        const std::int64_t wp = a.planes[static_cast<std::size_t>(pl)].weight;
+        const bool top = g.bias_correct && grp == g.g - 1 && g.is_top(pl);
+        for (int qq = 0; qq < g.q; ++qq) {
+          const std::int64_t w =
+              wp * b.planes[static_cast<std::size_t>(qq)].weight;
+          const std::uint32_t* arow =
+              acc + (static_cast<std::size_t>((grp * g.q + qq) * 8 + lp * g.v +
+                                              rb)) *
+                        n;
+          if (top) {
+            // Undo the excess encoding: C_top = C_raw - 2^(b-1)*colsum.
+            const std::int64_t* cs = colsum + static_cast<std::size_t>(qq) * n;
+            for (std::size_t col = 0; col < n; ++col) {
+              total[col] +=
+                  w * (static_cast<std::int32_t>(arow[col]) - bias * cs[col]);
+            }
+          } else {
+            for (std::size_t col = 0; col < n; ++col) {
+              total[col] += w * static_cast<std::int32_t>(arow[col]);
+            }
+          }
+        }
+      }
+    }
+    const std::size_t out_row = r * v + static_cast<std::size_t>(rb);
+    const std::size_t out_col0 = cb * g.bsn;
+    for (std::size_t col = 0; col < n; ++col) {
+      c(out_row, out_col0 + col) = static_cast<std::int32_t>(total[col]);
+    }
+  }
+}
+
+void panel_block(std::size_t blk, const SparseOperand& a,
+                 const DenseOperand& b, const SpmmPlan& plan,
+                 Matrix<std::int32_t>& c) {
+  const Geom& g = plan.geom;
+  const sparse::SrBcrs& sr = a.structure;
+  const std::size_t r = blk / g.col_blocks;
+  const std::size_t cb = blk % g.col_blocks;
+  const std::size_t steps = sr.strides_in_row(r);
+  const std::size_t stride = static_cast<std::size_t>(g.stride);
+  const std::size_t v = static_cast<std::size_t>(g.v);
+  const std::size_t chunk = static_cast<std::size_t>(g.chunk);
+  const std::size_t n = g.bsn;
+  const bool int4 = g.int4path;
+
+  SpmmPanelScratch& s = spmm_panel_scratch();
+  s.acc.assign(static_cast<std::size_t>(g.g * g.q) * 8 * n, 0);
+  s.colsum.assign(
+      g.bias_correct ? static_cast<std::size_t>(g.q) * n : 0, 0);
+  s.total.resize(n);
+  s.a_dec.resize(static_cast<std::size_t>(g.g));
+  s.b_panel.resize(static_cast<std::size_t>(g.q) * stride * n);
+
+  const std::size_t cb_byte = cb * n * chunk / 8;
+  const std::size_t tile_row_bytes = stride * chunk / 8;
+
+  for (std::size_t st = 0; st < steps; ++st) {
+    const std::size_t slot_base = sr.first_ptr[r] + st * stride;
+    const std::size_t lhs_byte = slot_base * v * chunk / 8;
+
+    // Decode the A panels: one 8 x stride tile per plane group, plane
+    // stacking baked into the schedule. Decoded once, reused by every RHS
+    // plane of the step (the fragment path decoded per warp).
+    for (int grp = 0; grp < g.g; ++grp) {
+      simt::DecodedFrag& dec = s.a_dec[static_cast<std::size_t>(grp)];
+      dec.k = static_cast<int>(stride);
+      const bool grp_signed = lhs_group_signed(g, a, grp);
+      const auto& rows = plan.a_panel_src[static_cast<std::size_t>(grp)];
+      for (int rr = 0; rr < 8; ++rr) {
+        const SpmmPlan::PanelRow src = rows[static_cast<std::size_t>(rr)];
+        std::int32_t* dst = dec.v[static_cast<std::size_t>(rr)].data();
+        if (src.row < 0) {
+          std::fill_n(dst, stride, 0);
+          continue;
+        }
+        const std::uint8_t* bytes =
+            a.planes[static_cast<std::size_t>(src.plane)].values.data() +
+            lhs_byte + static_cast<std::size_t>(src.row) * tile_row_bytes;
+        if (int4) {
+          if (src.biased) {
+            simt::decode_span_int4_biased(bytes, stride, dst);
+          } else {
+            simt::decode_span_int4(bytes, stride, grp_signed, dst);
+          }
+        } else if (src.biased) {
+          simt::decode_span_int8_biased(bytes, stride, dst);
+        } else {
+          simt::decode_span_int8(bytes, stride, grp_signed, dst);
+        }
+      }
+    }
+
+    // Decode the B panels: stride x bsn per RHS plane, rows gathered by the
+    // plan's resolved byte bases, columns contiguous. Padded slots are zero
+    // rows (and thus contribute nothing to the column sums either).
+    for (int qq = 0; qq < g.q; ++qq) {
+      const auto& bplane = b.planes[static_cast<std::size_t>(qq)];
+      const std::uint8_t* b_bytes = bplane.values.data();
+      std::int32_t* panel =
+          s.b_panel.data() + static_cast<std::size_t>(qq) * stride * n;
+      for (std::size_t k = 0; k < stride; ++k) {
+        std::int32_t* row = panel + k * n;
+        const std::size_t base =
+            plan.rhs_row_base[slot_base + plan.panel_k_slot[k]];
+        if (base == kNoRhsRow) {
+          std::fill_n(row, n, 0);
+        } else if (int4) {
+          simt::decode_span_int4(b_bytes + base + cb_byte, n,
+                                 bplane.is_signed, row);
+        } else {
+          simt::decode_span_int8(b_bytes + base + cb_byte, n,
+                                 bplane.is_signed, row);
+        }
+      }
+      if (g.bias_correct) {
+        std::int64_t* cs = s.colsum.data() + static_cast<std::size_t>(qq) * n;
+        for (std::size_t k = 0; k < stride; ++k) {
+          const std::int32_t* row = panel + k * n;
+          for (std::size_t col = 0; col < n; ++col) cs[col] += row[col];
+        }
+      }
+    }
+
+    // MAC: one panel invocation per (group, RHS plane) replaces the step's
+    // 2 warps x 4 scalar mma_decoded issues.
+    for (int grp = 0; grp < g.g; ++grp) {
+      for (int qq = 0; qq < g.q; ++qq) {
+        simt::mma_panel(
+            s.acc.data() + static_cast<std::size_t>(grp * g.q + qq) * 8 * n,
+            s.a_dec[static_cast<std::size_t>(grp)],
+            s.b_panel.data() + static_cast<std::size_t>(qq) * stride * n,
+            static_cast<int>(n));
+      }
+    }
+  }
+
+  spmm_panel_epilogue(g, a, b, s.acc.data(), s.colsum.data(), s.total.data(),
+                      r, cb, c);
+}
+
 void validate_spmm_inputs(const SparseOperand& a, const DenseOperand& b,
                           const SpmmConfig& cfg) {
   const sparse::SrBcrs& sr = a.structure;
@@ -595,6 +776,7 @@ SpmmResult run_simulate(const SparseOperand& a, const DenseOperand& b,
 
 SpmmResult run_fast(const SparseOperand& a, const DenseOperand& b,
                     const SpmmConfig& cfg, const SpmmPlan& plan) {
+  const ReplayKernel kernel = cfg.replay.value_or(default_replay_kernel());
   const Geom& g = plan.geom;
   MAGICUBE_CHECK_MSG(g.n == b.cols && g.k == b.rows,
                      "execution plan built for a different problem shape");
@@ -629,9 +811,18 @@ SpmmResult run_fast(const SparseOperand& a, const DenseOperand& b,
 
   SpmmResult result;
   result.c = Matrix<std::int32_t>(a.structure.rows, b.cols, 0);
-  simt::run_grid_values(plan.run.launch.grid_blocks, [&](std::size_t blk) {
-    fast_block(blk, a, b, plan, result.c);
-  });
+  if (kernel == ReplayKernel::panel) {
+    MAGICUBE_CHECK_MSG(plan.a_panel_src.size() ==
+                           static_cast<std::size_t>(g.g),
+                       "plan carries no panel schedule");
+    simt::run_grid_values(plan.run.launch.grid_blocks, [&](std::size_t blk) {
+      panel_block(blk, a, b, plan, result.c);
+    });
+  } else {
+    simt::run_grid_values(plan.run.launch.grid_blocks, [&](std::size_t blk) {
+      fast_block(blk, a, b, plan, result.c);
+    });
+  }
   result.run = plan.run;
   return result;
 }

@@ -204,17 +204,13 @@ core::DenseOperandHandle OperandCache::get_or_prepare_dense(
   return insert(key, std::move(entry)).dense;
 }
 
-core::SpmmPlanHandle OperandCache::get_or_build_spmm_plan(
-    const std::shared_ptr<const sparse::BlockPattern>& pattern,
-    const core::SparseOperandHandle& lhs, std::size_t n_cols,
-    const core::SpmmConfig& cfg, std::uint64_t pattern_content,
-    bool* was_hit) {
-  MAGICUBE_CHECK(pattern != nullptr && lhs != nullptr);
-  if (pattern_content == 0) pattern_content = memoized_fingerprint(pattern);
+namespace {
 
-  // Plans are keyed by everything the schedule depends on: structure
-  // identity, RHS width and the kernel-config knobs folded into the content
-  // hash (precision rides in the key's scalar slots).
+/// Plans are keyed by everything the schedule depends on: structure
+/// identity, RHS width and the kernel-config knobs folded into the content
+/// hash (precision rides in the key's scalar slots).
+OperandKey spmm_plan_key(std::uint64_t pattern_content, std::size_t n_cols,
+                         const core::SpmmConfig& cfg) {
   Fnv1a h;
   h.mix(pattern_content);
   h.mix(n_cols);
@@ -228,6 +224,19 @@ core::SpmmPlanHandle OperandCache::get_or_build_spmm_plan(
   key.lhs = cfg.precision.lhs;
   key.rhs = cfg.precision.rhs;
   key.shuffled = core::needs_shuffle(cfg);
+  return key;
+}
+
+}  // namespace
+
+core::SpmmPlanHandle OperandCache::get_or_build_spmm_plan(
+    const std::shared_ptr<const sparse::BlockPattern>& pattern,
+    const core::SparseOperandHandle& lhs, std::size_t n_cols,
+    const core::SpmmConfig& cfg, std::uint64_t pattern_content,
+    bool* was_hit) {
+  MAGICUBE_CHECK(pattern != nullptr && lhs != nullptr);
+  if (pattern_content == 0) pattern_content = memoized_fingerprint(pattern);
+  const OperandKey key = spmm_plan_key(pattern_content, n_cols, cfg);
 
   if (was_hit) *was_hit = false;
   if (CachedOperand hit = find(key)) {
@@ -236,6 +245,26 @@ core::SpmmPlanHandle OperandCache::get_or_build_spmm_plan(
   }
   CachedOperand entry;
   entry.spmm_plan = core::build_spmm_plan(*lhs, n_cols, cfg);
+  entry.bytes = entry.spmm_plan->footprint_bytes();
+  entry.content_probe = key.content;  // plans are value-free
+  return insert(key, std::move(entry)).spmm_plan;
+}
+
+core::SpmmPlanHandle OperandCache::get_or_build_spmm_plan(
+    const std::shared_ptr<const sparse::BlockPattern>& pattern,
+    std::size_t n_cols, const core::SpmmConfig& cfg,
+    std::uint64_t pattern_content, bool* was_hit) {
+  MAGICUBE_CHECK(pattern != nullptr);
+  if (pattern_content == 0) pattern_content = memoized_fingerprint(pattern);
+  const OperandKey key = spmm_plan_key(pattern_content, n_cols, cfg);
+
+  if (was_hit) *was_hit = false;
+  if (CachedOperand hit = find(key)) {
+    if (was_hit) *was_hit = true;
+    return hit.spmm_plan;
+  }
+  CachedOperand entry;
+  entry.spmm_plan = core::build_spmm_plan(*pattern, n_cols, cfg);
   entry.bytes = entry.spmm_plan->footprint_bytes();
   entry.content_probe = key.content;  // plans are value-free
   return insert(key, std::move(entry)).spmm_plan;

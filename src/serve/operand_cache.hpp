@@ -187,6 +187,15 @@ class OperandCache {
       const core::SpmmConfig& cfg, std::uint64_t pattern_content = 0,
       bool* was_hit = nullptr);
 
+  /// Pattern-only variant: a miss builds the plan from the sparsity
+  /// structure alone (core::build_spmm_plan's pattern overload) — no
+  /// prepared operand required, so layers can plan before any weights
+  /// exist. Same keys as the operand-backed variant; the two interoperate.
+  core::SpmmPlanHandle get_or_build_spmm_plan(
+      const std::shared_ptr<const sparse::BlockPattern>& pattern,
+      std::size_t n_cols, const core::SpmmConfig& cfg,
+      std::uint64_t pattern_content = 0, bool* was_hit = nullptr);
+
   /// Memoized execution-plan build for core::sddmm (keyed by pattern
   /// fingerprint x precision x prefetch x K).
   core::SddmmPlanHandle get_or_build_sddmm_plan(

@@ -108,6 +108,121 @@ void mma_decoded(AccumFrag& acc, const DecodedFrag& a, const DecodedFrag& b) {
   }
 }
 
+// ---- Block-panel micro-kernel ---------------------------------------------
+
+#if defined(MAGICUBE_SIMD) && MAGICUBE_SIMD && \
+    (defined(__GNUC__) || defined(__clang__))
+#define MAGICUBE_SIMD_ACTIVE 1
+#else
+#define MAGICUBE_SIMD_ACTIVE 0
+#endif
+
+// The kernel bodies live in panel_kernels.inc, instantiated here at the
+// build's baseline ISA and again in tensor_core_avx2.cpp under -mavx2
+// (x86-64 only; SSE2 has no 32-bit vector multiply, which the MAC kernel
+// lives on). Dispatch picks the AVX2 instantiation per call once
+// __builtin_cpu_supports agrees at runtime.
+namespace panel_detail {
+
+namespace base {
+#define MAGICUBE_PANEL_VEC MAGICUBE_SIMD_ACTIVE
+#include "simt/panel_kernels.inc"
+#undef MAGICUBE_PANEL_VEC
+}  // namespace base
+
+#if MAGICUBE_SIMD_ACTIVE && defined(__x86_64__)
+#define MAGICUBE_PANEL_AVX2 1
+namespace avx2 {
+// Defined in tensor_core_avx2.cpp (compiled with -mavx2).
+void mma_panel(std::uint32_t* acc, const DecodedFrag& a,
+               const std::int32_t* b, int n);
+std::int32_t dot_wrap(const std::int32_t* a, const std::int32_t* b,
+                      std::size_t k, std::int32_t acc);
+void decode_span_int8(const std::uint8_t* src, std::size_t count,
+                      bool is_signed, std::int32_t* dst);
+void decode_span_int4(const std::uint8_t* src, std::size_t count,
+                      bool is_signed, std::int32_t* dst);
+void decode_span_int8_biased(const std::uint8_t* src, std::size_t count,
+                             std::int32_t* dst);
+void decode_span_int4_biased(const std::uint8_t* src, std::size_t count,
+                             std::int32_t* dst);
+}  // namespace avx2
+
+inline bool use_avx2() {
+  static const bool supported = __builtin_cpu_supports("avx2") != 0;
+  return supported;
+}
+#else
+#define MAGICUBE_PANEL_AVX2 0
+#endif
+
+}  // namespace panel_detail
+
+bool simd_enabled() { return MAGICUBE_SIMD_ACTIVE != 0; }
+
+void mma_panel(std::uint32_t* acc, const DecodedFrag& a,
+               const std::int32_t* b, int n) {
+  MAGICUBE_DCHECK(n > 0 && n % 8 == 0);
+#if MAGICUBE_PANEL_AVX2
+  if (panel_detail::use_avx2()) {
+    return panel_detail::avx2::mma_panel(acc, a, b, n);
+  }
+#endif
+  panel_detail::base::mma_panel(acc, a, b, n);
+}
+
+std::int32_t dot_wrap(const std::int32_t* a, const std::int32_t* b,
+                      std::size_t k, std::int32_t acc) {
+#if MAGICUBE_PANEL_AVX2
+  if (panel_detail::use_avx2()) {
+    return panel_detail::avx2::dot_wrap(a, b, k, acc);
+  }
+#endif
+  return panel_detail::base::dot_wrap(a, b, k, acc);
+}
+
+void decode_span_int8(const std::uint8_t* src, std::size_t count,
+                      bool is_signed, std::int32_t* dst) {
+#if MAGICUBE_PANEL_AVX2
+  if (panel_detail::use_avx2()) {
+    return panel_detail::avx2::decode_span_int8(src, count, is_signed, dst);
+  }
+#endif
+  panel_detail::base::decode_span_int8(src, count, is_signed, dst);
+}
+
+void decode_span_int4(const std::uint8_t* src, std::size_t count,
+                      bool is_signed, std::int32_t* dst) {
+  MAGICUBE_DCHECK(count % 2 == 0);
+#if MAGICUBE_PANEL_AVX2
+  if (panel_detail::use_avx2()) {
+    return panel_detail::avx2::decode_span_int4(src, count, is_signed, dst);
+  }
+#endif
+  panel_detail::base::decode_span_int4(src, count, is_signed, dst);
+}
+
+void decode_span_int8_biased(const std::uint8_t* src, std::size_t count,
+                             std::int32_t* dst) {
+#if MAGICUBE_PANEL_AVX2
+  if (panel_detail::use_avx2()) {
+    return panel_detail::avx2::decode_span_int8_biased(src, count, dst);
+  }
+#endif
+  panel_detail::base::decode_span_int8_biased(src, count, dst);
+}
+
+void decode_span_int4_biased(const std::uint8_t* src, std::size_t count,
+                             std::int32_t* dst) {
+  MAGICUBE_DCHECK(count % 2 == 0);
+#if MAGICUBE_PANEL_AVX2
+  if (panel_detail::use_avx2()) {
+    return panel_detail::avx2::decode_span_int4_biased(src, count, dst);
+  }
+#endif
+  panel_detail::base::decode_span_int4_biased(src, count, dst);
+}
+
 WarpReg make_a_frag_int8(const Matrix<std::uint8_t>& a) {
   MAGICUBE_CHECK(a.rows() == 8 && a.cols() == 16);
   WarpReg frag{};

@@ -70,6 +70,56 @@ void decode_frag_int4(const WarpReg& frag, bool is_signed, DecodedFrag& out);
 /// single wrapping store, so any summation order is bit-exact).
 void mma_decoded(AccumFrag& acc, const DecodedFrag& a, const DecodedFrag& b);
 
+// ---- Block-panel micro-kernel (execution-plan replay) --------------------
+//
+// The panel replay engine trades the per-fragment register dance for plain
+// blocked-GEMM loops: one decoded A tile (8 x K, the DecodedFrag layout)
+// multiplies a decoded B *panel* spanning several adjacent 8-column mma
+// tiles in one pass, accumulating straight into a row-major C panel. All
+// arithmetic is mod-2^32 (unsigned wraparound), which is bit-exact with any
+// chaining of the counted mma / mma_decoded issues it replaces: truncation
+// mod 2^32 is a ring homomorphism, so the grouping of the k reduction and
+// the per-issue truncations cannot change the stored accumulator bits.
+//
+// The kernels are written with fixed trip counts over k and fixed 8-wide
+// column blocks so the compiler can keep the C strip in vector registers.
+// When the MAGICUBE_SIMD build option is on, explicit GCC/Clang
+// vector-extension specializations (8 x 32-bit lanes) are compiled in;
+// the scalar fallback produces identical bits on any toolchain.
+
+/// Whether the explicit SIMD micro-kernel specializations are compiled in
+/// (the MAGICUBE_SIMD CMake option on a GCC/Clang toolchain).
+bool simd_enabled();
+
+/// C[8 x n] += A[8 x k] * B[k x n]: `acc` row-major 8 x n wrapping uint32
+/// accumulators, `a` a decoded fragment (k = a.k in {16, 32}), `b` a
+/// decoded row-major k x n panel. n % 8 == 0. Bit-exact with issuing
+/// mma_decoded over the n/8 column tiles of the panel.
+void mma_panel(std::uint32_t* acc, const DecodedFrag& a,
+               const std::int32_t* b, int n);
+
+/// Wrapping dot product over `k` decoded elements: returns
+/// acc + sum_i a[i] * b[i] mod 2^32 — the SDDMM panel kernel, bit-exact
+/// with chaining counted mma issues over the stride tiles of one output.
+std::int32_t dot_wrap(const std::int32_t* a, const std::int32_t* b,
+                      std::size_t k, std::int32_t acc);
+
+/// Decode `count` packed 8-bit elements (the PackedBuffer byte layout)
+/// into int32, sign-extending when `is_signed`.
+void decode_span_int8(const std::uint8_t* src, std::size_t count,
+                      bool is_signed, std::int32_t* dst);
+/// Decode `count` packed 4-bit elements (low nibble first within each
+/// byte, the PackedBuffer layout) into int32. count % 2 == 0.
+void decode_span_int4(const std::uint8_t* src, std::size_t count,
+                      bool is_signed, std::int32_t* dst);
+/// Bias-encoded decodes of the stacked signed top plane (§IV-D): the raw
+/// two's-complement chunk becomes its excess-2^(b-1) representation
+/// (raw ^ msb read unsigned, i.e. signed value + 2^(b-1)).
+void decode_span_int8_biased(const std::uint8_t* src, std::size_t count,
+                             std::int32_t* dst);
+void decode_span_int4_biased(const std::uint8_t* src, std::size_t count,
+                             std::int32_t* dst);
+
 // ---- Fragment <-> logical-matrix converters (tests, kernel epilogues) ----
 
 /// Builds the A fragment of m8n8k16 from a logical 8x16 matrix of raw bytes.

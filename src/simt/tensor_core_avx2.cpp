@@ -1,0 +1,24 @@
+// AVX2 instantiation of the block-panel micro-kernels (see
+// panel_kernels.inc). This translation unit is compiled with -mavx2 on
+// x86-64 GCC/Clang builds when MAGICUBE_SIMD is on; tensor_core.cpp
+// dispatches into it only after __builtin_cpu_supports("avx2") agrees at
+// runtime, so the binary stays safe on older cores. On other targets (or
+// with MAGICUBE_SIMD off) the unit compiles empty and is never referenced.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simt/tensor_core.hpp"
+
+#if defined(MAGICUBE_SIMD) && MAGICUBE_SIMD && \
+    (defined(__GNUC__) || defined(__clang__)) && defined(__x86_64__)
+
+namespace magicube::simt::panel_detail::avx2 {
+
+#define MAGICUBE_PANEL_VEC 1
+#include "simt/panel_kernels.inc"
+#undef MAGICUBE_PANEL_VEC
+
+}  // namespace magicube::simt::panel_detail::avx2
+
+#endif

@@ -6,9 +6,19 @@
 #include "baselines/vector_sparse_like.hpp"
 #include "core/api.hpp"
 #include "quant/quantizer.hpp"
+#include "serve/operand_cache.hpp"
 #include "transformer/ops.hpp"
 
 namespace magicube::transformer {
+
+AttentionPlanContext::AttentionPlanContext(
+    std::shared_ptr<serve::OperandCache> cache_in,
+    const sparse::BlockPattern& mask_in)
+    : cache(std::move(cache_in)),
+      mask(std::make_shared<const sparse::BlockPattern>(mask_in)) {
+  MAGICUBE_CHECK_MSG(cache != nullptr,
+                     "AttentionPlanContext needs an operand cache");
+}
 
 const char* to_string(AttentionScheme s) {
   switch (s) {
@@ -159,7 +169,8 @@ Matrix<float> magicube_attention(const Matrix<float>& q,
                                  const Matrix<float>& v,
                                  const sparse::BlockPattern& mask,
                                  AttentionScheme scheme,
-                                 std::vector<simt::KernelRun>* runs) {
+                                 std::vector<simt::KernelRun>* runs,
+                                 AttentionPlanContext* plans) {
   const std::size_t l = q.rows(), dk = q.cols();
   const float scale = 1.0f / std::sqrt(static_cast<float>(dk));
   const Scalar qkv_type = scalar_for_bits(qkv_bits(scheme));
@@ -186,7 +197,18 @@ Matrix<float> magicube_attention(const Matrix<float>& q,
                                         chunk);
   core::SddmmConfig sddmm_cfg;
   sddmm_cfg.precision = sddmm_prec;
-  const auto sddmm = core::sddmm(a_op, b_op, mask, sddmm_cfg);
+  core::SddmmResult sddmm;
+  if (plans) {
+    // Build once per layer, replay per token: the plan is served from the
+    // context's cache and validated against the mask at replay time.
+    bool hit = false;
+    const core::SddmmPlanHandle plan = plans->cache->get_or_build_sddmm_plan(
+        plans->mask, dk, sddmm_cfg, 0, &hit);
+    (hit ? plans->plan_replays : plans->plan_builds) += 1;
+    sddmm = core::sddmm(a_op, b_op, mask, sddmm_cfg, *plan);
+  } else {
+    sddmm = core::sddmm(a_op, b_op, mask, sddmm_cfg);
+  }
 
   sparse::Bcrs<float> scores;
   scores.rows = sddmm.c.rows;
@@ -225,7 +247,16 @@ Matrix<float> magicube_attention(const Matrix<float>& q,
   const auto lhs = core::prepare_spmm_lhs(mask, attn_dense, spmm_prec,
                                           core::needs_shuffle(spmm_cfg));
   const auto rhs = core::prepare_spmm_rhs(vi, spmm_prec);
-  const auto spmm = core::spmm(lhs, rhs, spmm_cfg);
+  core::SpmmResult spmm;
+  if (plans) {
+    bool hit = false;
+    const core::SpmmPlanHandle plan = plans->cache->get_or_build_spmm_plan(
+        plans->mask, dk, spmm_cfg, 0, &hit);
+    (hit ? plans->plan_replays : plans->plan_builds) += 1;
+    spmm = core::spmm(lhs, rhs, spmm_cfg, *plan);
+  } else {
+    spmm = core::spmm(lhs, rhs, spmm_cfg);
+  }
 
   if (runs) {
     runs->push_back(elementwise_kernel(3 * l * dk, 2.0, 5.0));  // quant QKV
@@ -250,17 +281,27 @@ Matrix<float> attention_forward(const Matrix<float>& q,
                                 const Matrix<float>& v,
                                 const sparse::BlockPattern& mask,
                                 AttentionScheme scheme,
-                                std::vector<simt::KernelRun>* run_out) {
+                                std::vector<simt::KernelRun>* run_out,
+                                AttentionPlanContext* plans) {
   MAGICUBE_CHECK(q.rows() == k.rows() && q.cols() == k.cols());
   MAGICUBE_CHECK(v.rows() == q.rows());
   MAGICUBE_CHECK(mask.rows == q.rows() && mask.cols == q.rows());
+  if (plans) {
+    // Cheap shape identity; full structural equality is enforced slot for
+    // slot by the plan validation inside the kernels.
+    MAGICUBE_CHECK_MSG(plans->mask->rows == mask.rows &&
+                           plans->mask->cols == mask.cols &&
+                           plans->mask->vector_length == mask.vector_length &&
+                           plans->mask->vector_count() == mask.vector_count(),
+                       "attention plan context built for a different mask");
+  }
   switch (scheme) {
     case AttentionScheme::dense_fp16:
       return dense_fp16_attention(q, k, v, mask, run_out);
     case AttentionScheme::vector_sparse_fp16:
       return vector_sparse_attention(q, k, v, mask, run_out);
     default:
-      return magicube_attention(q, k, v, mask, scheme, run_out);
+      return magicube_attention(q, k, v, mask, scheme, run_out, plans);
   }
 }
 

@@ -16,12 +16,17 @@
 // noise and sparsity both act exactly as they would on the device.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/matrix.hpp"
 #include "simt/cost_model.hpp"
 #include "sparse/pattern.hpp"
+
+namespace magicube::serve {
+class OperandCache;
+}  // namespace magicube::serve
 
 namespace magicube::transformer {
 
@@ -40,17 +45,45 @@ bool is_magicube(AttentionScheme s);
 int softmax_bits(AttentionScheme s);
 int qkv_bits(AttentionScheme s);
 
+/// Cross-call execution-plan context for the quantized attention schedule.
+///
+/// The Magicube schemes launch one SDDMM and one SpMM per call on the same
+/// mask; without a context both plans are rebuilt on every call — per token
+/// in a serving loop, per sample in an evaluation sweep. A context pins the
+/// mask behind a shared_ptr (so the OperandCache's per-live-pattern
+/// fingerprint memo applies) and caches the execution plans in a
+/// serve::OperandCache: plans build once per layer and replay thereafter.
+/// The counters expose exactly that — plan_builds stays at the number of
+/// distinct (op, precision, shape) plans the traffic touches while
+/// plan_replays grows with every further call.
+///
+/// The cache may be shared across layers/contexts (plans are keyed by
+/// pattern fingerprint x config); the context itself is not thread-safe.
+struct AttentionPlanContext {
+  AttentionPlanContext(std::shared_ptr<serve::OperandCache> cache,
+                       const sparse::BlockPattern& mask);
+
+  std::shared_ptr<serve::OperandCache> cache;
+  std::shared_ptr<const sparse::BlockPattern> mask;
+  std::uint64_t plan_builds = 0;   // cache misses: plans actually built
+  std::uint64_t plan_replays = 0;  // cache hits: plans served and replayed
+};
+
 /// Functional single-head attention under `scheme`; Q, K, V are L x dk
 /// fp32 activations; the mask pattern is L x L (ignored for dense_fp16,
 /// where masked positions simply score -inf... the dense scheme applies the
 /// mask too, matching the paper's model equivalence across schemes).
 /// When `run_out` is non-null, the kernel runs of the schedule are appended
-/// (one entry per launched kernel).
+/// (one entry per launched kernel). When `plans` is non-null (and the
+/// scheme is a Magicube one), the SDDMM/SpMM execution plans are served
+/// from the context instead of being rebuilt per call; the mask must be
+/// the context's mask.
 Matrix<float> attention_forward(const Matrix<float>& q,
                                 const Matrix<float>& k,
                                 const Matrix<float>& v,
                                 const sparse::BlockPattern& mask,
                                 AttentionScheme scheme,
-                                std::vector<simt::KernelRun>* run_out = nullptr);
+                                std::vector<simt::KernelRun>* run_out = nullptr,
+                                AttentionPlanContext* plans = nullptr);
 
 }  // namespace magicube::transformer

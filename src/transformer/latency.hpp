@@ -55,8 +55,16 @@ std::uint64_t peak_memory_bytes(const TransformerConfig& cfg,
 /// Full inference latency (or OOM) for the configuration under `scheme`.
 /// The attention mask pattern is shared across calls by the caller for
 /// efficiency; it must be seq_len x seq_len with V=8 at cfg.sparsity.
+///
+/// When `plans` is non-null the Magicube attention kernels are costed from
+/// cached *execution plans* (the plan's analytic KernelRun — identical to
+/// the per-call estimate by the estimate-equals-execute invariant) instead
+/// of being re-derived per layer per call: plans build once per
+/// (mask, precision, op) and every further layer/batch/head sweep replays
+/// them. The context's counters expose builds vs replays.
 E2eResult transformer_inference(const TransformerConfig& cfg,
                                 AttentionScheme scheme,
-                                const sparse::BlockPattern& mask);
+                                const sparse::BlockPattern& mask,
+                                AttentionPlanContext* plans = nullptr);
 
 }  // namespace magicube::transformer

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "serve/operand_cache.hpp"
 #include "transformer/ops.hpp"
 
 namespace magicube::transformer {
@@ -243,12 +244,13 @@ std::vector<float> TinyTransformer::forward_fp32(
 
 std::vector<float> TinyTransformer::forward_scheme(
     const TaskSample& s, const sparse::BlockPattern& mask,
-    AttentionScheme scheme) const {
+    AttentionScheme scheme, AttentionPlanContext* plans) const {
   const Matrix<float> x = embed(s);
   const Matrix<float> q = matmul(x, wq);
   const Matrix<float> k = matmul(x, wk);
   const Matrix<float> v = matmul(x, wv);
-  const Matrix<float> h = attention_forward(q, k, v, mask, scheme);
+  const Matrix<float> h =
+      attention_forward(q, k, v, mask, scheme, nullptr, plans);
   const Matrix<float> o = matmul(h, wo);
   std::vector<float> pooled(d, 0.0f);
   for (std::size_t i = 0; i < seq_len; ++i) {
@@ -328,9 +330,12 @@ TrainStats train(TinyTransformer& model, const std::vector<TaskSample>& data,
 double evaluate(const TinyTransformer& model,
                 const std::vector<TaskSample>& data,
                 const sparse::BlockPattern& mask, AttentionScheme scheme) {
+  // One plan context for the whole sweep: the attention layer's SDDMM and
+  // SpMM plans are built on the first sample and replayed for the rest.
+  AttentionPlanContext plans(std::make_shared<serve::OperandCache>(), mask);
   std::size_t correct = 0;
   for (const auto& s : data) {
-    const auto logits = model.forward_scheme(s, mask, scheme);
+    const auto logits = model.forward_scheme(s, mask, scheme, &plans);
     const int pred = logits[1] > logits[0] ? 1 : 0;
     correct += pred == s.label;
   }

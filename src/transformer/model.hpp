@@ -44,9 +44,12 @@ struct TinyTransformer {
                                   const sparse::BlockPattern* mask) const;
 
   /// Forward logits evaluating attention through the simulated kernels.
+  /// `plans` (optional) serves the attention execution plans from a
+  /// cross-call context instead of re-planning per sample.
   std::vector<float> forward_scheme(const TaskSample& s,
                                     const sparse::BlockPattern& mask,
-                                    AttentionScheme scheme) const;
+                                    AttentionScheme scheme,
+                                    AttentionPlanContext* plans = nullptr) const;
 };
 
 struct TrainStats {
@@ -60,6 +63,8 @@ TrainStats train(TinyTransformer& model, const std::vector<TaskSample>& data,
                  double learning_rate, Rng& rng);
 
 /// Accuracy of the model on `data` with attention executed under `scheme`.
+/// The attention layer's execution plans are built once and replayed for
+/// every sample (an AttentionPlanContext spans the sweep internally).
 double evaluate(const TinyTransformer& model,
                 const std::vector<TaskSample>& data,
                 const sparse::BlockPattern& mask, AttentionScheme scheme);

@@ -321,6 +321,156 @@ TEST(SddmmPlan, RejectsDifferentPatternOfSameVectorCount) {
   EXPECT_THROW(sddmm(a, b, p2, cfg, *plan), Error);
 }
 
+// ---- Panel-schedule reuse -------------------------------------------------
+
+struct PanelReuseCase {
+  PrecisionPair precision;
+  int v;
+};
+
+std::string panel_reuse_name(
+    const ::testing::TestParamInfo<PanelReuseCase>& info) {
+  std::string s = to_string(info.param.precision) + "_v" +
+                  std::to_string(info.param.v);
+  for (auto& ch : s) {
+    if (ch == '-') ch = '_';
+  }
+  return s;
+}
+
+/// One plan's panel schedule, many RHS value sets: mutate the RHS between
+/// runs and assert the panel replay stays bit-exact and counter-exact
+/// against a fresh ExecMode::simulate run (and agrees with the fragment
+/// replay) for every precision pair, including the stacked-plane
+/// bias-correction path (v < 8).
+class SpmmPanelReuseTest : public ::testing::TestWithParam<PanelReuseCase> {};
+
+TEST_P(SpmmPanelReuseTest, PanelReplayBitExactAcrossMutatedRhs) {
+  const PanelReuseCase& tc = GetParam();
+  Rng rng(0x7a9e1 + static_cast<std::uint64_t>(bits_of(tc.precision.lhs)) * 8 +
+          static_cast<std::uint64_t>(bits_of(tc.precision.rhs)) +
+          static_cast<std::uint64_t>(tc.v));
+  const std::size_t rows = 8 * static_cast<std::size_t>(tc.v);
+  constexpr std::size_t kK = 96, kN = 128;
+  const auto pattern = sparse::make_uniform_pattern(rows, kK, tc.v, 0.6, rng);
+
+  SpmmConfig cfg;
+  cfg.precision = tc.precision;
+  const auto a_vals = random_values(rows, kK, tc.precision.lhs, rng);
+  const auto a = prepare_spmm_lhs(pattern, a_vals, cfg.precision,
+                                  needs_shuffle(cfg));
+  const SpmmPlanHandle plan = build_spmm_plan(a, kN, cfg);
+
+  for (int round = 0; round < 3; ++round) {
+    const auto b_vals = random_values(kK, kN, tc.precision.rhs, rng);
+    const auto b = prepare_spmm_rhs(b_vals, cfg.precision);
+
+    cfg.mode = ExecMode::simulate;
+    cfg.replay = std::nullopt;
+    const SpmmResult sim = spmm(a, b, cfg);
+    cfg.mode = ExecMode::fast;
+    cfg.replay = ReplayKernel::panel;
+    const SpmmResult panel = spmm(a, b, cfg, *plan);
+    cfg.replay = ReplayKernel::fragment;
+    const SpmmResult frag = spmm(a, b, cfg, *plan);
+
+    EXPECT_EQ(panel.c, sim.c) << "round " << round;
+    EXPECT_EQ(frag.c, sim.c) << "round " << round;
+    EXPECT_EQ(panel.run.counters, sim.run.counters) << "round " << round;
+    EXPECT_EQ(panel.run.counters, plan->run.counters) << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrecisionPairs, SpmmPanelReuseTest,
+    ::testing::Values(PanelReuseCase{precision::L16R16, 8},
+                      PanelReuseCase{precision::L16R8, 8},
+                      PanelReuseCase{precision::L8R8, 8},
+                      PanelReuseCase{precision::L16R4, 8},
+                      PanelReuseCase{precision::L12R4, 8},
+                      PanelReuseCase{precision::L8R4, 8},
+                      PanelReuseCase{precision::L4R4, 8},
+                      // Stacked planes + bias correction ride the panel's
+                      // biased decode rows.
+                      PanelReuseCase{precision::L16R8, 2},
+                      PanelReuseCase{precision::L16R4, 2},
+                      PanelReuseCase{precision::L4R4, 4}),
+    panel_reuse_name);
+
+class SddmmPanelReuseTest : public ::testing::TestWithParam<PanelReuseCase> {};
+
+TEST_P(SddmmPanelReuseTest, PanelReplayBitExactAcrossMutatedRhs) {
+  const PanelReuseCase& tc = GetParam();
+  Rng rng(0x5dd7 + static_cast<std::uint64_t>(bits_of(tc.precision.lhs)) +
+          static_cast<std::uint64_t>(tc.v));
+  const std::size_t rows = 8 * static_cast<std::size_t>(tc.v);
+  constexpr std::size_t kKDepth = 128, kNCols = 96;
+  const auto pattern =
+      sparse::make_uniform_pattern(rows, kNCols, tc.v, 0.5, rng);
+
+  SddmmConfig cfg;
+  cfg.precision = tc.precision;
+  const int chunk = rhs_chunk_bits(tc.precision);
+  const SddmmPlanHandle plan = build_sddmm_plan(pattern, kKDepth, cfg);
+  const auto a_vals = random_values(rows, kKDepth, tc.precision.lhs, rng);
+  const auto a = prepare_dense(a_vals, tc.precision.lhs, true, chunk);
+
+  for (int round = 0; round < 3; ++round) {
+    const auto b_vals = random_values(kKDepth, kNCols, tc.precision.rhs, rng);
+    const auto b = prepare_dense(b_vals, tc.precision.rhs, false, chunk);
+
+    cfg.mode = ExecMode::simulate;
+    cfg.replay = std::nullopt;
+    const SddmmResult sim = sddmm(a, b, pattern, cfg);
+    cfg.mode = ExecMode::fast;
+    cfg.replay = ReplayKernel::panel;
+    const SddmmResult panel = sddmm(a, b, pattern, cfg, *plan);
+    cfg.replay = ReplayKernel::fragment;
+    const SddmmResult frag = sddmm(a, b, pattern, cfg, *plan);
+
+    EXPECT_EQ(panel.c.values, sim.c.values) << "round " << round;
+    EXPECT_EQ(frag.c.values, sim.c.values) << "round " << round;
+    EXPECT_EQ(panel.run.counters, sim.run.counters) << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PrecisionSweep, SddmmPanelReuseTest,
+    ::testing::Values(PanelReuseCase{precision::L8R8, 8},
+                      PanelReuseCase{precision::L4R4, 8},
+                      PanelReuseCase{precision::L16R16, 8},
+                      PanelReuseCase{precision::L16R16, 4}),
+    panel_reuse_name);
+
+// ---- Pattern-only plan build ----------------------------------------------
+
+TEST(SpmmPlan, PatternOnlyBuildMatchesOperandBackedBuild) {
+  // The structure-only overload must yield a plan interchangeable with one
+  // built from a prepared operand: same analytic run, replays bit-exact.
+  Rng rng(0x9a77);
+  const auto pattern = sparse::make_uniform_pattern(64, 96, 8, 0.6, rng);
+  for (const PrecisionPair prec :
+       {precision::L8R8, precision::L4R4, precision::L16R8}) {
+    SpmmConfig cfg;
+    cfg.precision = prec;
+    cfg.mode = ExecMode::fast;
+    const auto a_vals = random_values(64, 96, prec.lhs, rng);
+    const auto b_vals = random_values(96, 128, prec.rhs, rng);
+    const auto a = prepare_spmm_lhs(pattern, a_vals, prec,
+                                    needs_shuffle(cfg));
+    const auto b = prepare_spmm_rhs(b_vals, prec);
+
+    const SpmmPlanHandle from_operand = build_spmm_plan(a, 128, cfg);
+    const SpmmPlanHandle from_pattern = build_spmm_plan(pattern, 128, cfg);
+    EXPECT_EQ(from_pattern->run.counters, from_operand->run.counters);
+    EXPECT_EQ(from_pattern->rhs_row_base, from_operand->rhs_row_base);
+
+    const SpmmResult got = spmm(a, b, cfg, *from_pattern);
+    EXPECT_EQ(got.c, reference_spmm(pattern, a_vals, b_vals))
+        << to_string(prec);
+  }
+}
+
 // ---- Mode selection -------------------------------------------------------
 
 TEST(ExecModeTest, DefaultSwitchRoundTrips) {
@@ -332,6 +482,43 @@ TEST(ExecModeTest, DefaultSwitchRoundTrips) {
   set_default_exec_mode(original);
   EXPECT_STREQ(to_string(ExecMode::simulate), "simulate");
   EXPECT_STREQ(to_string(ExecMode::fast), "fast");
+}
+
+TEST(ReplayKernelTest, DefaultSwitchRoundTrips) {
+  const ReplayKernel original = default_replay_kernel();
+  set_default_replay_kernel(ReplayKernel::fragment);
+  EXPECT_EQ(default_replay_kernel(), ReplayKernel::fragment);
+  set_default_replay_kernel(ReplayKernel::panel);
+  EXPECT_EQ(default_replay_kernel(), ReplayKernel::panel);
+  set_default_replay_kernel(original);
+  EXPECT_STREQ(to_string(ReplayKernel::panel), "panel");
+  EXPECT_STREQ(to_string(ReplayKernel::fragment), "fragment");
+}
+
+TEST(ReplayKernelTest, ConfigReplayOverridesProcessDefault) {
+  // An explicit config replay kernel wins over the process default in both
+  // directions; results agree either way.
+  Rng rng(0x4e91);
+  const auto pattern = sparse::make_uniform_pattern(32, 64, 8, 0.5, rng);
+  const auto a_vals = random_values(32, 64, Scalar::s8, rng);
+  const auto b_vals = random_values(64, 64, Scalar::s8, rng);
+  SpmmConfig cfg;
+  cfg.mode = ExecMode::fast;
+  const auto a = prepare_spmm_lhs(pattern, a_vals, cfg.precision,
+                                  needs_shuffle(cfg));
+  const auto b = prepare_spmm_rhs(b_vals, cfg.precision);
+
+  const ReplayKernel original = default_replay_kernel();
+  set_default_replay_kernel(ReplayKernel::panel);
+  cfg.replay = ReplayKernel::fragment;
+  const SpmmResult frag = spmm(a, b, cfg);
+  set_default_replay_kernel(ReplayKernel::fragment);
+  cfg.replay = ReplayKernel::panel;
+  const SpmmResult panel = spmm(a, b, cfg);
+  set_default_replay_kernel(original);
+
+  EXPECT_EQ(panel.c, frag.c);
+  EXPECT_EQ(panel.c, reference_spmm(pattern, a_vals, b_vals));
 }
 
 TEST(ExecModeTest, ConfigModeOverridesProcessDefault) {

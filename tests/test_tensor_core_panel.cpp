@@ -1,0 +1,271 @@
+// Property suite for the block-panel replay micro-kernel
+// (simt::mma_panel / simt::dot_wrap / the decode_span family).
+//
+// The panel kernel's contract is bit-exactness with the fragment machinery
+// it replaces: accumulating C[8 x n] += A * B over a panel of adjacent
+// 8-column tiles must reproduce, bit for bit, both the uncounted
+// mma_decoded chain and the counted mma_m8n8k16/k32 reference — including
+// int32 wraparound, which the suite pins by seeding accumulators at and
+// around INT32_MIN/INT32_MAX and chaining multiple accumulation steps.
+// Random fragments sweep both datapaths (int8, int4) and all signedness
+// combinations; SIMD and scalar builds must pass identically
+// (MAGICUBE_SIMD only changes instruction selection, never bits).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/packed.hpp"
+#include "common/rng.hpp"
+#include "simt/counters.hpp"
+#include "simt/tensor_core.hpp"
+
+namespace magicube::simt {
+namespace {
+
+WarpReg random_reg(Rng& rng) {
+  WarpReg r{};
+  for (auto& w : r) w = static_cast<std::uint32_t>(rng.next_u64());
+  return r;
+}
+
+/// Accumulator seeds biased toward the wraparound edges.
+std::int32_t random_acc(Rng& rng) {
+  constexpr std::int32_t kMax = std::numeric_limits<std::int32_t>::max();
+  constexpr std::int32_t kMin = std::numeric_limits<std::int32_t>::min();
+  switch (rng.next_below(6)) {
+    case 0: return kMax;
+    case 1: return kMin;
+    case 2: return kMax - static_cast<std::int32_t>(rng.next_below(1024));
+    case 3: return kMin + static_cast<std::int32_t>(rng.next_below(1024));
+    case 4: return 0;
+    default:
+      return static_cast<std::int32_t>(
+          rng.next_in(std::numeric_limits<std::int32_t>::min(),
+                      std::numeric_limits<std::int32_t>::max()));
+  }
+}
+
+struct PanelCase {
+  bool int4 = false;
+  bool a_signed = true;
+  bool b_signed = true;
+};
+
+class PanelPropertyTest : public ::testing::TestWithParam<PanelCase> {};
+
+std::string panel_case_name(const ::testing::TestParamInfo<PanelCase>& info) {
+  const PanelCase& c = info.param;
+  return std::string(c.int4 ? "int4" : "int8") + (c.a_signed ? "_sA" : "_uA") +
+         (c.b_signed ? "_sB" : "_uB");
+}
+
+// Panel accumulation over 1..8 adjacent column tiles and 1..3 chained steps
+// must match (a) the mma_decoded chain and (b) the counted mma reference,
+// bit for bit, from wraparound-edge accumulator seeds.
+TEST_P(PanelPropertyTest, MatchesDecodedAndCountedMma) {
+  const PanelCase& c = GetParam();
+  Rng rng(0x9a7e1 + (c.int4 ? 4 : 8) + 2 * c.a_signed + c.b_signed);
+  const int k = c.int4 ? 32 : 16;
+  KernelCounters kc;
+
+  for (int trial = 0; trial < 40; ++trial) {
+    const int tiles = 1 + static_cast<int>(rng.next_below(8));
+    const int n = 8 * tiles;
+    const int steps = 1 + static_cast<int>(rng.next_below(3));
+
+    // Initial accumulators per tile, shared by all three engines.
+    std::vector<AccumFrag> counted(static_cast<std::size_t>(tiles));
+    for (auto& acc : counted) {
+      for (auto& lane : acc.c) lane = {random_acc(rng), random_acc(rng)};
+    }
+    std::vector<AccumFrag> decoded = counted;
+
+    std::vector<std::uint32_t> panel_acc(static_cast<std::size_t>(8 * n));
+    for (int t = 0; t < tiles; ++t) {
+      const Matrix<std::int32_t> m =
+          accum_to_matrix(counted[static_cast<std::size_t>(t)]);
+      for (int r = 0; r < 8; ++r) {
+        for (int col = 0; col < 8; ++col) {
+          panel_acc[static_cast<std::size_t>(r * n + 8 * t + col)] =
+              static_cast<std::uint32_t>(m(static_cast<std::size_t>(r),
+                                           static_cast<std::size_t>(col)));
+        }
+      }
+    }
+
+    for (int st = 0; st < steps; ++st) {
+      const WarpReg a_frag = random_reg(rng);
+      DecodedFrag a_dec;
+      std::vector<WarpReg> b_frags(static_cast<std::size_t>(tiles));
+      std::vector<DecodedFrag> b_dec(static_cast<std::size_t>(tiles));
+      for (int t = 0; t < tiles; ++t) {
+        b_frags[static_cast<std::size_t>(t)] = random_reg(rng);
+      }
+      if (c.int4) {
+        decode_frag_int4(a_frag, c.a_signed, a_dec);
+        for (int t = 0; t < tiles; ++t) {
+          decode_frag_int4(b_frags[static_cast<std::size_t>(t)], c.b_signed,
+                           b_dec[static_cast<std::size_t>(t)]);
+        }
+      } else {
+        decode_frag_int8(a_frag, c.a_signed, a_dec);
+        for (int t = 0; t < tiles; ++t) {
+          decode_frag_int8(b_frags[static_cast<std::size_t>(t)], c.b_signed,
+                           b_dec[static_cast<std::size_t>(t)]);
+        }
+      }
+
+      // Engine 1: counted reference mma.
+      for (int t = 0; t < tiles; ++t) {
+        AccumFrag& dst = counted[static_cast<std::size_t>(t)];
+        if (c.int4) {
+          mma_m8n8k32(dst, a_frag, b_frags[static_cast<std::size_t>(t)], dst,
+                      c.a_signed, c.b_signed, kc);
+        } else {
+          mma_m8n8k16(dst, a_frag, b_frags[static_cast<std::size_t>(t)], dst,
+                      c.a_signed, c.b_signed, kc);
+        }
+      }
+      // Engine 2: decoded-fragment chain (the PR-3 fast path).
+      for (int t = 0; t < tiles; ++t) {
+        mma_decoded(decoded[static_cast<std::size_t>(t)], a_dec,
+                    b_dec[static_cast<std::size_t>(t)]);
+      }
+      // Engine 3: one panel invocation across all tiles. The B panel is
+      // row-major k x n with tile t's columns at 8t..8t+7.
+      std::vector<std::int32_t> b_panel(static_cast<std::size_t>(k * n));
+      for (int kk = 0; kk < k; ++kk) {
+        for (int t = 0; t < tiles; ++t) {
+          for (int col = 0; col < 8; ++col) {
+            b_panel[static_cast<std::size_t>(kk * n + 8 * t + col)] =
+                b_dec[static_cast<std::size_t>(t)]
+                    .v[static_cast<std::size_t>(col)]
+                    [static_cast<std::size_t>(kk)];
+          }
+        }
+      }
+      mma_panel(panel_acc.data(), a_dec, b_panel.data(), n);
+    }
+
+    for (int t = 0; t < tiles; ++t) {
+      EXPECT_EQ(counted[static_cast<std::size_t>(t)],
+                decoded[static_cast<std::size_t>(t)])
+          << "trial " << trial << " tile " << t;
+      const Matrix<std::int32_t> want =
+          accum_to_matrix(counted[static_cast<std::size_t>(t)]);
+      for (int r = 0; r < 8; ++r) {
+        for (int col = 0; col < 8; ++col) {
+          EXPECT_EQ(static_cast<std::int32_t>(
+                        panel_acc[static_cast<std::size_t>(r * n + 8 * t +
+                                                           col)]),
+                    want(static_cast<std::size_t>(r),
+                         static_cast<std::size_t>(col)))
+              << "trial " << trial << " tile " << t << " (" << r << ", "
+              << col << ")";
+        }
+      }
+    }
+  }
+  EXPECT_GT(kc.mma_int8 + kc.mma_int4, 0u);  // counted engine really counted
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DatapathsAndSignedness, PanelPropertyTest,
+    ::testing::Values(PanelCase{false, true, true},
+                      PanelCase{false, true, false},
+                      PanelCase{false, false, true},
+                      PanelCase{false, false, false},
+                      PanelCase{true, true, true},
+                      PanelCase{true, true, false},
+                      PanelCase{true, false, true},
+                      PanelCase{true, false, false}),
+    panel_case_name);
+
+// ---- dot_wrap -------------------------------------------------------------
+
+TEST(DotWrap, MatchesWideReferenceModulo2e32) {
+  Rng rng(0xd07);
+  for (const std::size_t k : {std::size_t{7}, std::size_t{16},
+                              std::size_t{64}, std::size_t{200}}) {
+    for (int trial = 0; trial < 25; ++trial) {
+      std::vector<std::int32_t> a(k), b(k);
+      for (auto& v : a) v = random_acc(rng);
+      for (auto& v : b) v = random_acc(rng);
+      const std::int32_t acc = random_acc(rng);
+      std::uint64_t want = static_cast<std::uint32_t>(acc);
+      for (std::size_t i = 0; i < k; ++i) {
+        want += static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(a[i]) * static_cast<std::int64_t>(b[i]));
+      }
+      EXPECT_EQ(dot_wrap(a.data(), b.data(), k, acc),
+                static_cast<std::int32_t>(static_cast<std::uint32_t>(want)))
+          << "k=" << k << " trial " << trial;
+    }
+  }
+}
+
+// ---- decode_span family ---------------------------------------------------
+
+TEST(DecodeSpan, Int8MatchesPackedBuffer) {
+  Rng rng(0xdec8);
+  for (const Scalar type : {Scalar::s8, Scalar::u8}) {
+    PackedBuffer buf(100, type);
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      buf.set_raw(i, static_cast<std::uint32_t>(rng.next_u64()) & 0xffu);
+    }
+    std::vector<std::int32_t> dst(buf.size());
+    decode_span_int8(buf.data(), buf.size(), is_signed(type), dst.data());
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      EXPECT_EQ(dst[i], buf.get(i)) << to_string(type) << " @" << i;
+    }
+  }
+}
+
+TEST(DecodeSpan, Int4MatchesPackedBuffer) {
+  Rng rng(0xdec4);
+  for (const Scalar type : {Scalar::s4, Scalar::u4}) {
+    PackedBuffer buf(120, type);  // 60 bytes: exercises SIMD body + tail
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      buf.set_raw(i, static_cast<std::uint32_t>(rng.next_u64()) & 0xfu);
+    }
+    std::vector<std::int32_t> dst(buf.size());
+    decode_span_int4(buf.data(), buf.size(), is_signed(type), dst.data());
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      EXPECT_EQ(dst[i], buf.get(i)) << to_string(type) << " @" << i;
+    }
+  }
+}
+
+TEST(DecodeSpan, BiasedIsSignedPlusExcess) {
+  // The stacked top plane's bias encoding: raw ^ msb read unsigned equals
+  // the signed value plus 2^(bits-1).
+  Rng rng(0xb1a5);
+  {
+    PackedBuffer buf(77, Scalar::s8);
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      buf.set_raw(i, static_cast<std::uint32_t>(rng.next_u64()) & 0xffu);
+    }
+    std::vector<std::int32_t> dst(buf.size());
+    decode_span_int8_biased(buf.data(), buf.size(), dst.data());
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      EXPECT_EQ(dst[i], buf.get(i) + 128) << i;
+    }
+  }
+  {
+    PackedBuffer buf(90, Scalar::s4);
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      buf.set_raw(i, static_cast<std::uint32_t>(rng.next_u64()) & 0xfu);
+    }
+    std::vector<std::int32_t> dst(buf.size());
+    decode_span_int4_biased(buf.data(), buf.size(), dst.data());
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      EXPECT_EQ(dst[i], buf.get(i) + 8) << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace magicube::simt
