@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -115,6 +117,53 @@ inline std::string fmt(double v, int prec = 2) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
   return buf;
+}
+
+/// Recorded-baseline bar sheet: a flat {"key": number} lookup over a
+/// hand-recorded JSON file in bench/baselines/ (string scan, no JSON
+/// dependency — the file is a bar sheet, not machine output). Shared by
+/// every bench that gates against recorded bars; bars rise by
+/// re-recording, never by editing a gate.
+struct Baselines {
+  bool loaded = false;
+  std::string path;
+  std::string text;
+
+  /// Reads key's number; clears *ok on a missing key or malformed value
+  /// (the caller fails its gate cleanly instead of throwing).
+  double get(const std::string& key, bool* ok) const {
+    const std::string needle = "\"" + key + "\"";
+    const std::size_t at = text.find(needle);
+    if (at == std::string::npos) {
+      *ok = false;
+      return 0;
+    }
+    const std::size_t colon = text.find(':', at + needle.size());
+    if (colon == std::string::npos) {
+      *ok = false;
+      return 0;
+    }
+    try {
+      return std::stod(text.substr(colon + 1));
+    } catch (const std::exception&) {
+      *ok = false;
+      return 0;
+    }
+  }
+};
+
+inline Baselines load_baselines(const std::string& dir,
+                                const std::string& file) {
+  Baselines b;
+  b.path = dir + "/" + file;
+  std::ifstream in(b.path);
+  if (in) {
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    b.text = ss.str();
+    b.loaded = true;
+  }
+  return b;
 }
 
 }  // namespace magicube::bench

@@ -1,0 +1,315 @@
+// Multi-device scaling: modeled throughput of the DevicePool at N in
+// {1, 2, 4} simulated A100s, gated against recorded bars.
+//
+// Two scaling axes, both deterministic (placement and sharding consume
+// only the analytic cost model, so the modeled makespans are exact
+// functions of the request stream):
+//   * placement scaling — the Fig. 12 SpMM mix (all seven precision
+//     pairs, several rounds) streamed through pools of 1/2/4 devices with
+//     sharding disabled; scaling_N = makespan_1 / makespan_N, where the
+//     makespan is the busiest device's modeled clock. This is the
+//     aggregate-throughput gate the acceptance criteria name (>= 1.7x at
+//     N=2, >= 3x at N=4).
+//   * shard scaling — one giant pattern split row-wise across the pool
+//     (threshold-triggered, default wave floor); its modeled makespan is
+//     the slowest slice, so scaling measures how evenly plan_row_shards
+//     balances block-row work.
+//
+// Bit-exactness is re-asserted inline before any gate: a pooled response
+// from the Fig. 12 mix and the N=4 sharded giant must equal the
+// sequential single-device reference exactly. Gates compare against
+// bench/baselines/multi_device_scaling.json (bars rise by re-recording,
+// never by editing the gate); sanitizer builds report without enforcing.
+// Like the other perf benches, --smoke is peeled off argv and the rest
+// forwards to google-benchmark; CI uploads BENCH_multi_device_scaling
+// JSON from the perf-smoke matrix.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/api.hpp"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define MAGICUBE_BENCH_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define MAGICUBE_BENCH_SANITIZED 1
+#endif
+#endif
+#ifndef MAGICUBE_BENCH_SANITIZED
+#define MAGICUBE_BENCH_SANITIZED 0
+#endif
+
+#ifndef MAGICUBE_BENCH_BASELINE_DIR
+#define MAGICUBE_BENCH_BASELINE_DIR "bench/baselines"
+#endif
+
+namespace {
+
+using namespace magicube;
+
+struct Shapes {
+  std::size_t m = 512, k = 512, n = 512;   // Fig. 12 mix
+  double sparsity = 0.9;
+  int rounds = 4;                           // mix repetitions
+  // The giant pattern is sized so modeled *compute* dominates the 3.5 us
+  // per-launch floor each slice pays — shard scaling measures work
+  // balance, not launch amortization (~88 us full / ~25 us smoke).
+  std::size_t gm = 8192, gk = 1024, gn = 512;
+  double gsparsity = 0.5;
+};
+
+Shapes shapes_for(bool smoke) {
+  Shapes s;
+  if (smoke) {
+    s.m = s.k = s.n = 128;
+    s.rounds = 2;
+    s.gm = 4096;
+    s.gk = 1024;
+    s.gn = 256;
+  }
+  return s;
+}
+
+struct Mix {
+  std::vector<serve::Request> requests;  // one round of the Fig. 12 mix
+  core::SpmmResult reference;            // sequential result of request 0
+};
+
+Mix make_fig12_mix(const Shapes& s) {
+  static const PrecisionPair pairs[] = {
+      precision::L16R16, precision::L16R8, precision::L8R8,
+      precision::L16R4,  precision::L12R4, precision::L8R4,
+      precision::L4R4};
+  Mix mix;
+  std::uint64_t next_rhs_id = 1;
+  for (const PrecisionPair prec : pairs) {
+    Rng rng(0xf16 + bits_of(prec.lhs) * 8u +
+            static_cast<unsigned>(bits_of(prec.rhs)));
+    serve::Request req;
+    req.op = serve::OpKind::spmm;
+    req.precision = prec;
+    req.pattern = std::make_shared<const sparse::BlockPattern>(
+        sparse::make_uniform_pattern(s.m, s.k, 8, s.sparsity, rng));
+    req.lhs_values = std::make_shared<const Matrix<std::int32_t>>(
+        core::random_values(s.m, s.k, prec.lhs, rng));
+    req.rhs_values = std::make_shared<const Matrix<std::int32_t>>(
+        core::random_values(s.k, s.n, prec.rhs, rng));
+    req.rhs_id = next_rhs_id++;
+    mix.requests.push_back(std::move(req));
+  }
+  serve::OperandCache ref_cache(512ull << 20);
+  mix.reference =
+      *serve::serve_request(mix.requests.front(), ref_cache).spmm;
+  return mix;
+}
+
+serve::Request make_giant_request(const Shapes& s) {
+  Rng rng(0x61a27);
+  serve::Request req;
+  req.op = serve::OpKind::spmm;
+  req.precision = precision::L8R8;
+  req.pattern = std::make_shared<const sparse::BlockPattern>(
+      sparse::make_uniform_pattern(s.gm, s.gk, 8, s.gsparsity, rng));
+  req.lhs_values = std::make_shared<const Matrix<std::int32_t>>(
+      core::random_values(s.gm, s.gk, Scalar::s8, rng));
+  req.rhs_values = std::make_shared<const Matrix<std::int32_t>>(
+      core::random_values(s.gk, s.gn, Scalar::s8, rng));
+  return req;
+}
+
+/// Streams `rounds` copies of the mix through an N-device pool (sharding
+/// off — placement only) and returns the modeled makespan.
+double placement_makespan(const Mix& mix, int rounds, std::size_t devices,
+                          bool check_first) {
+  serve::DevicePoolConfig cfg;
+  cfg.device_count = devices;
+  cfg.shard_threshold_seconds = 0;  // isolate the placement axis
+  cfg.linger = std::chrono::microseconds(100);
+  serve::DevicePool pool(cfg);
+
+  std::vector<std::future<serve::Response>> futures;
+  for (int r = 0; r < rounds; ++r) {
+    for (const serve::Request& req : mix.requests) {
+      futures.push_back(pool.submit(serve::Request(req)));
+    }
+  }
+  bool first = true;
+  for (auto& f : futures) {
+    const serve::Response resp = f.get();
+    MAGICUBE_CHECK_MSG(resp.spmm.has_value(), "pool dropped a result");
+    if (first && check_first) {
+      MAGICUBE_CHECK_MSG(resp.spmm->c == mix.reference.c,
+                         "pooled result diverged from the sequential "
+                         "reference");
+    }
+    first = false;
+  }
+  pool.drain();
+  const serve::DevicePoolStats ps = pool.stats();
+  MAGICUBE_CHECK(ps.failed == 0);
+  return ps.modeled_makespan_seconds();
+}
+
+/// Serves the giant request through an N-device pool with sharding enabled
+/// and returns {makespan, shards}; verifies bit-exactness vs `want`.
+std::pair<double, std::size_t> shard_makespan(
+    const serve::Request& giant, std::size_t devices,
+    const Matrix<std::int32_t>* want) {
+  serve::DevicePoolConfig cfg;
+  cfg.device_count = devices;
+  cfg.shard_threshold_seconds = 1e-9;  // the giant is always over threshold
+  serve::DevicePool pool(cfg);
+  const serve::Response resp = pool.submit(serve::Request(giant)).get();
+  MAGICUBE_CHECK(resp.spmm.has_value());
+  if (want != nullptr) {
+    MAGICUBE_CHECK_MSG(resp.spmm->c == *want,
+                       "sharded result diverged from the single-device "
+                       "reference");
+  }
+  pool.drain();
+  return {pool.stats().modeled_makespan_seconds(), resp.shards};
+}
+
+bool g_smoke = false;
+
+bool comparison_table(bool smoke) {
+  const Shapes s = shapes_for(smoke);
+  std::printf("== multi-device modeled throughput scaling%s ==\n",
+              smoke ? " [smoke]" : "");
+  std::printf("Fig. 12 mix: M=K=%zu N=%zu x 7 precision pairs x %d rounds; "
+              "giant pattern: M=%zu K=%zu N=%zu\n\n",
+              s.m, s.n, s.rounds, s.gm, s.gk, s.gn);
+
+  const Mix mix = make_fig12_mix(s);
+  const double base = placement_makespan(mix, s.rounds, 1, true);
+  const double p2 = base / placement_makespan(mix, s.rounds, 2, false);
+  const double p4 = base / placement_makespan(mix, s.rounds, 4, false);
+
+  const serve::Request giant = make_giant_request(s);
+  serve::OperandCache ref_cache(1ull << 30);
+  const core::SpmmResult giant_ref =
+      *serve::serve_request(giant, ref_cache).spmm;
+  const auto [g1, shards1] = shard_makespan(giant, 1, &giant_ref.c);
+  const auto [g2, shards2] = shard_makespan(giant, 2, &giant_ref.c);
+  const auto [g4, shards4] = shard_makespan(giant, 4, &giant_ref.c);
+  MAGICUBE_CHECK(shards1 == 1 && shards2 == 2 && shards4 == 4);
+
+  bench::Table table({"axis", "N=1 makespan (us)", "N=2", "N=4",
+                      "scaling N=2", "scaling N=4"});
+  table.add_row({"placement (fig12 mix)", bench::fmt(base * 1e6, 2),
+                 bench::fmt(base / p2 * 1e6, 2),
+                 bench::fmt(base / p4 * 1e6, 2), bench::fmt(p2, 2) + "x",
+                 bench::fmt(p4, 2) + "x"});
+  table.add_row({"row shards (giant)", bench::fmt(g1 * 1e6, 2),
+                 bench::fmt(g2 * 1e6, 2), bench::fmt(g4 * 1e6, 2),
+                 bench::fmt(g1 / g2, 2) + "x", bench::fmt(g1 / g4, 2) + "x"});
+  table.print();
+
+  const bench::Baselines bars = bench::load_baselines(
+      MAGICUBE_BENCH_BASELINE_DIR, "multi_device_scaling.json");
+  const std::string prefix = smoke ? "smoke_" : "full_";
+  bool bars_ok = bars.loaded;
+  double p2_bar = 0, p4_bar = 0, s2_bar = 0, s4_bar = 0;
+  if (bars.loaded) {
+    p2_bar = bars.get(prefix + "placement_n2_min", &bars_ok);
+    p4_bar = bars.get(prefix + "placement_n4_min", &bars_ok);
+    s2_bar = bars.get(prefix + "shard_n2_min", &bars_ok);
+    s4_bar = bars.get(prefix + "shard_n4_min", &bars_ok);
+  }
+
+  bool gate = true;
+  if (!bars_ok) {
+    std::printf("\ncannot read recorded baselines from %s — gate FAILED\n",
+                bars.path.c_str());
+    gate = false;
+  } else {
+    struct GateRow {
+      const char* name;
+      double value, bar;
+    } rows[] = {{"placement scaling N=2", p2, p2_bar},
+                {"placement scaling N=4", p4, p4_bar},
+                {"shard scaling N=2", g1 / g2, s2_bar},
+                {"shard scaling N=4", g1 / g4, s4_bar}};
+    std::printf("\n");
+    for (const GateRow& r : rows) {
+      const bool ok = r.value >= r.bar;
+      gate = gate && ok;
+      std::printf("%s: %.2fx (recorded bar: >= %.2fx) — %s\n", r.name,
+                  r.value, r.bar, ok ? "PASS" : "FAIL");
+    }
+    std::printf("(bars recorded in %s; raise them by re-recording, not by "
+                "editing the gate)%s\n\n",
+                bars.path.c_str(),
+                MAGICUBE_BENCH_SANITIZED
+                    ? " [sanitized build: gates reported, not enforced]"
+                    : "");
+  }
+  return gate || MAGICUBE_BENCH_SANITIZED;
+}
+
+// google-benchmark cases (JSON-artifact surface): wall-clock of the full
+// submit-to-drain mix per pool size, smoke-sized in CI.
+void pool_mix_case(benchmark::State& state, std::size_t devices) {
+  const Shapes s = shapes_for(g_smoke);
+  const Mix mix = make_fig12_mix(s);
+  for (auto _ : state) {
+    serve::DevicePoolConfig cfg;
+    cfg.device_count = devices;
+    cfg.linger = std::chrono::microseconds(50);
+    serve::DevicePool pool(cfg);
+    std::vector<std::future<serve::Response>> futures;
+    for (const serve::Request& req : mix.requests) {
+      futures.push_back(pool.submit(serve::Request(req)));
+    }
+    for (auto& f : futures) benchmark::DoNotOptimize(f.get());
+    pool.drain();
+  }
+}
+
+void BM_PoolMixN1(benchmark::State& state) { pool_mix_case(state, 1); }
+void BM_PoolMixN2(benchmark::State& state) { pool_mix_case(state, 2); }
+void BM_PoolMixN4(benchmark::State& state) { pool_mix_case(state, 4); }
+// Real-time measurement: the interesting time is submit-to-drain wall
+// clock (the calling thread mostly waits on futures, so CPU time would
+// drive the iteration count through the roof).
+BENCHMARK(BM_PoolMixN1)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_PoolMixN2)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_PoolMixN4)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<char*> fwd = {argv[0]};
+  bool help = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      g_smoke = true;
+    } else {
+      if (std::strcmp(argv[i], "--help") == 0 ||
+          std::strcmp(argv[i], "-h") == 0) {
+        help = true;
+      }
+      fwd.push_back(argv[i]);
+    }
+  }
+  bool gate_passed = true;
+  if (help) {
+    std::printf("usage: %s [--smoke] [--benchmark_* flags]\n"
+                "  --smoke  tiny shapes, a few seconds\n"
+                "  other flags forward to google-benchmark (below)\n\n",
+                argv[0]);
+  } else {
+    gate_passed = comparison_table(g_smoke);
+  }
+  int bench_argc = static_cast<int>(fwd.size());
+  benchmark::Initialize(&bench_argc, fwd.data());
+  benchmark::RunSpecifiedBenchmarks();
+  return gate_passed ? 0 : 1;
+}

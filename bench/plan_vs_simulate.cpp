@@ -26,8 +26,6 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -213,49 +211,6 @@ OpTimings time_sddmm(const Shape& shape, PrecisionPair prec,
   return t;
 }
 
-// ---- Recorded baseline gates ----------------------------------------------
-
-/// Flat {"key": number} lookup over the baseline JSON (no JSON dependency;
-/// the file is a hand-recorded bar sheet, not machine output).
-struct Baselines {
-  bool loaded = false;
-  std::string path;
-  std::string text;
-
-  double get(const std::string& key, bool* ok) const {
-    const std::string needle = "\"" + key + "\"";
-    const std::size_t at = text.find(needle);
-    if (at == std::string::npos) {
-      *ok = false;
-      return 0;
-    }
-    const std::size_t colon = text.find(':', at + needle.size());
-    if (colon == std::string::npos) {
-      *ok = false;
-      return 0;
-    }
-    try {
-      return std::stod(text.substr(colon + 1));
-    } catch (const std::exception&) {
-      *ok = false;  // malformed value: fail the gate cleanly, don't throw
-      return 0;
-    }
-  }
-};
-
-Baselines load_baselines() {
-  Baselines b;
-  b.path = std::string(MAGICUBE_BENCH_BASELINE_DIR) + "/plan_vs_simulate.json";
-  std::ifstream in(b.path);
-  if (in) {
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    b.text = ss.str();
-    b.loaded = true;
-  }
-  return b;
-}
-
 bool g_smoke = false;
 
 bool comparison_table(bool smoke) {
@@ -309,7 +264,8 @@ bool comparison_table(bool smoke) {
   const double vs_sim = sim_total / panel_total;
   const double vs_frag = frag_total / panel_total;
 
-  const Baselines bars = load_baselines();
+  const bench::Baselines bars = bench::load_baselines(
+      MAGICUBE_BENCH_BASELINE_DIR, "plan_vs_simulate.json");
   // Bars are recorded per shape set and per MAGICUBE_SIMD build flavor (the
   // scalar fallback is a correctness kernel first; its bar only guards
   // against pathological regressions).

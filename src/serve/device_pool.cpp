@@ -1,0 +1,556 @@
+#include "serve/device_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+#include "core/plan.hpp"
+#include "core/sddmm.hpp"
+#include "core/spmm.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/shard.hpp"
+#include "simt/cost_model.hpp"
+
+namespace magicube::serve {
+
+namespace {
+
+struct Pending {
+  Request req;
+  std::promise<Response> promise;
+};
+
+}  // namespace
+
+struct DevicePool::Impl {
+  DevicePool* owner = nullptr;
+
+  std::mutex mutex;
+  std::condition_variable queue_changed;  // dispatcher wakes on submits/stop
+  std::condition_variable queue_space;    // bounded submitters wake on drain
+  std::condition_variable idle;           // drain()/dtor wake on completion
+  std::deque<Pending> queue;
+  bool stopping = false;
+  DevicePoolStats stats;
+  std::uint64_t outstanding = 0;
+  std::uint64_t blocked_submitters = 0;
+  std::uint64_t next_batch_id = 1;
+  std::uint64_t rr_cursor = 0;  // round-robin tie-break cursor
+  std::thread thread;
+
+  /// Rendezvous of one sharded request: slice tasks fill disjoint parts and
+  /// the last finisher merges — no pool task ever waits on another.
+  struct ShardState {
+    Pending pending;
+    std::uint64_t full_lhs_content = 0;
+    std::vector<RowSlice> slices;
+    std::vector<std::shared_ptr<const sparse::BlockPattern>> patterns;
+    std::vector<core::SpmmPlanHandle> plans;
+    std::vector<std::size_t> devices;
+    std::vector<core::SpmmResult> parts;
+    std::vector<char> lhs_hits;
+    std::vector<double> ests;  // per-slice modeled seconds (rollback needs)
+    core::DenseOperandHandle rhs;
+    bool rhs_hit = false;
+    bool all_plan_hits = true;
+    double modeled_makespan = 0.0;
+    std::uint64_t batch_id = 0;
+    std::size_t batch_size = 0;
+    OperandCache::PinScope plan_pins;  // held until the merge completes
+    std::atomic<std::size_t> remaining{0};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+  };
+
+  void loop() {
+    for (;;) {
+      std::deque<Pending> taken;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        queue_changed.wait(lock, [&] { return stopping || !queue.empty(); });
+        if (queue.empty()) return;  // stopping && drained
+        if (!stopping && owner->cfg_.linger.count() > 0) {
+          // Linger so bursts coalesce into one placement round (better
+          // spreading than placing each arrival against a stale backlog
+          // picture). A full bounded queue cuts the linger short.
+          const std::size_t depth = owner->cfg_.max_queue_depth;
+          queue_changed.wait_for(lock, owner->cfg_.linger, [&] {
+            return stopping || (depth > 0 && queue.size() >= depth);
+          });
+        }
+        taken.swap(queue);
+        queue_space.notify_all();
+      }
+      dispatch(std::move(taken));
+    }
+  }
+
+  void dispatch(std::deque<Pending> taken) {
+    std::vector<Pending> batch;
+    batch.reserve(taken.size());
+    while (!taken.empty()) {
+      batch.push_back(std::move(taken.front()));
+      taken.pop_front();
+    }
+    // Priority classes: higher priorities place (and therefore claim the
+    // least-loaded devices) first; equal priorities keep arrival order.
+    std::stable_sort(batch.begin(), batch.end(),
+                     [](const Pending& a, const Pending& b) {
+                       return a.req.priority > b.req.priority;
+                     });
+    std::uint64_t batch_id;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      batch_id = next_batch_id++;
+    }
+    const std::size_t batch_size = batch.size();
+    for (Pending& p : batch) {
+      try {
+        // place() moves from p only once placement is committed; on a
+        // throw before that (malformed request, plan build failure) the
+        // promise is still here to carry the failure.
+        place(p, batch_id, batch_size);
+      } catch (...) {
+        p.promise.set_exception(std::current_exception());
+        complete(/*failed=*/true);
+      }
+    }
+  }
+
+  /// Earliest modeled completion wins. The pool is homogeneous, so the
+  /// request's estimate is a uniform addend and the argmin over
+  /// backlog + estimate reduces to least modeled backlog (a heterogeneous
+  /// pool would price the run per candidate spec here — the ROADMAP
+  /// follow-on). Exact ties — the idle-pool common case — are broken
+  /// round-robin so bursts spread instead of piling onto device 0. Lock
+  /// held.
+  std::size_t choose_device_locked() {
+    double best = 0.0;
+    std::vector<std::size_t> tied;
+    for (std::size_t d = 0; d < stats.devices.size(); ++d) {
+      const double t = stats.devices[d].modeled_busy_seconds;
+      if (tied.empty() || t < best) {
+        best = t;
+        tied.assign(1, d);
+      } else if (t == best) {
+        tied.push_back(d);
+      }
+    }
+    if (tied.size() == 1) return tied.front();
+    stats.tie_breaks += 1;
+    return tied[rr_cursor++ % tied.size()];
+  }
+
+  void place(Pending& p, std::uint64_t batch_id, std::size_t batch_size) {
+    const Request& req = p.req;
+    MAGICUBE_CHECK_MSG(req.pattern && req.lhs_values && req.rhs_values,
+                       "serve request is missing pattern or operand values");
+    const DevicePoolConfig& cfg = owner->cfg_;
+
+    // Price the request on its cached plan when one is resident (O(1));
+    // otherwise fall back to the analytic estimator — identical numbers by
+    // the estimate-equals-execute invariant — WITHOUT building or caching
+    // anything: a request about to shard would only churn the plan cache
+    // with a full plan no one replays. The executing path builds and
+    // caches the plan it actually needs (and reports plan_cache_hit from
+    // what it observed at execution time, so an eviction between pricing
+    // and execution is not masked).
+    const std::uint64_t pattern_fp =
+        owner->plan_cache_.pattern_identity(req.pattern);
+    simt::KernelRun run;
+    core::SpmmConfig scfg;
+    if (req.op == OpKind::spmm) {
+      scfg.precision = req.precision;
+      scfg.variant = req.variant;
+      scfg.bsn = req.bsn;
+      const CachedOperand hit = owner->plan_cache_.find(
+          spmm_plan_key(pattern_fp, req.rhs_values->cols(), scfg));
+      run = hit ? hit.spmm_plan->run
+                : core::spmm_estimate(*req.pattern, req.rhs_values->cols(),
+                                      scfg);
+    } else {
+      core::SddmmConfig dcfg;
+      dcfg.precision = req.precision;
+      dcfg.prefetch = req.sddmm_prefetch;
+      const CachedOperand hit = owner->plan_cache_.find(
+          sddmm_plan_key(pattern_fp, req.lhs_values->cols(), dcfg));
+      run = hit ? hit.sddmm_plan->run
+                : core::sddmm_estimate(*req.pattern, req.lhs_values->cols(),
+                                       dcfg);
+    }
+    const double est = simt::estimate_seconds(cfg.device, run);
+
+    // Shard decision: SpMM over threshold, and never below one block per
+    // SM per device — a slice that cannot put work on every SM of the
+    // device it moves to would trade real occupancy for modeled
+    // parallelism (the "fill a modeled wave" floor).
+    if (req.op == OpKind::spmm && cfg.device_count > 1 &&
+        cfg.shard_threshold_seconds > 0 &&
+        est > cfg.shard_threshold_seconds) {
+      const std::uint64_t wave_blocks =
+          cfg.wave_floor_blocks != 0
+              ? cfg.wave_floor_blocks
+              : static_cast<std::uint64_t>(cfg.device.sm_count);
+      const std::size_t by_wave = static_cast<std::size_t>(std::max<
+          std::uint64_t>(1, run.launch.grid_blocks /
+                                std::max<std::uint64_t>(1, wave_blocks)));
+      const std::size_t by_cost = static_cast<std::size_t>(
+          std::ceil(est / cfg.shard_threshold_seconds));
+      const std::size_t want = std::min(
+          {cfg.max_shards == 0 ? cfg.device_count
+                               : std::min(cfg.max_shards, cfg.device_count),
+           by_cost, by_wave});
+      if (want > 1) {
+        // Defer the O(pattern) slicing and the sub-plan builds to the
+        // pool: the single dispatcher thread must keep placing the rest
+        // of the queue (no head-of-line blocking behind a cold giant).
+        auto item = std::make_shared<Pending>(std::move(p));
+        ThreadPool::instance().post([this, item, scfg, pattern_fp, want,
+                                     est, batch_id, batch_size] {
+          prepare_shards(item, scfg, pattern_fp, want, est, batch_id,
+                         batch_size);
+        });
+        return;
+      }
+    }
+
+    std::size_t dev;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      dev = choose_device_locked();
+      stats.devices[dev].placed += 1;
+      stats.devices[dev].modeled_busy_seconds += est;
+    }
+    auto item = std::make_shared<Pending>(std::move(p));
+    ThreadPool::instance().post([this, item, dev, est, batch_id,
+                                 batch_size] {
+      run_single(*item, dev, est, batch_id, batch_size);
+    });
+  }
+
+  void run_single(Pending& item, std::size_t dev, double est,
+                  std::uint64_t batch_id, std::size_t batch_size) {
+    bool failed = false;
+    try {
+      // serve_request reports plan_cache_hit as observed at execution
+      // time (builds into the shared plan cache on a miss).
+      Response resp =
+          serve_request(item.req, *owner->device_caches_[dev],
+                        owner->plan_cache_, owner->cfg_.device);
+      resp.device = static_cast<int>(dev);
+      resp.shards = 1;
+      resp.batch_id = batch_id;
+      resp.batch_size = batch_size;
+      item.promise.set_value(std::move(resp));
+    } catch (...) {
+      failed = true;
+      item.promise.set_exception(std::current_exception());
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      stats.devices[dev].completed += 1;
+      // Modeled clocks only accumulate work that actually ran: a failed
+      // request returns its estimate so the placer stops dodging this
+      // device over phantom backlog.
+      if (failed) stats.devices[dev].modeled_busy_seconds -= est;
+    }
+    complete(failed);
+  }
+
+  /// Pool-task body of the sharded path: slices the pattern, builds (or
+  /// finds) the pinned sub-plans, assigns devices, then fans the slices
+  /// out. Runs on a ThreadPool worker so a cold giant never head-of-line
+  /// blocks the dispatcher.
+  void prepare_shards(const std::shared_ptr<Pending>& item,
+                      const core::SpmmConfig& scfg, std::uint64_t pattern_fp,
+                      std::size_t want, double est, std::uint64_t batch_id,
+                      std::size_t batch_size) {
+    const Request& req = item->req;
+    const std::size_t n_cols = req.rhs_values->cols();
+    auto st = std::make_shared<ShardState>();
+    try {
+      st->slices = plan_row_shards(*req.pattern,
+                                   core::stride_for(req.precision), want);
+      if (st->slices.size() <= 1) {
+        // The pattern would not split (e.g. a single block row): place it
+        // whole from here — we are already on a pool thread.
+        std::size_t dev;
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          dev = choose_device_locked();
+          stats.devices[dev].placed += 1;
+          stats.devices[dev].modeled_busy_seconds += est;
+        }
+        run_single(*item, dev, est, batch_id, batch_size);
+        return;
+      }
+
+      st->full_lhs_content = req.lhs_id != 0 ? req.lhs_id : pattern_fp;
+      st->batch_id = batch_id;
+      st->batch_size = batch_size;
+      st->plan_pins = OperandCache::PinScope(owner->plan_cache_);
+
+      const std::size_t n = st->slices.size();
+      st->patterns.reserve(n);
+      st->plans.reserve(n);
+      st->parts.resize(n);
+      st->lhs_hits.assign(n, 0);
+      st->ests.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const RowSlice& s = st->slices[i];
+        st->patterns.push_back(std::make_shared<const sparse::BlockPattern>(
+            sparse::slice_vector_rows(*req.pattern, s.vr_begin, s.vr_end)));
+        // Sub-plans key on (full pattern identity, slice bounds):
+        // shareable across every weight version and every request over
+        // this pattern.
+        const std::uint64_t plan_id = slice_content_id(pattern_fp, s);
+        bool hit = false;
+        st->plans.push_back(owner->plan_cache_.get_or_build_spmm_plan(
+            st->patterns.back(), n_cols, scfg, plan_id, &hit));
+        st->all_plan_hits = st->all_plan_hits && hit;
+        // Pin the sub-plan entry for the request's lifetime: concurrent
+        // eviction must not drop a plan another slice is about to replay.
+        // A pin can race an eviction in the get→pin window; re-insert and
+        // retry (correctness never depends on the pin — the handle keeps
+        // the plan alive — but residency is what prevents rebuild churn).
+        const OperandKey pk = spmm_plan_key(plan_id, n_cols, scfg);
+        for (int attempt = 0; !st->plan_pins.pin(pk) && attempt < 3;
+             ++attempt) {
+          st->plans.back() = owner->plan_cache_.get_or_build_spmm_plan(
+              st->patterns.back(), n_cols, scfg, plan_id);
+        }
+        st->ests[i] = simt::estimate_seconds(owner->cfg_.device,
+                                             st->plans.back()->run);
+      }
+    } catch (...) {
+      item->promise.set_exception(std::current_exception());
+      complete(/*failed=*/true);
+      return;  // st's PinScope releases on destruction
+    }
+
+    const std::size_t n = st->slices.size();
+    st->devices.resize(n);
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      stats.sharded_requests += 1;
+      stats.shard_slices += n;
+      // Slices go wherever modeled completion is earliest — usually one
+      // per device, but a device carrying a big backlog may be skipped
+      // entirely, co-locating slices on the others. The request's modeled
+      // makespan therefore sums the estimates per assigned device
+      // (co-located slices serialize on their device's modeled clock).
+      std::vector<double> per_device(stats.devices.size(), 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t d = choose_device_locked();
+        st->devices[i] = d;
+        stats.devices[d].shard_slices += 1;
+        stats.devices[d].modeled_busy_seconds += st->ests[i];
+        per_device[d] += st->ests[i];
+      }
+      for (const double busy : per_device) {
+        if (busy > st->modeled_makespan) st->modeled_makespan = busy;
+      }
+    }
+
+    st->pending = std::move(*item);
+    st->remaining.store(n, std::memory_order_relaxed);
+    try {
+      // The shared full-K RHS is prepared once (cached in the first
+      // slice's device when the client named it) and aliased by every
+      // slice — operands are immutable shared handles.
+      st->rhs = owner->device_caches_[st->devices.front()]
+                    ->get_or_prepare_dense(OperandKind::spmm_rhs,
+                                           *st->pending.req.rhs_values,
+                                           st->pending.req.precision,
+                                           st->pending.req.rhs_id,
+                                           &st->rhs_hit);
+    } catch (...) {
+      // No slice task was posted yet: fail the request directly and roll
+      // the assignment back — modeled clocks must not keep busy seconds
+      // (nor the counters slices) for work that never executed.
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        stats.sharded_requests -= 1;
+        stats.shard_slices -= n;
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::size_t d = st->devices[i];
+          stats.devices[d].shard_slices -= 1;
+          stats.devices[d].modeled_busy_seconds -= st->ests[i];
+        }
+      }
+      st->pending.promise.set_exception(std::current_exception());
+      st->plan_pins.release();
+      complete(/*failed=*/true);
+      return;
+    }
+    for (std::size_t i = 1; i < st->slices.size(); ++i) {
+      ThreadPool::instance().post([this, st, i] { run_slice(st, i); });
+    }
+    run_slice(st, 0);
+  }
+
+  void run_slice(const std::shared_ptr<ShardState>& st, std::size_t i) {
+    bool failed = false;
+    try {
+      SliceExecution se = execute_spmm_slice(
+          st->pending.req, st->patterns[i], st->slices[i],
+          st->full_lhs_content, st->plans[i], st->rhs,
+          *owner->device_caches_[st->devices[i]]);
+      st->parts[i] = std::move(se.result);
+      st->lhs_hits[i] = se.lhs_cache_hit ? 1 : 0;
+    } catch (...) {
+      failed = true;
+      std::lock_guard<std::mutex> lock(st->error_mutex);
+      if (!st->error) st->error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      stats.devices[st->devices[i]].completed += 1;
+      // Modeled clocks only accumulate work that actually ran (see
+      // run_single's failure path).
+      if (failed) {
+        stats.devices[st->devices[i]].modeled_busy_seconds -= st->ests[i];
+      }
+    }
+    if (st->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      finish_shard(st);
+    }
+  }
+
+  void finish_shard(const std::shared_ptr<ShardState>& st) {
+    bool failed = false;
+    if (st->error) {
+      failed = true;
+      st->pending.promise.set_exception(st->error);
+    } else {
+      try {
+        const Request& req = st->pending.req;
+        Response resp;
+        resp.op = OpKind::spmm;
+        resp.spmm = merge_row_shards(req.pattern->rows,
+                                     req.rhs_values->cols(),
+                                     req.pattern->vector_length, st->slices,
+                                     std::move(st->parts));
+        // Usually the slices spanned several devices (-1); under a skewed
+        // backlog they may all have co-located on one, which is then
+        // reported like a whole placement.
+        const bool one_device = std::all_of(
+            st->devices.begin(), st->devices.end(),
+            [&](std::size_t d) { return d == st->devices.front(); });
+        resp.device =
+            one_device ? static_cast<int>(st->devices.front()) : -1;
+        resp.shards = st->slices.size();
+        resp.plan_cache_hit = st->all_plan_hits;
+        resp.lhs_cache_hit =
+            std::all_of(st->lhs_hits.begin(), st->lhs_hits.end(),
+                        [](char h) { return h != 0; });
+        resp.rhs_cache_hit = st->rhs_hit;
+        resp.modeled_seconds = st->modeled_makespan;
+        resp.batch_id = st->batch_id;
+        resp.batch_size = st->batch_size;
+        st->pending.promise.set_value(std::move(resp));
+      } catch (...) {
+        failed = true;
+        st->pending.promise.set_exception(std::current_exception());
+      }
+    }
+    st->plan_pins.release();
+    complete(failed);
+  }
+
+  void complete(bool failed) {
+    std::lock_guard<std::mutex> lock(mutex);
+    stats.completed += 1;
+    if (failed) stats.failed += 1;
+    outstanding -= 1;
+    // Notify under the lock: a drain()/destructor waiter may destroy this
+    // condition variable as soon as it observes outstanding == 0.
+    idle.notify_all();
+  }
+};
+
+DevicePool::DevicePool(DevicePoolConfig cfg)
+    : cfg_(cfg), plan_cache_(cfg.plan_cache_capacity_bytes),
+      impl_(new Impl) {
+  MAGICUBE_CHECK_MSG(cfg_.device_count > 0,
+                     "a DevicePool needs at least one device");
+  device_caches_.reserve(cfg_.device_count);
+  for (std::size_t d = 0; d < cfg_.device_count; ++d) {
+    device_caches_.push_back(
+        std::make_unique<OperandCache>(cfg_.cache_capacity_bytes));
+  }
+  impl_->owner = this;
+  impl_->stats.devices.resize(cfg_.device_count);
+  impl_->thread = std::thread([impl = impl_.get()] { impl->loop(); });
+}
+
+DevicePool::~DevicePool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stopping = true;
+  }
+  impl_->queue_changed.notify_all();
+  impl_->queue_space.notify_all();  // blocked submitters must observe stop
+  impl_->thread.join();  // loop exits only once the queue is drained
+  // Wait for in-flight pool tasks (they reference the caches and stats)
+  // and for backpressure-blocked submitters to leave the wait.
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  impl_->idle.wait(lock, [&] {
+    return impl_->outstanding == 0 && impl_->blocked_submitters == 0;
+  });
+}
+
+std::future<Response> DevicePool::submit(Request req) {
+  Pending p;
+  p.req = std::move(req);
+  std::future<Response> out = p.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    MAGICUBE_CHECK_MSG(!impl_->stopping, "submit on a stopping DevicePool");
+    if (cfg_.max_queue_depth > 0) {
+      // Backpressure, same discipline as BatchScheduler::submit: the
+      // dispatcher drains the whole queue, never submits, so the wait
+      // cannot deadlock; the blocked count lets the destructor outlive
+      // woken submitters' unwinding.
+      impl_->blocked_submitters += 1;
+      impl_->queue_space.wait(lock, [&] {
+        return impl_->stopping ||
+               impl_->queue.size() < cfg_.max_queue_depth;
+      });
+      impl_->blocked_submitters -= 1;
+      if (impl_->blocked_submitters == 0) impl_->idle.notify_all();
+      MAGICUBE_CHECK_MSG(!impl_->stopping,
+                         "submit on a stopping DevicePool");
+    }
+    impl_->queue.push_back(std::move(p));
+    impl_->stats.submitted += 1;
+    impl_->outstanding += 1;
+  }
+  impl_->queue_changed.notify_all();
+  return out;
+}
+
+void DevicePool::drain() {
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  impl_->idle.wait(lock, [&] { return impl_->outstanding == 0; });
+}
+
+OperandCache& DevicePool::device_cache(std::size_t d) {
+  MAGICUBE_CHECK(d < device_caches_.size());
+  return *device_caches_[d];
+}
+
+DevicePoolStats DevicePool::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->stats;
+}
+
+}  // namespace magicube::serve

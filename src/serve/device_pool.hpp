@@ -1,0 +1,178 @@
+#pragma once
+// Multi-device sharded serving engine: one scheduler over N simulated
+// devices, with cost-model-driven placement.
+//
+// A DevicePool runs the BatchScheduler's submit/future contract over a pool
+// of N simulated DeviceSpec workers. Each worker owns a modeled clock (the
+// cost model's accumulated busy seconds — the device analogue of queue
+// depth), an inflight count, and its own OperandCache byte budget; a shared
+// plan cache holds the pattern-only execution plans every device replays
+// (plans are value- and device-free, so one build serves the whole pool).
+//
+// Placement: the dispatcher prices every request with simt::estimate_cost
+// over the request's cached plan (or the analytic estimator when no plan
+// is resident yet — identical numbers by the estimate-equals-execute
+// invariant, and pricing never inserts anything the shard path would
+// discard) and assigns it to the worker with the earliest modeled
+// completion time. On today's homogeneous pool the estimate is a uniform
+// addend, so that argmin reduces to least modeled backlog; a
+// heterogeneous pool would price the run per candidate spec (the ROADMAP
+// follow-on). Devices whose completion times tie (the common case on an
+// idle pool) are broken round-robin so bursts spread instead of piling
+// onto device 0.
+//
+// Sharding: an SpMM whose modeled runtime exceeds shard_threshold_seconds
+// is split row-wise along SR-BCRS block-row boundaries (serve/shard.hpp)
+// into up to device_count sub-problems — never below one modeled wave per
+// device (a slice smaller than a wave would underfill the SMs it moves to)
+// — whose sub-plans come from the shared plan cache (pinned for the
+// request's lifetime), executed in parallel across the least-loaded
+// devices (normally one slice per device; a device carrying a large
+// backlog may be skipped, and the modeled makespan accounts for slices
+// that co-locate) and merged by a bit-exact row-concatenation epilogue.
+// Results match the single-device path exactly; the property suite in
+// tests/test_device_pool.cpp asserts it for randomized streams at
+// N in {1, 2, 4}.
+//
+// Concurrency contract: identical to BatchScheduler — the dispatcher
+// thread never executes kernels, pool tasks never wait on futures (a
+// sharded request's slices rendezvous through an atomic countdown, and the
+// last finisher merges), so the ThreadPool reentrancy guard is the only
+// nesting. Wall-clock execution shares the host ThreadPool; the per-device
+// state is *modeled*, which is exactly what the scaling bench gates.
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "serve/operand_cache.hpp"
+#include "serve/request.hpp"
+#include "simt/device_spec.hpp"
+
+namespace magicube::serve {
+
+struct DevicePoolConfig {
+  /// Simulated devices in the pool.
+  std::size_t device_count = 2;
+  /// Spec every worker models (homogeneous pool; per-device specs are a
+  /// ROADMAP follow-on — placement already prices per device).
+  simt::DeviceSpec device = simt::a100();
+  /// Operand-cache budget per device (prepared operands, incl. row slices).
+  std::size_t cache_capacity_bytes = 256ull << 20;
+  /// Shared plan-cache budget (pattern-only plans + sub-plans).
+  std::size_t plan_cache_capacity_bytes = 64ull << 20;
+  /// Requests whose modeled runtime exceeds this are split row-wise across
+  /// devices. 0 disables sharding. The default sits well above the Fig. 12
+  /// single-layer shapes (~4-5 us modeled on the A100 spec) so ordinary
+  /// traffic places whole and only genuinely giant patterns shard.
+  double shard_threshold_seconds = 2e-5;
+  /// Hard cap on row shards per request (0 = device_count).
+  std::size_t max_shards = 0;
+  /// Wave-fill floor: minimum grid blocks a row shard must keep so the
+  /// device it moves to still has work for every SM. 0 = the device's
+  /// sm_count (one block per SM). Tests lower it to shard tiny problems.
+  std::size_t wave_floor_blocks = 0;
+  /// How long the dispatcher lingers for a forming batch (see
+  /// BatchSchedulerConfig::linger).
+  std::chrono::microseconds linger{200};
+  /// Bounded submit queue; submit() blocks at the bound (0 = unbounded).
+  std::size_t max_queue_depth = 0;
+};
+
+/// Per-device modeled telemetry.
+struct DeviceStats {
+  std::uint64_t placed = 0;        // whole requests placed on this device
+  std::uint64_t shard_slices = 0;  // row slices executed on this device
+  std::uint64_t completed = 0;     // placed requests + slices finished
+  double modeled_busy_seconds = 0.0;  // accumulated cost-model time
+
+  DeviceStats& operator+=(const DeviceStats& o) {
+    placed += o.placed;
+    shard_slices += o.shard_slices;
+    completed += o.completed;
+    modeled_busy_seconds += o.modeled_busy_seconds;
+    return *this;
+  }
+  friend bool operator==(const DeviceStats&, const DeviceStats&) = default;
+};
+
+/// Pool-level counters (reduced with += like the other stats aggregates;
+/// devices align by index, so summing pools of different sizes keeps the
+/// longer fleet).
+struct DevicePoolStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;  // includes failed
+  std::uint64_t failed = 0;
+  std::uint64_t sharded_requests = 0;
+  std::uint64_t shard_slices = 0;
+  std::uint64_t tie_breaks = 0;  // placements decided round-robin
+  std::vector<DeviceStats> devices;
+
+  DevicePoolStats& operator+=(const DevicePoolStats& o) {
+    submitted += o.submitted;
+    completed += o.completed;
+    failed += o.failed;
+    sharded_requests += o.sharded_requests;
+    shard_slices += o.shard_slices;
+    tie_breaks += o.tie_breaks;
+    if (o.devices.size() > devices.size()) devices.resize(o.devices.size());
+    for (std::size_t d = 0; d < o.devices.size(); ++d) {
+      devices[d] += o.devices[d];
+    }
+    return *this;
+  }
+
+  /// Modeled makespan across the pool: the busiest device's clock. The
+  /// scaling bench gates total_work / makespan against recorded bars.
+  double modeled_makespan_seconds() const {
+    double m = 0.0;
+    for (const DeviceStats& d : devices) {
+      if (d.modeled_busy_seconds > m) m = d.modeled_busy_seconds;
+    }
+    return m;
+  }
+  double modeled_total_seconds() const {
+    double t = 0.0;
+    for (const DeviceStats& d : devices) t += d.modeled_busy_seconds;
+    return t;
+  }
+};
+
+class DevicePool {
+ public:
+  explicit DevicePool(DevicePoolConfig cfg = {});
+  /// Drains: every submitted request completes before destruction returns.
+  ~DevicePool();
+
+  /// Enqueues a request; same contract as BatchScheduler::submit (the
+  /// future carries the Response or the failure, blocks at
+  /// max_queue_depth, throws after shutdown began). Response.device /
+  /// Response.shards report the placement.
+  std::future<Response> submit(Request req);
+
+  /// Blocks until every request submitted so far has completed.
+  void drain();
+
+  std::size_t device_count() const { return cfg_.device_count; }
+  /// Device d's operand cache (prepared operands and row slices).
+  OperandCache& device_cache(std::size_t d);
+  /// The shared pattern-only plan cache.
+  OperandCache& plan_cache() { return plan_cache_; }
+
+  DevicePoolStats stats() const;
+  const DevicePoolConfig& config() const { return cfg_; }
+
+  DevicePool(const DevicePool&) = delete;
+  DevicePool& operator=(const DevicePool&) = delete;
+
+ private:
+  struct Impl;
+  DevicePoolConfig cfg_;
+  OperandCache plan_cache_;
+  std::vector<std::unique_ptr<OperandCache>> device_caches_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace magicube::serve

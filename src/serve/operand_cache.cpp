@@ -46,7 +46,7 @@ CachedOperand OperandCache::find(const OperandKey& key) {
   }
   stats_.hits += 1;
   lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
-  return it->second->second;
+  return it->second->value;
 }
 
 CachedOperand OperandCache::insert(const OperandKey& key,
@@ -60,49 +60,83 @@ CachedOperand OperandCache::insert(const OperandKey& key,
     // only if it was prepared from the same contents, so the staleness
     // guard holds under concurrent misses too.
     MAGICUBE_CHECK_MSG(
-        it->second->second.content_probe == value.content_probe,
+        it->second->value.content_probe == value.content_probe,
         "operand cache insert race for key content "
             << key.content
             << " with differing contents — ids must name immutable values");
     stats_.race_discards += 1;
     lru_.splice(lru_.begin(), lru_, it->second);
-    return it->second->second;
+    return it->second->value;
   }
   if (value.bytes > capacity_bytes_) {
     // Would evict everything and still not fit: serve it uncached.
     return value;
   }
   evict_to_fit(value.bytes);
-  lru_.emplace_front(key, std::move(value));
+  lru_.push_front(Entry{key, std::move(value), next_entry_id_++, 0});
   index_.emplace(key, lru_.begin());
-  bytes_cached_ += lru_.front().second.bytes;
+  bytes_cached_ += lru_.front().value.bytes;
   stats_.insertions += 1;
-  stats_.bytes_inserted += lru_.front().second.bytes;
-  return lru_.front().second;
+  stats_.bytes_inserted += lru_.front().value.bytes;
+  return lru_.front().value;
 }
 
 void OperandCache::evict_to_fit(std::size_t incoming) {
-  while (!lru_.empty() && bytes_cached_ + incoming > capacity_bytes_) {
-    const auto& victim = lru_.back();
-    bytes_cached_ -= victim.second.bytes;
+  // Scan LRU-first, skipping pinned entries (a sharded request is executing
+  // from them). When only pinned entries remain, the insert proceeds over
+  // capacity — the overshoot drains as soon as the pins release.
+  auto it = lru_.end();
+  while (bytes_cached_ + incoming > capacity_bytes_ && it != lru_.begin()) {
+    auto victim = std::prev(it);
+    if (victim->pins > 0) {
+      stats_.pin_skips += 1;
+      it = victim;
+      continue;
+    }
+    bytes_cached_ -= victim->value.bytes;
     stats_.evictions += 1;
-    stats_.bytes_evicted += victim.second.bytes;
-    index_.erase(victim.first);
-    lru_.pop_back();
+    stats_.bytes_evicted += victim->value.bytes;
+    index_.erase(victim->key);
+    lru_.erase(victim);  // `it` stays valid (list erase is local)
   }
+}
+
+std::uint64_t OperandCache::pin(const OperandKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return 0;
+  it->second->pins += 1;
+  return it->second->id;
+}
+
+void OperandCache::unpin(const OperandKey& key, std::uint64_t entry_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  // Release only the entry the pin was taken on: after a clear(), the key
+  // may be gone, or re-inserted fresh (a different id, possibly pinned by
+  // a newer request whose pins must not be stolen). Called from ~PinScope
+  // (noexcept), so never throw here.
+  if (it == index_.end() || it->second->id != entry_id ||
+      it->second->pins == 0) {
+    return;
+  }
+  it->second->pins -= 1;
+}
+
+std::size_t OperandCache::pinned_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const Entry& e : lru_) n += e.pins > 0 ? 1 : 0;
+  return n;
 }
 
 core::SparseOperandHandle OperandCache::get_or_prepare_spmm_lhs(
     const sparse::BlockPattern& pattern, const Matrix<std::int32_t>& values,
     PrecisionPair precision, bool shuffle, std::uint64_t content_id,
     bool* was_hit) {
-  OperandKey key;
-  key.kind = OperandKind::spmm_lhs;
-  key.content = content_id != 0 ? content_id : pattern.fingerprint();
-  key.lhs = precision.lhs;
-  key.rhs = precision.rhs;
-  key.shuffled = shuffle;
-
+  const OperandKey key = spmm_lhs_key(
+      content_id != 0 ? content_id : pattern.fingerprint(), precision,
+      shuffle);
   const std::uint64_t probe = content_probe(values);
   if (was_hit) *was_hit = false;
   if (CachedOperand hit = find(key)) {
@@ -204,7 +238,16 @@ core::DenseOperandHandle OperandCache::get_or_prepare_dense(
   return insert(key, std::move(entry)).dense;
 }
 
-namespace {
+OperandKey spmm_lhs_key(std::uint64_t content, PrecisionPair precision,
+                        bool shuffled) {
+  OperandKey key;
+  key.kind = OperandKind::spmm_lhs;
+  key.content = content;
+  key.lhs = precision.lhs;
+  key.rhs = precision.rhs;
+  key.shuffled = shuffled;
+  return key;
+}
 
 /// Plans are keyed by everything the schedule depends on: structure
 /// identity, RHS width and the kernel-config knobs folded into the content
@@ -226,8 +269,6 @@ OperandKey spmm_plan_key(std::uint64_t pattern_content, std::size_t n_cols,
   key.shuffled = core::needs_shuffle(cfg);
   return key;
 }
-
-}  // namespace
 
 core::SpmmPlanHandle OperandCache::get_or_build_spmm_plan(
     const std::shared_ptr<const sparse::BlockPattern>& pattern,
@@ -270,13 +311,8 @@ core::SpmmPlanHandle OperandCache::get_or_build_spmm_plan(
   return insert(key, std::move(entry)).spmm_plan;
 }
 
-core::SddmmPlanHandle OperandCache::get_or_build_sddmm_plan(
-    const std::shared_ptr<const sparse::BlockPattern>& pattern,
-    std::size_t k_depth, const core::SddmmConfig& cfg,
-    std::uint64_t pattern_content, bool* was_hit) {
-  MAGICUBE_CHECK(pattern != nullptr);
-  if (pattern_content == 0) pattern_content = memoized_fingerprint(pattern);
-
+OperandKey sddmm_plan_key(std::uint64_t pattern_content, std::size_t k_depth,
+                          const core::SddmmConfig& cfg) {
   Fnv1a h;
   h.mix(pattern_content);
   h.mix(k_depth);
@@ -288,6 +324,16 @@ core::SddmmPlanHandle OperandCache::get_or_build_sddmm_plan(
   key.content = h.state;
   key.lhs = cfg.precision.lhs;
   key.rhs = cfg.precision.rhs;
+  return key;
+}
+
+core::SddmmPlanHandle OperandCache::get_or_build_sddmm_plan(
+    const std::shared_ptr<const sparse::BlockPattern>& pattern,
+    std::size_t k_depth, const core::SddmmConfig& cfg,
+    std::uint64_t pattern_content, bool* was_hit) {
+  MAGICUBE_CHECK(pattern != nullptr);
+  if (pattern_content == 0) pattern_content = memoized_fingerprint(pattern);
+  const OperandKey key = sddmm_plan_key(pattern_content, k_depth, cfg);
 
   if (was_hit) *was_hit = false;
   if (CachedOperand hit = find(key)) {

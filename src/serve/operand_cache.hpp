@@ -28,6 +28,7 @@
 #include <mutex>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/hash.hpp"
 #include "core/operands.hpp"
@@ -74,6 +75,23 @@ struct OperandKeyHash {
   }
 };
 
+/// Cache key of a prepared SpMM LHS. Exposed for the sharding layer, which
+/// derives per-row-slice identities from the full operand's content id and
+/// pins the entries it is executing from.
+OperandKey spmm_lhs_key(std::uint64_t content, PrecisionPair precision,
+                        bool shuffled);
+
+/// Cache key of an SpMM execution plan: structure identity, RHS width and
+/// the schedule-relevant config knobs folded into the content hash. The
+/// get_or_build_spmm_plan paths key with exactly this function.
+OperandKey spmm_plan_key(std::uint64_t pattern_content, std::size_t n_cols,
+                         const core::SpmmConfig& cfg);
+
+/// Cache key of an SDDMM execution plan (pattern identity x K x config);
+/// get_or_build_sddmm_plan keys with exactly this function.
+OperandKey sddmm_plan_key(std::uint64_t pattern_content, std::size_t k_depth,
+                          const core::SddmmConfig& cfg);
+
 /// Cache-event counters, reduced with += like simt::KernelCounters.
 struct CacheStats {
   std::uint64_t lookups = 0;
@@ -82,6 +100,7 @@ struct CacheStats {
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
   std::uint64_t race_discards = 0;  // lost prepare races (first insert wins)
+  std::uint64_t pin_skips = 0;      // eviction scans that skipped a pinned entry
   std::uint64_t bytes_inserted = 0;
   std::uint64_t bytes_evicted = 0;
 
@@ -92,6 +111,7 @@ struct CacheStats {
     insertions += o.insertions;
     evictions += o.evictions;
     race_discards += o.race_discards;
+    pin_skips += o.pin_skips;
     bytes_inserted += o.bytes_inserted;
     bytes_evicted += o.bytes_evicted;
     return *this;
@@ -203,6 +223,77 @@ class OperandCache {
       std::size_t k_depth, const core::SddmmConfig& cfg,
       std::uint64_t pattern_content = 0, bool* was_hit = nullptr);
 
+  /// Pins `key`'s entry against LRU eviction until a matching unpin. Pins
+  /// nest (a count, not a flag). Returns the entry's unique id (nonzero),
+  /// or 0 when the key is not resident — a pin never inserts. Handles
+  /// returned by get_or_* stay valid across eviction regardless (shared
+  /// ownership); pinning additionally keeps the *entry* resident so a
+  /// sharded request's sub-plans cannot be evicted and rebuilt mid-flight
+  /// by concurrent traffic. While every entry is pinned, inserts may
+  /// temporarily exceed the byte capacity (serving is never refused
+  /// because of pins); counted as pin_skips.
+  std::uint64_t pin(const OperandKey& key);
+  /// Releases one pin taken on the entry identified by (key, entry_id).
+  /// No-op when that exact entry is gone — clear() may have dropped it,
+  /// and a fresh entry under the same key (possibly pinned by someone
+  /// else) must not lose *its* pins to our release.
+  void unpin(const OperandKey& key, std::uint64_t entry_id);
+  std::size_t pinned_count() const;
+
+  /// RAII multi-key pin over one cache, released on destruction — the
+  /// request-lifetime pin the sharding layer holds while sub-plans execute.
+  class PinScope {
+   public:
+    PinScope() = default;
+    explicit PinScope(OperandCache& cache) : cache_(&cache) {}
+    PinScope(PinScope&& o) noexcept
+        : cache_(o.cache_), keys_(std::move(o.keys_)) {
+      o.cache_ = nullptr;
+      o.keys_.clear();
+    }
+    PinScope& operator=(PinScope&& o) noexcept {
+      if (this != &o) {
+        release();
+        cache_ = o.cache_;
+        keys_ = std::move(o.keys_);
+        o.cache_ = nullptr;
+        o.keys_.clear();
+      }
+      return *this;
+    }
+    ~PinScope() { release(); }
+
+    /// Pins `key` (if resident) and remembers the exact entry for release.
+    bool pin(const OperandKey& key) {
+      if (cache_ == nullptr) return false;
+      const std::uint64_t id = cache_->pin(key);
+      if (id == 0) return false;
+      keys_.emplace_back(key, id);
+      return true;
+    }
+    void release() {
+      if (cache_ != nullptr) {
+        for (const auto& [key, id] : keys_) cache_->unpin(key, id);
+      }
+      keys_.clear();
+    }
+
+    PinScope(const PinScope&) = delete;
+    PinScope& operator=(const PinScope&) = delete;
+
+   private:
+    OperandCache* cache_ = nullptr;
+    std::vector<std::pair<OperandKey, std::uint64_t>> keys_;
+  };
+
+  /// The cache identity of a live shared pattern: its fingerprint, memoized
+  /// per object (the same memo the get_or_* paths use). Exposed so the
+  /// sharding layer can derive per-slice content ids without re-hashing.
+  std::uint64_t pattern_identity(
+      const std::shared_ptr<const sparse::BlockPattern>& pattern) {
+    return memoized_fingerprint(pattern);
+  }
+
   CacheStats stats() const;
   std::size_t bytes_cached() const;
   std::size_t entry_count() const;
@@ -211,9 +302,16 @@ class OperandCache {
   void clear();
 
  private:
-  using LruList = std::list<std::pair<OperandKey, CachedOperand>>;
+  struct Entry {
+    OperandKey key;
+    CachedOperand value;
+    std::uint64_t id = 0;  // unique per insert; pairs pins with unpins
+    std::uint32_t pins = 0;
+  };
+  using LruList = std::list<Entry>;
 
-  /// Drops LRU entries until `incoming` more bytes fit. Lock held.
+  /// Drops unpinned LRU entries until `incoming` more bytes fit (or nothing
+  /// evictable remains). Lock held.
   void evict_to_fit(std::size_t incoming);
 
   /// Memoized pattern.fingerprint() for a live shared pattern.
@@ -222,6 +320,7 @@ class OperandCache {
 
   const std::size_t capacity_bytes_;
   mutable std::mutex mutex_;
+  std::uint64_t next_entry_id_ = 1;
   LruList lru_;  // front = most recent
   std::unordered_map<OperandKey, LruList::iterator, OperandKeyHash> index_;
   std::size_t bytes_cached_ = 0;

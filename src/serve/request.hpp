@@ -47,6 +47,12 @@ struct Request {
   /// SDDMM LHS and both RHS slots: 0 = do not cache (anonymous activation).
   std::uint64_t lhs_id = 0;
   std::uint64_t rhs_id = 0;
+
+  /// Dispatch priority (higher first). The DevicePool dispatcher orders
+  /// each collected queue drain by priority before placing; equal
+  /// priorities keep arrival order. The single-device BatchScheduler
+  /// ignores it (FIFO within compatibility groups).
+  int priority = 0;
 };
 
 struct Response {
@@ -59,7 +65,18 @@ struct Response {
   bool plan_cache_hit = false;  // execution plan served from the cache
   std::uint64_t batch_id = 0;   // which execution batch served this request
   std::size_t batch_size = 0;   // how many requests shared that batch
-  double modeled_seconds = 0.0; // A100 cost-model estimate of the kernel run
+  /// Cost-model estimate of the kernel run on the device that served it
+  /// (the placed device's spec under the DevicePool; simt::a100()
+  /// otherwise). For a sharded request: the modeled makespan of the
+  /// slices — slices on distinct devices run in parallel, slices
+  /// co-located by a skewed backlog serialize on their device's clock.
+  double modeled_seconds = 0.0;
+  /// DevicePool placement: the device the request ran on (-1 when not
+  /// served through a pool, or when row shards spanned several devices).
+  int device = -1;
+  /// Row shards the request was split into (1 = placed whole on one
+  /// device; 0 = not served through a DevicePool).
+  std::size_t shards = 0;
 };
 
 }  // namespace magicube::serve

@@ -24,6 +24,7 @@
 
 #include "serve/operand_cache.hpp"
 #include "serve/request.hpp"
+#include "simt/device_spec.hpp"
 
 namespace magicube::serve {
 
@@ -103,7 +104,15 @@ class BatchScheduler {
 
 /// Executes one request synchronously against `cache` (the scheduler's
 /// per-request body; also the building block for cache-only serving without
-/// batching). Throws on malformed requests.
+/// batching). Throws on malformed requests. Costs the run on simt::a100().
 Response serve_request(const Request& req, OperandCache& cache);
+
+/// Split-cache variant used by the multi-device pool: operands are prepared
+/// in `operands` (a device's own cache budget) while execution plans live
+/// in `plans` (shared across devices — plans are pattern-only, so every
+/// device replays one build), and modeled_seconds is priced on `device`.
+/// serve_request(req, cache) == serve_request(req, cache, cache, a100()).
+Response serve_request(const Request& req, OperandCache& operands,
+                       OperandCache& plans, const simt::DeviceSpec& device);
 
 }  // namespace magicube::serve

@@ -15,6 +15,17 @@
 //   const serve::Response resp = future.get();    // bit-exact SpmmResult
 //   // engine.cache().stats().hit_rate() amortization telemetry
 
+// Multi-device usage (see the "Multi-device serving" README section):
+//
+//   serve::DevicePoolConfig pool_cfg;
+//   pool_cfg.device_count = 4;                    // four simulated A100s
+//   serve::DevicePool pool(pool_cfg);             // same submit/future API
+//   auto resp = pool.submit(std::move(req)).get();
+//   // resp.device / resp.shards report the cost-model placement;
+//   // pool.stats().devices[d].modeled_busy_seconds per-device clocks.
+
+#include "serve/device_pool.hpp"
 #include "serve/operand_cache.hpp"
 #include "serve/request.hpp"
 #include "serve/scheduler.hpp"
+#include "serve/shard.hpp"

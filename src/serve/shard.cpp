@@ -1,0 +1,158 @@
+#include "serve/shard.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/hash.hpp"
+#include "core/operands.hpp"
+
+namespace magicube::serve {
+
+std::vector<RowSlice> plan_row_shards(const sparse::BlockPattern& pattern,
+                                      int stride, std::size_t max_shards) {
+  const std::size_t vr = pattern.vector_rows();
+  std::vector<RowSlice> out;
+  if (vr == 0 || max_shards <= 1) {
+    out.push_back({0, vr});
+    return out;
+  }
+  const std::size_t st = static_cast<std::size_t>(stride);
+  MAGICUBE_CHECK(st > 0);
+
+  // Work per vector row = its padded slot count (what every block of that
+  // row executes, across all column tiles identically).
+  std::uint64_t total = 0;
+  std::vector<std::uint64_t> work(vr);
+  for (std::size_t r = 0; r < vr; ++r) {
+    work[r] = (pattern.vectors_in_row(r) + st - 1) / st * st;
+    total += work[r];
+  }
+
+  const std::size_t shards = std::min(max_shards, vr);
+  if (total == 0) {
+    // Degenerate all-empty pattern: balance by row count instead.
+    for (std::size_t s = 0; s < shards; ++s) {
+      out.push_back({vr * s / shards, vr * (s + 1) / shards});
+    }
+    return out;
+  }
+
+  std::size_t begin = 0;
+  std::uint64_t cum = 0;
+  for (std::size_t s = 1; s <= shards && begin < vr; ++s) {
+    std::size_t end = vr;
+    if (s < shards) {
+      // Advance to the ideal cumulative boundary, taking at least one row
+      // and leaving at least one per remaining slice.
+      const std::uint64_t target = total * s / shards;
+      const std::size_t limit = vr - (shards - s);
+      end = begin + 1;
+      cum += work[begin];
+      while (end < limit && cum + work[end] / 2 < target) {
+        cum += work[end];
+        end += 1;
+      }
+    }
+    out.push_back({begin, end});
+    begin = end;
+  }
+  MAGICUBE_CHECK(!out.empty() && out.back().vr_end == vr);
+  return out;
+}
+
+std::uint64_t slice_content_id(std::uint64_t full_content,
+                               const RowSlice& slice) {
+  Fnv1a h;
+  h.mix(full_content);
+  h.mix(slice.vr_begin);
+  h.mix(slice.vr_end);
+  return h.state;
+}
+
+SliceExecution execute_spmm_slice(
+    const Request& req,
+    const std::shared_ptr<const sparse::BlockPattern>& slice_pattern,
+    const RowSlice& slice, std::uint64_t full_lhs_content,
+    const core::SpmmPlanHandle& plan, const core::DenseOperandHandle& rhs,
+    OperandCache& operands) {
+  MAGICUBE_CHECK(slice_pattern != nullptr && plan != nullptr &&
+                 rhs != nullptr);
+  core::SpmmConfig cfg;
+  cfg.precision = req.precision;
+  cfg.variant = req.variant;
+  cfg.bsn = req.bsn;
+  const bool shuffle = core::needs_shuffle(cfg);
+
+  const OperandKey key = spmm_lhs_key(
+      slice_content_id(full_lhs_content, slice), req.precision, shuffle);
+  // Probe the *full* value matrix: slice entries inherit the staleness
+  // guarantee of the id they derive from without materializing the slice
+  // rows on a hit.
+  const std::uint64_t probe = content_probe(*req.lhs_values);
+
+  SliceExecution out;
+  core::SparseOperandHandle lhs;
+  OperandCache::PinScope pins(operands);
+  if (CachedOperand hit = operands.find(key)) {
+    MAGICUBE_CHECK_MSG(hit.content_probe == probe,
+                       "operand cache hit for sharded lhs content "
+                           << full_lhs_content
+                           << " but the weight values changed — pass a "
+                              "distinct lhs_id per weight version");
+    out.lhs_cache_hit = true;
+    lhs = hit.sparse;
+  } else {
+    // Materialize the slice's rows of the dense weights and prepare them
+    // against the slice pattern — identical bytes to the corresponding
+    // rows of the full preparation (SR-BCRS encodes rows independently).
+    const std::size_t v = static_cast<std::size_t>(
+        slice_pattern->vector_length);
+    const std::size_t r0 = slice.vr_begin * v;
+    Matrix<std::int32_t> rows(slice_pattern->rows, slice_pattern->cols);
+    for (std::size_t r = 0; r < rows.rows(); ++r) {
+      const std::int32_t* src = req.lhs_values->row(r0 + r);
+      std::copy(src, src + rows.cols(), rows.row(r));
+    }
+    CachedOperand entry;
+    entry.sparse = core::prepare_spmm_lhs_shared(*slice_pattern, rows,
+                                                 req.precision, shuffle);
+    entry.bytes = entry.sparse->footprint_bytes();
+    entry.content_probe = probe;
+    lhs = operands.insert(key, std::move(entry)).sparse;
+  }
+  pins.pin(key);  // keep the slice resident while it executes
+
+  out.result = core::spmm(lhs, rhs, cfg, plan);
+  return out;
+}
+
+core::SpmmResult merge_row_shards(std::size_t total_rows, std::size_t n_cols,
+                                  int vector_length,
+                                  const std::vector<RowSlice>& slices,
+                                  std::vector<core::SpmmResult> parts) {
+  MAGICUBE_CHECK(slices.size() == parts.size() && !parts.empty());
+  const std::size_t v = static_cast<std::size_t>(vector_length);
+
+  core::SpmmResult merged;
+  merged.c = Matrix<std::int32_t>(total_rows, n_cols);
+  bool first = true;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const Matrix<std::int32_t>& part = parts[i].c;
+    MAGICUBE_CHECK(part.rows() == slices[i].vector_rows() * v &&
+                   part.cols() == n_cols);
+    const std::size_t r0 = slices[i].vr_begin * v;
+    for (std::size_t r = 0; r < part.rows(); ++r) {
+      std::copy(part.row(r), part.row(r) + n_cols, merged.c.row(r0 + r));
+    }
+    if (first) {
+      merged.run = parts[i].run;
+      first = false;
+    } else {
+      merged.run.merge(parts[i].run);
+    }
+  }
+  return merged;
+}
+
+}  // namespace magicube::serve

@@ -1,0 +1,87 @@
+#pragma once
+// Row-wise sharding of serving requests across simulated devices.
+//
+// An SpMM whose modeled runtime exceeds the pool's shard threshold is split
+// along SR-BCRS block-row (vector-row) boundaries into contiguous row
+// slices, one per device. Each slice is a complete, independent problem:
+// its pattern is sparse::slice_vector_rows of the full pattern, its
+// execution plan comes from core::build_spmm_plan on that slice (pattern-
+// only, so sub-plans are value-free and shareable across weight versions
+// exactly like full plans), and its prepared LHS covers just the slice's
+// rows. Slices execute in parallel and a bit-exact row-concatenation
+// epilogue reassembles the full M x N result — the kernel computes each
+// vector row independently, so the merged output equals the single-device
+// run bit for bit (asserted by the tests/test_device_pool.cpp property
+// suite and by tests/test_plan.cpp's slice-equivalence suite).
+//
+// Cache identity: a slice's operand and plan entries derive from the full
+// request's identity plus the slice bounds (slice_content_id), so repeated
+// traffic over one giant pattern reuses its sub-plans and slice operands
+// like any other resident layer. Entries are pinned (OperandCache::PinScope)
+// for the lifetime of the sharded request so concurrent eviction cannot
+// drop a sub-plan mid-flight.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "core/spmm.hpp"
+#include "serve/operand_cache.hpp"
+#include "serve/request.hpp"
+#include "sparse/pattern.hpp"
+
+namespace magicube::serve {
+
+/// One contiguous vector-row slice [vr_begin, vr_end) of a pattern.
+struct RowSlice {
+  std::size_t vr_begin = 0;
+  std::size_t vr_end = 0;
+
+  std::size_t vector_rows() const { return vr_end - vr_begin; }
+  friend bool operator==(const RowSlice&, const RowSlice&) = default;
+};
+
+/// Splits the pattern's vector rows into at most `max_shards` contiguous,
+/// non-empty slices balanced by padded slot count (the per-block-row work:
+/// strides * stride, which is what the kernel actually executes, padding
+/// included). Deterministic in the pattern alone, so every request over one
+/// pattern produces identical slices and shares sub-plans. Always returns
+/// at least one slice; returns fewer than max_shards when the pattern has
+/// fewer vector rows (or all trailing work lands in earlier slices).
+std::vector<RowSlice> plan_row_shards(const sparse::BlockPattern& pattern,
+                                      int stride, std::size_t max_shards);
+
+/// Derived cache identity of one row slice of a full pattern/operand id.
+std::uint64_t slice_content_id(std::uint64_t full_content,
+                               const RowSlice& slice);
+
+/// Outcome of one executed slice.
+struct SliceExecution {
+  core::SpmmResult result;
+  bool lhs_cache_hit = false;
+};
+
+/// Executes one SpMM row slice: finds (or prepares and caches) the slice's
+/// LHS in `operands` under slice_content_id(full_lhs_content, slice), then
+/// replays `plan` (the slice's plan, built from the slice pattern) against
+/// the shared full-K RHS. The staleness probe covers the full value matrix,
+/// the same guarantee the unsliced path gives. The slice's LHS entry is
+/// pinned for the duration of the call.
+SliceExecution execute_spmm_slice(
+    const Request& req,
+    const std::shared_ptr<const sparse::BlockPattern>& slice_pattern,
+    const RowSlice& slice, std::uint64_t full_lhs_content,
+    const core::SpmmPlanHandle& plan, const core::DenseOperandHandle& rhs,
+    OperandCache& operands);
+
+/// Bit-exact row-concatenation epilogue: parts[i] holds the output rows of
+/// slices[i] (in order); the merged KernelRun accumulates every slice's
+/// counters, steps and launches (geometry of the first slice kept, the
+/// KernelRun::merge convention for multi-kernel schedules).
+core::SpmmResult merge_row_shards(std::size_t total_rows, std::size_t n_cols,
+                                  int vector_length,
+                                  const std::vector<RowSlice>& slices,
+                                  std::vector<core::SpmmResult> parts);
+
+}  // namespace magicube::serve

@@ -192,6 +192,23 @@ BlockPattern make_attention_mask_pattern(std::size_t seq_len,
   return p;
 }
 
+BlockPattern slice_vector_rows(const BlockPattern& p, std::size_t vr_begin,
+                               std::size_t vr_end) {
+  MAGICUBE_CHECK(vr_begin <= vr_end && vr_end <= p.vector_rows());
+  BlockPattern s;
+  s.rows = (vr_end - vr_begin) * static_cast<std::size_t>(p.vector_length);
+  s.cols = p.cols;
+  s.vector_length = p.vector_length;
+  const std::uint32_t base = p.row_ptr[vr_begin];
+  s.row_ptr.resize(vr_end - vr_begin + 1);
+  for (std::size_t r = vr_begin; r <= vr_end; ++r) {
+    s.row_ptr[r - vr_begin] = p.row_ptr[r] - base;
+  }
+  s.col_idx.assign(p.col_idx.begin() + base,
+                   p.col_idx.begin() + p.row_ptr[vr_end]);
+  return s;
+}
+
 Matrix<std::uint8_t> pattern_to_dense_mask(const BlockPattern& p) {
   Matrix<std::uint8_t> m(p.rows, p.cols, 0);
   const std::size_t v = static_cast<std::size_t>(p.vector_length);

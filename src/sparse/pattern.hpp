@@ -83,4 +83,14 @@ BlockPattern make_attention_mask_pattern(std::size_t seq_len,
 /// Expands a pattern into a dense 0/1 indicator matrix (tests, mask use).
 Matrix<std::uint8_t> pattern_to_dense_mask(const BlockPattern& p);
 
+/// Row slice [vr_begin, vr_end) of a pattern, in vector-row units — the
+/// SR-BCRS block-row boundary, so a slice's encoded structure is exactly
+/// the corresponding slot range of the full encoding. Execution plans built
+/// from a slice therefore replay the matching rows of the full problem
+/// bit-exactly (the multi-device sharding layer relies on this; equivalence
+/// is asserted by tests/test_plan.cpp). An empty slice (vr_begin == vr_end)
+/// yields a valid 0-row pattern.
+BlockPattern slice_vector_rows(const BlockPattern& p, std::size_t vr_begin,
+                               std::size_t vr_end);
+
 }  // namespace magicube::sparse

@@ -521,6 +521,191 @@ TEST(ReplayKernelTest, ConfigReplayOverridesProcessDefault) {
   EXPECT_EQ(panel.c, reference_spmm(pattern, a_vals, b_vals));
 }
 
+// ---- Row-slice plan equivalence (the multi-device sharding substrate) -----
+//
+// sparse::slice_vector_rows cuts on SR-BCRS block-row boundaries, so a plan
+// built from the slice must be the corresponding rows of the full plan:
+// identical geometry-only schedules, the matching slot range of the
+// resolved RHS row bases, per-row counters that sum back to the full plan
+// (DRAM excepted: each shard re-reads its own RHS working set), and
+// replayed values equal to the full result's rows.
+
+struct SliceCase {
+  PrecisionPair precision;
+  int v;
+  double sparsity;
+  std::size_t vr_begin, vr_end;
+};
+
+std::string slice_case_name(const ::testing::TestParamInfo<SliceCase>& info) {
+  const auto& p = info.param;
+  std::string s = to_string(p.precision) + "_v" + std::to_string(p.v) + "_s" +
+                  std::to_string(static_cast<int>(p.sparsity * 100)) + "_r" +
+                  std::to_string(p.vr_begin) + "_" + std::to_string(p.vr_end);
+  for (auto& ch : s) {
+    if (ch == '-' || ch == '+' || ch == '.') ch = '_';
+  }
+  return s;
+}
+
+class RowSlicePlanTest : public ::testing::TestWithParam<SliceCase> {};
+
+TEST_P(RowSlicePlanTest, SlicePlanMatchesFullPlanRows) {
+  const SliceCase& tc = GetParam();
+  constexpr std::size_t kK = 72;  // not a stride multiple: padding slots
+  constexpr std::size_t kN = 128;
+  Rng rng(0x51c50 + static_cast<std::uint64_t>(tc.v) * 131 +
+          static_cast<std::uint64_t>(bits_of(tc.precision.lhs)));
+  const std::size_t vr_total = 6;
+  const std::size_t rows = vr_total * static_cast<std::size_t>(tc.v);
+  const auto pattern =
+      sparse::make_uniform_pattern(rows, kK, tc.v, tc.sparsity, rng);
+
+  SpmmConfig cfg;
+  cfg.precision = tc.precision;
+  const SpmmPlanHandle full = build_spmm_plan(pattern, kN, cfg);
+
+  const auto sliced =
+      sparse::slice_vector_rows(pattern, tc.vr_begin, tc.vr_end);
+  sliced.validate();
+  const SpmmPlanHandle slice = build_spmm_plan(sliced, kN, cfg);
+
+  // Geometry-only schedules are identical: they depend on the precision
+  // pair and kernel config, never on which rows the plan covers.
+  ASSERT_EQ(slice->a_frag_src.size(), full->a_frag_src.size());
+  for (std::size_t g = 0; g < full->a_frag_src.size(); ++g) {
+    for (int lane = 0; lane < 32; ++lane) {
+      const auto& a = slice->a_frag_src[g][static_cast<std::size_t>(lane)];
+      const auto& b = full->a_frag_src[g][static_cast<std::size_t>(lane)];
+      EXPECT_EQ(a.plane, b.plane);
+      EXPECT_EQ(a.word, b.word);
+    }
+  }
+  ASSERT_EQ(slice->a_panel_src.size(), full->a_panel_src.size());
+  for (std::size_t g = 0; g < full->a_panel_src.size(); ++g) {
+    for (int rr = 0; rr < 8; ++rr) {
+      const auto& a = slice->a_panel_src[g][static_cast<std::size_t>(rr)];
+      const auto& b = full->a_panel_src[g][static_cast<std::size_t>(rr)];
+      EXPECT_EQ(a.plane, b.plane);
+      EXPECT_EQ(a.row, b.row);
+      EXPECT_EQ(a.biased, b.biased);
+    }
+  }
+  EXPECT_EQ(slice->rhs_k_row, full->rhs_k_row);
+  EXPECT_EQ(slice->rhs_word_col, full->rhs_word_col);
+  EXPECT_EQ(slice->panel_k_slot, full->panel_k_slot);
+  EXPECT_EQ(slice->bias_lane, full->bias_lane);
+
+  // The slice's resolved RHS row bases are exactly the corresponding slot
+  // range of the full plan (padded slots included).
+  const std::size_t st = static_cast<std::size_t>(full->geom.stride);
+  std::size_t slot_first = 0, slot_last = 0;
+  for (std::size_t r = 0; r < tc.vr_end; ++r) {
+    const std::size_t padded =
+        (pattern.vectors_in_row(r) + st - 1) / st * st;
+    if (r < tc.vr_begin) slot_first += padded;
+    slot_last += padded;
+  }
+  ASSERT_EQ(slice->rhs_row_base.size(), slot_last - slot_first);
+  for (std::size_t s = 0; s < slice->rhs_row_base.size(); ++s) {
+    EXPECT_EQ(slice->rhs_row_base[s], full->rhs_row_base[slot_first + s]);
+  }
+
+  // Grid and counters: the slice's blocks are the full plan's blocks for
+  // its rows; with the complement slice they sum back to the full plan
+  // everywhere except compulsory DRAM (each shard re-reads its own share
+  // of the RHS working set).
+  const auto head = sparse::slice_vector_rows(pattern, 0, tc.vr_begin);
+  const auto tail = sparse::slice_vector_rows(pattern, tc.vr_end, vr_total);
+  const SpmmPlanHandle head_plan = build_spmm_plan(head, kN, cfg);
+  const SpmmPlanHandle tail_plan = build_spmm_plan(tail, kN, cfg);
+  EXPECT_EQ(head_plan->run.launch.grid_blocks +
+                slice->run.launch.grid_blocks +
+                tail_plan->run.launch.grid_blocks,
+            full->run.launch.grid_blocks);
+  EXPECT_EQ(head_plan->run.pipeline.total_steps +
+                slice->run.pipeline.total_steps +
+                tail_plan->run.pipeline.total_steps,
+            full->run.pipeline.total_steps);
+  simt::KernelCounters summed = head_plan->run.counters;
+  summed += slice->run.counters;
+  summed += tail_plan->run.counters;
+  simt::KernelCounters full_counters = full->run.counters;
+  EXPECT_GE(summed.dram_bytes, full_counters.dram_bytes);
+  summed.dram_bytes = full_counters.dram_bytes;  // compared separately above
+  EXPECT_EQ(summed, full_counters);
+
+  // Replayed values: the slice plan over the slice's operand rows computes
+  // exactly the corresponding rows of the full result.
+  const auto a_vals = random_values(rows, kK, tc.precision.lhs, rng);
+  const auto b_vals = random_values(kK, kN, tc.precision.rhs, rng);
+  const auto a = prepare_spmm_lhs(pattern, a_vals, cfg.precision,
+                                  needs_shuffle(cfg));
+  const auto b = prepare_spmm_rhs(b_vals, cfg.precision);
+  cfg.mode = ExecMode::fast;
+  const SpmmResult whole = spmm(a, b, cfg, *full);
+
+  const std::size_t v = static_cast<std::size_t>(tc.v);
+  Matrix<std::int32_t> a_slice_vals(sliced.rows, kK);
+  for (std::size_t r = 0; r < sliced.rows; ++r) {
+    for (std::size_t c = 0; c < kK; ++c) {
+      a_slice_vals(r, c) = a_vals(tc.vr_begin * v + r, c);
+    }
+  }
+  const auto a_slice = prepare_spmm_lhs(sliced, a_slice_vals, cfg.precision,
+                                        needs_shuffle(cfg));
+  const SpmmResult part = spmm(a_slice, b, cfg, *slice);
+  ASSERT_EQ(part.c.rows(), sliced.rows);
+  for (std::size_t r = 0; r < part.c.rows(); ++r) {
+    for (std::size_t c = 0; c < kN; ++c) {
+      ASSERT_EQ(part.c(r, c), whole.c(tc.vr_begin * v + r, c))
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SliceSweep, RowSlicePlanTest,
+    ::testing::Values(
+        SliceCase{precision::L8R8, 8, 0.7, 0, 3},
+        SliceCase{precision::L8R8, 8, 0.7, 3, 6},
+        SliceCase{precision::L8R8, 8, 0.7, 2, 4},
+        // Stacked-plane pairs (v < 8 packs plane groups into one mma).
+        SliceCase{precision::L16R8, 4, 0.7, 1, 5},
+        SliceCase{precision::L16R16, 2, 0.6, 2, 6},
+        SliceCase{precision::L12R4, 4, 0.8, 0, 4},
+        // int4 datapath with index shuffling.
+        SliceCase{precision::L4R4, 8, 0.7, 1, 4},
+        SliceCase{precision::L8R4, 8, 0.8, 4, 6},
+        // Whole-pattern "slice" and empty slices at both ends.
+        SliceCase{precision::L8R8, 8, 0.7, 0, 6},
+        SliceCase{precision::L8R8, 8, 0.7, 0, 0},
+        SliceCase{precision::L16R8, 4, 0.7, 6, 6}),
+    slice_case_name);
+
+TEST(RowSlicePlanTest, EmptyRowsSliceBuildsAndReplaysZero) {
+  // Rows with no vectors at all (sparsity 1.0) still slice, plan and
+  // replay: zero-step blocks write zero rows.
+  Rng rng(0xe31);
+  const auto pattern = sparse::make_uniform_pattern(32, 64, 8, 1.0, rng);
+  ASSERT_EQ(pattern.vector_count(), 0u);
+  SpmmConfig cfg;
+  cfg.mode = ExecMode::fast;
+  const auto sliced = sparse::slice_vector_rows(pattern, 1, 3);
+  const SpmmPlanHandle plan = build_spmm_plan(sliced, 64, cfg);
+  EXPECT_EQ(plan->run.launch.grid_blocks, 2u * 1u);
+
+  const auto a_vals = random_values(sliced.rows, 64, Scalar::s8, rng);
+  const auto b_vals = random_values(64, 64, Scalar::s8, rng);
+  const auto a = prepare_spmm_lhs(sliced, a_vals, cfg.precision,
+                                  needs_shuffle(cfg));
+  const auto b = prepare_spmm_rhs(b_vals, cfg.precision);
+  const SpmmResult r = spmm(a, b, cfg, *plan);
+  for (std::size_t i = 0; i < r.c.size(); ++i) {
+    ASSERT_EQ(r.c.data()[i], 0);
+  }
+}
+
 TEST(ExecModeTest, ConfigModeOverridesProcessDefault) {
   // An explicit config mode wins over the process default in both
   // directions; results agree either way (sanity anchor).

@@ -209,6 +209,103 @@ TEST(OperandCache, AnonymousDenseOperandsBypassCache) {
   EXPECT_EQ(named.get(), again.get());
 }
 
+TEST(OperandCache, PinnedEntriesSurviveEvictionPressure) {
+  // Pin semantics behind the sharded-request fix: a pinned entry is
+  // skipped by LRU eviction (the insert may transiently exceed capacity),
+  // and unpinning restores normal eviction order.
+  const Problem p = make_problem(precision::L8R8, 7);
+  OperandCache probe(1ull << 30);
+  const auto one = probe.get_or_prepare_spmm_lhs(*p.pattern, *p.lhs,
+                                                 precision::L8R8, false);
+  const std::size_t entry_bytes = one->footprint_bytes();
+
+  OperandCache cache(2 * entry_bytes + entry_bytes / 2);
+  const Problem a = make_problem(precision::L8R8, 70);
+  const Problem b = make_problem(precision::L8R8, 71);
+  const Problem c = make_problem(precision::L8R8, 72);
+  cache.get_or_prepare_spmm_lhs(*a.pattern, *a.lhs, precision::L8R8, false);
+  cache.get_or_prepare_spmm_lhs(*b.pattern, *b.lhs, precision::L8R8, false);
+
+  // Pin A (the LRU victim-to-be) and insert C: eviction must skip A and
+  // take B instead.
+  const OperandKey a_key =
+      spmm_lhs_key(a.pattern->fingerprint(), precision::L8R8, false);
+  {
+    OperandCache::PinScope pins(cache);
+    ASSERT_TRUE(pins.pin(a_key));
+    EXPECT_EQ(cache.pinned_count(), 1u);
+    cache.get_or_prepare_spmm_lhs(*c.pattern, *c.lhs, precision::L8R8,
+                                  false);
+    bool hit = false;
+    cache.get_or_prepare_spmm_lhs(*a.pattern, *a.lhs, precision::L8R8,
+                                  false, 0, &hit);
+    EXPECT_TRUE(hit) << "pinned entry was evicted";
+    cache.get_or_prepare_spmm_lhs(*b.pattern, *b.lhs, precision::L8R8,
+                                  false, 0, &hit);
+    EXPECT_FALSE(hit) << "unpinned LRU entry should have been the victim";
+    EXPECT_GT(cache.stats().pin_skips, 0u);
+  }
+  // Scope released: A is evictable again.
+  EXPECT_EQ(cache.pinned_count(), 0u);
+  EXPECT_FALSE(cache.pin(spmm_lhs_key(12345, precision::L8R8, false)))
+      << "pinning an absent key must fail, not insert";
+}
+
+TEST(OperandCache, PinnedOverflowDrainsAfterRelease) {
+  // When everything resident is pinned, inserts overshoot the budget
+  // rather than fail; the overshoot drains once pins release.
+  const Problem p = make_problem(precision::L8R8, 8);
+  OperandCache probe(1ull << 30);
+  const std::size_t entry_bytes =
+      probe.get_or_prepare_spmm_lhs(*p.pattern, *p.lhs, precision::L8R8,
+                                    false)
+          ->footprint_bytes();
+  OperandCache cache(entry_bytes + entry_bytes / 2);
+
+  const Problem a = make_problem(precision::L8R8, 80);
+  const Problem b = make_problem(precision::L8R8, 81);
+  cache.get_or_prepare_spmm_lhs(*a.pattern, *a.lhs, precision::L8R8, false);
+  OperandCache::PinScope pins(cache);
+  ASSERT_TRUE(pins.pin(
+      spmm_lhs_key(a.pattern->fingerprint(), precision::L8R8, false)));
+  cache.get_or_prepare_spmm_lhs(*b.pattern, *b.lhs, precision::L8R8, false);
+  EXPECT_EQ(cache.entry_count(), 2u);
+  EXPECT_GT(cache.bytes_cached(), cache.capacity_bytes());
+
+  pins.release();
+  // Next insert evicts back under budget (A first: it is now LRU).
+  const Problem c = make_problem(precision::L8R8, 82);
+  cache.get_or_prepare_spmm_lhs(*c.pattern, *c.lhs, precision::L8R8, false);
+  EXPECT_LE(cache.bytes_cached(), cache.capacity_bytes());
+}
+
+TEST(ServeRequest, SplitCachesAndPerDeviceCosting) {
+  // The pool's serve body: operands land in the device cache, plans in the
+  // shared plan cache, and modeled_seconds follows the device spec.
+  const Problem p = make_problem(precision::L8R8, 9);
+  OperandCache operands(64ull << 20);
+  OperandCache plans(64ull << 20);
+
+  const Response r1 =
+      serve_request(spmm_request(p, precision::L8R8), operands, plans,
+                    simt::a100());
+  EXPECT_EQ(operands.entry_count(), 1u);  // the prepared LHS
+  EXPECT_EQ(plans.entry_count(), 1u);     // the execution plan
+  EXPECT_FALSE(r1.plan_cache_hit);
+
+  // A half-clock device models a strictly slower run (every cycle-derived
+  // term doubles; halving sm_count alone would not be strict — this
+  // problem's 8-block grid underfills both SM counts).
+  simt::DeviceSpec slow = simt::a100();
+  slow.clock_ghz /= 2;
+  const Response r2 =
+      serve_request(spmm_request(p, precision::L8R8), operands, plans, slow);
+  EXPECT_TRUE(r2.plan_cache_hit);
+  EXPECT_TRUE(r2.lhs_cache_hit);
+  EXPECT_GT(r2.modeled_seconds, r1.modeled_seconds);
+  EXPECT_EQ(r1.spmm->c, r2.spmm->c);
+}
+
 // ---- BatchScheduler correctness ------------------------------------------
 
 class ServePrecisionTest : public ::testing::TestWithParam<PrecisionPair> {};
