@@ -158,10 +158,13 @@ double placement_makespan(const Mix& mix, int rounds, std::size_t devices,
 }
 
 /// Serves the giant request through an N-device pool with sharding enabled
-/// and returns {makespan, shards}; verifies bit-exactness vs `want`.
+/// and returns {makespan, shards}; verifies bit-exactness vs `want`. When
+/// `trace_json_path` is given, the pool's TraceLog is exported there (the
+/// per-request span artifact that rides next to the BENCH_* JSON).
 std::pair<double, std::size_t> shard_makespan(
     const serve::Request& giant, std::size_t devices,
-    const Matrix<std::int32_t>* want) {
+    const Matrix<std::int32_t>* want,
+    const char* trace_json_path = nullptr) {
   serve::DevicePoolConfig cfg;
   cfg.device_count = devices;
   cfg.shard_threshold_seconds = 1e-9;  // the giant is always over threshold
@@ -174,6 +177,13 @@ std::pair<double, std::size_t> shard_makespan(
                        "reference");
   }
   pool.drain();
+  if (trace_json_path != nullptr) {
+    if (pool.traces().write_json(trace_json_path)) {
+      std::printf("per-request traces written to %s\n", trace_json_path);
+    } else {
+      std::printf("warning: could not write traces to %s\n", trace_json_path);
+    }
+  }
   return {pool.stats().modeled_makespan_seconds(), resp.shards};
 }
 
@@ -198,7 +208,8 @@ bool comparison_table(bool smoke) {
       *serve::serve_request(giant, ref_cache).spmm;
   const auto [g1, shards1] = shard_makespan(giant, 1, &giant_ref.c);
   const auto [g2, shards2] = shard_makespan(giant, 2, &giant_ref.c);
-  const auto [g4, shards4] = shard_makespan(giant, 4, &giant_ref.c);
+  const auto [g4, shards4] = shard_makespan(giant, 4, &giant_ref.c,
+                                            "TRACE_multi_device_scaling.json");
   MAGICUBE_CHECK(shards1 == 1 && shards2 == 2 && shards4 == 4);
 
   bench::Table table({"axis", "N=1 makespan (us)", "N=2", "N=4",

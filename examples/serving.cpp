@@ -11,7 +11,10 @@
 // both simulated devices and merges the halves bit-exactly. Placement is
 // cost-model driven (least modeled backlog, round-robin on ties); watch
 // the per-device stats balance and the cache hit rates climb as the layer
-// weights stay resident.
+// weights stay resident. Mid-traffic a slower edge-class part enlists via
+// add_device() — per-spec placement only routes it work when its modeled
+// completion time wins — and the pool's per-request trace log is exported
+// as TRACE_serving_example.json at the end.
 
 #include <cstdio>
 #include <future>
@@ -155,6 +158,15 @@ int main() {
       }
     });
   }
+  // Elastic join: a 16-SM edge-class part enlists while the clients are
+  // mid-stream. The heterogeneous argmin prices every request per spec, so
+  // the slow part only absorbs work when its idle clock beats the A100s'
+  // backlog — no configuration change on the client side.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const std::size_t edge_dev = pool.add_device(simt::edge());
+  std::printf("device %zu joined mid-traffic: %s\n", edge_dev,
+              pool.device_spec(edge_dev).name.c_str());
+
   for (auto& t : clients) t.join();
   pool.drain();
 
@@ -179,9 +191,10 @@ int main() {
     const serve::DeviceStats& ds = ps.devices[d];
     const serve::CacheStats cs = pool.device_cache(d).stats();
     operand_stats += cs;
-    std::printf("device %zu: %llu placed + %llu slices, modeled busy "
+    std::printf("device %zu (%s): %llu placed + %llu slices, modeled busy "
                 "%.1f us, cache %.1f%% hits, %.2f MiB resident\n",
-                d, static_cast<unsigned long long>(ds.placed),
+                d, pool.device_spec(d).name.c_str(),
+                static_cast<unsigned long long>(ds.placed),
                 static_cast<unsigned long long>(ds.shard_slices),
                 ds.modeled_busy_seconds * 1e6, 100.0 * cs.hit_rate(),
                 static_cast<double>(pool.device_cache(d).bytes_cached()) /
@@ -193,7 +206,7 @@ int main() {
               ps.modeled_total_seconds() * 1e6,
               100.0 * ps.modeled_total_seconds() /
                   (ps.modeled_makespan_seconds() *
-                   static_cast<double>(kDevices)));
+                   static_cast<double>(pool.device_count())));
 
   int builds = 0, late_builds = 0;
   for (int c = 0; c < kClients; ++c) {
@@ -224,5 +237,17 @@ int main() {
               sharded > 0 ? "yes" : "NO");
   std::printf("both devices served traffic: %s\n",
               devices_busy ? "yes" : "NO");
-  return resident && plans_once && sharded > 0 && devices_busy ? 0 : 1;
+
+  // Every request carried a structured trace (queue -> price -> place ->
+  // [shard] -> replay -> merge spans over modeled time); export the log
+  // for offline inspection next to the binary.
+  const bool traces_written =
+      pool.traces().write_json("TRACE_serving_example.json");
+  std::printf("wrote %zu per-request traces to TRACE_serving_example.json: "
+              "%s\n",
+              pool.traces().size(), traces_written ? "yes" : "NO");
+  return resident && plans_once && sharded > 0 && devices_busy &&
+                 traces_written
+             ? 0
+             : 1;
 }

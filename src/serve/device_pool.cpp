@@ -3,65 +3,102 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <condition_variable>
+#include <cstdio>
 #include <deque>
 #include <exception>
 #include <mutex>
-#include <thread>
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "core/plan.hpp"
 #include "core/sddmm.hpp"
 #include "core/spmm.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/shard.hpp"
+#include "serve/submit_queue.hpp"
 #include "simt/cost_model.hpp"
 
 namespace magicube::serve {
 
 namespace {
 
-struct Pending {
-  Request req;
-  std::promise<Response> promise;
-};
+using detail::PendingRequest;
+
+std::string describe_exception(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const std::exception& ex) {
+    return ex.what();
+  } catch (...) {
+    return "unknown error";
+  }
+}
+
+std::string fmt_seconds(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
 
 }  // namespace
 
+// The submit/backpressure/shutdown half lives in detail::SubmitQueueCore
+// (shared with BatchScheduler); this Impl is the placement half: pricing,
+// device choice, sharding, fault injection, retry and tracing. Its mutex
+// guards the fleet state (stats, specs, active flags, caches, fault
+// counters) and is never held across a core call or a kernel execution.
 struct DevicePool::Impl {
   DevicePool* owner = nullptr;
+  detail::SubmitQueueCore core;
 
-  std::mutex mutex;
-  std::condition_variable queue_changed;  // dispatcher wakes on submits/stop
-  std::condition_variable queue_space;    // bounded submitters wake on drain
-  std::condition_variable idle;           // drain()/dtor wake on completion
-  std::deque<Pending> queue;
-  bool stopping = false;
+  mutable std::mutex mutex;
   DevicePoolStats stats;
-  std::uint64_t outstanding = 0;
-  std::uint64_t blocked_submitters = 0;
+  std::vector<simt::DeviceSpec> specs;
+  std::vector<char> active;  // 1 = accepting placements
+  std::vector<std::shared_ptr<OperandCache>> caches;
+  std::vector<std::uint64_t> executions;  // per-device, for FaultPlan::exact
+  Rng fault_rng;
   std::uint64_t next_batch_id = 1;
   std::uint64_t rr_cursor = 0;  // round-robin tie-break cursor
-  std::thread thread;
+  TraceLog traces;
+
+  explicit Impl(const DevicePoolConfig& cfg)
+      : fault_rng(cfg.fault_plan.seed),
+        traces("device_pool", cfg.trace_capacity) {}
+
+  /// One committed device assignment: where, its per-spec estimate, and
+  /// the device's modeled backlog at commit time (the request-relative
+  /// trace start of its replay).
+  struct Placement {
+    std::size_t device = 0;
+    double est = 0.0;
+    double start = 0.0;
+  };
 
   /// Rendezvous of one sharded request: slice tasks fill disjoint parts and
   /// the last finisher merges — no pool task ever waits on another.
   struct ShardState {
-    Pending pending;
+    PendingRequest pending;
+    OpKind op = OpKind::spmm;
     std::uint64_t full_lhs_content = 0;
     std::vector<RowSlice> slices;
     std::vector<std::shared_ptr<const sparse::BlockPattern>> patterns;
-    std::vector<core::SpmmPlanHandle> plans;
-    std::vector<std::size_t> devices;
-    std::vector<core::SpmmResult> parts;
+    std::vector<core::SpmmPlanHandle> spmm_plans;
+    std::vector<core::SddmmPlanHandle> sddmm_plans;
+    std::vector<simt::KernelRun> runs;  // per-slice, for retry repricing
+    std::vector<Placement> placements;  // guarded by the pool mutex
+    std::vector<core::SpmmResult> spmm_parts;
+    std::vector<core::SddmmResult> sddmm_parts;
     std::vector<char> lhs_hits;
-    std::vector<double> ests;  // per-slice modeled seconds (rollback needs)
     core::DenseOperandHandle rhs;
     bool rhs_hit = false;
     bool all_plan_hits = true;
-    double modeled_makespan = 0.0;
+    /// This request's modeled busy seconds per device (makespan input);
+    /// guarded by the pool mutex, grown on add_device.
+    std::vector<double> per_device_busy;
+    std::uint64_t retries = 0;  // requeues across slices (pool mutex)
     std::uint64_t batch_id = 0;
     std::size_t batch_size = 0;
     OperandCache::PinScope plan_pins;  // held until the merge completes
@@ -70,31 +107,114 @@ struct DevicePool::Impl {
     std::exception_ptr error;
   };
 
-  void loop() {
-    for (;;) {
-      std::deque<Pending> taken;
-      {
-        std::unique_lock<std::mutex> lock(mutex);
-        queue_changed.wait(lock, [&] { return stopping || !queue.empty(); });
-        if (queue.empty()) return;  // stopping && drained
-        if (!stopping && owner->cfg_.linger.count() > 0) {
-          // Linger so bursts coalesce into one placement round (better
-          // spreading than placing each arrival against a stale backlog
-          // picture). A full bounded queue cuts the linger short.
-          const std::size_t depth = owner->cfg_.max_queue_depth;
-          queue_changed.wait_for(lock, owner->cfg_.linger, [&] {
-            return stopping || (depth > 0 && queue.size() >= depth);
-          });
-        }
-        taken.swap(queue);
-        queue_space.notify_all();
-      }
-      dispatch(std::move(taken));
-    }
+  std::size_t active_count_locked() const {
+    std::size_t n = 0;
+    for (const char a : active) n += a != 0;
+    return n;
   }
 
-  void dispatch(std::deque<Pending> taken) {
-    std::vector<Pending> batch;
+  /// Counts one kernel execution on `dev` and decides whether the
+  /// FaultPlan fails it. Lock held.
+  bool inject_fault_locked(std::size_t dev) {
+    executions[dev] += 1;
+    const FaultPlan& plan = owner->cfg_.fault_plan;
+    if (!plan.enabled()) return false;
+    bool fire = false;
+    for (const FaultPlan::Exact& e : plan.exact) {
+      if (e.device == dev && e.nth == executions[dev]) fire = true;
+    }
+    if (!fire && plan.probability > 0.0 &&
+        fault_rng.next_double() < plan.probability) {
+      fire = true;
+    }
+    if (fire) stats.faults_injected += 1;
+    return fire;
+  }
+
+  /// Earliest modeled completion wins: every active candidate prices the
+  /// run on its own spec (backlog + per-spec estimate), so a fast part
+  /// absorbs more traffic than a slow one; on a homogeneous fleet the
+  /// estimate is a uniform addend and the argmin reduces to least modeled
+  /// backlog. Exact ties — the idle-pool common case — are broken
+  /// round-robin so bursts spread instead of piling onto device 0.
+  /// `exclude` skips one device (retry placement). Returns false when no
+  /// active candidate exists. Lock held.
+  bool choose_device_locked(const simt::KernelRun& run, std::ptrdiff_t exclude,
+                            Placement* out) {
+    double best = 0.0;
+    double best_est = 0.0;
+    std::vector<std::size_t> tied;
+    for (std::size_t d = 0; d < specs.size(); ++d) {
+      if (active[d] == 0 || static_cast<std::ptrdiff_t>(d) == exclude) {
+        continue;
+      }
+      const double est = simt::estimate_seconds(specs[d], run);
+      const double t = stats.devices[d].modeled_busy_seconds + est;
+      if (tied.empty() || t < best) {
+        best = t;
+        best_est = est;
+        tied.assign(1, d);
+      } else if (t == best) {
+        tied.push_back(d);
+      }
+    }
+    if (tied.empty()) return false;
+    std::size_t dev = tied.front();
+    if (tied.size() > 1) {
+      stats.tie_breaks += 1;
+      dev = tied[rr_cursor++ % tied.size()];
+      best_est = simt::estimate_seconds(specs[dev], run);
+    }
+    out->device = dev;
+    out->est = best_est;
+    out->start = stats.devices[dev].modeled_busy_seconds;
+    return true;
+  }
+
+  /// Retry placement: prefer a surviving device other than the one that
+  /// failed; fall back to the failed device itself when it is the only
+  /// active one. Lock held.
+  bool choose_retry_device_locked(const simt::KernelRun& run,
+                                  std::size_t failed, Placement* out) {
+    if (choose_device_locked(run, static_cast<std::ptrdiff_t>(failed), out)) {
+      return true;
+    }
+    return choose_device_locked(run, -1, out);
+  }
+
+  /// Commits a whole-request placement (device choice + modeled clock).
+  /// Returns false when every device is drained.
+  bool commit_whole(const simt::KernelRun& run, Placement* pl) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!choose_device_locked(run, -1, pl)) return false;
+    stats.devices[pl->device].placed += 1;
+    stats.devices[pl->device].modeled_busy_seconds += pl->est;
+    return true;
+  }
+
+  void complete(bool failed) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      stats.completed += 1;
+      if (failed) stats.failed += 1;
+    }
+    core.complete();
+  }
+
+  /// Fails a request whose promise is still held here: finalizes the
+  /// trace, surfaces `err` on the future and retires the request.
+  void fail_request(PendingRequest& p, const std::exception_ptr& err) {
+    if (p.trace) {
+      p.trace->ok = false;
+      p.trace->error = describe_exception(err);
+      traces.add(p.trace);
+    }
+    p.promise.set_exception(err);
+    complete(/*failed=*/true);
+  }
+
+  void dispatch(std::deque<PendingRequest> taken) {
+    std::vector<PendingRequest> batch;
     batch.reserve(taken.size());
     while (!taken.empty()) {
       batch.push_back(std::move(taken.front()));
@@ -103,7 +223,7 @@ struct DevicePool::Impl {
     // Priority classes: higher priorities place (and therefore claim the
     // least-loaded devices) first; equal priorities keep arrival order.
     std::stable_sort(batch.begin(), batch.end(),
-                     [](const Pending& a, const Pending& b) {
+                     [](const PendingRequest& a, const PendingRequest& b) {
                        return a.req.priority > b.req.priority;
                      });
     std::uint64_t batch_id;
@@ -112,44 +232,20 @@ struct DevicePool::Impl {
       batch_id = next_batch_id++;
     }
     const std::size_t batch_size = batch.size();
-    for (Pending& p : batch) {
+    for (PendingRequest& p : batch) {
       try {
         // place() moves from p only once placement is committed; on a
-        // throw before that (malformed request, plan build failure) the
-        // promise is still here to carry the failure.
+        // throw before that (malformed request, no active device, plan
+        // build failure) the promise is still here to carry the failure.
         place(p, batch_id, batch_size);
       } catch (...) {
-        p.promise.set_exception(std::current_exception());
-        complete(/*failed=*/true);
+        fail_request(p, std::current_exception());
       }
     }
   }
 
-  /// Earliest modeled completion wins. The pool is homogeneous, so the
-  /// request's estimate is a uniform addend and the argmin over
-  /// backlog + estimate reduces to least modeled backlog (a heterogeneous
-  /// pool would price the run per candidate spec here — the ROADMAP
-  /// follow-on). Exact ties — the idle-pool common case — are broken
-  /// round-robin so bursts spread instead of piling onto device 0. Lock
-  /// held.
-  std::size_t choose_device_locked() {
-    double best = 0.0;
-    std::vector<std::size_t> tied;
-    for (std::size_t d = 0; d < stats.devices.size(); ++d) {
-      const double t = stats.devices[d].modeled_busy_seconds;
-      if (tied.empty() || t < best) {
-        best = t;
-        tied.assign(1, d);
-      } else if (t == best) {
-        tied.push_back(d);
-      }
-    }
-    if (tied.size() == 1) return tied.front();
-    stats.tie_breaks += 1;
-    return tied[rr_cursor++ % tied.size()];
-  }
-
-  void place(Pending& p, std::uint64_t batch_id, std::size_t batch_size) {
+  void place(PendingRequest& p, std::uint64_t batch_id,
+             std::size_t batch_size) {
     const Request& req = p.req;
     MAGICUBE_CHECK_MSG(req.pattern && req.lhs_values && req.rhs_values,
                        "serve request is missing pattern or operand values");
@@ -162,12 +258,14 @@ struct DevicePool::Impl {
     // with a full plan no one replays. The executing path builds and
     // caches the plan it actually needs (and reports plan_cache_hit from
     // what it observed at execution time, so an eviction between pricing
-    // and execution is not masked).
+    // and execution is not masked). Per-device pricing happens at device
+    // choice; the shard decision uses the reference spec so thresholds
+    // keep one meaning across fleet compositions.
     const std::uint64_t pattern_fp =
         owner->plan_cache_.pattern_identity(req.pattern);
     simt::KernelRun run;
-    core::SpmmConfig scfg;
     if (req.op == OpKind::spmm) {
+      core::SpmmConfig scfg;
       scfg.precision = req.precision;
       scfg.variant = req.variant;
       scfg.bsn = req.bsn;
@@ -186,192 +284,384 @@ struct DevicePool::Impl {
                 : core::sddmm_estimate(*req.pattern, req.lhs_values->cols(),
                                        dcfg);
     }
-    const double est = simt::estimate_seconds(cfg.device, run);
+    const double est_ref = simt::estimate_seconds(cfg.device, run);
+    if (p.trace) {
+      p.trace->op = to_string(req.op);
+      p.trace->precision = to_string(req.precision);
+      p.trace->add_span(
+          TraceSpan("price", 0.0, 0.0)
+              .attr("est_ref_seconds", fmt_seconds(est_ref)));
+    }
 
-    // Shard decision: SpMM over threshold, and never below one block per
-    // SM per device — a slice that cannot put work on every SM of the
-    // device it moves to would trade real occupancy for modeled
-    // parallelism (the "fill a modeled wave" floor).
-    if (req.op == OpKind::spmm && cfg.device_count > 1 &&
-        cfg.shard_threshold_seconds > 0 &&
-        est > cfg.shard_threshold_seconds) {
+    // Shard decision: over threshold, several active devices, and never
+    // below one block per SM of the largest active part — a slice that
+    // cannot put work on every SM of the device it moves to would trade
+    // real occupancy for modeled parallelism (the "fill a modeled wave"
+    // floor).
+    std::size_t active_devices;
+    std::uint64_t max_sm = 1;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      active_devices = active_count_locked();
+      for (std::size_t d = 0; d < specs.size(); ++d) {
+        if (active[d] != 0 && static_cast<std::uint64_t>(
+                                  specs[d].sm_count) > max_sm) {
+          max_sm = static_cast<std::uint64_t>(specs[d].sm_count);
+        }
+      }
+    }
+    if (active_devices > 1 && cfg.shard_threshold_seconds > 0 &&
+        est_ref > cfg.shard_threshold_seconds) {
       const std::uint64_t wave_blocks =
-          cfg.wave_floor_blocks != 0
-              ? cfg.wave_floor_blocks
-              : static_cast<std::uint64_t>(cfg.device.sm_count);
+          cfg.wave_floor_blocks != 0 ? cfg.wave_floor_blocks : max_sm;
       const std::size_t by_wave = static_cast<std::size_t>(std::max<
           std::uint64_t>(1, run.launch.grid_blocks /
                                 std::max<std::uint64_t>(1, wave_blocks)));
       const std::size_t by_cost = static_cast<std::size_t>(
-          std::ceil(est / cfg.shard_threshold_seconds));
+          std::ceil(est_ref / cfg.shard_threshold_seconds));
       const std::size_t want = std::min(
-          {cfg.max_shards == 0 ? cfg.device_count
-                               : std::min(cfg.max_shards, cfg.device_count),
+          {cfg.max_shards == 0
+               ? active_devices
+               : std::min(cfg.max_shards, active_devices),
            by_cost, by_wave});
       if (want > 1) {
         // Defer the O(pattern) slicing and the sub-plan builds to the
         // pool: the single dispatcher thread must keep placing the rest
         // of the queue (no head-of-line blocking behind a cold giant).
-        auto item = std::make_shared<Pending>(std::move(p));
-        ThreadPool::instance().post([this, item, scfg, pattern_fp, want,
-                                     est, batch_id, batch_size] {
-          prepare_shards(item, scfg, pattern_fp, want, est, batch_id,
-                         batch_size);
+        auto item = std::make_shared<PendingRequest>(std::move(p));
+        ThreadPool::instance().post([this, item, pattern_fp, want, run,
+                                     batch_id, batch_size] {
+          prepare_shards(item, pattern_fp, want, run, batch_id, batch_size);
         });
         return;
       }
     }
 
-    std::size_t dev;
-    {
-      std::lock_guard<std::mutex> lock(mutex);
-      dev = choose_device_locked();
-      stats.devices[dev].placed += 1;
-      stats.devices[dev].modeled_busy_seconds += est;
+    Placement pl;
+    if (!commit_whole(run, &pl)) {
+      throw Error("DevicePool: no active device to place a request on "
+                  "(every device is drained)");
     }
-    auto item = std::make_shared<Pending>(std::move(p));
-    ThreadPool::instance().post([this, item, dev, est, batch_id,
+    if (p.trace) {
+      p.trace->add_span(TraceSpan("queue", 0.0, pl.start));
+      p.trace->add_span(
+          TraceSpan("place", pl.start, pl.start,
+                    static_cast<int>(pl.device))
+              .attr("est_seconds", fmt_seconds(pl.est))
+              .attr("batch_id", std::to_string(batch_id))
+              .attr("batch_size", std::to_string(batch_size)));
+    }
+    auto item = std::make_shared<PendingRequest>(std::move(p));
+    ThreadPool::instance().post([this, item, pl, run, batch_id,
                                  batch_size] {
-      run_single(*item, dev, est, batch_id, batch_size);
+      run_single(item, pl, /*attempt=*/0, run, batch_id, batch_size);
     });
   }
 
-  void run_single(Pending& item, std::size_t dev, double est,
+  void run_single(const std::shared_ptr<PendingRequest>& item, Placement pl,
+                  std::size_t attempt, const simt::KernelRun& run,
                   std::uint64_t batch_id, std::size_t batch_size) {
-    bool failed = false;
+    const std::size_t dev = pl.device;
+    bool injected = false;
+    std::uint64_t execution = 0;
+    std::shared_ptr<OperandCache> cache;
+    simt::DeviceSpec spec;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      injected = inject_fault_locked(dev);
+      execution = executions[dev];
+      cache = caches[dev];
+      spec = specs[dev];
+    }
+    std::exception_ptr err;
+    Response resp;
     try {
+      if (injected) {
+        if (item->trace) item->trace->faults_injected.fetch_add(1);
+        throw FaultError("injected fault: kernel execution " +
+                         std::to_string(execution) + " on device " +
+                         std::to_string(dev));
+      }
       // serve_request reports plan_cache_hit as observed at execution
       // time (builds into the shared plan cache on a miss).
-      Response resp =
-          serve_request(item.req, *owner->device_caches_[dev],
-                        owner->plan_cache_, owner->cfg_.device);
+      resp = serve_request(item->req, *cache, owner->plan_cache_, spec);
+    } catch (...) {
+      err = std::current_exception();
+    }
+
+    if (!err) {
       resp.device = static_cast<int>(dev);
       resp.shards = 1;
       resp.batch_id = batch_id;
       resp.batch_size = batch_size;
-      item.promise.set_value(std::move(resp));
-    } catch (...) {
-      failed = true;
-      item.promise.set_exception(std::current_exception());
+      resp.retries = attempt;
+      if (item->trace) {
+        item->trace->add_span(
+            TraceSpan("replay", pl.start, pl.start + pl.est,
+                      static_cast<int>(dev))
+                .attr("ok", "true")
+                .attr("plan_cache_hit",
+                      resp.plan_cache_hit ? "true" : "false")
+                .attr("lhs_cache_hit", resp.lhs_cache_hit ? "true" : "false")
+                .attr("rhs_cache_hit",
+                      resp.rhs_cache_hit ? "true" : "false"));
+        item->trace->ok = true;
+        item->trace->device = static_cast<int>(dev);
+        item->trace->shards = 1;
+        item->trace->retries.store(attempt);
+        resp.trace = item->trace;
+        traces.add(item->trace);
+      }
+      item->promise.set_value(std::move(resp));
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        stats.devices[dev].completed += 1;
+      }
+      complete(/*failed=*/false);
+      return;
     }
+
+    // Failed attempt (injected or genuine): the modeled clock only
+    // accumulates work that actually ran, so the estimate rolls off the
+    // device and — budget permitting — the request requeues to a
+    // surviving device.
+    const double fail_end = pl.start + pl.est;
+    if (item->trace) {
+      item->trace->add_span(
+          TraceSpan("replay", pl.start, fail_end, static_cast<int>(dev))
+              .attr("ok", "false")
+              .attr("fault", injected ? "injected" : "genuine")
+              .attr("error", describe_exception(err)));
+    }
+    Placement next;
+    bool requeue = false;
     {
       std::lock_guard<std::mutex> lock(mutex);
       stats.devices[dev].completed += 1;
-      // Modeled clocks only accumulate work that actually ran: a failed
-      // request returns its estimate so the placer stops dodging this
-      // device over phantom backlog.
-      if (failed) stats.devices[dev].modeled_busy_seconds -= est;
+      stats.devices[dev].modeled_busy_seconds -= pl.est;
+      if (attempt < owner->cfg_.max_retries &&
+          choose_retry_device_locked(run, dev, &next)) {
+        requeue = true;
+        stats.retries += 1;
+        stats.devices[next.device].placed += 1;
+        stats.devices[next.device].modeled_busy_seconds += next.est;
+      }
     }
-    complete(failed);
+    if (requeue) {
+      // The request's timeline is monotone: the retry bridges from the
+      // failed attempt's modeled end to the new device's backlog (or is
+      // instantaneous when that backlog is already behind us).
+      if (next.start < fail_end) next.start = fail_end;
+      if (item->trace) {
+        item->trace->retries.fetch_add(1);
+        item->trace->add_span(
+            TraceSpan("retry", fail_end, next.start,
+                      static_cast<int>(next.device))
+                .attr("attempt", std::to_string(attempt + 1))
+                .attr("from_device", std::to_string(dev)));
+      }
+      ThreadPool::instance().post([this, item, next, attempt, run, batch_id,
+                                   batch_size] {
+        run_single(item, next, attempt + 1, run, batch_id, batch_size);
+      });
+      return;
+    }
+    if (attempt >= owner->cfg_.max_retries) {
+      err = std::make_exception_ptr(Error(
+          "request failed after " + std::to_string(attempt + 1) +
+          " attempts (retry budget exhausted): " + describe_exception(err)));
+    } else {
+      err = std::make_exception_ptr(Error(
+          "request failed and no active device survives to requeue it: " +
+          describe_exception(err)));
+    }
+    fail_request(*item, err);
   }
 
   /// Pool-task body of the sharded path: slices the pattern, builds (or
   /// finds) the pinned sub-plans, assigns devices, then fans the slices
   /// out. Runs on a ThreadPool worker so a cold giant never head-of-line
   /// blocks the dispatcher.
-  void prepare_shards(const std::shared_ptr<Pending>& item,
-                      const core::SpmmConfig& scfg, std::uint64_t pattern_fp,
-                      std::size_t want, double est, std::uint64_t batch_id,
+  void prepare_shards(const std::shared_ptr<PendingRequest>& item,
+                      std::uint64_t pattern_fp, std::size_t want,
+                      const simt::KernelRun& run, std::uint64_t batch_id,
                       std::size_t batch_size) {
     const Request& req = item->req;
-    const std::size_t n_cols = req.rhs_values->cols();
     auto st = std::make_shared<ShardState>();
+    st->op = req.op;
+    core::SpmmConfig scfg;
+    core::SddmmConfig dcfg;
+    std::size_t n_cols = 0;  // SpMM N
+    std::size_t k_depth = 0; // SDDMM K
     try {
-      st->slices = plan_row_shards(*req.pattern,
-                                   core::stride_for(req.precision), want);
+      int stride;
+      if (req.op == OpKind::spmm) {
+        scfg.precision = req.precision;
+        scfg.variant = req.variant;
+        scfg.bsn = req.bsn;
+        n_cols = req.rhs_values->cols();
+        stride = core::stride_for(req.precision);
+        st->full_lhs_content = req.lhs_id != 0 ? req.lhs_id : pattern_fp;
+      } else {
+        dcfg.precision = req.precision;
+        dcfg.prefetch = req.sddmm_prefetch;
+        k_depth = req.lhs_values->cols();
+        // SDDMM blocks own groups of 16 output vectors: balancing on that
+        // granularity mirrors what each block actually executes.
+        stride = core::detail::kSddmmSlotsPerBlock;
+        st->full_lhs_content = req.lhs_id;  // 0 = anonymous activation
+      }
+      st->slices = plan_row_shards(*req.pattern, stride, want);
       if (st->slices.size() <= 1) {
         // The pattern would not split (e.g. a single block row): place it
         // whole from here — we are already on a pool thread.
-        std::size_t dev;
-        {
-          std::lock_guard<std::mutex> lock(mutex);
-          dev = choose_device_locked();
-          stats.devices[dev].placed += 1;
-          stats.devices[dev].modeled_busy_seconds += est;
+        Placement pl;
+        if (!commit_whole(run, &pl)) {
+          throw Error("DevicePool: no active device to place a request on "
+                      "(every device is drained)");
         }
-        run_single(*item, dev, est, batch_id, batch_size);
+        if (item->trace) {
+          item->trace->add_span(TraceSpan("queue", 0.0, pl.start));
+          item->trace->add_span(
+              TraceSpan("place", pl.start, pl.start,
+                        static_cast<int>(pl.device))
+                  .attr("est_seconds", fmt_seconds(pl.est)));
+        }
+        run_single(item, pl, /*attempt=*/0, run, batch_id, batch_size);
         return;
       }
 
-      st->full_lhs_content = req.lhs_id != 0 ? req.lhs_id : pattern_fp;
       st->batch_id = batch_id;
       st->batch_size = batch_size;
       st->plan_pins = OperandCache::PinScope(owner->plan_cache_);
 
       const std::size_t n = st->slices.size();
       st->patterns.reserve(n);
-      st->plans.reserve(n);
-      st->parts.resize(n);
+      st->runs.resize(n);
       st->lhs_hits.assign(n, 0);
-      st->ests.resize(n);
+      if (req.op == OpKind::spmm) {
+        st->spmm_plans.reserve(n);
+        st->spmm_parts.resize(n);
+      } else {
+        st->sddmm_plans.reserve(n);
+        st->sddmm_parts.resize(n);
+      }
       for (std::size_t i = 0; i < n; ++i) {
         const RowSlice& s = st->slices[i];
         st->patterns.push_back(std::make_shared<const sparse::BlockPattern>(
             sparse::slice_vector_rows(*req.pattern, s.vr_begin, s.vr_end)));
         // Sub-plans key on (full pattern identity, slice bounds):
         // shareable across every weight version and every request over
-        // this pattern.
+        // this pattern. Pin the sub-plan entry for the request's
+        // lifetime: concurrent eviction must not drop a plan another
+        // slice is about to replay. A pin can race an eviction in the
+        // get→pin window; re-insert and retry (correctness never depends
+        // on the pin — the handle keeps the plan alive — but residency is
+        // what prevents rebuild churn).
         const std::uint64_t plan_id = slice_content_id(pattern_fp, s);
         bool hit = false;
-        st->plans.push_back(owner->plan_cache_.get_or_build_spmm_plan(
-            st->patterns.back(), n_cols, scfg, plan_id, &hit));
-        st->all_plan_hits = st->all_plan_hits && hit;
-        // Pin the sub-plan entry for the request's lifetime: concurrent
-        // eviction must not drop a plan another slice is about to replay.
-        // A pin can race an eviction in the get→pin window; re-insert and
-        // retry (correctness never depends on the pin — the handle keeps
-        // the plan alive — but residency is what prevents rebuild churn).
-        const OperandKey pk = spmm_plan_key(plan_id, n_cols, scfg);
-        for (int attempt = 0; !st->plan_pins.pin(pk) && attempt < 3;
-             ++attempt) {
-          st->plans.back() = owner->plan_cache_.get_or_build_spmm_plan(
-              st->patterns.back(), n_cols, scfg, plan_id);
+        if (req.op == OpKind::spmm) {
+          st->spmm_plans.push_back(owner->plan_cache_.get_or_build_spmm_plan(
+              st->patterns.back(), n_cols, scfg, plan_id, &hit));
+          const OperandKey pk = spmm_plan_key(plan_id, n_cols, scfg);
+          for (int att = 0; !st->plan_pins.pin(pk) && att < 3; ++att) {
+            st->spmm_plans.back() = owner->plan_cache_.get_or_build_spmm_plan(
+                st->patterns.back(), n_cols, scfg, plan_id);
+          }
+          st->runs[i] = st->spmm_plans.back()->run;
+        } else {
+          st->sddmm_plans.push_back(
+              owner->plan_cache_.get_or_build_sddmm_plan(
+                  st->patterns.back(), k_depth, dcfg, plan_id, &hit));
+          const OperandKey pk = sddmm_plan_key(plan_id, k_depth, dcfg);
+          for (int att = 0; !st->plan_pins.pin(pk) && att < 3; ++att) {
+            st->sddmm_plans.back() =
+                owner->plan_cache_.get_or_build_sddmm_plan(
+                    st->patterns.back(), k_depth, dcfg, plan_id);
+          }
+          st->runs[i] = st->sddmm_plans.back()->run;
         }
-        st->ests[i] = simt::estimate_seconds(owner->cfg_.device,
-                                             st->plans.back()->run);
+        st->all_plan_hits = st->all_plan_hits && hit;
       }
     } catch (...) {
-      item->promise.set_exception(std::current_exception());
-      complete(/*failed=*/true);
+      fail_request(*item, std::current_exception());
       return;  // st's PinScope releases on destruction
     }
 
     const std::size_t n = st->slices.size();
-    st->devices.resize(n);
+    st->placements.resize(n);
     {
       std::lock_guard<std::mutex> lock(mutex);
-      stats.sharded_requests += 1;
-      stats.shard_slices += n;
       // Slices go wherever modeled completion is earliest — usually one
-      // per device, but a device carrying a big backlog may be skipped
-      // entirely, co-locating slices on the others. The request's modeled
-      // makespan therefore sums the estimates per assigned device
-      // (co-located slices serialize on their device's modeled clock).
-      std::vector<double> per_device(stats.devices.size(), 0.0);
+      // per device, but a slow or backlogged device may be skipped,
+      // co-locating slices on the others. The request's modeled makespan
+      // sums the per-spec estimates per assigned device (co-located
+      // slices serialize on their device's modeled clock).
+      st->per_device_busy.assign(specs.size(), 0.0);
+      bool placed_all = true;
       for (std::size_t i = 0; i < n; ++i) {
-        const std::size_t d = choose_device_locked();
-        st->devices[i] = d;
-        stats.devices[d].shard_slices += 1;
-        stats.devices[d].modeled_busy_seconds += st->ests[i];
-        per_device[d] += st->ests[i];
+        Placement pl;
+        if (!choose_device_locked(st->runs[i], -1, &pl)) {
+          // Every device drained while the plans were building: roll the
+          // earlier slices back and fail below.
+          for (std::size_t j = 0; j < i; ++j) {
+            const Placement& q = st->placements[j];
+            stats.devices[q.device].shard_slices -= 1;
+            stats.devices[q.device].modeled_busy_seconds -= q.est;
+          }
+          placed_all = false;
+          break;
+        }
+        st->placements[i] = pl;
+        stats.devices[pl.device].shard_slices += 1;
+        stats.devices[pl.device].modeled_busy_seconds += pl.est;
+        st->per_device_busy[pl.device] += pl.est;
       }
-      for (const double busy : per_device) {
-        if (busy > st->modeled_makespan) st->modeled_makespan = busy;
+      if (placed_all) {
+        stats.sharded_requests += 1;
+        stats.shard_slices += n;
+      } else {
+        st->per_device_busy.clear();
+      }
+    }
+    if (st->per_device_busy.empty()) {
+      fail_request(*item, std::make_exception_ptr(Error(
+                              "DevicePool: no active device to place a "
+                              "request on (every device is drained)")));
+      return;
+    }
+    if (item->trace) {
+      item->trace->add_span(
+          TraceSpan("shard", 0.0, 0.0)
+              .attr("slices", std::to_string(n))
+              .attr("batch_id", std::to_string(batch_id)));
+      for (std::size_t i = 0; i < n; ++i) {
+        const Placement& pl = st->placements[i];
+        item->trace->add_span(TraceSpan("queue", 0.0, pl.start)
+                                  .attr("slice", std::to_string(i)));
+        item->trace->add_span(
+            TraceSpan("place", pl.start, pl.start,
+                      static_cast<int>(pl.device))
+                .attr("slice", std::to_string(i))
+                .attr("est_seconds", fmt_seconds(pl.est)));
       }
     }
 
     st->pending = std::move(*item);
     st->remaining.store(n, std::memory_order_relaxed);
     try {
-      // The shared full-K RHS is prepared once (cached in the first
-      // slice's device when the client named it) and aliased by every
-      // slice — operands are immutable shared handles.
-      st->rhs = owner->device_caches_[st->devices.front()]
-                    ->get_or_prepare_dense(OperandKind::spmm_rhs,
-                                           *st->pending.req.rhs_values,
-                                           st->pending.req.precision,
-                                           st->pending.req.rhs_id,
-                                           &st->rhs_hit);
+      // The shared RHS (SpMM: the full-K dense B; SDDMM: the column-major
+      // B) is prepared once — cached in the first slice's device when the
+      // client named it — and aliased by every slice: operands are
+      // immutable shared handles.
+      st->rhs =
+          cache_for(st->placements.front().device)
+              ->get_or_prepare_dense(st->op == OpKind::spmm
+                                         ? OperandKind::spmm_rhs
+                                         : OperandKind::sddmm_rhs,
+                                     *st->pending.req.rhs_values,
+                                     st->pending.req.precision,
+                                     st->pending.req.rhs_id, &st->rhs_hit);
     } catch (...) {
       // No slice task was posted yet: fail the request directly and roll
       // the assignment back — modeled clocks must not keep busy seconds
@@ -381,44 +671,145 @@ struct DevicePool::Impl {
         stats.sharded_requests -= 1;
         stats.shard_slices -= n;
         for (std::size_t i = 0; i < n; ++i) {
-          const std::size_t d = st->devices[i];
-          stats.devices[d].shard_slices -= 1;
-          stats.devices[d].modeled_busy_seconds -= st->ests[i];
+          const Placement& pl = st->placements[i];
+          stats.devices[pl.device].shard_slices -= 1;
+          stats.devices[pl.device].modeled_busy_seconds -= pl.est;
         }
       }
-      st->pending.promise.set_exception(std::current_exception());
       st->plan_pins.release();
-      complete(/*failed=*/true);
+      fail_request(st->pending, std::current_exception());
       return;
     }
-    for (std::size_t i = 1; i < st->slices.size(); ++i) {
-      ThreadPool::instance().post([this, st, i] { run_slice(st, i); });
+    for (std::size_t i = 1; i < n; ++i) {
+      const Placement pl = st->placements[i];
+      ThreadPool::instance().post(
+          [this, st, i, pl] { run_slice(st, i, pl, /*attempt=*/0); });
     }
-    run_slice(st, 0);
+    run_slice(st, 0, st->placements[0], /*attempt=*/0);
   }
 
-  void run_slice(const std::shared_ptr<ShardState>& st, std::size_t i) {
-    bool failed = false;
-    try {
-      SliceExecution se = execute_spmm_slice(
-          st->pending.req, st->patterns[i], st->slices[i],
-          st->full_lhs_content, st->plans[i], st->rhs,
-          *owner->device_caches_[st->devices[i]]);
-      st->parts[i] = std::move(se.result);
-      st->lhs_hits[i] = se.lhs_cache_hit ? 1 : 0;
-    } catch (...) {
-      failed = true;
-      std::lock_guard<std::mutex> lock(st->error_mutex);
-      if (!st->error) st->error = std::current_exception();
-    }
+  std::shared_ptr<OperandCache> cache_for(std::size_t dev) {
+    std::lock_guard<std::mutex> lock(mutex);
+    return caches[dev];
+  }
+
+  void run_slice(const std::shared_ptr<ShardState>& st, std::size_t i,
+                 Placement pl, std::size_t attempt) {
+    const std::size_t dev = pl.device;
+    bool injected = false;
+    std::shared_ptr<OperandCache> cache;
     {
       std::lock_guard<std::mutex> lock(mutex);
-      stats.devices[st->devices[i]].completed += 1;
-      // Modeled clocks only accumulate work that actually ran (see
-      // run_single's failure path).
-      if (failed) {
-        stats.devices[st->devices[i]].modeled_busy_seconds -= st->ests[i];
+      injected = inject_fault_locked(dev);
+      cache = caches[dev];
+    }
+    std::exception_ptr err;
+    try {
+      if (injected) {
+        if (st->pending.trace) st->pending.trace->faults_injected.fetch_add(1);
+        throw FaultError("injected fault: shard slice " + std::to_string(i) +
+                         " on device " + std::to_string(dev));
       }
+      if (st->op == OpKind::spmm) {
+        SliceExecution se = execute_spmm_slice(
+            st->pending.req, st->patterns[i], st->slices[i],
+            st->full_lhs_content, st->spmm_plans[i], st->rhs, *cache);
+        st->spmm_parts[i] = std::move(se.result);
+        st->lhs_hits[i] = se.lhs_cache_hit ? 1 : 0;
+      } else {
+        SddmmSliceExecution se = execute_sddmm_slice(
+            st->pending.req, st->patterns[i], st->slices[i],
+            st->sddmm_plans[i], st->rhs, *cache);
+        st->sddmm_parts[i] = std::move(se.result);
+        st->lhs_hits[i] = se.lhs_cache_hit ? 1 : 0;
+      }
+    } catch (...) {
+      err = std::current_exception();
+    }
+
+    if (!err) {
+      if (st->pending.trace) {
+        st->pending.trace->add_span(
+            TraceSpan("replay", pl.start, pl.start + pl.est,
+                      static_cast<int>(dev))
+                .attr("ok", "true")
+                .attr("slice", std::to_string(i)));
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        stats.devices[dev].completed += 1;
+        st->placements[i] = pl;
+      }
+      if (st->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        finish_shard(st);
+      }
+      return;
+    }
+
+    // Failed slice: roll the estimate off the modeled clock and requeue
+    // the slice alone — the siblings' work stands.
+    const double fail_end = pl.start + pl.est;
+    if (st->pending.trace) {
+      st->pending.trace->add_span(
+          TraceSpan("replay", pl.start, fail_end, static_cast<int>(dev))
+              .attr("ok", "false")
+              .attr("slice", std::to_string(i))
+              .attr("fault", injected ? "injected" : "genuine")
+              .attr("error", describe_exception(err)));
+    }
+    Placement next;
+    bool requeue = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      stats.devices[dev].completed += 1;
+      stats.devices[dev].modeled_busy_seconds -= pl.est;
+      if (dev < st->per_device_busy.size()) {
+        st->per_device_busy[dev] -= pl.est;
+      }
+      if (attempt < owner->cfg_.max_retries &&
+          choose_retry_device_locked(st->runs[i], dev, &next)) {
+        requeue = true;
+        stats.retries += 1;
+        st->retries += 1;
+        stats.shard_slices += 1;
+        stats.devices[next.device].shard_slices += 1;
+        stats.devices[next.device].modeled_busy_seconds += next.est;
+        if (next.device >= st->per_device_busy.size()) {
+          st->per_device_busy.resize(next.device + 1, 0.0);
+        }
+        st->per_device_busy[next.device] += next.est;
+      }
+    }
+    if (requeue) {
+      if (next.start < fail_end) next.start = fail_end;
+      if (st->pending.trace) {
+        st->pending.trace->retries.fetch_add(1);
+        st->pending.trace->add_span(
+            TraceSpan("retry", fail_end, next.start,
+                      static_cast<int>(next.device))
+                .attr("slice", std::to_string(i))
+                .attr("attempt", std::to_string(attempt + 1))
+                .attr("from_device", std::to_string(dev)));
+      }
+      ThreadPool::instance().post([this, st, i, next, attempt] {
+        run_slice(st, i, next, attempt + 1);
+      });
+      return;
+    }
+    if (attempt >= owner->cfg_.max_retries) {
+      err = std::make_exception_ptr(Error(
+          "shard slice " + std::to_string(i) + " failed after " +
+          std::to_string(attempt + 1) +
+          " attempts (retry budget exhausted): " + describe_exception(err)));
+    } else {
+      err = std::make_exception_ptr(Error(
+          "shard slice " + std::to_string(i) +
+          " failed and no active device survives to requeue it: " +
+          describe_exception(err)));
+    }
+    {
+      std::lock_guard<std::mutex> lock(st->error_mutex);
+      if (!st->error) st->error = err;
     }
     if (st->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       finish_shard(st);
@@ -426,131 +817,192 @@ struct DevicePool::Impl {
   }
 
   void finish_shard(const std::shared_ptr<ShardState>& st) {
-    bool failed = false;
     if (st->error) {
-      failed = true;
-      st->pending.promise.set_exception(st->error);
-    } else {
-      try {
-        const Request& req = st->pending.req;
-        Response resp;
-        resp.op = OpKind::spmm;
+      st->plan_pins.release();
+      fail_request(st->pending, st->error);
+      return;
+    }
+    bool failed = false;
+    try {
+      const Request& req = st->pending.req;
+      Response resp;
+      resp.op = st->op;
+      if (st->op == OpKind::spmm) {
         resp.spmm = merge_row_shards(req.pattern->rows,
                                      req.rhs_values->cols(),
                                      req.pattern->vector_length, st->slices,
-                                     std::move(st->parts));
-        // Usually the slices spanned several devices (-1); under a skewed
-        // backlog they may all have co-located on one, which is then
-        // reported like a whole placement.
-        const bool one_device = std::all_of(
-            st->devices.begin(), st->devices.end(),
-            [&](std::size_t d) { return d == st->devices.front(); });
-        resp.device =
-            one_device ? static_cast<int>(st->devices.front()) : -1;
-        resp.shards = st->slices.size();
-        resp.plan_cache_hit = st->all_plan_hits;
-        resp.lhs_cache_hit =
-            std::all_of(st->lhs_hits.begin(), st->lhs_hits.end(),
-                        [](char h) { return h != 0; });
-        resp.rhs_cache_hit = st->rhs_hit;
-        resp.modeled_seconds = st->modeled_makespan;
-        resp.batch_id = st->batch_id;
-        resp.batch_size = st->batch_size;
-        st->pending.promise.set_value(std::move(resp));
-      } catch (...) {
-        failed = true;
-        st->pending.promise.set_exception(std::current_exception());
+                                     std::move(st->spmm_parts));
+      } else {
+        resp.sddmm = merge_sddmm_row_shards(*req.pattern, st->slices,
+                                            std::move(st->sddmm_parts));
       }
+      double makespan = 0.0;
+      std::uint64_t retries = 0;
+      bool one_device = true;
+      int first_device = -1;
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        for (const double busy : st->per_device_busy) {
+          if (busy > makespan) makespan = busy;
+        }
+        retries = st->retries;
+        first_device = static_cast<int>(st->placements.front().device);
+        for (const Placement& pl : st->placements) {
+          one_device = one_device &&
+                       static_cast<int>(pl.device) == first_device;
+        }
+      }
+      // Usually the slices spanned several devices (-1); under a skewed
+      // backlog they may all have co-located on one, which is then
+      // reported like a whole placement.
+      resp.device = one_device ? first_device : -1;
+      resp.shards = st->slices.size();
+      resp.plan_cache_hit = st->all_plan_hits;
+      resp.lhs_cache_hit =
+          std::all_of(st->lhs_hits.begin(), st->lhs_hits.end(),
+                      [](char h) { return h != 0; });
+      resp.rhs_cache_hit = st->rhs_hit;
+      resp.modeled_seconds = makespan;
+      resp.batch_id = st->batch_id;
+      resp.batch_size = st->batch_size;
+      resp.retries = retries;
+      if (st->pending.trace) {
+        RequestTrace& t = *st->pending.trace;
+        t.add_span(TraceSpan("merge", t.total_modeled_seconds,
+                             t.total_modeled_seconds)
+                       .attr("slices", std::to_string(st->slices.size())));
+        t.ok = true;
+        t.device = resp.device;
+        t.shards = st->slices.size();
+        resp.trace = st->pending.trace;
+        traces.add(st->pending.trace);
+      }
+      // Release before the future resolves: the merge has consumed the
+      // sub-plans, and a caller returning from get() may immediately
+      // assert that no pin outlives its request.
+      st->plan_pins.release();
+      st->pending.promise.set_value(std::move(resp));
+    } catch (...) {
+      failed = true;
+      if (st->pending.trace) {
+        st->pending.trace->ok = false;
+        st->pending.trace->error =
+            describe_exception(std::current_exception());
+        traces.add(st->pending.trace);
+      }
+      st->plan_pins.release();
+      st->pending.promise.set_exception(std::current_exception());
     }
-    st->plan_pins.release();
     complete(failed);
-  }
-
-  void complete(bool failed) {
-    std::lock_guard<std::mutex> lock(mutex);
-    stats.completed += 1;
-    if (failed) stats.failed += 1;
-    outstanding -= 1;
-    // Notify under the lock: a drain()/destructor waiter may destroy this
-    // condition variable as soon as it observes outstanding == 0.
-    idle.notify_all();
   }
 };
 
 DevicePool::DevicePool(DevicePoolConfig cfg)
-    : cfg_(cfg), plan_cache_(cfg.plan_cache_capacity_bytes),
-      impl_(new Impl) {
-  MAGICUBE_CHECK_MSG(cfg_.device_count > 0,
-                     "a DevicePool needs at least one device");
-  device_caches_.reserve(cfg_.device_count);
-  for (std::size_t d = 0; d < cfg_.device_count; ++d) {
-    device_caches_.push_back(
-        std::make_unique<OperandCache>(cfg_.cache_capacity_bytes));
+    : cfg_(std::move(cfg)), plan_cache_(cfg_.plan_cache_capacity_bytes),
+      impl_(new Impl(cfg_)) {
+  std::vector<simt::DeviceSpec> specs = cfg_.devices;
+  if (specs.empty()) {
+    MAGICUBE_CHECK_MSG(cfg_.device_count > 0,
+                       "a DevicePool needs at least one device");
+    specs.assign(cfg_.device_count, cfg_.device);
   }
+  MAGICUBE_CHECK_MSG(cfg_.fault_plan.probability >= 0.0 &&
+                         cfg_.fault_plan.probability <= 1.0,
+                     "FaultPlan probability must lie in [0, 1]");
   impl_->owner = this;
-  impl_->stats.devices.resize(cfg_.device_count);
-  impl_->thread = std::thread([impl = impl_.get()] { impl->loop(); });
-}
-
-DevicePool::~DevicePool() {
-  {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
-    impl_->stopping = true;
+  impl_->specs = std::move(specs);
+  const std::size_t n = impl_->specs.size();
+  impl_->active.assign(n, 1);
+  impl_->executions.assign(n, 0);
+  impl_->caches.reserve(n);
+  for (std::size_t d = 0; d < n; ++d) {
+    impl_->caches.push_back(
+        std::make_shared<OperandCache>(cfg_.cache_capacity_bytes));
   }
-  impl_->queue_changed.notify_all();
-  impl_->queue_space.notify_all();  // blocked submitters must observe stop
-  impl_->thread.join();  // loop exits only once the queue is drained
-  // Wait for in-flight pool tasks (they reference the caches and stats)
-  // and for backpressure-blocked submitters to leave the wait.
-  std::unique_lock<std::mutex> lock(impl_->mutex);
-  impl_->idle.wait(lock, [&] {
-    return impl_->outstanding == 0 && impl_->blocked_submitters == 0;
+  impl_->stats.devices.resize(n);
+  detail::SubmitQueueCore::Tuning tuning;
+  tuning.label = "DevicePool";
+  tuning.engine_id = "device_pool";
+  tuning.linger = cfg_.linger;
+  tuning.max_queue_depth = cfg_.max_queue_depth;
+  tuning.collect_traces = cfg_.collect_traces;
+  impl_->core.start(tuning, [impl = impl_.get()](
+                                std::deque<PendingRequest> taken) {
+    impl->dispatch(std::move(taken));
   });
 }
 
+DevicePool::~DevicePool() { impl_->core.shutdown(); }
+
 std::future<Response> DevicePool::submit(Request req) {
-  Pending p;
-  p.req = std::move(req);
-  std::future<Response> out = p.promise.get_future();
-  {
-    std::unique_lock<std::mutex> lock(impl_->mutex);
-    MAGICUBE_CHECK_MSG(!impl_->stopping, "submit on a stopping DevicePool");
-    if (cfg_.max_queue_depth > 0) {
-      // Backpressure, same discipline as BatchScheduler::submit: the
-      // dispatcher drains the whole queue, never submits, so the wait
-      // cannot deadlock; the blocked count lets the destructor outlive
-      // woken submitters' unwinding.
-      impl_->blocked_submitters += 1;
-      impl_->queue_space.wait(lock, [&] {
-        return impl_->stopping ||
-               impl_->queue.size() < cfg_.max_queue_depth;
-      });
-      impl_->blocked_submitters -= 1;
-      if (impl_->blocked_submitters == 0) impl_->idle.notify_all();
-      MAGICUBE_CHECK_MSG(!impl_->stopping,
-                         "submit on a stopping DevicePool");
-    }
-    impl_->queue.push_back(std::move(p));
-    impl_->stats.submitted += 1;
-    impl_->outstanding += 1;
-  }
-  impl_->queue_changed.notify_all();
-  return out;
+  return impl_->core.submit(std::move(req));
 }
 
-void DevicePool::drain() {
-  std::unique_lock<std::mutex> lock(impl_->mutex);
-  impl_->idle.wait(lock, [&] { return impl_->outstanding == 0; });
+void DevicePool::drain() { impl_->core.drain(); }
+
+void DevicePool::shutdown() { impl_->core.shutdown(); }
+
+std::size_t DevicePool::add_device(const simt::DeviceSpec& spec) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->specs.push_back(spec);
+  impl_->active.push_back(1);
+  impl_->executions.push_back(0);
+  impl_->caches.push_back(
+      std::make_shared<OperandCache>(cfg_.cache_capacity_bytes));
+  impl_->stats.devices.emplace_back();
+  return impl_->specs.size() - 1;
+}
+
+void DevicePool::drain_device(std::size_t d) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  MAGICUBE_CHECK_MSG(d < impl_->specs.size(),
+                     "drain_device: no device " << d << " in the pool");
+  impl_->active[d] = 0;
+}
+
+std::size_t DevicePool::device_count() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->specs.size();
+}
+
+std::size_t DevicePool::active_device_count() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->active_count_locked();
+}
+
+simt::DeviceSpec DevicePool::device_spec(std::size_t d) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  MAGICUBE_CHECK(d < impl_->specs.size());
+  return impl_->specs[d];
+}
+
+bool DevicePool::device_active(std::size_t d) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  MAGICUBE_CHECK(d < impl_->specs.size());
+  return impl_->active[d] != 0;
 }
 
 OperandCache& DevicePool::device_cache(std::size_t d) {
-  MAGICUBE_CHECK(d < device_caches_.size());
-  return *device_caches_[d];
+  std::shared_ptr<OperandCache> cache;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    MAGICUBE_CHECK(d < impl_->caches.size());
+    cache = impl_->caches[d];
+  }
+  // The pool never removes a device, so the cache outlives every caller.
+  return *cache;
 }
 
+const TraceLog& DevicePool::traces() const { return impl_->traces; }
+
 DevicePoolStats DevicePool::stats() const {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
-  return impl_->stats;
+  DevicePoolStats out;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    out = impl_->stats;
+  }
+  out.submitted = impl_->core.submitted();
+  return out;
 }
 
 }  // namespace magicube::serve

@@ -1,45 +1,56 @@
 #pragma once
-// Multi-device sharded serving engine: one scheduler over N simulated
-// devices, with cost-model-driven placement.
+// Elastic heterogeneous multi-device serving engine: one scheduler over N
+// simulated devices, with cost-model-driven placement, fault recovery and
+// per-request tracing.
 //
-// A DevicePool runs the BatchScheduler's submit/future contract over a pool
-// of N simulated DeviceSpec workers. Each worker owns a modeled clock (the
-// cost model's accumulated busy seconds — the device analogue of queue
-// depth), an inflight count, and its own OperandCache byte budget; a shared
-// plan cache holds the pattern-only execution plans every device replays
-// (plans are value- and device-free, so one build serves the whole pool).
+// A DevicePool runs the BatchScheduler's submit/future contract (the shared
+// detail::SubmitQueueCore front half) over a fleet of simulated DeviceSpec
+// workers. Each worker owns a modeled clock (the cost model's accumulated
+// busy seconds — the device analogue of queue depth) and its own
+// OperandCache byte budget; a shared plan cache holds the pattern-only
+// execution plans every device replays (plans are value- and device-free,
+// so one build serves the whole fleet).
 //
-// Placement: the dispatcher prices every request with simt::estimate_cost
-// over the request's cached plan (or the analytic estimator when no plan
-// is resident yet — identical numbers by the estimate-equals-execute
-// invariant, and pricing never inserts anything the shard path would
-// discard) and assigns it to the worker with the earliest modeled
-// completion time. On today's homogeneous pool the estimate is a uniform
-// addend, so that argmin reduces to least modeled backlog; a
-// heterogeneous pool would price the run per candidate spec (the ROADMAP
-// follow-on). Devices whose completion times tie (the common case on an
-// idle pool) are broken round-robin so bursts spread instead of piling
-// onto device 0.
+// Heterogeneity & elasticity: the fleet may mix specs (an A100-class part
+// beside simt::edge()-class parts) — placement prices every request *per
+// candidate spec* with simt::estimate_seconds and assigns it to the device
+// with the earliest modeled completion time (backlog + per-spec estimate),
+// so a fast part naturally absorbs more traffic than a slow one. Devices
+// join mid-traffic with add_device() and leave with drain_device(): a
+// drained device stops receiving placements immediately but finishes (or
+// requeues, on failure) work already placed. On a homogeneous fleet the
+// estimate is a uniform addend and the argmin reduces to least modeled
+// backlog, exactly the PR 5 behavior; ties are still broken round-robin.
 //
-// Sharding: an SpMM whose modeled runtime exceeds shard_threshold_seconds
-// is split row-wise along SR-BCRS block-row boundaries (serve/shard.hpp)
-// into up to device_count sub-problems — never below one modeled wave per
-// device (a slice smaller than a wave would underfill the SMs it moves to)
-// — whose sub-plans come from the shared plan cache (pinned for the
-// request's lifetime), executed in parallel across the least-loaded
-// devices (normally one slice per device; a device carrying a large
-// backlog may be skipped, and the modeled makespan accounts for slices
-// that co-locate) and merged by a bit-exact row-concatenation epilogue.
-// Results match the single-device path exactly; the property suite in
-// tests/test_device_pool.cpp asserts it for randomized streams at
-// N in {1, 2, 4}.
+// Fault injection & recovery: a FaultPlan (serve/fault.hpp) fails selected
+// kernel executions deterministically. A failed execution — injected or
+// genuine — rolls its estimate off the device's modeled clock, releases
+// its pins, and is requeued to a surviving (active, preferably different)
+// device under a bounded per-request retry budget (max_retries); an
+// exhausted budget surfaces a clean Error on the future. Outputs stay
+// bit-exact vs the sequential reference regardless of injected failures
+// (tests/test_fleet.cpp property tier).
 //
-// Concurrency contract: identical to BatchScheduler — the dispatcher
-// thread never executes kernels, pool tasks never wait on futures (a
-// sharded request's slices rendezvous through an atomic countdown, and the
-// last finisher merges), so the ThreadPool reentrancy guard is the only
-// nesting. Wall-clock execution shares the host ThreadPool; the per-device
-// state is *modeled*, which is exactly what the scaling bench gates.
+// Sharding: a request (SpMM or SDDMM) whose modeled runtime exceeds
+// shard_threshold_seconds is split row-wise along SR-BCRS block-row
+// boundaries (serve/shard.hpp) into up to active-device-count sub-problems
+// — never below one modeled wave (the largest active sm_count) — whose
+// sub-plans come from the shared plan cache (pinned for the request's
+// lifetime), executed in parallel across the least-loaded devices and
+// merged by a bit-exact row-concatenation epilogue (dense rows for SpMM,
+// BCRS concatenation for SDDMM). Failed slices requeue individually.
+//
+// Tracing: every request carries a RequestTrace (serve/trace.hpp) of
+// queue → price → place → [shard] → replay → [retry] → merge spans over
+// modeled time, with device ids and cache-hit attributes; completed traces
+// land in a bounded TraceLog exportable as JSON next to BENCH_*.json.
+//
+// Concurrency contract: unchanged — the dispatcher thread never executes
+// kernels, pool tasks never wait on futures (a sharded request's slices
+// rendezvous through an atomic countdown, and the last finisher merges),
+// so the ThreadPool reentrancy guard is the only nesting. Wall-clock
+// execution shares the host ThreadPool; the per-device state is *modeled*,
+// which is exactly what the scaling bench gates.
 
 #include <chrono>
 #include <cstdint>
@@ -47,38 +58,54 @@
 #include <memory>
 #include <vector>
 
+#include "serve/fault.hpp"
 #include "serve/operand_cache.hpp"
 #include "serve/request.hpp"
+#include "serve/trace.hpp"
 #include "simt/device_spec.hpp"
 
 namespace magicube::serve {
 
 struct DevicePoolConfig {
-  /// Simulated devices in the pool.
+  /// Initial per-device specs (heterogeneous fleet). When non-empty this
+  /// wins over device_count/device; add_device() appends more at runtime.
+  std::vector<simt::DeviceSpec> devices;
+  /// Homogeneous fallback: device_count copies of `device` (used only when
+  /// `devices` is empty).
   std::size_t device_count = 2;
-  /// Spec every worker models (homogeneous pool; per-device specs are a
-  /// ROADMAP follow-on — placement already prices per device).
   simt::DeviceSpec device = simt::a100();
   /// Operand-cache budget per device (prepared operands, incl. row slices).
   std::size_t cache_capacity_bytes = 256ull << 20;
   /// Shared plan-cache budget (pattern-only plans + sub-plans).
   std::size_t plan_cache_capacity_bytes = 64ull << 20;
-  /// Requests whose modeled runtime exceeds this are split row-wise across
-  /// devices. 0 disables sharding. The default sits well above the Fig. 12
-  /// single-layer shapes (~4-5 us modeled on the A100 spec) so ordinary
-  /// traffic places whole and only genuinely giant patterns shard.
+  /// Requests whose modeled runtime (priced on the reference `device` spec)
+  /// exceeds this are split row-wise across devices. 0 disables sharding.
+  /// The default sits well above the Fig. 12 single-layer shapes (~4-5 us
+  /// modeled on the A100 spec) so ordinary traffic places whole and only
+  /// genuinely giant patterns shard.
   double shard_threshold_seconds = 2e-5;
-  /// Hard cap on row shards per request (0 = device_count).
+  /// Hard cap on row shards per request (0 = active device count).
   std::size_t max_shards = 0;
   /// Wave-fill floor: minimum grid blocks a row shard must keep so the
-  /// device it moves to still has work for every SM. 0 = the device's
-  /// sm_count (one block per SM). Tests lower it to shard tiny problems.
+  /// device it moves to still has work for every SM. 0 = the largest
+  /// active sm_count (one block per SM). Tests lower it to shard tiny
+  /// problems.
   std::size_t wave_floor_blocks = 0;
   /// How long the dispatcher lingers for a forming batch (see
   /// BatchSchedulerConfig::linger).
   std::chrono::microseconds linger{200};
   /// Bounded submit queue; submit() blocks at the bound (0 = unbounded).
   std::size_t max_queue_depth = 0;
+  /// Deterministic fault injection (tests/soaks; see serve/fault.hpp).
+  FaultPlan fault_plan;
+  /// Requeues granted per request (and per shard slice) after an execution
+  /// failure before the error surfaces on the future.
+  std::size_t max_retries = 2;
+  /// Attach a RequestTrace to every request (Response::trace) and keep
+  /// completed traces in the pool's bounded TraceLog.
+  bool collect_traces = true;
+  /// TraceLog ring capacity (oldest completed traces dropped beyond it).
+  std::size_t trace_capacity = 4096;
 };
 
 /// Per-device modeled telemetry.
@@ -107,7 +134,9 @@ struct DevicePoolStats {
   std::uint64_t failed = 0;
   std::uint64_t sharded_requests = 0;
   std::uint64_t shard_slices = 0;
-  std::uint64_t tie_breaks = 0;  // placements decided round-robin
+  std::uint64_t tie_breaks = 0;        // placements decided round-robin
+  std::uint64_t faults_injected = 0;   // FaultPlan-selected executions
+  std::uint64_t retries = 0;           // requeues after failed executions
   std::vector<DeviceStats> devices;
 
   DevicePoolStats& operator+=(const DevicePoolStats& o) {
@@ -117,6 +146,8 @@ struct DevicePoolStats {
     sharded_requests += o.sharded_requests;
     shard_slices += o.shard_slices;
     tie_breaks += o.tie_breaks;
+    faults_injected += o.faults_injected;
+    retries += o.retries;
     if (o.devices.size() > devices.size()) devices.resize(o.devices.size());
     for (std::size_t d = 0; d < o.devices.size(); ++d) {
       devices[d] += o.devices[d];
@@ -149,17 +180,40 @@ class DevicePool {
   /// Enqueues a request; same contract as BatchScheduler::submit (the
   /// future carries the Response or the failure, blocks at
   /// max_queue_depth, throws after shutdown began). Response.device /
-  /// Response.shards report the placement.
+  /// Response.shards / Response.retries report the placement.
   std::future<Response> submit(Request req);
 
   /// Blocks until every request submitted so far has completed.
   void drain();
 
-  std::size_t device_count() const { return cfg_.device_count; }
+  /// Stops intake, drains the queue, waits out in-flight work. Idempotent
+  /// (the destructor calls it); submit() throws afterwards.
+  void shutdown();
+
+  /// Appends a device to the fleet mid-traffic (its own operand cache,
+  /// modeled clock starting idle); placement may use it from the next
+  /// dispatch round. Returns the new device's index.
+  std::size_t add_device(const simt::DeviceSpec& spec);
+  /// Stops new placement on device d. Work already placed there finishes
+  /// (or requeues through the fault path); stats and cache stay
+  /// queryable. Idempotent; a drained fleet with no active device fails
+  /// new placements cleanly.
+  void drain_device(std::size_t d);
+
+  /// Devices ever added to the fleet (drained ones included).
+  std::size_t device_count() const;
+  /// Devices currently accepting placements.
+  std::size_t active_device_count() const;
+  simt::DeviceSpec device_spec(std::size_t d) const;
+  bool device_active(std::size_t d) const;
+
   /// Device d's operand cache (prepared operands and row slices).
   OperandCache& device_cache(std::size_t d);
   /// The shared pattern-only plan cache.
   OperandCache& plan_cache() { return plan_cache_; }
+
+  /// Completed-request traces (bounded ring; see serve/trace.hpp).
+  const TraceLog& traces() const;
 
   DevicePoolStats stats() const;
   const DevicePoolConfig& config() const { return cfg_; }
@@ -171,7 +225,6 @@ class DevicePool {
   struct Impl;
   DevicePoolConfig cfg_;
   OperandCache plan_cache_;
-  std::vector<std::unique_ptr<OperandCache>> device_caches_;
   std::unique_ptr<Impl> impl_;
 };
 

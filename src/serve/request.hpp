@@ -20,6 +20,8 @@
 
 namespace magicube::serve {
 
+struct RequestTrace;  // serve/trace.hpp
+
 enum class OpKind : std::uint8_t { spmm, sddmm };
 
 inline const char* to_string(OpKind k) {
@@ -77,6 +79,12 @@ struct Response {
   /// Row shards the request was split into (1 = placed whole on one
   /// device; 0 = not served through a DevicePool).
   std::size_t shards = 0;
+  /// Requeues performed before this response (fault recovery; DevicePool
+  /// with a FaultPlan — 0 otherwise).
+  std::uint64_t retries = 0;
+  /// Structured per-request trace (serve/trace.hpp); set when the serving
+  /// engine collects traces, null for direct serve_request calls.
+  std::shared_ptr<const RequestTrace> trace;
 };
 
 }  // namespace magicube::serve

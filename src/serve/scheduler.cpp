@@ -1,17 +1,16 @@
 #include "serve/scheduler.hpp"
 
 #include <algorithm>
-#include <condition_variable>
 #include <deque>
 #include <map>
 #include <mutex>
-#include <thread>
 #include <tuple>
 #include <utility>
 #include <vector>
 
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
+#include "serve/submit_queue.hpp"
 #include "simt/cost_model.hpp"
 #include "simt/device_spec.hpp"
 
@@ -76,59 +75,38 @@ GroupKey group_key(const Request& r) {
           r.sddmm_prefetch};
 }
 
-struct Pending {
-  Request req;
-  std::promise<Response> promise;
-};
+std::string describe_exception(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const std::exception& ex) {
+    return ex.what();
+  } catch (...) {
+    return "unknown error";
+  }
+}
 
 }  // namespace
 
+// The submit/backpressure/shutdown half lives in detail::SubmitQueueCore
+// (shared with DevicePool); this Impl is only the dispatch half — grouping
+// compatible requests into batches and fanning them over the ThreadPool.
 struct BatchScheduler::Impl {
   BatchScheduler* owner = nullptr;
+  detail::SubmitQueueCore core;
 
-  std::mutex mutex;
-  std::condition_variable queue_changed;  // scheduler wakes on submits/stop
-  std::condition_variable queue_space;    // bounded submitters wake on drain
-  std::condition_variable idle;           // drain()/dtor wake on completion
-  std::deque<Pending> queue;
-  bool stopping = false;
+  std::mutex mutex;  // guards stats and batch ids (never nested with core's)
   SchedulerStats stats;
   std::uint64_t next_batch_id = 1;
-  std::uint64_t outstanding = 0;  // submitted, promise not yet fulfilled
-  std::uint64_t blocked_submitters = 0;  // inside the backpressure wait
-  std::thread thread;
+  TraceLog traces;
 
-  void loop() {
-    for (;;) {
-      std::deque<Pending> taken;
-      {
-        std::unique_lock<std::mutex> lock(mutex);
-        queue_changed.wait(lock, [&] { return stopping || !queue.empty(); });
-        if (queue.empty()) return;  // stopping && drained
-        if (!stopping && owner->cfg_.linger.count() > 0 &&
-            queue.size() < owner->cfg_.max_batch) {
-          // Linger: give a burst the chance to fill one batch. A full
-          // bounded queue cuts the linger short — submitters are blocked
-          // on space, so waiting longer cannot grow the batch.
-          const std::size_t depth = owner->cfg_.max_queue_depth;
-          queue_changed.wait_for(lock, owner->cfg_.linger, [&] {
-            return stopping || queue.size() >= owner->cfg_.max_batch ||
-                   (depth > 0 && queue.size() >= depth);
-          });
-        }
-        taken.swap(queue);
-        // The queue is empty again: wake submitters blocked on depth.
-        queue_space.notify_all();
-      }
-      dispatch(std::move(taken));
-    }
-  }
+  explicit Impl(const BatchSchedulerConfig& cfg)
+      : traces("batch_scheduler", cfg.trace_capacity) {}
 
-  void dispatch(std::deque<Pending> taken) {
+  void dispatch(std::deque<detail::PendingRequest> taken) {
     // Group compatible requests, preserving arrival order within a group.
-    std::map<GroupKey, std::vector<Pending>> groups;
+    std::map<GroupKey, std::vector<detail::PendingRequest>> groups;
     while (!taken.empty()) {
-      Pending p = std::move(taken.front());
+      detail::PendingRequest p = std::move(taken.front());
       taken.pop_front();
       groups[group_key(p.req)].push_back(std::move(p));
     }
@@ -147,7 +125,8 @@ struct BatchScheduler::Impl {
           if (size > stats.max_batch_size) stats.max_batch_size = size;
         }
         for (std::size_t i = 0; i < size; ++i) {
-          auto item = std::make_shared<Pending>(std::move(members[base + i]));
+          auto item = std::make_shared<detail::PendingRequest>(
+              std::move(members[base + i]));
           // post, not submit: run_one routes failures into the response
           // promise itself, so a pool-side future would be dead weight.
           ThreadPool::instance().post(
@@ -157,96 +136,92 @@ struct BatchScheduler::Impl {
     }
   }
 
-  void run_one(Pending& item, std::uint64_t batch_id, std::size_t size) {
+  void run_one(detail::PendingRequest& item, std::uint64_t batch_id,
+               std::size_t size) {
+    if (item.trace) {
+      item.trace->op = to_string(item.req.op);
+      item.trace->precision = to_string(item.req.precision);
+    }
     bool failed = false;
     try {
       Response resp = serve_request(item.req, owner->cache_);
       resp.batch_id = batch_id;
       resp.batch_size = size;
+      if (item.trace) {
+        // The scheduler has no modeled device clock, so the request's
+        // timeline is just its own replay starting at admission.
+        item.trace->add_span(TraceSpan("queue", 0.0, 0.0));
+        item.trace->add_span(
+            TraceSpan("place", 0.0, 0.0)
+                .attr("batch_id", std::to_string(batch_id))
+                .attr("batch_size", std::to_string(size)));
+        item.trace->add_span(
+            TraceSpan("replay", 0.0, resp.modeled_seconds)
+                .attr("plan_cache_hit",
+                      resp.plan_cache_hit ? "true" : "false")
+                .attr("lhs_cache_hit", resp.lhs_cache_hit ? "true" : "false")
+                .attr("rhs_cache_hit",
+                      resp.rhs_cache_hit ? "true" : "false"));
+        item.trace->ok = true;
+        resp.trace = item.trace;
+        traces.add(item.trace);
+      }
       item.promise.set_value(std::move(resp));
     } catch (...) {
       failed = true;
+      if (item.trace) {
+        item.trace->ok = false;
+        item.trace->error = describe_exception(std::current_exception());
+        traces.add(item.trace);
+      }
       item.promise.set_exception(std::current_exception());
     }
     {
       std::lock_guard<std::mutex> lock(mutex);
       stats.completed += 1;
       if (failed) stats.failed += 1;
-      outstanding -= 1;
-      // Notify under the lock: a drain()/destructor waiter may destroy this
-      // condition variable as soon as it observes outstanding == 0.
-      idle.notify_all();
     }
+    core.complete();
   }
 };
 
 BatchScheduler::BatchScheduler(BatchSchedulerConfig cfg)
-    : cfg_(cfg), cache_(cfg.cache_capacity_bytes), impl_(new Impl) {
+    : cfg_(cfg), cache_(cfg.cache_capacity_bytes), impl_(new Impl(cfg)) {
   MAGICUBE_CHECK(cfg_.max_batch > 0);
   impl_->owner = this;
-  impl_->thread = std::thread([impl = impl_.get()] { impl->loop(); });
-}
-
-BatchScheduler::~BatchScheduler() {
-  {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
-    impl_->stopping = true;
-  }
-  impl_->queue_changed.notify_all();
-  impl_->queue_space.notify_all();  // blocked submitters must observe stop
-  impl_->thread.join();  // loop exits only once the queue is drained
-  // Wait for dispatched requests still executing on the pool (their tasks
-  // reference this object's cache and stats) and for backpressure-blocked
-  // submitters to exit the queue_space wait (they are about to throw; the
-  // mutex/condvar must outlive their unwinding).
-  std::unique_lock<std::mutex> lock(impl_->mutex);
-  impl_->idle.wait(lock, [&] {
-    return impl_->outstanding == 0 && impl_->blocked_submitters == 0;
+  detail::SubmitQueueCore::Tuning tuning;
+  tuning.label = "BatchScheduler";
+  tuning.engine_id = "batch_scheduler";
+  tuning.linger = cfg_.linger;
+  tuning.max_queue_depth = cfg_.max_queue_depth;
+  tuning.batch_fill = cfg_.max_batch;
+  tuning.collect_traces = cfg_.collect_traces;
+  impl_->core.start(tuning, [impl = impl_.get()](
+                                std::deque<detail::PendingRequest> taken) {
+    impl->dispatch(std::move(taken));
   });
 }
 
+BatchScheduler::~BatchScheduler() { impl_->core.shutdown(); }
+
 std::future<Response> BatchScheduler::submit(Request req) {
-  Pending p;
-  p.req = std::move(req);
-  std::future<Response> out = p.promise.get_future();
-  {
-    std::unique_lock<std::mutex> lock(impl_->mutex);
-    MAGICUBE_CHECK_MSG(!impl_->stopping,
-                       "submit on a stopping BatchScheduler");
-    if (cfg_.max_queue_depth > 0) {
-      // Backpressure: block until the scheduler collects the queue (it
-      // always takes the whole queue, so space frees in bulk) or shutdown
-      // begins. The wait never deadlocks: the scheduler thread consumes
-      // the queue without ever calling submit(). The blocked count lets
-      // the destructor wait for woken submitters to leave the wait before
-      // it destroys the mutex/condvar (notify under the lock, same
-      // discipline as run_one's idle notification).
-      impl_->blocked_submitters += 1;
-      impl_->queue_space.wait(lock, [&] {
-        return impl_->stopping ||
-               impl_->queue.size() < cfg_.max_queue_depth;
-      });
-      impl_->blocked_submitters -= 1;
-      if (impl_->blocked_submitters == 0) impl_->idle.notify_all();
-      MAGICUBE_CHECK_MSG(!impl_->stopping,
-                         "submit on a stopping BatchScheduler");
-    }
-    impl_->queue.push_back(std::move(p));
-    impl_->stats.submitted += 1;
-    impl_->outstanding += 1;
-  }
-  impl_->queue_changed.notify_all();
-  return out;
+  return impl_->core.submit(std::move(req));
 }
 
-void BatchScheduler::drain() {
-  std::unique_lock<std::mutex> lock(impl_->mutex);
-  impl_->idle.wait(lock, [&] { return impl_->outstanding == 0; });
-}
+void BatchScheduler::drain() { impl_->core.drain(); }
+
+void BatchScheduler::shutdown() { impl_->core.shutdown(); }
+
+const TraceLog& BatchScheduler::traces() const { return impl_->traces; }
 
 SchedulerStats BatchScheduler::stats() const {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
-  return impl_->stats;
+  SchedulerStats out;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    out = impl_->stats;
+  }
+  out.submitted = impl_->core.submitted();
+  return out;
 }
 
 }  // namespace magicube::serve

@@ -24,6 +24,7 @@
 
 #include "serve/operand_cache.hpp"
 #include "serve/request.hpp"
+#include "serve/trace.hpp"
 #include "simt/device_spec.hpp"
 
 namespace magicube::serve {
@@ -41,6 +42,11 @@ struct BatchSchedulerConfig {
   /// submit() blocks until the scheduler drains the queue — backpressure
   /// instead of unbounded growth under overload. 0 = unbounded.
   std::size_t max_queue_depth = 0;
+  /// Attach a RequestTrace to every request (Response::trace) and keep
+  /// completed traces in the engine's bounded TraceLog.
+  bool collect_traces = true;
+  /// TraceLog ring capacity (oldest completed traces dropped beyond it).
+  std::size_t trace_capacity = 4096;
 };
 
 /// Engine-level counters, reduced with += like simt::KernelCounters.
@@ -85,9 +91,16 @@ class BatchScheduler {
   /// Blocks until every request submitted so far has completed.
   void drain();
 
+  /// Stops intake, drains the queue, waits out in-flight work. Idempotent
+  /// (the destructor calls it); submit() throws afterwards.
+  void shutdown();
+
   /// The engine's operand cache (shared by all requests).
   OperandCache& cache() { return cache_; }
   const OperandCache& cache() const { return cache_; }
+
+  /// Completed-request traces (bounded ring; see serve/trace.hpp).
+  const TraceLog& traces() const;
 
   SchedulerStats stats() const;
   const BatchSchedulerConfig& config() const { return cfg_; }

@@ -15,17 +15,23 @@
 //   const serve::Response resp = future.get();    // bit-exact SpmmResult
 //   // engine.cache().stats().hit_rate() amortization telemetry
 
-// Multi-device usage (see the "Multi-device serving" README section):
+// Multi-device usage (see the "Elastic fleet & tracing" README section):
 //
 //   serve::DevicePoolConfig pool_cfg;
-//   pool_cfg.device_count = 4;                    // four simulated A100s
+//   pool_cfg.devices = {simt::a100(), simt::a100(), simt::edge()};
+//   pool_cfg.fault_plan.probability = 0.05;       // seeded fault injection
 //   serve::DevicePool pool(pool_cfg);             // same submit/future API
+//   const std::size_t d = pool.add_device(simt::edge());  // join mid-traffic
 //   auto resp = pool.submit(std::move(req)).get();
-//   // resp.device / resp.shards report the cost-model placement;
-//   // pool.stats().devices[d].modeled_busy_seconds per-device clocks.
+//   pool.drain_device(d);                         // leave mid-traffic
+//   // resp.device / resp.shards / resp.retries report the placement;
+//   // resp.trace (serve/trace.hpp) is the request's span timeline, and
+//   // pool.traces().write_json(path) exports the completed-trace ring.
 
 #include "serve/device_pool.hpp"
+#include "serve/fault.hpp"
 #include "serve/operand_cache.hpp"
 #include "serve/request.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/shard.hpp"
+#include "serve/trace.hpp"

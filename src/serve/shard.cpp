@@ -127,6 +127,77 @@ SliceExecution execute_spmm_slice(
   return out;
 }
 
+SddmmSliceExecution execute_sddmm_slice(
+    const Request& req,
+    const std::shared_ptr<const sparse::BlockPattern>& slice_pattern,
+    const RowSlice& slice, const core::SddmmPlanHandle& plan,
+    const core::DenseOperandHandle& rhs, OperandCache& operands) {
+  MAGICUBE_CHECK(slice_pattern != nullptr && plan != nullptr &&
+                 rhs != nullptr);
+  core::SddmmConfig cfg;
+  cfg.precision = req.precision;
+  cfg.prefetch = req.sddmm_prefetch;
+
+  // Materialize the slice's rows of the dense A activations — identical
+  // bytes to the corresponding rows of the full preparation (row-major A
+  // encodes rows independently).
+  const std::size_t v =
+      static_cast<std::size_t>(slice_pattern->vector_length);
+  const std::size_t r0 = slice.vr_begin * v;
+  Matrix<std::int32_t> rows(slice_pattern->rows, req.lhs_values->cols());
+  for (std::size_t r = 0; r < rows.rows(); ++r) {
+    const std::int32_t* src = req.lhs_values->row(r0 + r);
+    std::copy(src, src + rows.cols(), rows.row(r));
+  }
+  // The unsliced path's identity rule carries over: lhs_id == 0 means an
+  // anonymous activation (content_id 0 bypasses the cache).
+  const std::uint64_t slice_id =
+      req.lhs_id != 0 ? slice_content_id(req.lhs_id, slice) : 0;
+  SddmmSliceExecution out;
+  const core::DenseOperandHandle a = operands.get_or_prepare_dense(
+      OperandKind::sddmm_lhs, rows, req.precision, slice_id,
+      &out.lhs_cache_hit);
+  out.result = core::sddmm(a, rhs, *slice_pattern, cfg, plan);
+  return out;
+}
+
+core::SddmmResult merge_sddmm_row_shards(const sparse::BlockPattern& pattern,
+                                         const std::vector<RowSlice>& slices,
+                                         std::vector<core::SddmmResult> parts) {
+  MAGICUBE_CHECK(slices.size() == parts.size() && !parts.empty());
+  const std::size_t v = static_cast<std::size_t>(pattern.vector_length);
+
+  core::SddmmResult merged;
+  merged.c.rows = pattern.rows;
+  merged.c.cols = pattern.cols;
+  merged.c.vector_length = pattern.vector_length;
+  merged.c.row_ptr.reserve(pattern.vector_rows() + 1);
+  merged.c.row_ptr.push_back(0);
+  merged.c.col_idx.reserve(pattern.vector_count());
+  merged.c.values.reserve(pattern.vector_count() * v);
+  bool first = true;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const sparse::Bcrs<std::int32_t>& part = parts[i].c;
+    MAGICUBE_CHECK(part.rows == slices[i].vector_rows() * v);
+    const std::uint32_t offset = merged.c.row_ptr.back();
+    for (std::size_t r = 1; r < part.row_ptr.size(); ++r) {
+      merged.c.row_ptr.push_back(offset + part.row_ptr[r]);
+    }
+    merged.c.col_idx.insert(merged.c.col_idx.end(), part.col_idx.begin(),
+                            part.col_idx.end());
+    merged.c.values.insert(merged.c.values.end(), part.values.begin(),
+                           part.values.end());
+    if (first) {
+      merged.run = parts[i].run;
+      first = false;
+    } else {
+      merged.run.merge(parts[i].run);
+    }
+  }
+  merged.c.validate();
+  return merged;
+}
+
 core::SpmmResult merge_row_shards(std::size_t total_rows, std::size_t n_cols,
                                   int vector_length,
                                   const std::vector<RowSlice>& slices,

@@ -1,18 +1,23 @@
 #pragma once
 // Row-wise sharding of serving requests across simulated devices.
 //
-// An SpMM whose modeled runtime exceeds the pool's shard threshold is split
-// along SR-BCRS block-row (vector-row) boundaries into contiguous row
+// A request whose modeled runtime exceeds the pool's shard threshold is
+// split along SR-BCRS block-row (vector-row) boundaries into contiguous row
 // slices, one per device. Each slice is a complete, independent problem:
 // its pattern is sparse::slice_vector_rows of the full pattern, its
-// execution plan comes from core::build_spmm_plan on that slice (pattern-
-// only, so sub-plans are value-free and shareable across weight versions
-// exactly like full plans), and its prepared LHS covers just the slice's
-// rows. Slices execute in parallel and a bit-exact row-concatenation
-// epilogue reassembles the full M x N result — the kernel computes each
-// vector row independently, so the merged output equals the single-device
-// run bit for bit (asserted by the tests/test_device_pool.cpp property
-// suite and by tests/test_plan.cpp's slice-equivalence suite).
+// execution plan comes from the pattern-only plan builders on that slice
+// (sub-plans are value-free and shareable across weight versions exactly
+// like full plans), and its prepared row-sliced operand covers just the
+// slice's rows (SpMM: the sparse LHS weights; SDDMM: the dense A
+// activation rows). Slices execute in parallel and a bit-exact
+// row-concatenation epilogue reassembles the full result — both kernels
+// compute each vector row independently, so the merged output equals the
+// single-device run bit for bit (SpMM: the dense M x N matrix by row
+// bands; SDDMM: the BCRS output by concatenating each slice's row_ptr /
+// col_idx / vector-major values — the output mirrors the pattern slot for
+// slot, so slicing commutes with encoding). Asserted by the
+// tests/test_device_pool.cpp and tests/test_fleet.cpp property suites and
+// by tests/test_plan.cpp's slice-equivalence suites for both ops.
 //
 // Cache identity: a slice's operand and plan entries derive from the full
 // request's identity plus the slice bounds (slice_content_id), so repeated
@@ -26,6 +31,7 @@
 #include <vector>
 
 #include "core/plan.hpp"
+#include "core/sddmm.hpp"
 #include "core/spmm.hpp"
 #include "serve/operand_cache.hpp"
 #include "serve/request.hpp"
@@ -83,5 +89,30 @@ core::SpmmResult merge_row_shards(std::size_t total_rows, std::size_t n_cols,
                                   int vector_length,
                                   const std::vector<RowSlice>& slices,
                                   std::vector<core::SpmmResult> parts);
+
+/// Outcome of one executed SDDMM slice.
+struct SddmmSliceExecution {
+  core::SddmmResult result;
+  bool lhs_cache_hit = false;
+};
+
+/// Executes one SDDMM row slice: materializes the slice's rows of the dense
+/// A activations (cached under slice_content_id(req.lhs_id, slice) when the
+/// client named the activation, anonymous otherwise — the same identity
+/// rule as the unsliced path), then replays `plan` (built from the slice
+/// pattern) against the shared full column-major RHS.
+SddmmSliceExecution execute_sddmm_slice(
+    const Request& req,
+    const std::shared_ptr<const sparse::BlockPattern>& slice_pattern,
+    const RowSlice& slice, const core::SddmmPlanHandle& plan,
+    const core::DenseOperandHandle& rhs, OperandCache& operands);
+
+/// Bit-exact BCRS row-concatenation epilogue for SDDMM: the output encoding
+/// mirrors the pattern (row_ptr/col_idx copied, values vector-major), so
+/// concatenating each slice's rows with offset row pointers reproduces the
+/// full-run BCRS exactly. `pattern` is the full output pattern.
+core::SddmmResult merge_sddmm_row_shards(const sparse::BlockPattern& pattern,
+                                         const std::vector<RowSlice>& slices,
+                                         std::vector<core::SddmmResult> parts);
 
 }  // namespace magicube::serve

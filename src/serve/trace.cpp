@@ -1,0 +1,151 @@
+#include "serve/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace magicube::serve {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_number(std::string& out, double v) {
+  // Shortest %g form that round-trips: modeled timestamps feed equality
+  // checks downstream (span-coverage invariants), so the JSON must encode
+  // the exact double, not a 9-digit approximation.
+  char buf[40];
+  for (const int prec : {9, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    double back = 0.0;
+    std::sscanf(buf, "%lf", &back);
+    if (back == v) break;
+  }
+  out += buf;
+}
+
+}  // namespace
+
+std::string to_json(const TraceSpan& span) {
+  std::string out = "{\"name\":";
+  append_escaped(out, span.name);
+  out += ",\"begin\":";
+  append_number(out, span.begin_seconds);
+  out += ",\"end\":";
+  append_number(out, span.end_seconds);
+  out += ",\"device\":" + std::to_string(span.device);
+  out += ",\"attrs\":{";
+  bool first = true;
+  for (const auto& [key, value] : span.attrs) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_escaped(out, key);
+    out.push_back(':');
+    append_escaped(out, value);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string to_json(const RequestTrace& trace) {
+  std::string out = "{\"request_id\":" + std::to_string(trace.request_id);
+  out += ",\"engine\":";
+  append_escaped(out, trace.engine);
+  out += ",\"op\":";
+  append_escaped(out, trace.op);
+  out += ",\"precision\":";
+  append_escaped(out, trace.precision);
+  out += ",\"ok\":";
+  out += trace.ok ? "true" : "false";
+  out += ",\"error\":";
+  append_escaped(out, trace.error);
+  out += ",\"device\":" + std::to_string(trace.device);
+  out += ",\"shards\":" + std::to_string(trace.shards);
+  out += ",\"retries\":" + std::to_string(trace.retries.load());
+  out += ",\"faults_injected\":" + std::to_string(trace.faults_injected.load());
+  out += ",\"modeled_seconds\":";
+  append_number(out, trace.total_modeled_seconds);
+  out += ",\"spans\":[";
+  for (std::size_t i = 0; i < trace.spans.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    out += to_json(trace.spans[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+TraceLog::TraceLog(std::string engine, std::size_t capacity)
+    : engine_(std::move(engine)), capacity_(capacity == 0 ? 1 : capacity) {}
+
+void TraceLog::add(std::shared_ptr<const RequestTrace> trace) {
+  if (!trace) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  traces_.push_back(std::move(trace));
+  while (traces_.size() > capacity_) {
+    traces_.pop_front();
+    dropped_ += 1;
+  }
+}
+
+std::vector<std::shared_ptr<const RequestTrace>> TraceLog::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {traces_.begin(), traces_.end()};
+}
+
+std::size_t TraceLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return traces_.size();
+}
+
+std::size_t TraceLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::string TraceLog::to_json() const {
+  const auto traces = snapshot();
+  std::size_t dropped;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    dropped = dropped_;
+  }
+  std::string out = "{\"schema\":\"magicube.trace.v1\",\"engine\":";
+  append_escaped(out, engine_);
+  out += ",\"dropped\":" + std::to_string(dropped);
+  out += ",\"traces\":[\n";
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    if (i != 0) out += ",\n";
+    out += serve::to_json(*traces[i]);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool TraceLog::write_json(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_json();
+  return static_cast<bool>(f);
+}
+
+}  // namespace magicube::serve

@@ -83,4 +83,25 @@ inline const DeviceSpec& a100() {
   return spec;
 }
 
+/// A small edge-accelerator spec (Jetson-Orin-class: 16 Ampere SMs at a
+/// lower clock behind LPDDR5). Per-SM per-cycle issue rates match the
+/// A100's Ampere SM; the fleet-level gap comes from SM count, clock and
+/// the memory system. The heterogeneous DevicePool's counterweight to
+/// a100() in tests, benches and examples — placement should price a run
+/// roughly an order of magnitude slower here.
+inline const DeviceSpec& edge() {
+  static const DeviceSpec spec = [] {
+    DeviceSpec s;
+    s.name = "Edge-16SM (simulated)";
+    s.sm_count = 16;
+    s.clock_ghz = 0.93;
+    s.l2_bandwidth_gbps = 900.0;
+    s.dram_bandwidth_gbps = 204.8;
+    s.l2_capacity_bytes = 4ull * 1024 * 1024;
+    s.dram_capacity_bytes = 16ull * 1024 * 1024 * 1024;
+    return s;
+  }();
+  return spec;
+}
+
 }  // namespace magicube::simt

@@ -1,0 +1,236 @@
+#pragma once
+// Minimal JSON reader for test assertions (tests only — the library itself
+// has no JSON dependency; serve/trace.cpp hand-writes its documents and
+// this parser keeps the tests honest about well-formedness). Supports the
+// full RFC 8259 value grammar the trace writer emits: objects with ordered
+// members, arrays, strings with escapes, numbers, booleans, null. Throws
+// std::runtime_error with an offset on malformed input.
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace magicube::testjson {
+
+struct Value {
+  enum class Kind { null, boolean, number, string, array, object };
+  Kind kind = Kind::null;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Value> arr;
+  std::vector<std::pair<std::string, Value>> obj;  // insertion-ordered
+
+  bool is_object() const { return kind == Kind::object; }
+  bool is_array() const { return kind == Kind::array; }
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const Value* find(const std::string& key) const {
+    if (kind != Kind::object) return nullptr;
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  /// Checked lookup: throws when the member is absent.
+  const Value& at(const std::string& key) const {
+    const Value* v = find(key);
+    if (v == nullptr) {
+      throw std::runtime_error("json: missing member \"" + key + "\"");
+    }
+    return *v;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Value parse() {
+    Value v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json: " + what + " at offset " +
+                             std::to_string(pos_));
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool consume_word(const char* w) {
+    std::size_t n = 0;
+    while (w[n] != '\0') ++n;
+    if (s_.compare(pos_, n, w) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Value value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        Value v;
+        v.kind = Value::Kind::string;
+        v.str = string();
+        return v;
+      }
+      case 't':
+      case 'f': {
+        Value v;
+        v.kind = Value::Kind::boolean;
+        if (consume_word("true")) {
+          v.b = true;
+        } else if (consume_word("false")) {
+          v.b = false;
+        } else {
+          fail("bad literal");
+        }
+        return v;
+      }
+      case 'n': {
+        if (!consume_word("null")) fail("bad literal");
+        return Value{};
+      }
+      default: return number();
+    }
+  }
+
+  Value object() {
+    expect('{');
+    Value v;
+    v.kind = Value::Kind::object;
+    skip_ws();
+    if (consume('}')) return v;
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.obj.emplace_back(std::move(key), value());
+      skip_ws();
+      if (consume(',')) continue;
+      expect('}');
+      return v;
+    }
+  }
+
+  Value array() {
+    expect('[');
+    Value v;
+    v.kind = Value::Kind::array;
+    skip_ws();
+    if (consume(']')) return v;
+    while (true) {
+      v.arr.push_back(value());
+      skip_ws();
+      if (consume(',')) continue;
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape");
+            }
+          }
+          // The writer only emits \u00xx control escapes; decode the
+          // BMP-ASCII range and reject the rest (tests never need it).
+          if (code > 0x7f) fail("unsupported \\u escape");
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  Value number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < s_.size() &&
+           ((s_[pos_] >= '0' && s_[pos_] <= '9') || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' ||
+            s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    Value v;
+    v.kind = Value::Kind::number;
+    try {
+      v.num = std::stod(s_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+inline Value parse(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace magicube::testjson

@@ -626,5 +626,118 @@ TEST(DevicePoolSoak, MultiClientEvictionBackpressureStress) {
   EXPECT_EQ(pool.plan_cache().pinned_count(), 0u);
 }
 
+TEST(DevicePoolSoak, HeterogeneousFaultChurnStress) {
+  // The elastic-fleet variant of the soak above (and the TSan CI gate for
+  // the fault/retry/trace paths): a mixed a100/edge fleet under eviction
+  // and backpressure pressure, with a seeded 2% kernel fault rate and a
+  // churn thread adding and draining an edge device throughout. Every
+  // future must resolve — bit-exact on success, a clean Error when a rare
+  // burst of faults exhausts the retry budget — and the trace log is
+  // exported as JSON (the artifact CI uploads on failure).
+  double seconds = 1.0;
+  if (const char* e = std::getenv("MAGICUBE_SOAK_SECONDS")) {
+    seconds = std::atof(e);
+    ASSERT_GT(seconds, 0.0) << "MAGICUBE_SOAK_SECONDS must be positive";
+  }
+
+  std::vector<Problem> problems;
+  problems.push_back(
+      make_spmm_problem(256, 128, 64, 8, 0.5, precision::L8R8, 700));
+  problems.push_back(
+      make_spmm_problem(128, 64, 64, 8, 0.7, precision::L16R8, 701));
+  problems.push_back(
+      make_spmm_problem(128, 128, 64, 8, 0.8, precision::L4R4, 702));
+  problems.push_back(
+      make_sddmm_problem(64, 64, 64, 8, 0.6, precision::L8R8, 703));
+  std::vector<Response> expected;
+  for (const Problem& p : problems) {
+    expected.push_back(sequential_reference(p));
+  }
+
+  DevicePoolConfig cfg;
+  cfg.devices = {simt::a100(), simt::edge(), simt::a100()};
+  cfg.shard_threshold_seconds = 1e-9;  // everything over-threshold
+  cfg.wave_floor_blocks = 1;
+  cfg.cache_capacity_bytes = 96 * 1024;  // constant eviction churn
+  cfg.plan_cache_capacity_bytes = 64 * 1024;
+  cfg.max_queue_depth = 4;               // submitters block regularly
+  cfg.linger = std::chrono::microseconds(30);
+  cfg.fault_plan.probability = 0.02;
+  cfg.fault_plan.seed = 0xfa11;
+  cfg.max_retries = 6;  // exhaustion stays possible, but rare
+  DevicePool pool(cfg);
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(seconds);
+  std::atomic<bool> stop_churn{false};
+  std::thread churn([&] {
+    while (!stop_churn.load()) {
+      const std::size_t d = pool.add_device(simt::edge());
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      pool.drain_device(d);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  constexpr int kClients = 4;
+  std::vector<std::thread> clients;
+  std::vector<std::uint64_t> served(kClients, 0);
+  std::vector<std::uint64_t> mismatches(kClients, 0);
+  std::vector<std::uint64_t> clean_failures(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(0x50b + static_cast<std::uint64_t>(c));
+      std::vector<std::pair<std::size_t, std::future<Response>>> window;
+      const auto settle = [&] {
+        for (auto& [pi, f] : window) {
+          served[c] += 1;
+          try {
+            const Response got = f.get();
+            const bool ok =
+                got.op == OpKind::spmm
+                    ? got.spmm->c == expected[pi].spmm->c
+                    : got.sddmm->c.values == expected[pi].sddmm->c.values;
+            if (!ok) mismatches[c] += 1;
+          } catch (const Error&) {
+            clean_failures[c] += 1;  // retry budget exhausted, surfaced
+          }
+        }
+        window.clear();
+      };
+      while (std::chrono::steady_clock::now() < deadline) {
+        const std::size_t pick = rng.next_below(problems.size());
+        window.emplace_back(
+            pick, pool.submit(to_request(
+                      problems[pick],
+                      static_cast<int>(rng.next_below(3)))));
+        if (window.size() >= 8) settle();
+      }
+      settle();
+    });
+  }
+  for (auto& t : clients) t.join();
+  stop_churn.store(true);
+  churn.join();
+  pool.drain();
+
+  std::uint64_t total = 0, failures = 0;
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(mismatches[c], 0u) << "client " << c;
+    total += served[c];
+    failures += clean_failures[c];
+  }
+  EXPECT_GT(total, 0u);
+  const DevicePoolStats ps = pool.stats();
+  EXPECT_EQ(ps.submitted, total);
+  EXPECT_EQ(ps.completed, total);
+  EXPECT_EQ(ps.failed, failures);
+  EXPECT_GT(ps.faults_injected, 0u);  // 2% over thousands of executions
+  EXPECT_EQ(pool.plan_cache().pinned_count(), 0u);
+
+  const char* trace_path = std::getenv("MAGICUBE_SOAK_TRACE");
+  ASSERT_TRUE(pool.traces().write_json(
+      trace_path != nullptr ? trace_path : "TRACE_device_pool_soak.json"));
+}
+
 }  // namespace
 }  // namespace magicube::serve

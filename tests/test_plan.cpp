@@ -706,6 +706,177 @@ TEST(RowSlicePlanTest, EmptyRowsSliceBuildsAndReplaysZero) {
   }
 }
 
+// ---- SDDMM row-slice plan equivalence -------------------------------------
+//
+// The SDDMM mirror of the suite above, backing the DevicePool's SDDMM
+// row-sharding: a plan built from a vector-row slice must be the
+// corresponding blocks of the full plan (identical geometry-only
+// schedules, the matching slot range of the resolved RHS column bases, a
+// block map that is the full map's rows shifted by the slice origin),
+// counters that sum back to the full plan (compulsory DRAM and the
+// slot-alignment-sensitive index-read sectors excepted), and
+// replayed values equal to the full result's slots — the bit-exactness the
+// BCRS concatenation merge relies on.
+
+struct SddmmSliceCase {
+  PrecisionPair precision;
+  int v;
+  double sparsity;
+  std::size_t vr_begin, vr_end;
+};
+
+std::string sddmm_slice_case_name(
+    const ::testing::TestParamInfo<SddmmSliceCase>& info) {
+  const auto& p = info.param;
+  std::string s = to_string(p.precision) + "_v" + std::to_string(p.v) + "_s" +
+                  std::to_string(static_cast<int>(p.sparsity * 100)) + "_r" +
+                  std::to_string(p.vr_begin) + "_" + std::to_string(p.vr_end);
+  for (auto& ch : s) {
+    if (ch == '-' || ch == '+' || ch == '.') ch = '_';
+  }
+  return s;
+}
+
+class SddmmRowSlicePlanTest
+    : public ::testing::TestWithParam<SddmmSliceCase> {};
+
+TEST_P(SddmmRowSlicePlanTest, SlicePlanMatchesFullPlanBlocks) {
+  const SddmmSliceCase& tc = GetParam();
+  constexpr std::size_t kK = 64;  // a multiple of every pair's mma k
+  constexpr std::size_t kN = 96;
+  Rng rng(0x5dd50 + static_cast<std::uint64_t>(tc.v) * 131 +
+          static_cast<std::uint64_t>(bits_of(tc.precision.lhs)));
+  const std::size_t vr_total = 6;
+  const std::size_t rows = vr_total * static_cast<std::size_t>(tc.v);
+  const auto pattern =
+      sparse::make_uniform_pattern(rows, kN, tc.v, tc.sparsity, rng);
+
+  SddmmConfig cfg;
+  cfg.precision = tc.precision;
+  const SddmmPlanHandle full = build_sddmm_plan(pattern, kK, cfg);
+
+  const auto sliced =
+      sparse::slice_vector_rows(pattern, tc.vr_begin, tc.vr_end);
+  sliced.validate();
+  const SddmmPlanHandle slice = build_sddmm_plan(sliced, kK, cfg);
+
+  // Geometry-only schedules are identical: they depend on the precision
+  // pair, K and the config, never on which rows the plan covers.
+  EXPECT_EQ(slice->geom.stride, full->geom.stride);
+  EXPECT_EQ(slice->geom.chunk, full->geom.chunk);
+  EXPECT_EQ(slice->geom.epw, full->geom.epw);
+  EXPECT_EQ(slice->geom.int4path, full->geom.int4path);
+  EXPECT_EQ(slice->geom.v, full->geom.v);
+  EXPECT_EQ(slice->geom.p, full->geom.p);
+  EXPECT_EQ(slice->geom.q, full->geom.q);
+  EXPECT_EQ(slice->geom.k, full->geom.k);
+  EXPECT_EQ(slice->geom.steps, full->geom.steps);
+  EXPECT_EQ(slice->geom.lhs_words_per_plane, full->geom.lhs_words_per_plane);
+  EXPECT_EQ(slice->geom.smem_bytes, full->geom.smem_bytes);
+  EXPECT_EQ(slice->a_row, full->a_row);
+  EXPECT_EQ(slice->a_panel_row_base, full->a_panel_row_base);
+
+  // The slice's resolved RHS column bases are exactly the corresponding
+  // slot range of the full plan (slots = pattern vectors for SDDMM — the
+  // output mirrors the pattern, no padding in the vector indexing).
+  const std::size_t slot_first = pattern.row_ptr[tc.vr_begin];
+  const std::size_t slot_last = pattern.row_ptr[tc.vr_end];
+  ASSERT_EQ(slice->rhs_col_base.size(), slot_last - slot_first);
+  for (std::size_t s = 0; s < slice->rhs_col_base.size(); ++s) {
+    EXPECT_EQ(slice->rhs_col_base[s], full->rhs_col_base[slot_first + s]);
+  }
+
+  // Block map: the slice's blocks are the full plan's blocks for its rows,
+  // with row ids and slot bases shifted by the slice origin.
+  const auto head = sparse::slice_vector_rows(pattern, 0, tc.vr_begin);
+  const auto tail = sparse::slice_vector_rows(pattern, tc.vr_end, vr_total);
+  const SddmmPlanHandle head_plan = build_sddmm_plan(head, kK, cfg);
+  const SddmmPlanHandle tail_plan = build_sddmm_plan(tail, kK, cfg);
+  const std::size_t head_blocks = head_plan->map.row.size();
+  ASSERT_EQ(head_blocks + slice->map.row.size() + tail_plan->map.row.size(),
+            full->map.row.size());
+  for (std::size_t b = 0; b < slice->map.row.size(); ++b) {
+    EXPECT_EQ(slice->map.row[b] + tc.vr_begin, full->map.row[head_blocks + b]);
+    EXPECT_EQ(slice->map.slot_base[b] + slot_first,
+              full->map.slot_base[head_blocks + b]);
+    EXPECT_EQ(slice->map.valid[b], full->map.valid[head_blocks + b]);
+  }
+
+  // Grid and counters: with the complement slices they sum back to the
+  // full plan everywhere except compulsory DRAM (each shard re-reads its
+  // own share of the B working set).
+  EXPECT_EQ(head_plan->run.launch.grid_blocks +
+                slice->run.launch.grid_blocks +
+                tail_plan->run.launch.grid_blocks,
+            full->run.launch.grid_blocks);
+  EXPECT_EQ(head_plan->run.pipeline.total_steps +
+                slice->run.pipeline.total_steps +
+                tail_plan->run.pipeline.total_steps,
+            full->run.pipeline.total_steps);
+  simt::KernelCounters summed = head_plan->run.counters;
+  summed += slice->run.counters;
+  summed += tail_plan->run.counters;
+  simt::KernelCounters full_counters = full->run.counters;
+  EXPECT_GE(summed.dram_bytes, full_counters.dram_bytes);
+  summed.dram_bytes = full_counters.dram_bytes;  // compared separately above
+  // Each block's index read starts at its slice-relative slot offset, so
+  // its 32-byte-sector straddle can differ from the full plan's (globally
+  // based) read by at most one sector per block in either direction.
+  const std::uint64_t blocks = full->run.launch.grid_blocks;
+  EXPECT_LE(summed.gmem_load_sectors, full_counters.gmem_load_sectors + blocks);
+  EXPECT_GE(summed.gmem_load_sectors + blocks, full_counters.gmem_load_sectors);
+  summed.gmem_load_sectors = full_counters.gmem_load_sectors;
+  EXPECT_EQ(summed, full_counters);
+
+  // Replayed values: the slice plan over the slice's A rows computes
+  // exactly the corresponding slots of the full sampled output, and the
+  // output encoding mirrors the slice pattern (the concat-merge premise).
+  const auto a_vals = random_values(rows, kK, tc.precision.lhs, rng);
+  const auto b_vals = random_values(kK, kN, tc.precision.rhs, rng);
+  const int chunk = bits_of(tc.precision.rhs) <= 4 ? 4 : 8;
+  const auto a = prepare_dense(a_vals, tc.precision.lhs, true, chunk);
+  const auto b = prepare_dense(b_vals, tc.precision.rhs, false, chunk);
+  cfg.mode = ExecMode::fast;
+  const SddmmResult whole = sddmm(a, b, pattern, cfg, *full);
+
+  const std::size_t v = static_cast<std::size_t>(tc.v);
+  Matrix<std::int32_t> a_slice_vals(sliced.rows, kK);
+  for (std::size_t r = 0; r < sliced.rows; ++r) {
+    for (std::size_t c = 0; c < kK; ++c) {
+      a_slice_vals(r, c) = a_vals(tc.vr_begin * v + r, c);
+    }
+  }
+  const auto a_slice = prepare_dense(a_slice_vals, tc.precision.lhs, true,
+                                     chunk);
+  const SddmmResult part = sddmm(a_slice, b, sliced, cfg, *slice);
+  ASSERT_EQ(part.c.col_idx.size(), slot_last - slot_first);
+  for (std::size_t s = 0; s < part.c.col_idx.size(); ++s) {
+    EXPECT_EQ(part.c.col_idx[s], pattern.col_idx[slot_first + s]);
+  }
+  ASSERT_EQ(part.c.values.size(), (slot_last - slot_first) * v);
+  for (std::size_t i = 0; i < part.c.values.size(); ++i) {
+    ASSERT_EQ(part.c.values[i], whole.c.values[slot_first * v + i])
+        << "value " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SddmmSliceSweep, SddmmRowSlicePlanTest,
+    ::testing::Values(
+        SddmmSliceCase{precision::L8R8, 8, 0.7, 0, 3},
+        SddmmSliceCase{precision::L8R8, 8, 0.7, 3, 6},
+        SddmmSliceCase{precision::L8R8, 8, 0.7, 2, 4},
+        // Plane-emulated 16-bit pair and the int4 datapath.
+        SddmmSliceCase{precision::L16R16, 8, 0.6, 1, 5},
+        SddmmSliceCase{precision::L4R4, 8, 0.7, 1, 4},
+        // Narrow vectors (V < 8 leaves inactive lanes in the schedule).
+        SddmmSliceCase{precision::L8R8, 4, 0.6, 2, 6},
+        // Whole-pattern "slice" and empty slices at both ends.
+        SddmmSliceCase{precision::L8R8, 8, 0.7, 0, 6},
+        SddmmSliceCase{precision::L8R8, 8, 0.7, 0, 0},
+        SddmmSliceCase{precision::L4R4, 8, 0.7, 6, 6}),
+    sddmm_slice_case_name);
+
 TEST(ExecModeTest, ConfigModeOverridesProcessDefault) {
   // An explicit config mode wins over the process default in both
   // directions; results agree either way (sanity anchor).
