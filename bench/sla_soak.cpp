@@ -1,0 +1,435 @@
+// SLA-aware overload soak: a 4-device DevicePool under ~2x modeled
+// overload, gated against recorded bars.
+//
+// The stream mixes three priority classes over a rotating set of warm
+// patterns (the warmup manifest pre-builds and pins every plan, so the
+// first dispatch round already prices from cached plans):
+//   * high (priority 2, 20%) — a generous deadline the EDF-first placement
+//     must always meet: the class places before everything else, so its
+//     modeled completions see only high-class backlog;
+//   * mid (priority 1, 30%) — a deadline sized to the class boundary:
+//     servable after the high class, mostly;
+//   * low (priority 0, 50%) — a deadline below the backlog the two upper
+//     classes leave behind, so most of the class is shed at admission.
+// Deadlines derive from D_base = W / (2N) (W = total modeled work of the
+// stream, N = devices): the stream carries twice the work the deadline
+// horizon admits, which is the overload the shed gate measures.
+//
+// Everything gated is *modeled* and therefore deterministic: placement,
+// EDF order, deadline admission and the shed set are exact functions of
+// the request stream and the analytic cost model (no faults injected, one
+// dispatch round via the long-linger + queue-bound idiom). The gates:
+//   * the high class is never shed and its worst completion/deadline
+//     ratio stays under the recorded bar,
+//   * the overall shed rate stays within the recorded band (sheds bounded
+//     — but the overload IS shedding, so a floor asserts the gate bites),
+//   * modeled goodput (served work / total work) clears the recorded floor.
+// Hard invariants (MAGICUBE_CHECK, not bars): every shed future carries a
+// ShedError, every shed trace carries a `shed` span, and served results
+// stay bit-exact vs the sequential reference.
+//
+// Like the other perf benches: --smoke is peeled off argv, the rest
+// forwards to google-benchmark; gates compare against
+// bench/baselines/sla_soak.json (bars move by re-recording, never by
+// editing the gate); sanitizer builds report without enforcing.
+// --trace-out=PATH exports the pool's TraceLog JSON (the CI artifact the
+// trace_report tool aggregates).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/api.hpp"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define MAGICUBE_BENCH_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define MAGICUBE_BENCH_SANITIZED 1
+#endif
+#endif
+#ifndef MAGICUBE_BENCH_SANITIZED
+#define MAGICUBE_BENCH_SANITIZED 0
+#endif
+
+#ifndef MAGICUBE_BENCH_BASELINE_DIR
+#define MAGICUBE_BENCH_BASELINE_DIR "bench/baselines"
+#endif
+
+namespace {
+
+using namespace magicube;
+
+constexpr std::size_t kDevices = 4;
+
+struct SoakShape {
+  std::size_t requests = 1200;
+  std::size_t m = 256, k = 256, n = 128;
+  double sparsity = 0.8;
+};
+
+SoakShape shape_for(bool smoke) {
+  SoakShape s;
+  if (smoke) {
+    s.requests = 200;
+    s.m = s.k = 128;
+    s.n = 64;
+  }
+  return s;
+}
+
+/// The warm working set: six layers (five SpMM precisions + one SDDMM)
+/// whose plans the warmup manifest pre-builds and pins.
+struct Layer {
+  serve::Request req;    // operands + identity; deadline/priority set later
+  double est = 0.0;      // modeled seconds on the a100 reference spec
+};
+
+std::vector<Layer> make_layers(const SoakShape& s) {
+  static const PrecisionPair spmm_pairs[] = {
+      precision::L16R16, precision::L16R8, precision::L8R8,
+      precision::L8R4,   precision::L4R4};
+  std::vector<Layer> layers;
+  std::uint64_t next_id = 1;
+  for (const PrecisionPair prec : spmm_pairs) {
+    Rng rng(0x51a + next_id);
+    Layer l;
+    l.req.op = serve::OpKind::spmm;
+    l.req.precision = prec;
+    l.req.pattern = std::make_shared<const sparse::BlockPattern>(
+        sparse::make_uniform_pattern(s.m, s.k, 8, s.sparsity, rng));
+    l.req.lhs_values = std::make_shared<const Matrix<std::int32_t>>(
+        core::random_values(s.m, s.k, prec.lhs, rng));
+    l.req.rhs_values = std::make_shared<const Matrix<std::int32_t>>(
+        core::random_values(s.k, s.n, prec.rhs, rng));
+    l.req.lhs_id = next_id;
+    l.req.rhs_id = 100 + next_id;
+    next_id += 1;
+    layers.push_back(std::move(l));
+  }
+  {
+    Rng rng(0x5dd);
+    Layer l;
+    l.req.op = serve::OpKind::sddmm;
+    l.req.precision = precision::L8R8;
+    l.req.pattern = std::make_shared<const sparse::BlockPattern>(
+        sparse::make_uniform_pattern(s.m, s.n, 8, s.sparsity, rng));
+    l.req.lhs_values = std::make_shared<const Matrix<std::int32_t>>(
+        core::random_values(s.m, s.k, Scalar::s8, rng));
+    l.req.rhs_values = std::make_shared<const Matrix<std::int32_t>>(
+        core::random_values(s.k, s.n, Scalar::s8, rng));
+    l.req.lhs_id = next_id;
+    l.req.rhs_id = 100 + next_id;
+    layers.push_back(std::move(l));
+  }
+  serve::OperandCache scratch(64ull << 20);
+  for (Layer& l : layers) {
+    l.est = simt::estimate_seconds(simt::a100(),
+                                   serve::price_request(l.req, scratch));
+    MAGICUBE_CHECK(l.est > 0.0);
+  }
+  return layers;
+}
+
+serve::WarmupManifest manifest_for(const std::vector<Layer>& layers) {
+  serve::WarmupManifest m;
+  for (const Layer& l : layers) {
+    serve::WarmupEntry e;
+    e.op = l.req.op;
+    e.precision = l.req.precision;
+    e.pattern = l.req.pattern;
+    e.cols = l.req.op == serve::OpKind::spmm ? l.req.rhs_values->cols()
+                                             : l.req.lhs_values->cols();
+    e.pin = true;
+    m.entries.push_back(std::move(e));
+  }
+  return m;
+}
+
+/// Priority class by stream index: 20% high, 30% mid, 50% low.
+int priority_of(std::size_t i) {
+  const std::size_t slot = i % 10;
+  if (slot < 2) return 2;
+  if (slot < 5) return 1;
+  return 0;
+}
+
+struct SoakMetrics {
+  std::size_t total = 0;
+  std::size_t shed = 0;
+  std::size_t high_total = 0;
+  std::size_t high_shed = 0;
+  double high_worst_ratio = 0.0;  // max completion/deadline over served high
+  double shed_rate = 0.0;
+  double goodput = 0.0;           // served modeled work / total modeled work
+  std::uint64_t affinity_hits = 0;
+  std::uint64_t urgent_rounds = 0;
+  std::uint64_t shed_spans = 0;   // traces carrying a `shed` span
+};
+
+SoakMetrics run_soak(const SoakShape& s, const std::vector<Layer>& layers,
+                     const char* trace_out) {
+  serve::DevicePoolConfig cfg;
+  cfg.device_count = kDevices;
+  cfg.shard_threshold_seconds = 0;  // the SLA axis, not the sharding axis
+  // One deterministic dispatch round: long linger, the queue bound cuts it
+  // short the instant the last submit lands.
+  cfg.linger = std::chrono::seconds(2);
+  cfg.max_queue_depth = s.requests;
+  cfg.trace_capacity = s.requests + 16;
+  // A tenth of the smallest estimate: tight enough to keep placements
+  // essentially earliest-completion, wide enough to exercise the path.
+  double min_est = layers.front().est;
+  double max_est = 0.0;
+  for (const Layer& l : layers) {
+    min_est = std::min(min_est, l.est);
+    max_est = std::max(max_est, l.est);
+  }
+  cfg.affinity_tolerance_seconds = 0.1 * min_est;
+  serve::DevicePool pool(cfg);
+
+  const serve::WarmupReport warm = pool.warmup(manifest_for(layers));
+  MAGICUBE_CHECK_MSG(warm.plans_built == layers.size() &&
+                         warm.pinned == layers.size(),
+                     "warmup did not build/pin the whole manifest");
+
+  // Deadline horizon: D_base is half the per-device share of the stream's
+  // total modeled work — a 2x overload for the classes priced against it.
+  double total_work = 0.0;
+  for (std::size_t i = 0; i < s.requests; ++i) {
+    total_work += layers[i % layers.size()].est;
+  }
+  const double d_base = total_work / (2.0 * kDevices);
+  const double deadline_high = 2.2 * d_base + max_est;
+  const double deadline_mid = 1.2 * d_base;
+  const double deadline_low = 0.8 * d_base;
+
+  struct Submitted {
+    std::size_t layer = 0;
+    int priority = 0;
+    double deadline = 0.0;
+    std::future<serve::Response> future;
+  };
+  std::vector<Submitted> stream;
+  stream.reserve(s.requests);
+  for (std::size_t i = 0; i < s.requests; ++i) {
+    Submitted sub;
+    sub.layer = i % layers.size();
+    sub.priority = priority_of(i);
+    sub.deadline = sub.priority == 2   ? deadline_high
+                   : sub.priority == 1 ? deadline_mid
+                                       : deadline_low;
+    serve::Request req = layers[sub.layer].req;  // shared operand handles
+    req.priority = sub.priority;
+    req.deadline_seconds = sub.deadline;
+    sub.future = pool.submit(std::move(req));
+    stream.push_back(std::move(sub));
+  }
+
+  // Sequential references for the bit-exactness spot check (one per layer).
+  std::vector<serve::Response> refs;
+  for (const Layer& l : layers) {
+    serve::OperandCache ref_cache(256ull << 20);
+    refs.push_back(serve::serve_request(l.req, ref_cache));
+  }
+
+  SoakMetrics m;
+  m.total = s.requests;
+  double served_work = 0.0;
+  std::vector<char> checked(layers.size(), 0);
+  for (Submitted& sub : stream) {
+    try {
+      const serve::Response resp = sub.future.get();
+      served_work += layers[sub.layer].est;
+      MAGICUBE_CHECK_MSG(resp.modeled_completion_seconds > 0.0 &&
+                             resp.modeled_completion_seconds <= sub.deadline,
+                         "a served request missed its deadline");
+      if (sub.priority == 2) {
+        m.high_total += 1;
+        const double ratio = resp.modeled_completion_seconds / sub.deadline;
+        m.high_worst_ratio = std::max(m.high_worst_ratio, ratio);
+      }
+      if (checked[sub.layer] == 0) {
+        checked[sub.layer] = 1;
+        const serve::Response& want = refs[sub.layer];
+        if (resp.op == serve::OpKind::spmm) {
+          MAGICUBE_CHECK_MSG(resp.spmm->c == want.spmm->c,
+                             "pooled SpMM diverged from the reference");
+        } else {
+          MAGICUBE_CHECK_MSG(resp.sddmm->c.values == want.sddmm->c.values,
+                             "pooled SDDMM diverged from the reference");
+        }
+      }
+    } catch (const serve::ShedError&) {
+      m.shed += 1;
+      if (sub.priority == 2) {
+        m.high_total += 1;
+        m.high_shed += 1;
+      }
+    }
+    // Any other exception propagates: the soak tolerates shedding only.
+  }
+  pool.drain();
+
+  const serve::DevicePoolStats st = pool.stats();
+  MAGICUBE_CHECK(st.shed == m.shed);
+  MAGICUBE_CHECK(st.failed == m.shed);  // shedding is the only failure mode
+  m.shed_rate = static_cast<double>(m.shed) / static_cast<double>(m.total);
+  m.goodput = served_work / total_work;
+  m.affinity_hits = st.affinity_hits;
+  m.urgent_rounds = st.urgent_rounds;
+
+  // Shedding is never silent: every shed trace carries its `shed` span.
+  std::size_t failed_traces = 0;
+  for (const auto& trace : pool.traces().snapshot()) {
+    bool has_shed = false;
+    for (const serve::TraceSpan& span : trace->spans) {
+      has_shed = has_shed || span.name == "shed";
+    }
+    if (has_shed) m.shed_spans += 1;
+    if (!trace->ok) {
+      failed_traces += 1;
+      MAGICUBE_CHECK_MSG(has_shed, "a shed request's trace lacks its shed "
+                                   "span");
+    }
+  }
+  MAGICUBE_CHECK(m.shed_spans == m.shed && failed_traces == m.shed);
+
+  if (trace_out != nullptr) {
+    if (pool.traces().write_json(trace_out)) {
+      std::printf("per-request traces written to %s\n", trace_out);
+    } else {
+      std::printf("warning: could not write traces to %s\n", trace_out);
+    }
+  }
+  return m;
+}
+
+bool g_smoke = false;
+std::string g_trace_out;
+
+bool soak_and_gate(bool smoke, const char* trace_out) {
+  const SoakShape s = shape_for(smoke);
+  std::printf("== SLA overload soak%s ==\n", smoke ? " [smoke]" : "");
+  std::printf("%zu requests over %zu devices at 2x modeled overload "
+              "(20%% high / 30%% mid / 50%% low priority)\n\n",
+              s.requests, kDevices);
+
+  const std::vector<Layer> layers = make_layers(s);
+  const SoakMetrics m = run_soak(s, layers, trace_out);
+
+  bench::Table table({"metric", "value"});
+  table.add_row({"requests", std::to_string(m.total)});
+  table.add_row({"shed", std::to_string(m.shed)});
+  table.add_row({"shed rate", bench::fmt(m.shed_rate, 3)});
+  table.add_row({"modeled goodput", bench::fmt(m.goodput, 3)});
+  table.add_row({"high-priority shed",
+                 std::to_string(m.high_shed) + " / " +
+                     std::to_string(m.high_total)});
+  table.add_row({"high-priority worst completion/deadline",
+                 bench::fmt(m.high_worst_ratio, 3)});
+  table.add_row({"affinity hits", std::to_string(m.affinity_hits)});
+  table.add_row({"urgent dispatch rounds", std::to_string(m.urgent_rounds)});
+  table.print();
+
+  const bench::Baselines bars = bench::load_baselines(
+      MAGICUBE_BENCH_BASELINE_DIR, "sla_soak.json");
+  const std::string prefix = smoke ? "smoke_" : "full_";
+  bool bars_ok = bars.loaded;
+  double high_ratio_max = 0, shed_max = 0, shed_min = 0, goodput_min = 0;
+  if (bars.loaded) {
+    high_ratio_max = bars.get(prefix + "high_worst_ratio_max", &bars_ok);
+    shed_max = bars.get(prefix + "shed_rate_max", &bars_ok);
+    shed_min = bars.get(prefix + "shed_rate_min", &bars_ok);
+    goodput_min = bars.get(prefix + "goodput_min", &bars_ok);
+  }
+
+  bool gate = true;
+  if (!bars_ok) {
+    std::printf("\ncannot read recorded baselines from %s — gate FAILED\n",
+                bars.path.c_str());
+    gate = false;
+  } else {
+    struct GateRow {
+      const char* name;
+      double value, bar;
+      bool is_max;  // true: value <= bar passes; false: value >= bar
+    } rows[] = {
+        {"high-priority shed count", static_cast<double>(m.high_shed), 0.0,
+         true},
+        {"high-priority worst completion/deadline", m.high_worst_ratio,
+         high_ratio_max, true},
+        {"shed rate (upper)", m.shed_rate, shed_max, true},
+        {"shed rate (lower)", m.shed_rate, shed_min, false},
+        {"modeled goodput", m.goodput, goodput_min, false},
+    };
+    std::printf("\n");
+    for (const GateRow& r : rows) {
+      const bool ok = r.is_max ? r.value <= r.bar : r.value >= r.bar;
+      gate = gate && ok;
+      std::printf("%s: %.3f (recorded bar: %s %.3f) — %s\n", r.name, r.value,
+                  r.is_max ? "<=" : ">=", r.bar, ok ? "PASS" : "FAIL");
+    }
+    std::printf("(bars recorded in %s; move them by re-recording, not by "
+                "editing the gate)%s\n\n",
+                bars.path.c_str(),
+                MAGICUBE_BENCH_SANITIZED
+                    ? " [sanitized build: gates reported, not enforced]"
+                    : "");
+  }
+  return gate || MAGICUBE_BENCH_SANITIZED;
+}
+
+// google-benchmark surface (the BENCH_sla_soak JSON artifact): wall clock
+// of the whole submit-to-drain soak, smoke-sized in CI.
+void BM_SlaSoak(benchmark::State& state) {
+  const SoakShape s = shape_for(g_smoke);
+  const std::vector<Layer> layers = make_layers(s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_soak(s, layers, nullptr));
+  }
+}
+BENCHMARK(BM_SlaSoak)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<char*> fwd = {argv[0]};
+  bool help = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      g_smoke = true;
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      g_trace_out = argv[i] + 12;
+    } else {
+      if (std::strcmp(argv[i], "--help") == 0 ||
+          std::strcmp(argv[i], "-h") == 0) {
+        help = true;
+      }
+      fwd.push_back(argv[i]);
+    }
+  }
+  bool gate_passed = true;
+  if (help) {
+    std::printf("usage: %s [--smoke] [--trace-out=PATH] [--benchmark_* "
+                "flags]\n"
+                "  --smoke           small stream, a few seconds\n"
+                "  --trace-out=PATH  export per-request trace JSON\n"
+                "  other flags forward to google-benchmark (below)\n\n",
+                argv[0]);
+  } else {
+    gate_passed = soak_and_gate(
+        g_smoke, g_trace_out.empty() ? nullptr : g_trace_out.c_str());
+  }
+  int bench_argc = static_cast<int>(fwd.size());
+  benchmark::Initialize(&bench_argc, fwd.data());
+  benchmark::RunSpecifiedBenchmarks();
+  return gate_passed ? 0 : 1;
+}

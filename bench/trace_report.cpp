@@ -1,0 +1,247 @@
+// Trace regression report: aggregates the TRACE_*.json artifacts the
+// serving benches export (serve/trace.cpp's magicube.trace.v1 documents)
+// into per-span-kind latency percentiles.
+//
+// CI pipes the stdout markdown into $GITHUB_STEP_SUMMARY after the soak
+// benches run, so a reviewer reads p50/p99/max modeled span durations per
+// kind (queue, replay, retry, shed, replace, ...) without downloading the
+// artifact; --out=FILE.json additionally emits a machine-readable
+// magicube.trace_report.v1 document that rides next to the BENCH_*.json
+// uploads. Durations are *modeled* microseconds (end - begin on the
+// request's modeled timeline), the same clock the placement and the gates
+// reason about — zero-width marker spans (price, place, shed, merge)
+// aggregate like everything else, their counts being the interesting part.
+//
+// --self-test runs the aggregation against an in-process document and is
+// registered as the bench-smoke CTest entry (the tool has no recorded
+// bars of its own — it reports; the soak gates).
+//
+// Parsing uses tests/support/json.hpp — the same reader the trace schema
+// tests trust, so the report stays honest about well-formedness.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace {
+
+using magicube::testjson::Parser;
+using magicube::testjson::Value;
+
+struct KindStats {
+  std::vector<double> durations_us;
+  std::size_t failed_spans = 0;  // spans with ok="false"
+};
+
+struct Report {
+  std::map<std::string, KindStats> kinds;  // ordered for stable output
+  std::size_t files = 0;
+  std::size_t traces = 0;
+  std::size_t traces_failed = 0;
+  std::size_t traces_dropped = 0;  // ring-capacity drops reported upstream
+};
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(idx));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(idx));
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+void accumulate_document(const Value& doc, Report* report) {
+  const Value* schema = doc.find("schema");
+  if (schema == nullptr || schema->str != "magicube.trace.v1") {
+    throw std::runtime_error("not a magicube.trace.v1 document");
+  }
+  const Value* dropped = doc.find("dropped");
+  if (dropped != nullptr) {
+    report->traces_dropped += static_cast<std::size_t>(dropped->num);
+  }
+  for (const Value& trace : doc.at("traces").arr) {
+    report->traces += 1;
+    const Value* ok = trace.find("ok");
+    if (ok != nullptr && !ok->b) report->traces_failed += 1;
+    for (const Value& span : trace.at("spans").arr) {
+      KindStats& ks = report->kinds[span.at("name").str];
+      const double begin = span.at("begin").num;
+      const double end = span.at("end").num;
+      ks.durations_us.push_back((end - begin) * 1e6);
+      const Value* attrs = span.find("attrs");
+      if (attrs != nullptr) {
+        const Value* span_ok = attrs->find("ok");
+        if (span_ok != nullptr && span_ok->str == "false") {
+          ks.failed_spans += 1;
+        }
+      }
+    }
+  }
+}
+
+bool accumulate_file(const std::string& path, Report* report) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "trace_report: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  try {
+    accumulate_document(Parser(ss.str()).parse(), report);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace_report: %s: %s\n", path.c_str(), e.what());
+    return false;
+  }
+  report->files += 1;
+  return true;
+}
+
+void print_markdown(const Report& r) {
+  std::printf("### Trace regression report\n\n");
+  std::printf("%zu file(s), %zu trace(s), %zu failed, %zu dropped by the "
+              "ring\n\n",
+              r.files, r.traces, r.traces_failed, r.traces_dropped);
+  std::printf("| span kind | count | failed | p50 (us) | p99 (us) | max "
+              "(us) |\n");
+  std::printf("|---|---|---|---|---|---|\n");
+  for (const auto& [kind, stats] : r.kinds) {
+    std::vector<double> sorted = stats.durations_us;
+    std::sort(sorted.begin(), sorted.end());
+    std::printf("| %s | %zu | %zu | %.2f | %.2f | %.2f |\n", kind.c_str(),
+                sorted.size(), stats.failed_spans, percentile(sorted, 0.5),
+                percentile(sorted, 0.99), sorted.empty() ? 0.0
+                                                         : sorted.back());
+  }
+  std::printf("\nDurations are modeled microseconds on each request's own "
+              "timeline.\n");
+}
+
+bool write_json(const Report& r, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "trace_report: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << "{\n  \"schema\": \"magicube.trace_report.v1\",\n";
+  out << "  \"files\": " << r.files << ",\n";
+  out << "  \"traces\": " << r.traces << ",\n";
+  out << "  \"traces_failed\": " << r.traces_failed << ",\n";
+  out << "  \"traces_dropped\": " << r.traces_dropped << ",\n";
+  out << "  \"kinds\": {";
+  bool first = true;
+  for (const auto& [kind, stats] : r.kinds) {
+    std::vector<double> sorted = stats.durations_us;
+    std::sort(sorted.begin(), sorted.end());
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "\n    \"%s\": {\"count\": %zu, \"failed\": %zu, "
+                  "\"p50_us\": %.6g, \"p99_us\": %.6g, \"max_us\": %.6g}",
+                  kind.c_str(), sorted.size(), stats.failed_spans,
+                  percentile(sorted, 0.5), percentile(sorted, 0.99),
+                  sorted.empty() ? 0.0 : sorted.back());
+    out << (first ? "" : ",") << buf;
+    first = false;
+  }
+  out << "\n  }\n}\n";
+  return static_cast<bool>(out);
+}
+
+/// In-process check of the whole pipeline: parse a known document,
+/// aggregate, verify counts and percentiles exactly. Exercised by CTest
+/// (bench-smoke label) and safe to run anywhere — no files touched.
+int self_test() {
+  const std::string doc = R"({
+    "schema": "magicube.trace.v1", "engine": "device_pool", "dropped": 2,
+    "traces": [
+      {"ok": true, "spans": [
+        {"name": "queue", "begin": 0, "end": 1e-6},
+        {"name": "replay", "begin": 1e-6, "end": 5e-6,
+         "attrs": {"ok": "true"}}]},
+      {"ok": false, "spans": [
+        {"name": "replay", "begin": 0, "end": 3e-6,
+         "attrs": {"ok": "false"}},
+        {"name": "shed", "begin": 3e-6, "end": 3e-6}]}
+    ]})";
+  Report r;
+  accumulate_document(Parser(doc).parse(), &r);
+  auto fail = [](const char* what) {
+    std::fprintf(stderr, "trace_report --self-test FAILED: %s\n", what);
+    return 1;
+  };
+  if (r.traces != 2 || r.traces_failed != 1 || r.traces_dropped != 2) {
+    return fail("trace counts");
+  }
+  if (r.kinds.size() != 3 || r.kinds.count("queue") == 0 ||
+      r.kinds.count("replay") == 0 || r.kinds.count("shed") == 0) {
+    return fail("span kinds");
+  }
+  const KindStats& replay = r.kinds.at("replay");
+  if (replay.durations_us.size() != 2 || replay.failed_spans != 1) {
+    return fail("replay aggregation");
+  }
+  std::vector<double> sorted = replay.durations_us;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::abs(percentile(sorted, 0.5) - 3.5) > 1e-9 ||
+      std::abs(sorted.back() - 4.0) > 1e-9) {
+    return fail("replay percentiles");
+  }
+  if (r.kinds.at("shed").durations_us.front() != 0.0) {
+    return fail("zero-width shed span");
+  }
+  // A malformed document must be rejected, not half-aggregated.
+  try {
+    Report bad;
+    accumulate_document(Parser(R"({"schema": "other", "traces": []})")
+                            .parse(), &bad);
+    return fail("schema check");
+  } catch (const std::exception&) {
+  }
+  std::printf("trace_report --self-test PASSED\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--self-test") == 0) {
+      return self_test();
+    }
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      std::printf("usage: %s [--out=FILE.json] TRACE_*.json...\n"
+                  "       %s --self-test\n"
+                  "Aggregates magicube.trace.v1 documents into per-span-kind "
+                  "modeled-latency percentiles (markdown to stdout).\n",
+                  argv[0], argv[0]);
+      return 0;
+    } else {
+      inputs.push_back(argv[i]);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "trace_report: no input files (try --help)\n");
+    return 2;
+  }
+  Report report;
+  bool ok = true;
+  for (const std::string& path : inputs) {
+    ok = accumulate_file(path, &report) && ok;
+  }
+  print_markdown(report);
+  if (!out_path.empty()) ok = write_json(report, out_path) && ok;
+  return ok ? 0 : 1;
+}

@@ -6,7 +6,10 @@
 #include <cstdio>
 #include <deque>
 #include <exception>
+#include <limits>
+#include <map>
 #include <mutex>
+#include <unordered_map>
 #include <utility>
 
 #include "common/check.hpp"
@@ -40,6 +43,17 @@ std::string fmt_seconds(double v) {
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%.9g", v);
   return buf;
+}
+
+/// Affinity identity of a whole request: the pattern it replays (the proxy
+/// for where its prepared operands are resident), folded with the named
+/// weight version and the op so SpMM and SDDMM traffic over one pattern
+/// track separate residency.
+std::uint64_t affinity_key(const Request& req, std::uint64_t pattern_fp) {
+  std::uint64_t h = pattern_fp;
+  h ^= req.lhs_id * 0x9e3779b97f4a7c15ull;
+  if (req.op == OpKind::sddmm) h ^= 0xddull << 56;
+  return h;
 }
 
 }  // namespace
@@ -106,6 +120,73 @@ struct DevicePool::Impl {
     std::mutex error_mutex;
     std::exception_ptr error;
   };
+
+  /// Work placed but not yet executing: the placement its ThreadPool task
+  /// will claim when it starts running. Between registration and claim,
+  /// drain_device's re-placement may rewrite the placement; the executing
+  /// task reads the final word under claim_ticket. Ordered by ticket id
+  /// (= placement order) so re-placement after a drain is deterministic.
+  struct Ticket {
+    simt::KernelRun run;
+    Placement pl;
+    bool is_slice = false;
+    std::size_t slice = 0;
+    std::shared_ptr<ShardState> shard;    // slice tickets only
+    std::shared_ptr<RequestTrace> trace;  // for `replace` spans
+  };
+  std::map<std::uint64_t, Ticket> tickets;  // guarded by the pool mutex
+  std::uint64_t next_ticket_id = 1;
+  /// Last device that served each affinity key — where that traffic's
+  /// prepared operands are resident. Maintained only when
+  /// affinity_tolerance_seconds > 0.
+  std::unordered_map<std::uint64_t, std::size_t> affinity;
+  /// Hot-layer plan pins taken by warmup(), held for the pool's lifetime.
+  OperandCache::PinScope warmup_pins;
+
+  std::uint64_t register_ticket_locked(
+      const simt::KernelRun& run, const Placement& pl,
+      std::shared_ptr<RequestTrace> trace, bool is_slice = false,
+      std::size_t slice = 0, std::shared_ptr<ShardState> shard = nullptr) {
+    const std::uint64_t id = next_ticket_id++;
+    Ticket t;
+    t.run = run;
+    t.pl = pl;
+    t.is_slice = is_slice;
+    t.slice = slice;
+    t.shard = std::move(shard);
+    t.trace = std::move(trace);
+    tickets.emplace(id, std::move(t));
+    return id;
+  }
+
+  /// What an executing task learns when it claims its ticket: the final
+  /// (possibly re-placed) placement plus the per-device execution state it
+  /// needs, read under one lock.
+  struct Claimed {
+    Placement pl;
+    bool injected = false;
+    std::uint64_t execution = 0;
+    std::shared_ptr<OperandCache> cache;
+    simt::DeviceSpec spec;
+  };
+
+  /// Claims a ticket at execution start: reads its placement, removes it
+  /// from the re-placement window (in-flight work is never moved), and
+  /// rolls the fault-injection dice on the device it finally landed on.
+  Claimed claim_ticket(std::uint64_t id) {
+    Claimed c;
+    std::lock_guard<std::mutex> lock(mutex);
+    const auto it = tickets.find(id);
+    MAGICUBE_CHECK_MSG(it != tickets.end(),
+                       "DevicePool ticket " << id << " claimed twice");
+    c.pl = it->second.pl;
+    tickets.erase(it);
+    c.injected = inject_fault_locked(c.pl.device);
+    c.execution = executions[c.pl.device];
+    c.cache = caches[c.pl.device];
+    c.spec = specs[c.pl.device];
+    return c;
+  }
 
   std::size_t active_count_locked() const {
     std::size_t n = 0;
@@ -182,14 +263,138 @@ struct DevicePool::Impl {
     return choose_device_locked(run, -1, out);
   }
 
-  /// Commits a whole-request placement (device choice + modeled clock).
-  /// Returns false when every device is drained.
-  bool commit_whole(const simt::KernelRun& run, Placement* pl) {
+  struct CommitResult {
+    bool placed = false;
+    bool shed = false;  // deadline unmet on every active candidate
+    bool affinity_hit = false;
+    /// Modeled completion: committed placement's start + est, or the best
+    /// candidate's when shed.
+    double completion = 0.0;
+    Placement pl;
+    std::uint64_t ticket = 0;
+  };
+
+  /// Commits a whole-request placement: earliest-completion device choice,
+  /// deadline admission, optional affinity upgrade, then modeled clock +
+  /// ticket registration. `!placed && !shed` means every device is drained.
+  CommitResult commit_whole(const simt::KernelRun& run, double deadline,
+                            std::uint64_t aff_key,
+                            const std::shared_ptr<RequestTrace>& trace) {
+    CommitResult out;
     std::lock_guard<std::mutex> lock(mutex);
-    if (!choose_device_locked(run, -1, pl)) return false;
-    stats.devices[pl->device].placed += 1;
-    stats.devices[pl->device].modeled_busy_seconds += pl->est;
-    return true;
+    Placement best;
+    if (!choose_device_locked(run, -1, &best)) return out;
+    const double best_completion = best.start + best.est;
+    // Deadline admission: when even the earliest modeled completion misses
+    // the budget, the request is shed *before* any clock commits — serving
+    // it would be guaranteed late and would push everything behind it late
+    // too.
+    if (deadline > 0.0 && best_completion > deadline) {
+      out.shed = true;
+      out.completion = best_completion;
+      return out;
+    }
+    Placement chosen = best;
+    out.completion = best_completion;
+    // Affinity upgrade: repeat-pattern traffic goes back to the device
+    // that served the pattern last — where its prepared operands are
+    // resident — as long as the modeled completion there trails the best
+    // candidate by at most the tolerance (and still meets the deadline).
+    const double tol = owner->cfg_.affinity_tolerance_seconds;
+    if (tol > 0.0) {
+      const auto it = affinity.find(aff_key);
+      if (it != affinity.end() && it->second < specs.size() &&
+          it->second != best.device && active[it->second] != 0) {
+        const std::size_t d = it->second;
+        const double est = simt::estimate_seconds(specs[d], run);
+        const double t = stats.devices[d].modeled_busy_seconds + est;
+        if (t - best_completion <= tol && (deadline <= 0.0 || t <= deadline)) {
+          chosen.device = d;
+          chosen.est = est;
+          chosen.start = stats.devices[d].modeled_busy_seconds;
+          out.completion = t;
+          out.affinity_hit = true;
+          stats.affinity_hits += 1;
+        }
+      }
+      affinity[aff_key] = chosen.device;
+    }
+    stats.devices[chosen.device].placed += 1;
+    stats.devices[chosen.device].modeled_busy_seconds += chosen.est;
+    out.placed = true;
+    out.pl = chosen;
+    out.ticket = register_ticket_locked(run, chosen, trace);
+    return out;
+  }
+
+  /// Sheds a request (admission or retry re-placement missed the
+  /// deadline): counted, stamped with a `shed` span, surfaced as a
+  /// ShedError — always an explicit, observable rejection, never a silent
+  /// drop.
+  void shed_request(PendingRequest& p, double completion, double at_seconds) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      stats.shed += 1;
+    }
+    if (p.trace) {
+      p.trace->add_span(
+          TraceSpan("shed", at_seconds, at_seconds)
+              .attr("deadline_seconds", fmt_seconds(p.req.deadline_seconds))
+              .attr("modeled_completion_seconds", fmt_seconds(completion)));
+    }
+    fail_request(
+        p, std::make_exception_ptr(ShedError(
+               "request shed: modeled completion " + fmt_seconds(completion) +
+               "s exceeds deadline " + fmt_seconds(p.req.deadline_seconds) +
+               "s on every active device")));
+  }
+
+  /// Cost-model-driven re-placement after a drain: every ticket still
+  /// queued on `d` (placed, not yet claimed by its executing task) is
+  /// re-priced onto the surviving device with the earliest modeled
+  /// completion — in placement order, each commit updating the modeled
+  /// clocks the next choice sees. Work with no surviving candidate keeps
+  /// its drained target and executes exactly as before the drain. Lock
+  /// held.
+  void replace_queued_locked(std::size_t d) {
+    for (auto& [id, t] : tickets) {
+      (void)id;
+      if (t.pl.device != d) continue;
+      Placement np;
+      if (!choose_device_locked(t.run, -1, &np)) return;  // no survivor
+      const Placement old = t.pl;
+      // The request's timeline stays monotone: earlier spans already
+      // extend to the old start, so the new start never precedes it; a
+      // `replace` span bridges the gap a later backlog opens.
+      if (np.start < old.start) np.start = old.start;
+      stats.devices[d].modeled_busy_seconds -= old.est;
+      stats.devices[np.device].modeled_busy_seconds += np.est;
+      if (t.is_slice) {
+        stats.devices[d].shard_slices -= 1;
+        stats.devices[np.device].shard_slices += 1;
+      } else {
+        stats.devices[d].placed -= 1;
+        stats.devices[np.device].placed += 1;
+      }
+      if (t.shard) {
+        ShardState& st = *t.shard;
+        if (d < st.per_device_busy.size()) st.per_device_busy[d] -= old.est;
+        if (np.device >= st.per_device_busy.size()) {
+          st.per_device_busy.resize(np.device + 1, 0.0);
+        }
+        st.per_device_busy[np.device] += np.est;
+        st.placements[t.slice] = np;
+      }
+      t.pl = np;
+      stats.replaced += 1;
+      if (t.trace) {
+        TraceSpan span("replace", old.start, np.start,
+                       static_cast<int>(np.device));
+        span.attr("from_device", std::to_string(d));
+        if (t.is_slice) span.attr("slice", std::to_string(t.slice));
+        t.trace->add_span(std::move(span));
+      }
+    }
   }
 
   void complete(bool failed) {
@@ -221,10 +426,22 @@ struct DevicePool::Impl {
       taken.pop_front();
     }
     // Priority classes: higher priorities place (and therefore claim the
-    // least-loaded devices) first; equal priorities keep arrival order.
+    // least-loaded devices) first. Within a class, earliest deadline first
+    // (EDF) so the tightest budget sees the shortest backlog; requests
+    // without a deadline follow, keeping arrival order (stable sort).
+    const double inf = std::numeric_limits<double>::infinity();
     std::stable_sort(batch.begin(), batch.end(),
-                     [](const PendingRequest& a, const PendingRequest& b) {
-                       return a.req.priority > b.req.priority;
+                     [inf](const PendingRequest& a, const PendingRequest& b) {
+                       if (a.req.priority != b.req.priority) {
+                         return a.req.priority > b.req.priority;
+                       }
+                       const double da = a.req.deadline_seconds > 0.0
+                                             ? a.req.deadline_seconds
+                                             : inf;
+                       const double db = b.req.deadline_seconds > 0.0
+                                             ? b.req.deadline_seconds
+                                             : inf;
+                       return da < db;
                      });
     std::uint64_t batch_id;
     {
@@ -232,23 +449,37 @@ struct DevicePool::Impl {
       batch_id = next_batch_id++;
     }
     const std::size_t batch_size = batch.size();
+    bool urgent = false;
     for (PendingRequest& p : batch) {
       try {
         // place() moves from p only once placement is committed; on a
         // throw before that (malformed request, no active device, plan
         // build failure) the promise is still here to carry the failure.
-        place(p, batch_id, batch_size);
+        urgent = place(p, batch_id, batch_size) || urgent;
       } catch (...) {
         fail_request(p, std::current_exception());
       }
     }
+    // Modeled-latency-driven cadence instead of the static linger knob: a
+    // round that shed work or committed a placement past half its deadline
+    // budget leaves no linger for the next round (the backlog drains at
+    // full speed); a calm round restores the configured coalescing window.
+    if (owner->cfg_.adaptive_linger) {
+      core.set_linger(urgent ? std::chrono::microseconds{0}
+                             : owner->cfg_.linger);
+      if (urgent) {
+        std::lock_guard<std::mutex> lock(mutex);
+        stats.urgent_rounds += 1;
+      }
+    }
   }
 
-  void place(PendingRequest& p, std::uint64_t batch_id,
+  /// Prices and places one request. Returns whether the request put the
+  /// round under SLA pressure (it was shed, or its committed modeled
+  /// completion passed half its deadline budget).
+  bool place(PendingRequest& p, std::uint64_t batch_id,
              std::size_t batch_size) {
     const Request& req = p.req;
-    MAGICUBE_CHECK_MSG(req.pattern && req.lhs_values && req.rhs_values,
-                       "serve request is missing pattern or operand values");
     const DevicePoolConfig& cfg = owner->cfg_;
 
     // Price the request on its cached plan when one is resident (O(1));
@@ -260,30 +491,12 @@ struct DevicePool::Impl {
     // what it observed at execution time, so an eviction between pricing
     // and execution is not masked). Per-device pricing happens at device
     // choice; the shard decision uses the reference spec so thresholds
-    // keep one meaning across fleet compositions.
+    // keep one meaning across fleet compositions. The pricing body is
+    // serve/sla.hpp's price_request — the same path the BatchScheduler's
+    // modeled batch sizing uses.
+    const simt::KernelRun run = price_request(req, owner->plan_cache_);
     const std::uint64_t pattern_fp =
         owner->plan_cache_.pattern_identity(req.pattern);
-    simt::KernelRun run;
-    if (req.op == OpKind::spmm) {
-      core::SpmmConfig scfg;
-      scfg.precision = req.precision;
-      scfg.variant = req.variant;
-      scfg.bsn = req.bsn;
-      const CachedOperand hit = owner->plan_cache_.find(
-          spmm_plan_key(pattern_fp, req.rhs_values->cols(), scfg));
-      run = hit ? hit.spmm_plan->run
-                : core::spmm_estimate(*req.pattern, req.rhs_values->cols(),
-                                      scfg);
-    } else {
-      core::SddmmConfig dcfg;
-      dcfg.precision = req.precision;
-      dcfg.prefetch = req.sddmm_prefetch;
-      const CachedOperand hit = owner->plan_cache_.find(
-          sddmm_plan_key(pattern_fp, req.lhs_values->cols(), dcfg));
-      run = hit ? hit.sddmm_plan->run
-                : core::sddmm_estimate(*req.pattern, req.lhs_values->cols(),
-                                       dcfg);
-    }
     const double est_ref = simt::estimate_seconds(cfg.device, run);
     if (p.trace) {
       p.trace->op = to_string(req.op);
@@ -328,20 +541,29 @@ struct DevicePool::Impl {
         // Defer the O(pattern) slicing and the sub-plan builds to the
         // pool: the single dispatcher thread must keep placing the rest
         // of the queue (no head-of-line blocking behind a cold giant).
+        // Pressure a sharded giant turns out to exert is discovered on
+        // the pool thread, after this round's cadence was decided.
         auto item = std::make_shared<PendingRequest>(std::move(p));
         ThreadPool::instance().post([this, item, pattern_fp, want, run,
                                      batch_id, batch_size] {
           prepare_shards(item, pattern_fp, want, run, batch_id, batch_size);
         });
-        return;
+        return false;
       }
     }
 
-    Placement pl;
-    if (!commit_whole(run, &pl)) {
+    const double deadline = req.deadline_seconds;
+    const CommitResult cr =
+        commit_whole(run, deadline, affinity_key(req, pattern_fp), p.trace);
+    if (cr.shed) {
+      shed_request(p, cr.completion, /*at_seconds=*/0.0);
+      return true;
+    }
+    if (!cr.placed) {
       throw Error("DevicePool: no active device to place a request on "
                   "(every device is drained)");
     }
+    const Placement pl = cr.pl;
     if (p.trace) {
       p.trace->add_span(TraceSpan("queue", 0.0, pl.start));
       p.trace->add_span(
@@ -349,42 +571,40 @@ struct DevicePool::Impl {
                     static_cast<int>(pl.device))
               .attr("est_seconds", fmt_seconds(pl.est))
               .attr("batch_id", std::to_string(batch_id))
-              .attr("batch_size", std::to_string(batch_size)));
+              .attr("batch_size", std::to_string(batch_size))
+              .attr("affinity", cr.affinity_hit ? "true" : "false"));
     }
     auto item = std::make_shared<PendingRequest>(std::move(p));
-    ThreadPool::instance().post([this, item, pl, run, batch_id,
+    const std::uint64_t ticket = cr.ticket;
+    ThreadPool::instance().post([this, item, ticket, run, batch_id,
                                  batch_size] {
-      run_single(item, pl, /*attempt=*/0, run, batch_id, batch_size);
+      run_single(item, ticket, /*attempt=*/0, run, batch_id, batch_size);
     });
+    return deadline > 0.0 && cr.completion > 0.5 * deadline;
   }
 
-  void run_single(const std::shared_ptr<PendingRequest>& item, Placement pl,
-                  std::size_t attempt, const simt::KernelRun& run,
-                  std::uint64_t batch_id, std::size_t batch_size) {
+  void run_single(const std::shared_ptr<PendingRequest>& item,
+                  std::uint64_t ticket, std::size_t attempt,
+                  const simt::KernelRun& run, std::uint64_t batch_id,
+                  std::size_t batch_size) {
+    // The claim reads the final placement: drain_device may have re-priced
+    // this work onto a surviving device since it was committed.
+    const Claimed c = claim_ticket(ticket);
+    const Placement pl = c.pl;
     const std::size_t dev = pl.device;
-    bool injected = false;
-    std::uint64_t execution = 0;
-    std::shared_ptr<OperandCache> cache;
-    simt::DeviceSpec spec;
-    {
-      std::lock_guard<std::mutex> lock(mutex);
-      injected = inject_fault_locked(dev);
-      execution = executions[dev];
-      cache = caches[dev];
-      spec = specs[dev];
-    }
+    const bool injected = c.injected;
     std::exception_ptr err;
     Response resp;
     try {
       if (injected) {
         if (item->trace) item->trace->faults_injected.fetch_add(1);
         throw FaultError("injected fault: kernel execution " +
-                         std::to_string(execution) + " on device " +
+                         std::to_string(c.execution) + " on device " +
                          std::to_string(dev));
       }
       // serve_request reports plan_cache_hit as observed at execution
       // time (builds into the shared plan cache on a miss).
-      resp = serve_request(item->req, *cache, owner->plan_cache_, spec);
+      resp = serve_request(item->req, *c.cache, owner->plan_cache_, c.spec);
     } catch (...) {
       err = std::current_exception();
     }
@@ -395,6 +615,7 @@ struct DevicePool::Impl {
       resp.batch_id = batch_id;
       resp.batch_size = batch_size;
       resp.retries = attempt;
+      resp.modeled_completion_seconds = pl.start + pl.est;
       if (item->trace) {
         item->trace->add_span(
             TraceSpan("replay", pl.start, pl.start + pl.est,
@@ -433,25 +654,37 @@ struct DevicePool::Impl {
               .attr("fault", injected ? "injected" : "genuine")
               .attr("error", describe_exception(err)));
     }
+    const double deadline = item->req.deadline_seconds;
     Placement next;
     bool requeue = false;
+    bool shed = false;
+    double shed_completion = 0.0;
+    std::uint64_t next_ticket = 0;
     {
       std::lock_guard<std::mutex> lock(mutex);
       stats.devices[dev].completed += 1;
       stats.devices[dev].modeled_busy_seconds -= pl.est;
       if (attempt < owner->cfg_.max_retries &&
           choose_retry_device_locked(run, dev, &next)) {
-        requeue = true;
-        stats.retries += 1;
-        stats.devices[next.device].placed += 1;
-        stats.devices[next.device].modeled_busy_seconds += next.est;
+        // The request's timeline is monotone: the retry bridges from the
+        // failed attempt's modeled end to the new device's backlog (or is
+        // instantaneous when that backlog is already behind us).
+        if (next.start < fail_end) next.start = fail_end;
+        if (deadline > 0.0 && next.start + next.est > deadline) {
+          // The re-placed completion now misses the deadline: shed instead
+          // of burning retry budget on guaranteed-late work.
+          shed = true;
+          shed_completion = next.start + next.est;
+        } else {
+          requeue = true;
+          stats.retries += 1;
+          stats.devices[next.device].placed += 1;
+          stats.devices[next.device].modeled_busy_seconds += next.est;
+          next_ticket = register_ticket_locked(run, next, item->trace);
+        }
       }
     }
     if (requeue) {
-      // The request's timeline is monotone: the retry bridges from the
-      // failed attempt's modeled end to the new device's backlog (or is
-      // instantaneous when that backlog is already behind us).
-      if (next.start < fail_end) next.start = fail_end;
       if (item->trace) {
         item->trace->retries.fetch_add(1);
         item->trace->add_span(
@@ -460,10 +693,14 @@ struct DevicePool::Impl {
                 .attr("attempt", std::to_string(attempt + 1))
                 .attr("from_device", std::to_string(dev)));
       }
-      ThreadPool::instance().post([this, item, next, attempt, run, batch_id,
-                                   batch_size] {
-        run_single(item, next, attempt + 1, run, batch_id, batch_size);
+      ThreadPool::instance().post([this, item, next_ticket, attempt, run,
+                                   batch_id, batch_size] {
+        run_single(item, next_ticket, attempt + 1, run, batch_id, batch_size);
       });
+      return;
+    }
+    if (shed) {
+      shed_request(*item, shed_completion, fail_end);
       return;
     }
     if (attempt >= owner->cfg_.max_retries) {
@@ -515,19 +752,26 @@ struct DevicePool::Impl {
       if (st->slices.size() <= 1) {
         // The pattern would not split (e.g. a single block row): place it
         // whole from here — we are already on a pool thread.
-        Placement pl;
-        if (!commit_whole(run, &pl)) {
+        const CommitResult cr = commit_whole(
+            run, req.deadline_seconds, affinity_key(req, pattern_fp),
+            item->trace);
+        if (cr.shed) {
+          shed_request(*item, cr.completion, /*at_seconds=*/0.0);
+          return;
+        }
+        if (!cr.placed) {
           throw Error("DevicePool: no active device to place a request on "
                       "(every device is drained)");
         }
         if (item->trace) {
-          item->trace->add_span(TraceSpan("queue", 0.0, pl.start));
+          item->trace->add_span(TraceSpan("queue", 0.0, cr.pl.start));
           item->trace->add_span(
-              TraceSpan("place", pl.start, pl.start,
-                        static_cast<int>(pl.device))
-                  .attr("est_seconds", fmt_seconds(pl.est)));
+              TraceSpan("place", cr.pl.start, cr.pl.start,
+                        static_cast<int>(cr.pl.device))
+                  .attr("est_seconds", fmt_seconds(cr.pl.est)));
         }
-        run_single(item, pl, /*attempt=*/0, run, batch_id, batch_size);
+        run_single(item, cr.ticket, /*attempt=*/0, run, batch_id,
+                   batch_size);
         return;
       }
 
@@ -590,6 +834,16 @@ struct DevicePool::Impl {
 
     const std::size_t n = st->slices.size();
     st->placements.resize(n);
+    const double deadline = req.deadline_seconds;
+    std::vector<std::uint64_t> slice_tickets(n, 0);
+    double max_completion = 0.0;
+    bool shed = false;
+    bool placed_ok = false;
+    // Once the tickets are registered a concurrent drain may re-place the
+    // slices (rewriting st->placements under the lock), so every read the
+    // rest of this function does goes through this admission-time
+    // snapshot; the executing slice reads the final word via its claim.
+    std::vector<Placement> admitted;
     {
       std::lock_guard<std::mutex> lock(mutex);
       // Slices go wherever modeled completion is earliest — usually one
@@ -599,16 +853,12 @@ struct DevicePool::Impl {
       // slices serialize on their device's modeled clock).
       st->per_device_busy.assign(specs.size(), 0.0);
       bool placed_all = true;
+      std::size_t placed_n = 0;
       for (std::size_t i = 0; i < n; ++i) {
         Placement pl;
         if (!choose_device_locked(st->runs[i], -1, &pl)) {
           // Every device drained while the plans were building: roll the
           // earlier slices back and fail below.
-          for (std::size_t j = 0; j < i; ++j) {
-            const Placement& q = st->placements[j];
-            stats.devices[q.device].shard_slices -= 1;
-            stats.devices[q.device].modeled_busy_seconds -= q.est;
-          }
           placed_all = false;
           break;
         }
@@ -616,15 +866,40 @@ struct DevicePool::Impl {
         stats.devices[pl.device].shard_slices += 1;
         stats.devices[pl.device].modeled_busy_seconds += pl.est;
         st->per_device_busy[pl.device] += pl.est;
+        if (pl.start + pl.est > max_completion) {
+          max_completion = pl.start + pl.est;
+        }
+        placed_n = i + 1;
       }
-      if (placed_all) {
+      // Deadline admission for the sharded path: the request completes
+      // when its *latest* slice does; when that already misses the budget,
+      // roll every slice back untouched and shed below.
+      shed = placed_all && deadline > 0.0 && max_completion > deadline;
+      if (placed_all && !shed) {
         stats.sharded_requests += 1;
         stats.shard_slices += n;
+        for (std::size_t i = 0; i < n; ++i) {
+          slice_tickets[i] = register_ticket_locked(
+              st->runs[i], st->placements[i], item->trace,
+              /*is_slice=*/true, i, st);
+        }
+        admitted = st->placements;
+        placed_ok = true;
       } else {
+        for (std::size_t j = 0; j < placed_n; ++j) {
+          const Placement& q = st->placements[j];
+          stats.devices[q.device].shard_slices -= 1;
+          stats.devices[q.device].modeled_busy_seconds -= q.est;
+        }
         st->per_device_busy.clear();
       }
     }
-    if (st->per_device_busy.empty()) {
+    if (shed) {
+      st->plan_pins.release();
+      shed_request(*item, max_completion, /*at_seconds=*/0.0);
+      return;
+    }
+    if (!placed_ok) {
       fail_request(*item, std::make_exception_ptr(Error(
                               "DevicePool: no active device to place a "
                               "request on (every device is drained)")));
@@ -636,7 +911,7 @@ struct DevicePool::Impl {
               .attr("slices", std::to_string(n))
               .attr("batch_id", std::to_string(batch_id)));
       for (std::size_t i = 0; i < n; ++i) {
-        const Placement& pl = st->placements[i];
+        const Placement& pl = admitted[i];
         item->trace->add_span(TraceSpan("queue", 0.0, pl.start)
                                   .attr("slice", std::to_string(i)));
         item->trace->add_span(
@@ -655,7 +930,7 @@ struct DevicePool::Impl {
       // client named it — and aliased by every slice: operands are
       // immutable shared handles.
       st->rhs =
-          cache_for(st->placements.front().device)
+          cache_for(admitted.front().device)
               ->get_or_prepare_dense(st->op == OpKind::spmm
                                          ? OperandKind::spmm_rhs
                                          : OperandKind::sddmm_rhs,
@@ -665,12 +940,16 @@ struct DevicePool::Impl {
     } catch (...) {
       // No slice task was posted yet: fail the request directly and roll
       // the assignment back — modeled clocks must not keep busy seconds
-      // (nor the counters slices) for work that never executed.
+      // (nor the counters slices, nor the ticket registry placements) for
+      // work that never executed. A drain may have re-placed some tickets
+      // meanwhile; st->placements tracks those rewrites, so rolling back
+      // from it always hits the device currently charged.
       {
         std::lock_guard<std::mutex> lock(mutex);
         stats.sharded_requests -= 1;
         stats.shard_slices -= n;
         for (std::size_t i = 0; i < n; ++i) {
+          tickets.erase(slice_tickets[i]);
           const Placement& pl = st->placements[i];
           stats.devices[pl.device].shard_slices -= 1;
           stats.devices[pl.device].modeled_busy_seconds -= pl.est;
@@ -681,11 +960,11 @@ struct DevicePool::Impl {
       return;
     }
     for (std::size_t i = 1; i < n; ++i) {
-      const Placement pl = st->placements[i];
+      const std::uint64_t tk = slice_tickets[i];
       ThreadPool::instance().post(
-          [this, st, i, pl] { run_slice(st, i, pl, /*attempt=*/0); });
+          [this, st, i, tk] { run_slice(st, i, tk, /*attempt=*/0); });
     }
-    run_slice(st, 0, st->placements[0], /*attempt=*/0);
+    run_slice(st, 0, slice_tickets[0], /*attempt=*/0);
   }
 
   std::shared_ptr<OperandCache> cache_for(std::size_t dev) {
@@ -694,15 +973,14 @@ struct DevicePool::Impl {
   }
 
   void run_slice(const std::shared_ptr<ShardState>& st, std::size_t i,
-                 Placement pl, std::size_t attempt) {
+                 std::uint64_t ticket, std::size_t attempt) {
+    // As for whole requests: the claim reads the final placement, which a
+    // drain may have re-priced onto a surviving device.
+    const Claimed c = claim_ticket(ticket);
+    const Placement pl = c.pl;
     const std::size_t dev = pl.device;
-    bool injected = false;
-    std::shared_ptr<OperandCache> cache;
-    {
-      std::lock_guard<std::mutex> lock(mutex);
-      injected = inject_fault_locked(dev);
-      cache = caches[dev];
-    }
+    const bool injected = c.injected;
+    const std::shared_ptr<OperandCache>& cache = c.cache;
     std::exception_ptr err;
     try {
       if (injected) {
@@ -759,6 +1037,7 @@ struct DevicePool::Impl {
     }
     Placement next;
     bool requeue = false;
+    std::uint64_t next_ticket = 0;
     {
       std::lock_guard<std::mutex> lock(mutex);
       stats.devices[dev].completed += 1;
@@ -768,6 +1047,7 @@ struct DevicePool::Impl {
       }
       if (attempt < owner->cfg_.max_retries &&
           choose_retry_device_locked(st->runs[i], dev, &next)) {
+        if (next.start < fail_end) next.start = fail_end;
         requeue = true;
         stats.retries += 1;
         st->retries += 1;
@@ -778,10 +1058,12 @@ struct DevicePool::Impl {
           st->per_device_busy.resize(next.device + 1, 0.0);
         }
         st->per_device_busy[next.device] += next.est;
+        next_ticket = register_ticket_locked(st->runs[i], next,
+                                             st->pending.trace,
+                                             /*is_slice=*/true, i, st);
       }
     }
     if (requeue) {
-      if (next.start < fail_end) next.start = fail_end;
       if (st->pending.trace) {
         st->pending.trace->retries.fetch_add(1);
         st->pending.trace->add_span(
@@ -791,8 +1073,8 @@ struct DevicePool::Impl {
                 .attr("attempt", std::to_string(attempt + 1))
                 .attr("from_device", std::to_string(dev)));
       }
-      ThreadPool::instance().post([this, st, i, next, attempt] {
-        run_slice(st, i, next, attempt + 1);
+      ThreadPool::instance().post([this, st, i, next_ticket, attempt] {
+        run_slice(st, i, next_ticket, attempt + 1);
       });
       return;
     }
@@ -837,6 +1119,7 @@ struct DevicePool::Impl {
                                             std::move(st->sddmm_parts));
       }
       double makespan = 0.0;
+      double completion = 0.0;
       std::uint64_t retries = 0;
       bool one_device = true;
       int first_device = -1;
@@ -850,6 +1133,8 @@ struct DevicePool::Impl {
         for (const Placement& pl : st->placements) {
           one_device = one_device &&
                        static_cast<int>(pl.device) == first_device;
+          // The request completes when its latest slice does.
+          if (pl.start + pl.est > completion) completion = pl.start + pl.est;
         }
       }
       // Usually the slices spanned several devices (-1); under a skewed
@@ -863,6 +1148,7 @@ struct DevicePool::Impl {
                       [](char h) { return h != 0; });
       resp.rhs_cache_hit = st->rhs_hit;
       resp.modeled_seconds = makespan;
+      resp.modeled_completion_seconds = completion;
       resp.batch_id = st->batch_id;
       resp.batch_size = st->batch_size;
       resp.retries = retries;
@@ -910,6 +1196,7 @@ DevicePool::DevicePool(DevicePoolConfig cfg)
                          cfg_.fault_plan.probability <= 1.0,
                      "FaultPlan probability must lie in [0, 1]");
   impl_->owner = this;
+  impl_->warmup_pins = OperandCache::PinScope(plan_cache_);
   impl_->specs = std::move(specs);
   const std::size_t n = impl_->specs.size();
   impl_->active.assign(n, 1);
@@ -958,6 +1245,11 @@ void DevicePool::drain_device(std::size_t d) {
   MAGICUBE_CHECK_MSG(d < impl_->specs.size(),
                      "drain_device: no device " << d << " in the pool");
   impl_->active[d] = 0;
+  impl_->replace_queued_locked(d);
+}
+
+WarmupReport DevicePool::warmup(const WarmupManifest& manifest) {
+  return warmup_plans(plan_cache_, manifest, &impl_->warmup_pins);
 }
 
 std::size_t DevicePool::device_count() const {

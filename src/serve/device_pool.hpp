@@ -40,10 +40,27 @@
 // merged by a bit-exact row-concatenation epilogue (dense rows for SpMM,
 // BCRS concatenation for SDDMM). Failed slices requeue individually.
 //
+// SLA layer (serve/sla.hpp): requests may carry a deadline in modeled
+// seconds. Dispatch orders each drain by priority, then earliest deadline
+// first within a class; a request whose modeled completion (best-candidate
+// backlog + per-spec estimate) exceeds its deadline at admission — or at a
+// retry re-placement — is shed with a clean ShedError (counted, traced
+// with a `shed` span, never silently dropped). A dispatch round that saw
+// deadline pressure drops the linger to 0 for the next round
+// (adaptive_linger) so backlog drains at full cadence. warmup() pre-builds
+// and pins a manifest's hot plans; affinity_tolerance_seconds routes
+// repeat-pattern traffic back to the device that served the pattern last
+// (where its prepared operands are resident) when the modeled completion
+// delta stays under the tolerance. When a device drains mid-backlog, the
+// cost model re-prices its queued (not yet executing) work onto the
+// surviving devices (`replace` trace spans) instead of finishing it on the
+// leaving device.
+//
 // Tracing: every request carries a RequestTrace (serve/trace.hpp) of
 // queue → price → place → [shard] → replay → [retry] → merge spans over
-// modeled time, with device ids and cache-hit attributes; completed traces
-// land in a bounded TraceLog exportable as JSON next to BENCH_*.json.
+// modeled time (plus `shed`/`replace`, above), with device ids and
+// cache-hit attributes; completed traces land in a bounded TraceLog
+// exportable as JSON next to BENCH_*.json.
 //
 // Concurrency contract: unchanged — the dispatcher thread never executes
 // kernels, pool tasks never wait on futures (a sharded request's slices
@@ -61,6 +78,7 @@
 #include "serve/fault.hpp"
 #include "serve/operand_cache.hpp"
 #include "serve/request.hpp"
+#include "serve/sla.hpp"
 #include "serve/trace.hpp"
 #include "simt/device_spec.hpp"
 
@@ -106,6 +124,19 @@ struct DevicePoolConfig {
   bool collect_traces = true;
   /// TraceLog ring capacity (oldest completed traces dropped beyond it).
   std::size_t trace_capacity = 4096;
+  /// Device-affinity placement: when > 0, a whole request whose pattern
+  /// was served before is routed back to the device that served it last
+  /// (where its prepared operands are resident) as long as the modeled
+  /// completion there exceeds the earliest-completion candidate by at most
+  /// this tolerance (and stays within the deadline). 0 disables — the
+  /// default, keeping pure earliest-completion placement (and its
+  /// round-robin tie spreading) for deployments that don't opt in.
+  double affinity_tolerance_seconds = 0.0;
+  /// Drop the linger to 0 for the dispatch round after one that shed work
+  /// or placed a deadline past half its budget, restoring `linger` once
+  /// the pressure clears. Modeled-latency-driven cadence instead of a
+  /// static knob; counted as urgent_rounds.
+  bool adaptive_linger = true;
 };
 
 /// Per-device modeled telemetry.
@@ -137,6 +168,10 @@ struct DevicePoolStats {
   std::uint64_t tie_breaks = 0;        // placements decided round-robin
   std::uint64_t faults_injected = 0;   // FaultPlan-selected executions
   std::uint64_t retries = 0;           // requeues after failed executions
+  std::uint64_t shed = 0;              // deadline-shed requests (⊆ failed)
+  std::uint64_t replaced = 0;          // queued work re-priced off a drain
+  std::uint64_t affinity_hits = 0;     // placements upgraded by affinity
+  std::uint64_t urgent_rounds = 0;     // dispatch rounds under SLA pressure
   std::vector<DeviceStats> devices;
 
   DevicePoolStats& operator+=(const DevicePoolStats& o) {
@@ -148,6 +183,10 @@ struct DevicePoolStats {
     tie_breaks += o.tie_breaks;
     faults_injected += o.faults_injected;
     retries += o.retries;
+    shed += o.shed;
+    replaced += o.replaced;
+    affinity_hits += o.affinity_hits;
+    urgent_rounds += o.urgent_rounds;
     if (o.devices.size() > devices.size()) devices.resize(o.devices.size());
     for (std::size_t d = 0; d < o.devices.size(); ++d) {
       devices[d] += o.devices[d];
@@ -194,11 +233,20 @@ class DevicePool {
   /// modeled clock starting idle); placement may use it from the next
   /// dispatch round. Returns the new device's index.
   std::size_t add_device(const simt::DeviceSpec& spec);
-  /// Stops new placement on device d. Work already placed there finishes
-  /// (or requeues through the fault path); stats and cache stay
-  /// queryable. Idempotent; a drained fleet with no active device fails
-  /// new placements cleanly.
+  /// Stops new placement on device d and re-prices its queued (placed but
+  /// not yet executing) work onto the surviving devices via the cost model
+  /// (counted as `replaced`, traced as `replace` spans). Work already
+  /// executing there finishes (or requeues through the fault path); stats
+  /// and cache stay queryable. Idempotent; a drained fleet with no active
+  /// device fails new placements cleanly (queued work keeps its drained
+  /// target when no survivor exists).
   void drain_device(std::size_t d);
+
+  /// Pre-builds every manifest entry's execution plan into the shared plan
+  /// cache and pins the entries marked hot for the pool's lifetime —
+  /// repeat-pattern traffic starts with plan hits instead of paying
+  /// pure-LRU cold starts. Idempotent; see serve/sla.hpp.
+  WarmupReport warmup(const WarmupManifest& manifest);
 
   /// Devices ever added to the fleet (drained ones included).
   std::size_t device_count() const;

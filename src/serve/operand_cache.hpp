@@ -277,6 +277,8 @@ class OperandCache {
       }
       keys_.clear();
     }
+    /// Entries currently pinned through this scope (warmup reporting).
+    std::size_t size() const { return keys_.size(); }
 
     PinScope(const PinScope&) = delete;
     PinScope& operator=(const PinScope&) = delete;

@@ -55,6 +55,15 @@ struct Request {
   /// priorities keep arrival order. The single-device BatchScheduler
   /// ignores it (FIFO within compatibility groups).
   int priority = 0;
+
+  /// SLA deadline in *modeled* seconds from admission (the cost-model
+  /// clock placement reasons about — never wall time). 0 = no deadline.
+  /// Under a DevicePool, equal priorities dispatch earliest-deadline-first
+  /// and a request whose modeled completion (best-candidate backlog +
+  /// per-spec estimate) already exceeds its deadline is shed with a clean
+  /// ShedError (serve/sla.hpp) instead of being served late or silently
+  /// dropped. The BatchScheduler ignores it (no modeled device clock).
+  double deadline_seconds = 0.0;
 };
 
 struct Response {
@@ -82,6 +91,12 @@ struct Response {
   /// Requeues performed before this response (fault recovery; DevicePool
   /// with a FaultPlan — 0 otherwise).
   std::uint64_t retries = 0;
+  /// DevicePool: the request's modeled completion time (placement start in
+  /// the placed device's backlog + the final attempt's estimate; for a
+  /// sharded request, the latest slice's completion) on the request's
+  /// modeled timeline — what deadline admission compared against
+  /// Request::deadline_seconds. 0 when not served through a pool.
+  double modeled_completion_seconds = 0.0;
   /// Structured per-request trace (serve/trace.hpp); set when the serving
   /// engine collects traces, null for direct serve_request calls.
   std::shared_ptr<const RequestTrace> trace;

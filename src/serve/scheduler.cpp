@@ -98,6 +98,7 @@ struct BatchScheduler::Impl {
   SchedulerStats stats;
   std::uint64_t next_batch_id = 1;
   TraceLog traces;
+  OperandCache::PinScope warmup_pins;  // hot layers pinned by warmup()
 
   explicit Impl(const BatchSchedulerConfig& cfg)
       : traces("batch_scheduler", cfg.trace_capacity) {}
@@ -110,12 +111,37 @@ struct BatchScheduler::Impl {
       taken.pop_front();
       groups[group_key(p.req)].push_back(std::move(p));
     }
+    const double budget = owner->cfg_.batch_budget_seconds;
     for (auto& [key, members] : groups) {
       (void)key;
-      for (std::size_t base = 0; base < members.size();
-           base += owner->cfg_.max_batch) {
-        const std::size_t size =
+      std::size_t base = 0;
+      while (base < members.size()) {
+        std::size_t size =
             std::min(owner->cfg_.max_batch, members.size() - base);
+        if (budget > 0.0) {
+          // Modeled-work batch sizing: grow the batch while its aggregate
+          // modeled seconds (the cached plan's cost when resident, the
+          // analytic estimate otherwise) stays within the budget. The
+          // first member is always admitted so an oversized single
+          // request dispatches alone instead of starving.
+          double spent = 0.0;
+          std::size_t fit = 0;
+          while (fit < size) {
+            double est = 0.0;
+            try {
+              est = simt::estimate_seconds(
+                  simt::a100(),
+                  price_request(members[base + fit].req, owner->cache_));
+            } catch (...) {
+              // A malformed request prices as free; run_one surfaces the
+              // real failure on its own promise.
+            }
+            if (fit > 0 && spent + est > budget) break;
+            spent += est;
+            fit += 1;
+          }
+          size = fit;
+        }
         std::uint64_t batch_id;
         {
           std::lock_guard<std::mutex> lock(mutex);
@@ -132,6 +158,7 @@ struct BatchScheduler::Impl {
           ThreadPool::instance().post(
               [this, item, batch_id, size] { run_one(*item, batch_id, size); });
         }
+        base += size;
       }
     }
   }
@@ -188,7 +215,10 @@ struct BatchScheduler::Impl {
 BatchScheduler::BatchScheduler(BatchSchedulerConfig cfg)
     : cfg_(cfg), cache_(cfg.cache_capacity_bytes), impl_(new Impl(cfg)) {
   MAGICUBE_CHECK(cfg_.max_batch > 0);
+  MAGICUBE_CHECK_MSG(cfg_.batch_budget_seconds >= 0.0,
+                     "batch_budget_seconds must be non-negative");
   impl_->owner = this;
+  impl_->warmup_pins = OperandCache::PinScope(cache_);
   detail::SubmitQueueCore::Tuning tuning;
   tuning.label = "BatchScheduler";
   tuning.engine_id = "batch_scheduler";
@@ -211,6 +241,10 @@ std::future<Response> BatchScheduler::submit(Request req) {
 void BatchScheduler::drain() { impl_->core.drain(); }
 
 void BatchScheduler::shutdown() { impl_->core.shutdown(); }
+
+WarmupReport BatchScheduler::warmup(const WarmupManifest& manifest) {
+  return warmup_plans(cache_, manifest, &impl_->warmup_pins);
+}
 
 const TraceLog& BatchScheduler::traces() const { return impl_->traces; }
 

@@ -24,6 +24,7 @@
 
 #include "serve/operand_cache.hpp"
 #include "serve/request.hpp"
+#include "serve/sla.hpp"
 #include "serve/trace.hpp"
 #include "simt/device_spec.hpp"
 
@@ -32,6 +33,16 @@ namespace magicube::serve {
 struct BatchSchedulerConfig {
   /// Largest number of requests dispatched as one batch.
   std::size_t max_batch = 8;
+  /// Modeled-work batch sizing: when > 0, each batch grows only while the
+  /// aggregate modeled seconds of its members (priced on the cached plan
+  /// via serve/sla.hpp's price_request, on the a100 reference spec) stays
+  /// within this budget — the batch boundary follows modeled marginal
+  /// latency instead of the static max_batch count, so heavy requests
+  /// dispatch in small batches and light ones coalesce widely. The first
+  /// member of a batch is always admitted (an oversized single request
+  /// dispatches alone); max_batch remains the hard count cap. 0 keeps the
+  /// static count-only batching.
+  double batch_budget_seconds = 0.0;
   /// How long the scheduler waits for a forming batch to fill before
   /// dispatching what it has. Zero dispatches immediately.
   std::chrono::microseconds linger{200};
@@ -98,6 +109,13 @@ class BatchScheduler {
   /// The engine's operand cache (shared by all requests).
   OperandCache& cache() { return cache_; }
   const OperandCache& cache() const { return cache_; }
+
+  /// Pre-builds every manifest entry's execution plan into the engine's
+  /// cache and pins the entries marked hot for the engine's lifetime —
+  /// known-hot layers start with plan hits instead of paying pure-LRU cold
+  /// starts, and batch_budget_seconds prices them from the cached plan
+  /// from the first request on. Idempotent; see serve/sla.hpp.
+  WarmupReport warmup(const WarmupManifest& manifest);
 
   /// Completed-request traces (bounded ring; see serve/trace.hpp).
   const TraceLog& traces() const;

@@ -27,6 +27,18 @@
 //   // resp.device / resp.shards / resp.retries report the placement;
 //   // resp.trace (serve/trace.hpp) is the request's span timeline, and
 //   // pool.traces().write_json(path) exports the completed-trace ring.
+//
+// SLA-aware usage (see the "SLA-aware serving" README section):
+//
+//   serve::WarmupManifest manifest;               // known-hot layers
+//   manifest.entries.push_back({.pattern = layer, .cols = 256, .pin = true});
+//   pool.warmup(manifest);                        // pre-build + pin plans
+//   req.deadline_seconds = 1e-4;                  // modeled-seconds budget
+//   try {
+//     auto resp = pool.submit(std::move(req)).get();
+//   } catch (const serve::ShedError&) {
+//     // modeled completion exceeded the deadline on every active device
+//   }
 
 #include "serve/device_pool.hpp"
 #include "serve/fault.hpp"
@@ -34,4 +46,5 @@
 #include "serve/request.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/shard.hpp"
+#include "serve/sla.hpp"
 #include "serve/trace.hpp"

@@ -170,6 +170,17 @@ class SubmitQueueCore {
     return submitted_;
   }
 
+  /// Live-tunes the linger for subsequent dispatch rounds — the SLA
+  /// layer's adaptive cadence: an engine that just saw deadline pressure
+  /// drops the linger to 0 so the next drain dispatches immediately, and
+  /// restores the configured value once the pressure clears. Safe from any
+  /// thread, including from inside the Dispatch callback (the dispatcher
+  /// invokes Dispatch without holding the queue mutex).
+  void set_linger(std::chrono::microseconds linger) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tuning_.linger = linger;
+  }
+
  private:
   void loop() {
     for (;;) {

@@ -8,7 +8,12 @@
 // scaling bench reason about — never wall time, so traces are deterministic
 // given a deterministic schedule). The span vocabulary follows the request's
 // life: queue → price → place → [shard] → replay (per attempt / per slice)
-// → [retry] → merge. Spans carry the device id and key/value attributes
+// → [retry] → merge, plus the SLA layer's terminal/bridging spans: `shed`
+// (the request was rejected because its modeled completion exceeded its
+// deadline — carries deadline_seconds/modeled_completion_seconds attrs) and
+// `replace` (queued work re-priced onto a surviving device after
+// drain_device removed its target — bridges the old placement start to the
+// new one, from_device attr). Spans carry the device id and key/value attributes
 // (cache hit flags, estimates, fault markers), enough to reconstruct from a
 // CI artifact alone why a soak run placed, sharded, retried or failed a
 // request — the observability half of ROADMAP item 5.
@@ -39,7 +44,7 @@ namespace magicube::serve {
 /// One named interval on a request's modeled timeline. Attributes are
 /// ordered string pairs so the JSON form is deterministic.
 struct TraceSpan {
-  std::string name;           // queue|price|place|shard|replay|merge|retry
+  std::string name;  // queue|price|place|shard|replay|merge|retry|shed|replace
   double begin_seconds = 0.0; // modeled, relative to the request's admission
   double end_seconds = 0.0;
   int device = -1;            // -1: not tied to one device
