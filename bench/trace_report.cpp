@@ -4,10 +4,17 @@
 //
 // CI pipes the stdout markdown into $GITHUB_STEP_SUMMARY after the soak
 // benches run, so a reviewer reads p50/p99/max modeled span durations per
-// kind (queue, replay, retry, shed, replace, ...) without downloading the
-// artifact; --out=FILE.json additionally emits a machine-readable
-// magicube.trace_report.v1 document that rides next to the BENCH_*.json
-// uploads. Durations are *modeled* microseconds (end - begin on the
+// kind (queue, replay, retry, shed, replace, hedge, probe, quarantine,
+// ...) without downloading the artifact; --out=FILE.json additionally
+// emits a machine-readable magicube.trace_report.v1 document that rides
+// next to the BENCH_*.json uploads.
+//
+// --fail-on-failed-spans[=kind1,kind2] turns the report into a gate: the
+// exit code goes nonzero when any listed span kind carries an ok="false"
+// span. The default list is just `merge` — a failed merge means a sharded
+// request died after its slices ran, which no soak tolerates — because
+// chaos artifacts legitimately contain failed `replay` spans (injected
+// faults) that must NOT turn CI red. Durations are *modeled* microseconds (end - begin on the
 // request's modeled timeline), the same clock the placement and the gates
 // reason about — zero-width marker spans (price, place, shed, merge)
 // aggregate like everything else, their counts being the interesting part.
@@ -155,6 +162,36 @@ bool write_json(const Report& r, const std::string& path) {
   return static_cast<bool>(out);
 }
 
+/// Splits a comma-separated kind list ("merge,replay"); empty input
+/// yields the default gate set.
+std::vector<std::string> parse_gate_kinds(const std::string& list) {
+  if (list.empty()) return {"merge"};
+  std::vector<std::string> kinds;
+  std::string cur;
+  for (const char c : list) {
+    if (c == ',') {
+      if (!cur.empty()) kinds.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) kinds.push_back(cur);
+  return kinds;
+}
+
+/// ok="false" spans among the gated kinds (the --fail-on-failed-spans
+/// verdict).
+std::size_t gated_failed_spans(const Report& r,
+                               const std::vector<std::string>& kinds) {
+  std::size_t n = 0;
+  for (const std::string& kind : kinds) {
+    const auto it = r.kinds.find(kind);
+    if (it != r.kinds.end()) n += it->second.failed_spans;
+  }
+  return n;
+}
+
 /// In-process check of the whole pipeline: parse a known document,
 /// aggregate, verify counts and percentiles exactly. Exercised by CTest
 /// (bench-smoke label) and safe to run anywhere — no files touched.
@@ -197,6 +234,39 @@ int self_test() {
   if (r.kinds.at("shed").durations_us.front() != 0.0) {
     return fail("zero-width shed span");
   }
+  // The self-healing span kinds aggregate like any other, and the
+  // --fail-on-failed-spans gate fires on its listed kinds only: the
+  // failed replay above must not trip the default (merge-only) gate, a
+  // failed merge must.
+  const std::string healing_doc = R"({
+    "schema": "magicube.trace.v1", "engine": "device_pool",
+    "traces": [
+      {"ok": true, "spans": [
+        {"name": "hedge", "begin": 0, "end": 2e-6,
+         "attrs": {"action": "place"}},
+        {"name": "hedge", "begin": 2e-6, "end": 2e-6,
+         "attrs": {"action": "cancel", "winner": "primary"}},
+        {"name": "probe", "begin": 0, "end": 0},
+        {"name": "quarantine", "begin": 1e-6, "end": 1e-6,
+         "attrs": {"action": "enter"}}]},
+      {"ok": false, "spans": [
+        {"name": "merge", "begin": 0, "end": 4e-6,
+         "attrs": {"ok": "false"}}]}
+    ]})";
+  Report h;
+  accumulate_document(Parser(healing_doc).parse(), &h);
+  if (h.kinds.at("hedge").durations_us.size() != 2 ||
+      h.kinds.count("probe") == 0 || h.kinds.count("quarantine") == 0) {
+    return fail("healing span kinds");
+  }
+  if (gated_failed_spans(r, parse_gate_kinds("")) != 0) {
+    return fail("default gate tripped on an injected-fault replay");
+  }
+  if (gated_failed_spans(h, parse_gate_kinds("")) != 1 ||
+      gated_failed_spans(h, parse_gate_kinds("merge,replay")) != 1 ||
+      gated_failed_spans(r, parse_gate_kinds("replay")) != 1) {
+    return fail("gate kind selection");
+  }
   // A malformed document must be rejected, not half-aggregated.
   try {
     Report bad;
@@ -214,19 +284,31 @@ int self_test() {
 int main(int argc, char** argv) {
   std::string out_path;
   std::vector<std::string> inputs;
+  bool gate_failed_spans = false;
+  std::vector<std::string> gate_kinds;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--self-test") == 0) {
       return self_test();
     }
     if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out_path = argv[i] + 6;
+    } else if (std::strcmp(argv[i], "--fail-on-failed-spans") == 0) {
+      gate_failed_spans = true;
+      gate_kinds = parse_gate_kinds("");
+    } else if (std::strncmp(argv[i], "--fail-on-failed-spans=", 23) == 0) {
+      gate_failed_spans = true;
+      gate_kinds = parse_gate_kinds(argv[i] + 23);
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
-      std::printf("usage: %s [--out=FILE.json] TRACE_*.json...\n"
-                  "       %s --self-test\n"
-                  "Aggregates magicube.trace.v1 documents into per-span-kind "
-                  "modeled-latency percentiles (markdown to stdout).\n",
-                  argv[0], argv[0]);
+      std::printf(
+          "usage: %s [--out=FILE.json] [--fail-on-failed-spans[=KINDS]] "
+          "TRACE_*.json...\n"
+          "       %s --self-test\n"
+          "Aggregates magicube.trace.v1 documents into per-span-kind "
+          "modeled-latency percentiles (markdown to stdout).\n"
+          "--fail-on-failed-spans exits nonzero when a gated span kind "
+          "carries ok=\"false\" spans (default gate: merge).\n",
+          argv[0], argv[0]);
       return 0;
     } else {
       inputs.push_back(argv[i]);
@@ -243,5 +325,15 @@ int main(int argc, char** argv) {
   }
   print_markdown(report);
   if (!out_path.empty()) ok = write_json(report, out_path) && ok;
+  if (gate_failed_spans) {
+    const std::size_t bad = gated_failed_spans(report, gate_kinds);
+    std::string joined;
+    for (const std::string& k : gate_kinds) {
+      joined += (joined.empty() ? "" : ",") + k;
+    }
+    std::printf("\nfailed-span gate over [%s]: %zu failed span(s) — %s\n",
+                joined.c_str(), bad, bad == 0 ? "PASS" : "FAIL");
+    ok = ok && bad == 0;
+  }
   return ok ? 0 : 1;
 }

@@ -12,7 +12,13 @@
 //     and shard slices alike, starting at 1);
 //   - probabilistic: every execution fails with probability p, drawn from
 //     one seeded Rng — deterministic given (seed, schedule), the knob the
-//     property/soak tiers sweep over 0–30%.
+//     property/soak tiers sweep over 0–30%;
+//   - windowed: a per-device probability active only for a range of that
+//     device's execution counts — how the chaos soak models a device that
+//     degrades and later recovers (fail 40% of device 0's first N
+//     executions, then return to the global background rate). The
+//     effective probability of an execution is the max of the global rate
+//     and every matching window.
 //
 // An injected failure surfaces as FaultError inside the executing pool
 // task, indistinguishable from a genuine execution failure to the recovery
@@ -21,6 +27,7 @@
 // tests/test_fleet.cpp).
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "common/check.hpp"
@@ -40,13 +47,38 @@ struct FaultPlan {
   double probability = 0.0;
   std::uint64_t seed = 0x0fa17ull;
 
-  bool enabled() const { return probability > 0.0 || !exact.empty(); }
+  /// Raises the failure probability of `device` to `probability` while its
+  /// execution count (1-based, same counter Exact uses) lies in
+  /// [from, to] — a transiently sick device. Windows compose with the
+  /// global rate by max, so a window never *lowers* the background rate.
+  struct Window {
+    std::size_t device = 0;
+    double probability = 0.0;
+    std::uint64_t from = 1;
+    std::uint64_t to = std::numeric_limits<std::uint64_t>::max();
+  };
+  std::vector<Window> windows;
+
+  bool enabled() const {
+    return probability > 0.0 || !exact.empty() || !windows.empty();
+  }
 };
 
 /// Thrown by an execution a FaultPlan selected. Derives Error so generic
 /// failure handling (promise exceptions, retry-budget messages) treats it
 /// like any execution failure.
 class FaultError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown (on the request's future) when poison-request isolation trips: a
+/// request that faulted on `HealingConfig::poison_fault_devices` *distinct*
+/// devices is failed fast instead of burning the rest of its retry budget
+/// — the faults correlate with the request, not the fleet, and every extra
+/// attempt would only drag another device's health score down. Derives
+/// Error; catch it specifically to route bad inputs away from retry paths.
+class PoisonError : public Error {
  public:
   using Error::Error;
 };

@@ -339,6 +339,51 @@ TEST(FleetFault, ShardedSliceRequeuesBitExact) {
   EXPECT_EQ(pool.plan_cache().pinned_count(), 0u);
 }
 
+TEST(FleetElastic, DrainRacingSameSpecReplacementLosesNoTicket) {
+  DevicePoolConfig cfg;
+  cfg.device_count = 2;
+  cfg.shard_threshold_seconds = 0;
+  cfg.linger = std::chrono::microseconds(50);
+  DevicePool pool(cfg);
+
+  const Problem p =
+      make_spmm_problem(128, 64, 64, 8, 0.5, precision::L8R8, 810);
+  const Response want = sequential_reference(p);
+
+  // A replacement part of the same spec joins while the old device drains
+  // mid-stream, racing the submit loop: queued work on the drained device
+  // re-places, in-flight claims finish where they were, and nothing is
+  // lost or served twice regardless of interleaving.
+  constexpr int kRequests = 32;
+  std::vector<std::future<Response>> futures;
+  std::thread churn;
+  for (int i = 0; i < kRequests; ++i) {
+    if (i == kRequests / 2) {
+      churn = std::thread([&pool] {
+        pool.drain_device(0);
+        pool.add_device(simt::a100());  // same-spec replacement
+      });
+    }
+    futures.push_back(pool.submit(to_request(p)));
+  }
+  churn.join();
+  for (auto& f : futures) expect_same_result(f.get(), want, "churn race");
+  pool.drain();
+
+  const DevicePoolStats ps = pool.stats();
+  EXPECT_EQ(ps.submitted, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(ps.completed, ps.submitted);  // no ticket lost
+  EXPECT_EQ(ps.failed, 0u);
+  ASSERT_EQ(ps.devices.size(), 3u);
+  EXPECT_EQ(ps.devices[0].placed + ps.devices[1].placed +
+                ps.devices[2].placed,
+            static_cast<std::uint64_t>(kRequests));
+  EXPECT_FALSE(pool.device_active(0));
+  EXPECT_TRUE(pool.device_active(2));
+  EXPECT_GT(ps.devices[2].placed, 0u);  // the replacement absorbed traffic
+  EXPECT_EQ(pool.plan_cache().pinned_count(), 0u);
+}
+
 // ---- Property tier: heterogeneous pools x fault rates x churn --------------
 //
 // Randomized request streams over mixed fleets of N in {2, 3, 4} devices
@@ -386,6 +431,16 @@ TEST_P(FleetPropertyTest, HeterogeneousFaultyChurningStreamBitExact) {
     // probability even at the 30% rate — failures stay a theoretical
     // clean-error path here, asserted directly elsewhere.
     cfg.max_retries = 8;
+    // The self-healing layer rides along (scoring, quarantine, probes,
+    // poison isolation — no hedging: the stream carries no deadlines) so
+    // the property tier churns it too; its counter invariants are pinned
+    // below.
+    cfg.healing.enabled = true;
+    cfg.healing.quarantine_below = 0.4;
+    cfg.healing.min_health_samples = 4;
+    cfg.healing.probe_interval = 4;
+    cfg.healing.reinstate_after = 2;
+    cfg.healing.poison_fault_devices = 3;
     DevicePool pool(cfg);
 
     Rng stream_rng(0xf1ee7 + devices + static_cast<std::uint64_t>(
@@ -424,6 +479,16 @@ TEST_P(FleetPropertyTest, HeterogeneousFaultyChurningStreamBitExact) {
     EXPECT_EQ(pool.plan_cache().pinned_count(), 0u);
     EXPECT_EQ(pool.device_count(), devices + 1);
     EXPECT_FALSE(pool.device_active(joined));
+    // Healing counter invariants hold under any interleaving.
+    EXPECT_LE(ps.hedges_won, ps.hedges_placed);
+    EXPECT_EQ(ps.hedges_placed, 0u);  // no deadlines in this stream
+    EXPECT_LE(ps.reinstatements, ps.quarantines);
+    EXPECT_LE(ps.probe_successes, ps.probes_placed);
+    EXPECT_LE(ps.poison_failures, ps.failed);
+    for (std::size_t d = 0; d < ps.devices.size(); ++d) {
+      EXPECT_GE(pool.device_health(d), 0.0);
+      EXPECT_LE(pool.device_health(d), 1.0);
+    }
     if (fault_rate == 0.0) {
       EXPECT_EQ(ps.faults_injected, 0u);
       EXPECT_EQ(ps.retries, 0u);

@@ -125,11 +125,15 @@ class WorkerJam {
   WorkerJam() {
     auto& tp = ThreadPool::instance();
     const std::size_t n = tp.worker_count();
+    posted_ = n;
     for (std::size_t i = 0; i < n; ++i) {
       tp.post([this] {
         blocked_.fetch_add(1);
-        std::unique_lock<std::mutex> lock(mutex_);
-        cv_.wait(lock, [this] { return released_; });
+        {
+          std::unique_lock<std::mutex> lock(mutex_);
+          cv_.wait(lock, [this] { return released_; });
+        }
+        exited_.fetch_add(1);
       });
     }
     // Wait until every worker is actually parked, so nothing posted after
@@ -145,13 +149,22 @@ class WorkerJam {
     }
     cv_.notify_all();
   }
-  ~WorkerJam() { release(); }
+  // The destructor must outlive the blockers: a released worker still
+  // touches mutex_/cv_ on its way out of the wait.
+  ~WorkerJam() {
+    release();
+    while (exited_.load() < posted_) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
 
  private:
+  std::size_t posted_ = 0;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool released_ = false;
   std::atomic<std::size_t> blocked_{0};
+  std::atomic<std::size_t> exited_{0};
 };
 
 // ---- Pricing --------------------------------------------------------------
