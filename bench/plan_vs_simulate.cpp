@@ -23,7 +23,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -31,6 +33,7 @@
 
 #include "bench_util.hpp"
 #include "core/api.hpp"
+#include "core/plan.hpp"
 #include "simt/tensor_core.hpp"
 
 #if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
@@ -94,6 +97,10 @@ constexpr int kTimingRounds = 2;
 struct OpTimings {
   double simulate_s = 1e30, fragment_s = 1e30, panel_s = 1e30;
   double plan_build_s = 0;
+  /// Plan-recorded bucket census (which specialized kernel each block row /
+  /// block replays through) — surfaced in the table and the JSON artifact.
+  std::array<std::uint64_t, simt::kSpmmBucketKinds> spmm_buckets{};
+  std::array<std::uint64_t, simt::kSddmmBucketKinds> sddmm_buckets{};
 };
 
 OpTimings time_spmm(const Shape& shape, PrecisionPair prec,
@@ -114,6 +121,7 @@ OpTimings time_spmm(const Shape& shape, PrecisionPair prec,
   auto start = Clock::now();
   const core::SpmmPlanHandle plan = core::build_spmm_plan(a, shape.n, cfg);
   t.plan_build_s = seconds_since(start);
+  t.spmm_buckets = plan->run.counters.spmm_bucket_blocks;
 
   // Correctness anchor before timing: all three engines bit-exact, counters
   // equal.
@@ -170,6 +178,7 @@ OpTimings time_sddmm(const Shape& shape, PrecisionPair prec,
   auto start = Clock::now();
   const core::SddmmPlanHandle plan = core::build_sddmm_plan(pattern, k, cfg);
   t.plan_build_s = seconds_since(start);
+  t.sddmm_buckets = plan->run.counters.sddmm_bucket_blocks;
 
   cfg.mode = core::ExecMode::simulate;
   const core::SddmmResult sim = core::sddmm(a, b, pattern, cfg);
@@ -227,6 +236,8 @@ bool comparison_table(bool smoke) {
                       "panel (ms)", "panel vs sim", "panel vs frag",
                       "plan build (ms)"});
   double sim_total = 0, frag_total = 0, panel_total = 0;
+  std::array<std::uint64_t, simt::kSpmmBucketKinds> spmm_buckets{};
+  std::array<std::uint64_t, simt::kSddmmBucketKinds> sddmm_buckets{};
 
   const PrecisionPair spmm_pairs[] = {
       precision::L16R16, precision::L16R8, precision::L8R8,
@@ -239,6 +250,9 @@ bool comparison_table(bool smoke) {
     sim_total += t.simulate_s;
     frag_total += t.fragment_s;
     panel_total += t.panel_s;
+    for (std::size_t i = 0; i < spmm_buckets.size(); ++i) {
+      spmm_buckets[i] += t.spmm_buckets[i];
+    }
     table.add_row({"spmm", to_string(prec), bench::fmt(t.simulate_s * 1e3, 2),
                    bench::fmt(t.fragment_s * 1e3, 2),
                    bench::fmt(t.panel_s * 1e3, 2),
@@ -251,6 +265,9 @@ bool comparison_table(bool smoke) {
                                        precision::L16R16};
   for (const PrecisionPair prec : sddmm_pairs) {
     const OpTimings t = time_sddmm(shape, prec, 0x5dd1 + bits_of(prec.lhs));
+    for (std::size_t i = 0; i < sddmm_buckets.size(); ++i) {
+      sddmm_buckets[i] += t.sddmm_buckets[i];
+    }
     table.add_row({"sddmm", to_string(prec),
                    bench::fmt(t.simulate_s * 1e3, 2),
                    bench::fmt(t.fragment_s * 1e3, 2),
@@ -260,6 +277,22 @@ bool comparison_table(bool smoke) {
                    bench::fmt(t.plan_build_s * 1e3, 3)});
   }
   table.print();
+
+  // Bucket census across all shapes: which specialized replay kernel the
+  // plans selected per block row (SpMM) / block (SDDMM).
+  std::printf("\nspmm bucket census (block rows x column blocks):");
+  for (std::size_t i = 0; i < spmm_buckets.size(); ++i) {
+    std::printf(" %s=%llu",
+                core::to_string(static_cast<core::PanelKernelId>(i)),
+                static_cast<unsigned long long>(spmm_buckets[i]));
+  }
+  std::printf("\nsddmm bucket census (blocks):");
+  for (std::size_t i = 0; i < sddmm_buckets.size(); ++i) {
+    std::printf(" %s=%llu",
+                core::to_string(static_cast<core::SddmmKernelId>(i)),
+                static_cast<unsigned long long>(sddmm_buckets[i]));
+  }
+  std::printf("\n");
 
   const double vs_sim = sim_total / panel_total;
   const double vs_frag = frag_total / panel_total;
@@ -337,6 +370,12 @@ void BM_SpmmPanelReplay(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::spmm(a, b, cfg, *plan));
   }
+  // Per-bucket kernel-id census into the JSON artifact (BENCH_* trajectory).
+  for (std::size_t i = 0; i < simt::kSpmmBucketKinds; ++i) {
+    state.counters[std::string("bucket_") +
+                   core::to_string(static_cast<core::PanelKernelId>(i))] =
+        static_cast<double>(plan->run.counters.spmm_bucket_blocks[i]);
+  }
 }
 BENCHMARK(BM_SpmmPanelReplay)->Unit(benchmark::kMillisecond);
 
@@ -390,6 +429,11 @@ void BM_SddmmPanelReplay(benchmark::State& state) {
   const auto plan = core::build_sddmm_plan(pattern, shape.k, cfg);
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::sddmm(a, b, pattern, cfg, *plan));
+  }
+  for (std::size_t i = 0; i < simt::kSddmmBucketKinds; ++i) {
+    state.counters[std::string("bucket_") +
+                   core::to_string(static_cast<core::SddmmKernelId>(i))] =
+        static_cast<double>(plan->run.counters.sddmm_bucket_blocks[i]);
   }
 }
 BENCHMARK(BM_SddmmPanelReplay)->Unit(benchmark::kMillisecond);

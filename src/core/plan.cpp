@@ -81,6 +81,53 @@ void set_default_replay_kernel(ReplayKernel k) {
   replay_kernel_slot().store(k, std::memory_order_relaxed);
 }
 
+const char* to_string(PanelKernelId id) {
+  switch (id) {
+    case PanelKernelId::generic: return "generic";
+    case PanelKernelId::fixed64: return "fixed64";
+    case PanelKernelId::stacked: return "stacked";
+    case PanelKernelId::fused: return "fused";
+    case PanelKernelId::empty: return "empty";
+  }
+  return "?";
+}
+
+const char* to_string(SddmmKernelId id) {
+  switch (id) {
+    case SddmmKernelId::generic: return "generic";
+    case SddmmKernelId::fused_single: return "fused_single";
+    case SddmmKernelId::tail: return "tail";
+  }
+  return "?";
+}
+
+namespace {
+
+bool initial_panel_buckets() {
+  if (const char* e = std::getenv("MAGICUBE_PANEL_BUCKETS")) {
+    if (std::strcmp(e, "on") == 0) return true;
+    if (std::strcmp(e, "off") == 0) return false;
+    MAGICUBE_CHECK_MSG(false, "MAGICUBE_PANEL_BUCKETS must be 'on' or "
+                              "'off', got '" << e << "'");
+  }
+  return true;
+}
+
+std::atomic<bool>& panel_buckets_slot() {
+  static std::atomic<bool> on{initial_panel_buckets()};
+  return on;
+}
+
+}  // namespace
+
+bool default_panel_buckets() {
+  return panel_buckets_slot().load(std::memory_order_relaxed);
+}
+
+void set_default_panel_buckets(bool on) {
+  panel_buckets_slot().store(on, std::memory_order_relaxed);
+}
+
 namespace detail {
 
 SpmmGeom make_spmm_geom(const SparseOperand& a_meta, int q_planes,
@@ -344,6 +391,23 @@ simt::KernelCounters sddmm_block_counters(const SddmmGeom& g,
   return kc;
 }
 
+PanelKernelId classify_spmm_row(const SpmmGeom& g, std::uint64_t steps) {
+  if (steps == 0) return PanelKernelId::empty;
+  // Defense in depth: plan building rejects bsn != 64 outright, but any
+  // future tile width must demote to the runtime-width kernel, never the
+  // fixed-width ones.
+  if (g.bsn != 64) return PanelKernelId::generic;
+  if (g.g == 1 && g.q == 1 && !g.bias_correct) return PanelKernelId::fused;
+  if (g.s > 1 && g.group_size(g.g - 1) < g.s) return PanelKernelId::stacked;
+  return PanelKernelId::fixed64;
+}
+
+SddmmKernelId classify_sddmm_block(const SddmmGeom& g, std::uint64_t valid) {
+  if (valid < kSddmmSlotsPerBlock) return SddmmKernelId::tail;
+  if (g.p == 1 && g.q == 1) return SddmmKernelId::fused_single;
+  return SddmmKernelId::generic;
+}
+
 std::uint64_t sddmm_dram_bytes(const SddmmGeom& g,
                                const sparse::BlockPattern& pattern) {
   const std::uint64_t m = pattern.rows, n = pattern.cols;
@@ -369,7 +433,8 @@ std::size_t SpmmPlan::footprint_bytes() const {
          (rhs_k_row.size() + rhs_word_col.size()) *
              sizeof(std::array<std::int8_t, 32>) +
          rhs_row_base.size() * sizeof(std::size_t) +
-         a_panel_src.size() * sizeof(std::array<PanelRow, 8>);
+         a_panel_src.size() * sizeof(std::array<PanelRow, 8>) +
+         row_kernel.size() * sizeof(std::uint8_t);
 }
 
 SpmmPlanHandle build_spmm_plan(const SparseOperand& a, std::size_t n_cols,
@@ -379,6 +444,9 @@ SpmmPlanHandle build_spmm_plan(const SparseOperand& a, std::size_t n_cols,
                      "LHS stride does not match the precision datapath");
   MAGICUBE_CHECK_MSG(sr.shuffled == needs_shuffle(cfg),
                      "LHS shuffle state does not match the variant");
+  MAGICUBE_CHECK_MSG(cfg.bsn == 64,
+                     "the execution engines implement the 64-column block "
+                     "tile only (2 warps x 32 output columns)");
   MAGICUBE_CHECK_MSG(n_cols % static_cast<std::size_t>(cfg.bsn) == 0,
                      "N must be a multiple of the block tile width");
 
@@ -483,11 +551,16 @@ SpmmPlanHandle build_spmm_plan(const SparseOperand& a, std::size_t n_cols,
   run.pipeline.prefetch = g.prefetch;
 
   std::uint64_t total_steps = 0, valid_vectors = 0;
+  plan->row_kernel.resize(sr.vector_rows());
   for (std::size_t r = 0; r < sr.vector_rows(); ++r) {
     const std::uint64_t steps = sr.strides_in_row(r);
     const std::uint64_t valid = sr.valid_vectors_in_row(r);
     total_steps += steps;
     valid_vectors += valid;
+    const PanelKernelId id = detail::classify_spmm_row(g, steps);
+    plan->row_kernel[r] = static_cast<std::uint8_t>(id);
+    run.counters.spmm_bucket_blocks[static_cast<std::size_t>(id)] +=
+        g.col_blocks;
     simt::KernelCounters kc = detail::spmm_block_counters(g, steps, valid);
     kc *= g.col_blocks;  // every column tile of this row counts identically
     run.counters += kc;
@@ -543,7 +616,8 @@ std::size_t SddmmPlan::footprint_bytes() const {
   return sizeof(SddmmPlan) +
          (map.row.size() + map.slot_base.size() + map.valid.size()) *
              sizeof(std::uint32_t) +
-         rhs_col_base.size() * sizeof(std::size_t);
+         rhs_col_base.size() * sizeof(std::size_t) +
+         block_kernel.size() * sizeof(std::uint8_t);
 }
 
 SddmmPlanHandle build_sddmm_plan(const sparse::BlockPattern& pattern,
@@ -592,7 +666,12 @@ SddmmPlanHandle build_sddmm_plan(const sparse::BlockPattern& pattern,
   // LHS prefetching never hides the RHS register-load chain (sddmm.hpp).
   run.pipeline.prefetch = false;
   run.pipeline.total_steps = plan->map.row.size() * g.steps;
+  plan->block_kernel.resize(plan->map.row.size());
   for (std::size_t blk = 0; blk < plan->map.row.size(); ++blk) {
+    const SddmmKernelId id =
+        detail::classify_sddmm_block(g, plan->map.valid[blk]);
+    plan->block_kernel[blk] = static_cast<std::uint8_t>(id);
+    run.counters.sddmm_bucket_blocks[static_cast<std::size_t>(id)] += 1;
     run.counters += detail::sddmm_block_counters(
         g, plan->map.slot_base[blk], plan->map.valid[blk]);
   }

@@ -89,6 +89,51 @@ const char* to_string(ReplayKernel k);
 ReplayKernel default_replay_kernel();
 void set_default_replay_kernel(ReplayKernel k);
 
+/// Replay micro-kernel bucket of one SpMM block row, classified at
+/// plan-build time from the row's (shape, precision, v-stack depth,
+/// column-panel width) and recorded in SpmmPlan::row_kernel. The panel
+/// replay engine dispatches each row to its bucket's specialized kernel;
+/// every bucket is bit-exact mod 2^32 with the generic path (asserted by
+/// tests/test_tensor_core_panel.cpp and tests/test_plan.cpp).
+enum class PanelKernelId : std::uint8_t {
+  generic = 0,  // runtime-width mma_panel (bsn != 64)
+  fixed64 = 1,  // compile-time 64-wide panels, full stacked plane groups
+  stacked = 2,  // 64-wide with a partial last stacked group (row-limited)
+  fused = 3,    // single group x single RHS plane: fused decode+mma
+  empty = 4,    // structurally empty row — no reduction steps at all
+};
+
+const char* to_string(PanelKernelId id);
+
+/// Replay micro-kernel bucket of one SDDMM thread block (recorded per
+/// block in SddmmPlan::block_kernel).
+enum class SddmmKernelId : std::uint8_t {
+  generic = 0,       // full plane cross product over a full block
+  fused_single = 1,  // p == q == 1, full block: one dot per slot, weight 1
+  tail = 2,          // partial block (valid < 16 slots)
+};
+
+const char* to_string(SddmmKernelId id);
+
+inline constexpr int kPanelKernelIds = 5;
+inline constexpr int kSddmmKernelIds = 3;
+// counters.hpp fixes the bucket-counter array widths without seeing these
+// enums (the simt layer sits below the plan layer); keep them in lock step.
+static_assert(kPanelKernelIds == simt::kSpmmBucketKinds,
+              "PanelKernelId out of sync with simt::kSpmmBucketKinds");
+static_assert(kSddmmKernelIds == simt::kSddmmBucketKinds,
+              "SddmmKernelId out of sync with simt::kSddmmBucketKinds");
+
+/// Whether ExecMode::fast panel replay dispatches the per-bucket
+/// specialized micro-kernels (the default) or forces the generic
+/// mma_panel/dot_wrap path for every row. Plans always *record* buckets —
+/// the toggle affects dispatch only, so flipping it replays the same plan
+/// bit-exactly (the plan-equivalence property tests lean on this).
+/// Initialized from MAGICUBE_PANEL_BUCKETS ("on" or "off") on first use;
+/// on otherwise. set_default_panel_buckets overrides at runtime.
+bool default_panel_buckets();
+void set_default_panel_buckets(bool on);
+
 namespace detail {
 
 /// SpMM geometry shared by the functional kernel, the fast replay loop and
@@ -211,6 +256,15 @@ struct SddmmEpilogueCounts {
 SddmmEpilogueCounts sddmm_epilogue_counts(const SddmmGeom& g,
                                           std::uint64_t valid);
 
+/// Plan-time bucket classification of one SpMM block row with `steps`
+/// reduction steps — shared verbatim by the plan builder, the analytic
+/// estimator (bucket counters must agree exactly for the pricing parity
+/// the SLA layer asserts) and the replay dispatch.
+PanelKernelId classify_spmm_row(const SpmmGeom& g, std::uint64_t steps);
+
+/// Same for one SDDMM thread block holding `valid` pattern vectors.
+SddmmKernelId classify_sddmm_block(const SddmmGeom& g, std::uint64_t valid);
+
 /// Little-endian 32-bit gather from a packed plane byte buffer: the SWAR
 /// word op of the fast path. Operand words are epw elements of chunk bits
 /// packed element-0-lowest, i.e. exactly the little-endian bytes the
@@ -281,6 +335,10 @@ struct SpmmPlan {
   /// the inverse permutation the Fig. 7 register transpose applies.
   std::array<std::uint8_t, 32> panel_k_slot{};
 
+  /// Replay kernel bucket of each block row (PanelKernelId values, indexed
+  /// by vector row), classified once at build time.
+  std::vector<std::uint8_t> row_kernel;
+
   /// Heap + inline bytes held by the plan (cache accounting).
   std::size_t footprint_bytes() const;
 };
@@ -322,6 +380,10 @@ struct SddmmPlan {
   /// for the full reduction depth — the SDDMM panel kernel dots whole rows,
   /// no per-step staging.
   std::array<std::size_t, 8> a_panel_row_base{};
+
+  /// Replay kernel bucket of each thread block (SddmmKernelId values,
+  /// indexed like `map`), classified once at build time.
+  std::vector<std::uint8_t> block_kernel;
 
   std::size_t footprint_bytes() const;
 };

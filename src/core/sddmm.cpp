@@ -308,6 +308,13 @@ void fast_block(std::size_t blk, const DenseOperand& a,
 // plane, and reduces whole rows with the vectorized simt::dot_wrap — no
 // per-step staging, no fragment gathers. The mod-2^32 dot over the full
 // depth is bit-exact with the per-stride mma truncation chain it replaces.
+//
+// Blocks are classified at plan-build time (detail::classify_sddmm_block)
+// and replay dispatches on the recorded SddmmKernelId: fused_single drops
+// the plane cross-product loops for the dominant p == q == 1 full-block
+// case and applies the combined weight once per slot; tail (valid < 16)
+// and generic share the bounded body. MAGICUBE_PANEL_BUCKETS=off forces
+// the generic body for every block — bit-exact either way.
 
 struct SddmmPanelScratch {
   std::vector<std::int32_t> a_panel;  // [p][v][K] decoded LHS rows
@@ -320,7 +327,7 @@ SddmmPanelScratch& sddmm_panel_scratch() {
 }
 
 void panel_block(std::size_t blk, const DenseOperand& a,
-                 const DenseOperand& b, const SddmmPlan& plan,
+                 const DenseOperand& b, const SddmmPlan& plan, bool buckets,
                  std::vector<std::int32_t>& c_values) {
   const Geom& g = plan.geom;
   const std::size_t r = plan.map.row[blk];
@@ -330,6 +337,10 @@ void panel_block(std::size_t blk, const DenseOperand& a,
   const std::size_t k = g.k;
   const std::size_t row_bytes = k * static_cast<std::size_t>(g.chunk) / 8;
   const bool int4 = g.int4path;
+  const SddmmKernelId id = buckets
+                               ? static_cast<SddmmKernelId>(
+                                     plan.block_kernel[blk])
+                               : SddmmKernelId::generic;
 
   SddmmPanelScratch& s = sddmm_panel_scratch();
   s.a_panel.resize(static_cast<std::size_t>(g.p) * v * k);
@@ -348,6 +359,30 @@ void panel_block(std::size_t blk, const DenseOperand& a,
         simt::decode_span_int8(bytes, k, plane.is_signed, dst);
       }
     }
+  }
+
+  if (id == SddmmKernelId::fused_single) {
+    // Single LHS/RHS plane, full block: no plane cross product, combined
+    // weight applied once per slot. Same int64 weighted sum truncated to
+    // int32 as the generic body with p == q == 1 — bit-exact mod 2^32.
+    const auto& aplane = a.planes[0];
+    const auto& bplane = b.planes[0];
+    const std::int64_t w = aplane.weight * bplane.weight;
+    for (std::uint32_t slot = 0; slot < valid; ++slot) {
+      const std::size_t vec = slot_base + slot;
+      const std::uint8_t* bytes = bplane.values.data() + plan.rhs_col_base[vec];
+      if (int4) {
+        simt::decode_span_int4(bytes, k, bplane.is_signed, s.b_col.data());
+      } else {
+        simt::decode_span_int8(bytes, k, bplane.is_signed, s.b_col.data());
+      }
+      for (std::size_t row = 0; row < v; ++row) {
+        const std::int32_t part =
+            simt::dot_wrap(s.a_panel.data() + row * k, s.b_col.data(), k, 0);
+        c_values[vec * v + row] = static_cast<std::int32_t>(w * part);
+      }
+    }
+    return;
   }
 
   for (std::uint32_t slot = 0; slot < valid; ++slot) {
@@ -478,8 +513,13 @@ SddmmResult run_fast(const DenseOperand& a, const DenseOperand& b,
 
   SddmmResult result = make_result_shell(pattern, g.v);
   if (kernel == ReplayKernel::panel) {
+    // Bucket dispatch needs the recorded per-block kernel ids; plans built
+    // before bucketing (or with the toggle off) replay through the generic
+    // body, which is bit-exact with every specialized path.
+    const bool buckets = default_panel_buckets() &&
+                         plan.block_kernel.size() == plan.map.row.size();
     simt::run_grid_values(plan.run.launch.grid_blocks, [&](std::size_t blk) {
-      panel_block(blk, a, b, plan, result.c.values);
+      panel_block(blk, a, b, plan, buckets, result.c.values);
     });
   } else {
     simt::run_grid_values(plan.run.launch.grid_blocks, [&](std::size_t blk) {
@@ -538,6 +578,10 @@ simt::KernelRun sddmm_estimate(const sparse::BlockPattern& pattern,
           std::min<std::uint64_t>(kSddmmSlotsPerBlock, n_r - base);
       run.counters += detail::sddmm_block_counters(
           g, pattern.row_ptr[r] + base, valid);
+      // Bucket counters must mirror build_sddmm_plan exactly: the SLA layer
+      // asserts analytic-estimate pricing equals cached-plan pricing.
+      const SddmmKernelId id = detail::classify_sddmm_block(g, valid);
+      run.counters.sddmm_bucket_blocks[static_cast<std::size_t>(id)] += 1;
       blocks += 1;
     }
   }

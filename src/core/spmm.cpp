@@ -551,20 +551,27 @@ void fast_block(std::size_t blk, const SparseOperand& a,
 
 // ---- Panel fast path: block-panel replay ----------------------------------
 //
-// One invocation of simt::mma_panel per (plane group, RHS plane, step)
-// covers the block's whole bsn-column tile — all 8 adjacent 8-column mma
+// One invocation of a panel micro-kernel per (plane group, RHS plane, step)
+// covers a block's whole bsn-column tile — all 8 adjacent 8-column mma
 // tiles that the fragment replay walked one scalar mma_decoded at a time
-// (2 warps x 4 mma). Operands decode once per stride tile straight from
-// the packed plane bytes into contiguous arenas: the LHS tile is stored
-// [V rows][stride] row-major by SR-BCRS, and a block's RHS columns are
-// adjacent bytes of each gathered row, so no lane gathers, no register
-// transpose, no per-fragment decode.
+// (2 warps x 4 mma). Replay runs one job per *block row*: the row's A
+// panels (every step x plane group) decode once into a per-row arena and
+// all of the row's column blocks replay from it — the per-(row, cb) grid
+// re-decoded the identical A bytes col_blocks times. Jobs write disjoint C
+// rows, so the per-row grid parallelizes exactly like the per-block one.
+//
+// Each row dispatches the replay kernel its plan-time bucket named
+// (SpmmPlan::row_kernel): fixed-width 64-column panels with per-group
+// active-row limits for the bsn==64 buckets, a fused decode+mma for the
+// dominant single-group/single-plane bucket (no B panel arena at all), the
+// runtime-width generic kernel otherwise. All buckets are bit-exact mod
+// 2^32 with the generic path; MAGICUBE_PANEL_BUCKETS=off forces generic.
 
 struct SpmmPanelScratch {
   std::vector<std::uint32_t> acc;        // [group][q][8 rows][bsn] wrapping
   std::vector<std::int64_t> colsum;      // [q][bsn] bias-correction sums
   std::vector<std::int64_t> total;       // [bsn] epilogue combine
-  std::vector<simt::DecodedFrag> a_dec;  // one per plane group
+  std::vector<simt::DecodedFrag> a_dec;  // [step][plane group] (whole row)
   std::vector<std::int32_t> b_panel;     // [q][stride][bsn]
 };
 
@@ -600,15 +607,11 @@ void spmm_panel_epilogue(const Geom& g, const SparseOperand& a,
                         n;
           if (top) {
             // Undo the excess encoding: C_top = C_raw - 2^(b-1)*colsum.
-            const std::int64_t* cs = colsum + static_cast<std::size_t>(qq) * n;
-            for (std::size_t col = 0; col < n; ++col) {
-              total[col] +=
-                  w * (static_cast<std::int32_t>(arow[col]) - bias * cs[col]);
-            }
+            simt::epilogue_combine_biased(
+                total, arow, colsum + static_cast<std::size_t>(qq) * n, bias,
+                w, n);
           } else {
-            for (std::size_t col = 0; col < n; ++col) {
-              total[col] += w * static_cast<std::int32_t>(arow[col]);
-            }
+            simt::epilogue_combine(total, arow, w, n);
           }
         }
       }
@@ -621,13 +624,10 @@ void spmm_panel_epilogue(const Geom& g, const SparseOperand& a,
   }
 }
 
-void panel_block(std::size_t blk, const SparseOperand& a,
-                 const DenseOperand& b, const SpmmPlan& plan,
-                 Matrix<std::int32_t>& c) {
+void panel_row(std::size_t r, const SparseOperand& a, const DenseOperand& b,
+               const SpmmPlan& plan, bool buckets, Matrix<std::int32_t>& c) {
   const Geom& g = plan.geom;
   const sparse::SrBcrs& sr = a.structure;
-  const std::size_t r = blk / g.col_blocks;
-  const std::size_t cb = blk % g.col_blocks;
   const std::size_t steps = sr.strides_in_row(r);
   const std::size_t stride = static_cast<std::size_t>(g.stride);
   const std::size_t v = static_cast<std::size_t>(g.v);
@@ -635,26 +635,33 @@ void panel_block(std::size_t blk, const SparseOperand& a,
   const std::size_t n = g.bsn;
   const bool int4 = g.int4path;
 
-  SpmmPanelScratch& s = spmm_panel_scratch();
-  s.acc.assign(static_cast<std::size_t>(g.g * g.q) * 8 * n, 0);
-  s.colsum.assign(
-      g.bias_correct ? static_cast<std::size_t>(g.q) * n : 0, 0);
-  s.total.resize(n);
-  s.a_dec.resize(static_cast<std::size_t>(g.g));
-  s.b_panel.resize(static_cast<std::size_t>(g.q) * stride * n);
+  const PanelKernelId row_id =
+      buckets ? static_cast<PanelKernelId>(plan.row_kernel[r])
+              : PanelKernelId::generic;
+  // A structurally empty row contributes nothing: C was zero-initialized,
+  // and replaying zero steps through the generic path writes only zeros.
+  if (row_id == PanelKernelId::empty || steps == 0) return;
 
-  const std::size_t cb_byte = cb * n * chunk / 8;
+  SpmmPanelScratch& s = spmm_panel_scratch();
+  s.total.resize(n);
+  s.a_dec.resize(steps * static_cast<std::size_t>(g.g));
+  if (row_id != PanelKernelId::fused) {
+    s.b_panel.resize(static_cast<std::size_t>(g.q) * stride * n);
+  }
+
   const std::size_t tile_row_bytes = stride * chunk / 8;
 
+  // Decode-once A arena: every step's plane-group panels decode one time
+  // for the whole row (plane stacking baked into the schedule); all
+  // col_blocks column tiles replay from the arena. The per-(row, cb) grid
+  // re-decoded these identical bytes once per column block.
   for (std::size_t st = 0; st < steps; ++st) {
-    const std::size_t slot_base = sr.first_ptr[r] + st * stride;
-    const std::size_t lhs_byte = slot_base * v * chunk / 8;
-
-    // Decode the A panels: one 8 x stride tile per plane group, plane
-    // stacking baked into the schedule. Decoded once, reused by every RHS
-    // plane of the step (the fragment path decoded per warp).
+    const std::size_t lhs_byte =
+        (sr.first_ptr[r] + st * stride) * v * chunk / 8;
     for (int grp = 0; grp < g.g; ++grp) {
-      simt::DecodedFrag& dec = s.a_dec[static_cast<std::size_t>(grp)];
+      simt::DecodedFrag& dec =
+          s.a_dec[st * static_cast<std::size_t>(g.g) +
+                  static_cast<std::size_t>(grp)];
       dec.k = static_cast<int>(stride);
       const bool grp_signed = lhs_group_signed(g, a, grp);
       const auto& rows = plan.a_panel_src[static_cast<std::size_t>(grp)];
@@ -681,53 +688,100 @@ void panel_block(std::size_t blk, const SparseOperand& a,
         }
       }
     }
-
-    // Decode the B panels: stride x bsn per RHS plane, rows gathered by the
-    // plan's resolved byte bases, columns contiguous. Padded slots are zero
-    // rows (and thus contribute nothing to the column sums either).
-    for (int qq = 0; qq < g.q; ++qq) {
-      const auto& bplane = b.planes[static_cast<std::size_t>(qq)];
-      const std::uint8_t* b_bytes = bplane.values.data();
-      std::int32_t* panel =
-          s.b_panel.data() + static_cast<std::size_t>(qq) * stride * n;
-      for (std::size_t k = 0; k < stride; ++k) {
-        std::int32_t* row = panel + k * n;
-        const std::size_t base =
-            plan.rhs_row_base[slot_base + plan.panel_k_slot[k]];
-        if (base == kNoRhsRow) {
-          std::fill_n(row, n, 0);
-        } else if (int4) {
-          simt::decode_span_int4(b_bytes + base + cb_byte, n,
-                                 bplane.is_signed, row);
-        } else {
-          simt::decode_span_int8(b_bytes + base + cb_byte, n,
-                                 bplane.is_signed, row);
-        }
-      }
-      if (g.bias_correct) {
-        std::int64_t* cs = s.colsum.data() + static_cast<std::size_t>(qq) * n;
-        for (std::size_t k = 0; k < stride; ++k) {
-          const std::int32_t* row = panel + k * n;
-          for (std::size_t col = 0; col < n; ++col) cs[col] += row[col];
-        }
-      }
-    }
-
-    // MAC: one panel invocation per (group, RHS plane) replaces the step's
-    // 2 warps x 4 scalar mma_decoded issues.
-    for (int grp = 0; grp < g.g; ++grp) {
-      for (int qq = 0; qq < g.q; ++qq) {
-        simt::mma_panel(
-            s.acc.data() + static_cast<std::size_t>(grp * g.q + qq) * 8 * n,
-            s.a_dec[static_cast<std::size_t>(grp)],
-            s.b_panel.data() + static_cast<std::size_t>(qq) * stride * n,
-            static_cast<int>(n));
-      }
-    }
   }
 
-  spmm_panel_epilogue(g, a, b, s.acc.data(), s.colsum.data(), s.total.data(),
-                      r, cb, c);
+  // Active panel rows of each plane group form a prefix (rr = lp * V + rb
+  // with lp < group_size), so the fixed-width kernels stop there instead of
+  // multiplying the zero rows the generic kernel pays for.
+  std::array<int, 8> active_rows{};
+  for (int grp = 0; grp < g.g; ++grp) {
+    active_rows[static_cast<std::size_t>(grp)] =
+        std::min(8, g.group_size(grp) * g.v);
+  }
+
+  for (std::size_t cb = 0; cb < g.col_blocks; ++cb) {
+    const std::size_t cb_byte = cb * n * chunk / 8;
+    s.acc.assign(static_cast<std::size_t>(g.g * g.q) * 8 * n, 0);
+    s.colsum.assign(
+        g.bias_correct ? static_cast<std::size_t>(g.q) * n : 0, 0);
+
+    for (std::size_t st = 0; st < steps; ++st) {
+      const std::size_t slot_base = sr.first_ptr[r] + st * stride;
+      const simt::DecodedFrag* a_dec =
+          s.a_dec.data() + st * static_cast<std::size_t>(g.g);
+
+      if (row_id == PanelKernelId::fused) {
+        // Single group x single RHS plane, no bias correction: decode each
+        // valid B row straight inside the kernel — no panel arena, no
+        // column sums, padded slots skipped instead of zero-filled.
+        const std::uint8_t* b_bytes = b.planes[0].values.data();
+        std::array<const std::uint8_t*, 32> rows{};
+        for (std::size_t k = 0; k < stride; ++k) {
+          const std::size_t base =
+              plan.rhs_row_base[slot_base + plan.panel_k_slot[k]];
+          rows[k] = base == kNoRhsRow ? nullptr : b_bytes + base + cb_byte;
+        }
+        simt::fused_decode_mma_n64(s.acc.data(), a_dec[0], rows.data(),
+                                   static_cast<int>(stride), int4,
+                                   b.planes[0].is_signed);
+        continue;
+      }
+
+      // Decode the B panels: stride x bsn per RHS plane, rows gathered by
+      // the plan's resolved byte bases, columns contiguous. Padded slots
+      // are zero rows (and thus contribute nothing to the column sums
+      // either).
+      for (int qq = 0; qq < g.q; ++qq) {
+        const auto& bplane = b.planes[static_cast<std::size_t>(qq)];
+        const std::uint8_t* b_bytes = bplane.values.data();
+        std::int32_t* panel =
+            s.b_panel.data() + static_cast<std::size_t>(qq) * stride * n;
+        for (std::size_t k = 0; k < stride; ++k) {
+          std::int32_t* row = panel + k * n;
+          const std::size_t base =
+              plan.rhs_row_base[slot_base + plan.panel_k_slot[k]];
+          if (base == kNoRhsRow) {
+            std::fill_n(row, n, 0);
+          } else if (int4) {
+            simt::decode_span_int4(b_bytes + base + cb_byte, n,
+                                   bplane.is_signed, row);
+          } else {
+            simt::decode_span_int8(b_bytes + base + cb_byte, n,
+                                   bplane.is_signed, row);
+          }
+        }
+        if (g.bias_correct) {
+          std::int64_t* cs =
+              s.colsum.data() + static_cast<std::size_t>(qq) * n;
+          for (std::size_t k = 0; k < stride; ++k) {
+            simt::colsum_update(panel + k * n, cs, n);
+          }
+        }
+      }
+
+      // MAC: one panel invocation per (group, RHS plane) replaces the
+      // step's 2 warps x 4 scalar mma_decoded issues. The fixed-width
+      // buckets dispatch the compile-time-64 kernel with per-group row
+      // limits; generic keeps the runtime-width path.
+      for (int grp = 0; grp < g.g; ++grp) {
+        for (int qq = 0; qq < g.q; ++qq) {
+          std::uint32_t* acc =
+              s.acc.data() + static_cast<std::size_t>(grp * g.q + qq) * 8 * n;
+          const std::int32_t* panel =
+              s.b_panel.data() + static_cast<std::size_t>(qq) * stride * n;
+          if (row_id == PanelKernelId::generic) {
+            simt::mma_panel(acc, a_dec[grp], panel, static_cast<int>(n));
+          } else {
+            simt::mma_panel_n64(acc, a_dec[grp], panel,
+                                active_rows[static_cast<std::size_t>(grp)]);
+          }
+        }
+      }
+    }
+
+    spmm_panel_epilogue(g, a, b, s.acc.data(), s.colsum.data(),
+                        s.total.data(), r, cb, c);
+  }
 }
 
 void validate_spmm_inputs(const SparseOperand& a, const DenseOperand& b,
@@ -738,6 +792,9 @@ void validate_spmm_inputs(const SparseOperand& a, const DenseOperand& b,
   MAGICUBE_CHECK_MSG(sr.shuffled == needs_shuffle(cfg),
                      "LHS shuffle state does not match the variant");
   MAGICUBE_CHECK(b.row_major);
+  MAGICUBE_CHECK_MSG(cfg.bsn == 64,
+                     "the execution engines implement the 64-column block "
+                     "tile only (2 warps x 32 output columns)");
   MAGICUBE_CHECK_MSG(b.cols % static_cast<std::size_t>(cfg.bsn) == 0,
                      "N must be a multiple of the block tile width");
   MAGICUBE_CHECK(b.rows == sr.cols);
@@ -815,8 +872,14 @@ SpmmResult run_fast(const SparseOperand& a, const DenseOperand& b,
     MAGICUBE_CHECK_MSG(plan.a_panel_src.size() ==
                            static_cast<std::size_t>(g.g),
                        "plan carries no panel schedule");
-    simt::run_grid_values(plan.run.launch.grid_blocks, [&](std::size_t blk) {
-      panel_block(blk, a, b, plan, result.c);
+    // One job per block row (decode-once A arena shared by the row's
+    // column blocks); rows write disjoint C ranges. Bucket dispatch needs
+    // the plan's per-row kernel ids; without them (or with the toggle off)
+    // every row runs the generic kernel — bit-exact either way.
+    const bool buckets = default_panel_buckets() &&
+                         plan.row_kernel.size() == a.structure.vector_rows();
+    simt::run_grid_values(a.structure.vector_rows(), [&](std::size_t r) {
+      panel_row(r, a, b, plan, buckets, result.c);
     });
   } else {
     simt::run_grid_values(plan.run.launch.grid_blocks, [&](std::size_t blk) {
@@ -850,6 +913,9 @@ SpmmResult spmm(const SparseOperand& a, const DenseOperand& b,
 
 simt::KernelRun spmm_estimate(const sparse::BlockPattern& pattern,
                               std::size_t n_cols, const SpmmConfig& cfg) {
+  MAGICUBE_CHECK_MSG(cfg.bsn == 64,
+                     "the execution engines implement the 64-column block "
+                     "tile only (2 warps x 32 output columns)");
   MAGICUBE_CHECK(n_cols % static_cast<std::size_t>(cfg.bsn) == 0);
 
   // Rebuild the geometry from the precision pair alone (plane counts are a
@@ -880,6 +946,11 @@ simt::KernelRun spmm_estimate(const sparse::BlockPattern& pattern,
     slots += steps * stride;
     valid += n_r;
     total_steps += steps;
+    // Bucket counters must mirror build_spmm_plan exactly: the SLA layer
+    // asserts analytic-estimate pricing equals cached-plan pricing.
+    const PanelKernelId id = detail::classify_spmm_row(g, steps);
+    run.counters.spmm_bucket_blocks[static_cast<std::size_t>(id)] +=
+        g.col_blocks;
     KernelCounters kc = detail::spmm_block_counters(g, steps, n_r);
     // Every block of this row (one per column tile) counts identically.
     kc *= g.col_blocks;

@@ -45,7 +45,7 @@ const char* to_string(SpmmVariant v);
 struct SpmmConfig {
   PrecisionPair precision = precision::L8R8;
   SpmmVariant variant = SpmmVariant::full;
-  int bsn = 64;            // RHS/C tile width per block
+  int bsn = 64;            // RHS/C tile width per block (engines require 64)
   int warps_per_block = 2;
   /// Execution engine; unset defers to default_exec_mode() (fast unless
   /// MAGICUBE_EXEC_MODE / set_default_exec_mode says otherwise). Both modes

@@ -61,6 +61,34 @@ CostBreakdown estimate_cost(const DeviceSpec& dev, const KernelRun& run) {
   out.fp32_cycles = static_cast<double>(c.fp32_ops) /
                     dev.fp32_ops_per_sm_cycle / spread;
 
+  // Bucket-kernel dispatch: each plan-classified block pays a small
+  // per-block selection/setup cost on the issue pipe, weighted by how much
+  // control overhead its kernel body retains (the generic body keeps all
+  // runtime loop bounds; fused paths branch once). Runs with no bucket
+  // counters (simulate mode, pre-bucket plans) are unaffected.
+  static constexpr double kSpmmDispatchCycles[kSpmmBucketKinds] = {
+      4.0,  // generic: runtime panel width + plane loops
+      2.0,  // fixed64: fixed-width panels, runtime plane loops
+      3.0,  // stacked: fixed-width panels + short-group tail handling
+      1.0,  // fused: single fused decode+mma loop
+      1.0,  // empty: early exit
+  };
+  static constexpr double kSddmmDispatchCycles[kSddmmBucketKinds] = {
+      3.0,  // generic: plane cross-product loops
+      1.0,  // fused_single: single plane pair, weight applied once
+      3.0,  // tail: generic body with the valid bound
+  };
+  double dispatch_units = 0;
+  for (std::size_t i = 0; i < kSpmmBucketKinds; ++i) {
+    dispatch_units += static_cast<double>(c.spmm_bucket_blocks[i]) *
+                      kSpmmDispatchCycles[i];
+  }
+  for (std::size_t i = 0; i < kSddmmBucketKinds; ++i) {
+    dispatch_units += static_cast<double>(c.sddmm_bucket_blocks[i]) *
+                      kSddmmDispatchCycles[i];
+  }
+  out.dispatch_cycles = dispatch_units / spread;
+
   // Device-wide memory levels. All counted sectors travel over L2; DRAM sees
   // the compulsory bytes the kernel reported.
   const double l2_bytes = static_cast<double>(c.gmem_sectors()) *
@@ -69,12 +97,12 @@ CostBreakdown estimate_cost(const DeviceSpec& dev, const KernelRun& run) {
   out.dram_cycles = static_cast<double>(c.dram_bytes) /
                     (dev.dram_bytes_per_sm_cycle() * dev.sm_count);
 
-  // CUDA-core instructions (ALU, shuffles) and shared-memory transaction
-  // replays contend for the same SM issue/LSU bandwidth, so they compose
-  // additively into one "issue" resource; tensor cores, the fp32 pipe and
-  // the memory levels run concurrently with it.
+  // CUDA-core instructions (ALU, shuffles), shared-memory transaction
+  // replays and bucket-dispatch overhead contend for the same SM issue/LSU
+  // bandwidth, so they compose additively into one "issue" resource; tensor
+  // cores, the fp32 pipe and the memory levels run concurrently with it.
   const double issue_cycles =
-      out.smem_cycles + out.alu_cycles + out.shfl_cycles;
+      out.smem_cycles + out.alu_cycles + out.shfl_cycles + out.dispatch_cycles;
   const struct {
     const char* name;
     double cycles;

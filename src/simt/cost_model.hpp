@@ -65,6 +65,7 @@ struct CostBreakdown {
   double smem_cycles = 0;
   double alu_cycles = 0;
   double shfl_cycles = 0;
+  double dispatch_cycles = 0;  // per-block bucket-kernel selection overhead
   double fp32_cycles = 0;
   double l2_cycles = 0;
   double dram_cycles = 0;

@@ -6,9 +6,17 @@
 // during execution (blocks run in parallel on the host) and reduced after
 // the grid finishes, so totals are deterministic.
 
+#include <array>
 #include <cstdint>
 
 namespace magicube::simt {
+
+/// Replay-kernel bucket kinds tracked by the per-bucket dispatch counters.
+/// The indices are defined by core::PanelKernelId / core::SddmmKernelId
+/// (static_asserted there); counters.hpp only fixes the array widths so the
+/// simt layer stays below the plan layer.
+inline constexpr int kSpmmBucketKinds = 5;
+inline constexpr int kSddmmBucketKinds = 3;
 
 struct KernelCounters {
   // Tensor-core mma instruction counts by operand precision.
@@ -40,6 +48,16 @@ struct KernelCounters {
   std::uint64_t fp32_ops = 0;
   std::uint64_t syncthreads = 0;
 
+  // Replay-kernel bucket dispatch: blocks executed per specialized panel
+  // micro-kernel, recorded analytically by the plan builders (and mirrored
+  // by the estimators so pricing stays plan/estimate-exact). The simulated
+  // reference kernel has no replay dispatch, so these are *excluded* from
+  // operator== — the estimate-equals-execute invariant compares hardware
+  // events only — but participate in += / *= and in the cost model's
+  // dispatch term.
+  std::array<std::uint64_t, kSpmmBucketKinds> spmm_bucket_blocks{};
+  std::array<std::uint64_t, kSddmmBucketKinds> sddmm_bucket_blocks{};
+
   KernelCounters& operator+=(const KernelCounters& o) {
     mma_int8 += o.mma_int8;
     mma_int4 += o.mma_int4;
@@ -57,6 +75,14 @@ struct KernelCounters {
     shfl_ops += o.shfl_ops;
     fp32_ops += o.fp32_ops;
     syncthreads += o.syncthreads;
+    for (int i = 0; i < kSpmmBucketKinds; ++i) {
+      spmm_bucket_blocks[static_cast<std::size_t>(i)] +=
+          o.spmm_bucket_blocks[static_cast<std::size_t>(i)];
+    }
+    for (int i = 0; i < kSddmmBucketKinds; ++i) {
+      sddmm_bucket_blocks[static_cast<std::size_t>(i)] +=
+          o.sddmm_bucket_blocks[static_cast<std::size_t>(i)];
+    }
     return *this;
   }
 
@@ -85,10 +111,29 @@ struct KernelCounters {
     shfl_ops *= f;
     fp32_ops *= f;
     syncthreads *= f;
+    for (auto& b : spmm_bucket_blocks) b *= f;
+    for (auto& b : sddmm_bucket_blocks) b *= f;
     return *this;
   }
-  friend bool operator==(const KernelCounters&, const KernelCounters&) =
-      default;
+
+  /// Hardware-event equality only: the bucket dispatch counters are replay
+  /// metadata the simulated kernel cannot produce, so they stay outside the
+  /// estimate-equals-execute comparison.
+  friend bool operator==(const KernelCounters& a, const KernelCounters& b) {
+    return a.mma_int8 == b.mma_int8 && a.mma_int4 == b.mma_int4 &&
+           a.mma_fp16 == b.mma_fp16 &&
+           a.smem_load_requests == b.smem_load_requests &&
+           a.smem_load_transactions == b.smem_load_transactions &&
+           a.smem_store_requests == b.smem_store_requests &&
+           a.smem_store_transactions == b.smem_store_transactions &&
+           a.gmem_load_requests == b.gmem_load_requests &&
+           a.gmem_load_sectors == b.gmem_load_sectors &&
+           a.gmem_store_requests == b.gmem_store_requests &&
+           a.gmem_store_sectors == b.gmem_store_sectors &&
+           a.dram_bytes == b.dram_bytes && a.alu_ops == b.alu_ops &&
+           a.shfl_ops == b.shfl_ops && a.fp32_ops == b.fp32_ops &&
+           a.syncthreads == b.syncthreads;
+  }
 
   std::uint64_t smem_transactions() const {
     return smem_load_transactions + smem_store_transactions;

@@ -118,109 +118,178 @@ void mma_decoded(AccumFrag& acc, const DecodedFrag& a, const DecodedFrag& b) {
 #endif
 
 // The kernel bodies live in panel_kernels.inc, instantiated here at the
-// build's baseline ISA and again in tensor_core_avx2.cpp under -mavx2
-// (x86-64 only; SSE2 has no 32-bit vector multiply, which the MAC kernel
-// lives on). Dispatch picks the AVX2 instantiation per call once
-// __builtin_cpu_supports agrees at runtime.
+// build's baseline ISA and again per wide ISA in its own TU:
+// tensor_core_avx2.cpp under -mavx2, tensor_core_avx512.cpp under
+// -mavx512{f,bw,dq,vl} (both x86-64 only; SSE2 has no 32-bit vector
+// multiply, which the MAC kernel lives on), and tensor_core_neon.cpp on
+// AArch64 where Advanced SIMD is architecturally guaranteed. Dispatch
+// checks __builtin_cpu_supports per call, widest ISA first
+// (avx512 -> avx2 -> base); on AArch64 the neon instantiation is
+// unconditional, no CPUID probe needed.
 namespace panel_detail {
+
+// Forward declarations shared by every wide-ISA namespace (each TU defines
+// the same .inc surface under its own target flags).
+#define MAGICUBE_PANEL_DECLS                                                  \
+  void mma_panel(std::uint32_t* acc, const DecodedFrag& a,                    \
+                 const std::int32_t* b, int n);                               \
+  void mma_panel_n64(std::uint32_t* acc, const DecodedFrag& a,                \
+                     const std::int32_t* b, int rows);                        \
+  void fused_decode_mma_n64(std::uint32_t* acc, const DecodedFrag& a,         \
+                            const std::uint8_t* const* rows, int k_count,     \
+                            bool int4, bool b_signed);                        \
+  void colsum_update(const std::int32_t* row, std::int64_t* colsum,           \
+                     std::size_t n);                                          \
+  void epilogue_combine(std::int64_t* total, const std::uint32_t* acc_row,    \
+                        std::int64_t weight, std::size_t n);                  \
+  void epilogue_combine_biased(std::int64_t* total,                           \
+                               const std::uint32_t* acc_row,                  \
+                               const std::int64_t* colsum, std::int64_t bias, \
+                               std::int64_t weight, std::size_t n);           \
+  std::int32_t dot_wrap(const std::int32_t* a, const std::int32_t* b,         \
+                        std::size_t k, std::int32_t acc);                     \
+  void decode_span_int8(const std::uint8_t* src, std::size_t count,           \
+                        bool is_signed, std::int32_t* dst);                   \
+  void decode_span_int4(const std::uint8_t* src, std::size_t count,           \
+                        bool is_signed, std::int32_t* dst);                   \
+  void decode_span_int8_biased(const std::uint8_t* src, std::size_t count,    \
+                               std::int32_t* dst);                            \
+  void decode_span_int4_biased(const std::uint8_t* src, std::size_t count,    \
+                               std::int32_t* dst);
 
 namespace base {
 #define MAGICUBE_PANEL_VEC MAGICUBE_SIMD_ACTIVE
+#define MAGICUBE_PANEL_VEC512 0
 #include "simt/panel_kernels.inc"
 #undef MAGICUBE_PANEL_VEC
+#undef MAGICUBE_PANEL_VEC512
 }  // namespace base
 
 #if MAGICUBE_SIMD_ACTIVE && defined(__x86_64__)
 #define MAGICUBE_PANEL_AVX2 1
 namespace avx2 {
 // Defined in tensor_core_avx2.cpp (compiled with -mavx2).
-void mma_panel(std::uint32_t* acc, const DecodedFrag& a,
-               const std::int32_t* b, int n);
-std::int32_t dot_wrap(const std::int32_t* a, const std::int32_t* b,
-                      std::size_t k, std::int32_t acc);
-void decode_span_int8(const std::uint8_t* src, std::size_t count,
-                      bool is_signed, std::int32_t* dst);
-void decode_span_int4(const std::uint8_t* src, std::size_t count,
-                      bool is_signed, std::int32_t* dst);
-void decode_span_int8_biased(const std::uint8_t* src, std::size_t count,
-                             std::int32_t* dst);
-void decode_span_int4_biased(const std::uint8_t* src, std::size_t count,
-                             std::int32_t* dst);
+MAGICUBE_PANEL_DECLS
 }  // namespace avx2
+namespace avx512 {
+// Defined in tensor_core_avx512.cpp (compiled with -mavx512{f,bw,dq,vl}).
+MAGICUBE_PANEL_DECLS
+}  // namespace avx512
 
 inline bool use_avx2() {
   static const bool supported = __builtin_cpu_supports("avx2") != 0;
+  return supported;
+}
+
+inline bool use_avx512() {
+  // The 512-bit instantiation leans on F (64-byte vectors), BW/DQ (byte and
+  // dword lane ops in the decode paths) and VL (mixed-width epilogues), so
+  // all four must be present — Skylake-SP and later server parts.
+  static const bool supported = __builtin_cpu_supports("avx512f") != 0 &&
+                                __builtin_cpu_supports("avx512bw") != 0 &&
+                                __builtin_cpu_supports("avx512dq") != 0 &&
+                                __builtin_cpu_supports("avx512vl") != 0;
   return supported;
 }
 #else
 #define MAGICUBE_PANEL_AVX2 0
 #endif
 
+#if MAGICUBE_SIMD_ACTIVE && defined(__aarch64__)
+#define MAGICUBE_PANEL_NEON 1
+namespace neon {
+// Defined in tensor_core_neon.cpp. AArch64 mandates Advanced SIMD, so the
+// instantiation is selected unconditionally — no runtime probe.
+MAGICUBE_PANEL_DECLS
+}  // namespace neon
+#else
+#define MAGICUBE_PANEL_NEON 0
+#endif
+
+#undef MAGICUBE_PANEL_DECLS
+
 }  // namespace panel_detail
+
+// Per-call dispatch: widest available ISA first. Every instantiation is
+// bit-exact mod 2^32 with the scalar fallback, so the choice is purely a
+// throughput decision.
+#if MAGICUBE_PANEL_AVX2
+#define MAGICUBE_PANEL_DISPATCH(call)                                  \
+  do {                                                                 \
+    if (panel_detail::use_avx512()) return panel_detail::avx512::call; \
+    if (panel_detail::use_avx2()) return panel_detail::avx2::call;     \
+    return panel_detail::base::call;                                   \
+  } while (0)
+#elif MAGICUBE_PANEL_NEON
+#define MAGICUBE_PANEL_DISPATCH(call) return panel_detail::neon::call
+#else
+#define MAGICUBE_PANEL_DISPATCH(call) return panel_detail::base::call
+#endif
 
 bool simd_enabled() { return MAGICUBE_SIMD_ACTIVE != 0; }
 
 void mma_panel(std::uint32_t* acc, const DecodedFrag& a,
                const std::int32_t* b, int n) {
   MAGICUBE_DCHECK(n > 0 && n % 8 == 0);
-#if MAGICUBE_PANEL_AVX2
-  if (panel_detail::use_avx2()) {
-    return panel_detail::avx2::mma_panel(acc, a, b, n);
-  }
-#endif
-  panel_detail::base::mma_panel(acc, a, b, n);
+  MAGICUBE_PANEL_DISPATCH(mma_panel(acc, a, b, n));
+}
+
+void mma_panel_n64(std::uint32_t* acc, const DecodedFrag& a,
+                   const std::int32_t* b, int rows) {
+  MAGICUBE_DCHECK(rows > 0 && rows <= 8);
+  MAGICUBE_PANEL_DISPATCH(mma_panel_n64(acc, a, b, rows));
+}
+
+void fused_decode_mma_n64(std::uint32_t* acc, const DecodedFrag& a,
+                          const std::uint8_t* const* rows, int k_count,
+                          bool int4, bool b_signed) {
+  MAGICUBE_DCHECK(k_count >= 0 && k_count <= 32);
+  MAGICUBE_PANEL_DISPATCH(
+      fused_decode_mma_n64(acc, a, rows, k_count, int4, b_signed));
+}
+
+void colsum_update(const std::int32_t* row, std::int64_t* colsum,
+                   std::size_t n) {
+  MAGICUBE_PANEL_DISPATCH(colsum_update(row, colsum, n));
+}
+
+void epilogue_combine(std::int64_t* total, const std::uint32_t* acc_row,
+                      std::int64_t weight, std::size_t n) {
+  MAGICUBE_PANEL_DISPATCH(epilogue_combine(total, acc_row, weight, n));
+}
+
+void epilogue_combine_biased(std::int64_t* total, const std::uint32_t* acc_row,
+                             const std::int64_t* colsum, std::int64_t bias,
+                             std::int64_t weight, std::size_t n) {
+  MAGICUBE_PANEL_DISPATCH(
+      epilogue_combine_biased(total, acc_row, colsum, bias, weight, n));
 }
 
 std::int32_t dot_wrap(const std::int32_t* a, const std::int32_t* b,
                       std::size_t k, std::int32_t acc) {
-#if MAGICUBE_PANEL_AVX2
-  if (panel_detail::use_avx2()) {
-    return panel_detail::avx2::dot_wrap(a, b, k, acc);
-  }
-#endif
-  return panel_detail::base::dot_wrap(a, b, k, acc);
+  MAGICUBE_PANEL_DISPATCH(dot_wrap(a, b, k, acc));
 }
 
 void decode_span_int8(const std::uint8_t* src, std::size_t count,
                       bool is_signed, std::int32_t* dst) {
-#if MAGICUBE_PANEL_AVX2
-  if (panel_detail::use_avx2()) {
-    return panel_detail::avx2::decode_span_int8(src, count, is_signed, dst);
-  }
-#endif
-  panel_detail::base::decode_span_int8(src, count, is_signed, dst);
+  MAGICUBE_PANEL_DISPATCH(decode_span_int8(src, count, is_signed, dst));
 }
 
 void decode_span_int4(const std::uint8_t* src, std::size_t count,
                       bool is_signed, std::int32_t* dst) {
   MAGICUBE_DCHECK(count % 2 == 0);
-#if MAGICUBE_PANEL_AVX2
-  if (panel_detail::use_avx2()) {
-    return panel_detail::avx2::decode_span_int4(src, count, is_signed, dst);
-  }
-#endif
-  panel_detail::base::decode_span_int4(src, count, is_signed, dst);
+  MAGICUBE_PANEL_DISPATCH(decode_span_int4(src, count, is_signed, dst));
 }
 
 void decode_span_int8_biased(const std::uint8_t* src, std::size_t count,
                              std::int32_t* dst) {
-#if MAGICUBE_PANEL_AVX2
-  if (panel_detail::use_avx2()) {
-    return panel_detail::avx2::decode_span_int8_biased(src, count, dst);
-  }
-#endif
-  panel_detail::base::decode_span_int8_biased(src, count, dst);
+  MAGICUBE_PANEL_DISPATCH(decode_span_int8_biased(src, count, dst));
 }
 
 void decode_span_int4_biased(const std::uint8_t* src, std::size_t count,
                              std::int32_t* dst) {
   MAGICUBE_DCHECK(count % 2 == 0);
-#if MAGICUBE_PANEL_AVX2
-  if (panel_detail::use_avx2()) {
-    return panel_detail::avx2::decode_span_int4_biased(src, count, dst);
-  }
-#endif
-  panel_detail::base::decode_span_int4_biased(src, count, dst);
+  MAGICUBE_PANEL_DISPATCH(decode_span_int4_biased(src, count, dst));
 }
 
 WarpReg make_a_frag_int8(const Matrix<std::uint8_t>& a) {

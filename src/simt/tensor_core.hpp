@@ -98,6 +98,45 @@ bool simd_enabled();
 void mma_panel(std::uint32_t* acc, const DecodedFrag& a,
                const std::int32_t* b, int n);
 
+// Bucket-specialized panel kernels (plan-time replay dispatch). The plan
+// builder classifies every block row into a kernel bucket; the replay
+// engines call these instead of the generic mma_panel when the bucket's
+// shape guarantees hold. All are bit-exact mod 2^32 with mma_panel.
+
+/// Fixed-width variant of mma_panel for the bsn == 64 buckets: n is a
+/// compile-time 64 and only the first `rows` panel rows (1..8) are updated.
+/// The active rows of a partial stacked plane group always form a prefix,
+/// so the row limit is the entire tail handling.
+void mma_panel_n64(std::uint32_t* acc, const DecodedFrag& a,
+                   const std::int32_t* b, int rows);
+
+/// Fused decode+mma over one reduction step at fixed width 64 — the
+/// dominant single-group/single-plane bucket. `rows[k]` points at the
+/// packed bytes of reduction row k's 64-column span (nullptr for a padded
+/// slot, which is skipped: a zero row contributes exactly 0 mod 2^32).
+/// k_count <= 32. `int4` selects the 4-bit decode, `b_signed` the
+/// signedness, matching decode_span_int8/int4.
+void fused_decode_mma_n64(std::uint32_t* acc, const DecodedFrag& a,
+                          const std::uint8_t* const* rows, int k_count,
+                          bool int4, bool b_signed);
+
+/// colsum[c] += row[c] at int64 width over `n` columns — the vectorized
+/// bias-correction column-sum update. Exact integer arithmetic.
+void colsum_update(const std::int32_t* row, std::int64_t* colsum,
+                   std::size_t n);
+
+/// total[c] += weight * (int32)acc_row[c] over `n` columns — the panel
+/// epilogue's weighted fold of one plane group's partial products into the
+/// exact int64 running total.
+void epilogue_combine(std::int64_t* total, const std::uint32_t* acc_row,
+                      std::int64_t weight, std::size_t n);
+
+/// total[c] += weight * ((int32)acc_row[c] - bias * colsum[c]) — the
+/// signed-LHS bias-corrected variant of epilogue_combine.
+void epilogue_combine_biased(std::int64_t* total, const std::uint32_t* acc_row,
+                             const std::int64_t* colsum, std::int64_t bias,
+                             std::int64_t weight, std::size_t n);
+
 /// Wrapping dot product over `k` decoded elements: returns
 /// acc + sum_i a[i] * b[i] mod 2^32 — the SDDMM panel kernel, bit-exact
 /// with chaining counted mma issues over the stride tiles of one output.

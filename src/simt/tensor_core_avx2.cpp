@@ -16,8 +16,10 @@
 namespace magicube::simt::panel_detail::avx2 {
 
 #define MAGICUBE_PANEL_VEC 1
+#define MAGICUBE_PANEL_VEC512 0
 #include "simt/panel_kernels.inc"
 #undef MAGICUBE_PANEL_VEC
+#undef MAGICUBE_PANEL_VEC512
 
 }  // namespace magicube::simt::panel_detail::avx2
 

@@ -1,0 +1,27 @@
+// NEON (Advanced SIMD) instantiation of the block-panel micro-kernels (see
+// panel_kernels.inc). AArch64 mandates Advanced SIMD, so no extra compile
+// flags and no runtime CPUID probe are needed: the vector-extension kernels
+// lower to NEON at the baseline ISA and tensor_core.cpp selects this
+// namespace unconditionally on AArch64 builds. The 8 x 32-bit strips map to
+// pairs of 128-bit q-registers. On non-AArch64 targets (or with
+// MAGICUBE_SIMD off) the unit compiles empty and is never referenced.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simt/tensor_core.hpp"
+
+#if defined(MAGICUBE_SIMD) && MAGICUBE_SIMD && \
+    (defined(__GNUC__) || defined(__clang__)) && defined(__aarch64__)
+
+namespace magicube::simt::panel_detail::neon {
+
+#define MAGICUBE_PANEL_VEC 1
+#define MAGICUBE_PANEL_VEC512 0
+#include "simt/panel_kernels.inc"
+#undef MAGICUBE_PANEL_VEC
+#undef MAGICUBE_PANEL_VEC512
+
+}  // namespace magicube::simt::panel_detail::neon
+
+#endif

@@ -191,22 +191,38 @@ Matrix<float> magicube_attention(const Matrix<float>& q,
   for (std::size_t i = 0; i < l; ++i) {
     for (std::size_t d = 0; d < dk; ++d) kt(d, i) = ki(i, d);
   }
-  const auto a_op = core::prepare_dense(qi, qkv_type, /*row_major=*/true,
-                                        chunk);
-  const auto b_op = core::prepare_dense(kt, qkv_type, /*row_major=*/false,
-                                        chunk);
   core::SddmmConfig sddmm_cfg;
   sddmm_cfg.precision = sddmm_prec;
   core::SddmmResult sddmm;
   if (plans) {
+    // Serve the prepared operands from the context's cache, keyed by a
+    // content probe of the quantized values: repeated calls over unchanged
+    // activations skip the O(L·dk) re-prepare entirely. The probe doubles
+    // as the staleness guard's sample, so changed values miss (new id)
+    // rather than trip the immutable-contents check. 0 would mean
+    // "anonymous, don't cache" — coerced to 1.
+    auto probe_id = [](const Matrix<std::int32_t>& m) {
+      const std::uint64_t id = serve::content_probe(m);
+      return id == 0 ? 1 : id;
+    };
+    bool hit = false;
+    const auto a_op = plans->cache->get_or_prepare_dense(
+        serve::OperandKind::sddmm_lhs, qi, sddmm_prec, probe_id(qi), &hit);
+    (hit ? plans->operand_hits : plans->operand_preps) += 1;
+    const auto b_op = plans->cache->get_or_prepare_dense(
+        serve::OperandKind::sddmm_rhs, kt, sddmm_prec, probe_id(kt), &hit);
+    (hit ? plans->operand_hits : plans->operand_preps) += 1;
     // Build once per layer, replay per token: the plan is served from the
     // context's cache and validated against the mask at replay time.
-    bool hit = false;
     const core::SddmmPlanHandle plan = plans->cache->get_or_build_sddmm_plan(
         plans->mask, dk, sddmm_cfg, 0, &hit);
     (hit ? plans->plan_replays : plans->plan_builds) += 1;
-    sddmm = core::sddmm(a_op, b_op, mask, sddmm_cfg, *plan);
+    sddmm = core::sddmm(a_op, b_op, mask, sddmm_cfg, plan);
   } else {
+    const auto a_op = core::prepare_dense(qi, qkv_type, /*row_major=*/true,
+                                          chunk);
+    const auto b_op = core::prepare_dense(kt, qkv_type, /*row_major=*/false,
+                                          chunk);
     sddmm = core::sddmm(a_op, b_op, mask, sddmm_cfg);
   }
 
@@ -244,17 +260,31 @@ Matrix<float> magicube_attention(const Matrix<float>& q,
   const PrecisionPair spmm_prec{sm_type, qkv_type};
   core::SpmmConfig spmm_cfg;
   spmm_cfg.precision = spmm_prec;
-  const auto lhs = core::prepare_spmm_lhs(mask, attn_dense, spmm_prec,
-                                          core::needs_shuffle(spmm_cfg));
-  const auto rhs = core::prepare_spmm_rhs(vi, spmm_prec);
   core::SpmmResult spmm;
   if (plans) {
+    // Attention weights change per call (new id each time, softmax output),
+    // but V is stable across decode steps over a fixed context — the cache
+    // turns its re-prepare into a lookup. Content ids as on the SDDMM side.
+    auto probe_id = [](const Matrix<std::int32_t>& m) {
+      const std::uint64_t id = serve::content_probe(m);
+      return id == 0 ? 1 : id;
+    };
     bool hit = false;
+    const auto lhs = plans->cache->get_or_prepare_spmm_lhs(
+        plans->mask, attn_dense, spmm_prec, core::needs_shuffle(spmm_cfg),
+        probe_id(attn_dense), &hit);
+    (hit ? plans->operand_hits : plans->operand_preps) += 1;
+    const auto rhs = plans->cache->get_or_prepare_dense(
+        serve::OperandKind::spmm_rhs, vi, spmm_prec, probe_id(vi), &hit);
+    (hit ? plans->operand_hits : plans->operand_preps) += 1;
     const core::SpmmPlanHandle plan = plans->cache->get_or_build_spmm_plan(
         plans->mask, dk, spmm_cfg, 0, &hit);
     (hit ? plans->plan_replays : plans->plan_builds) += 1;
-    spmm = core::spmm(lhs, rhs, spmm_cfg, *plan);
+    spmm = core::spmm(lhs, rhs, spmm_cfg, plan);
   } else {
+    const auto lhs = core::prepare_spmm_lhs(mask, attn_dense, spmm_prec,
+                                            core::needs_shuffle(spmm_cfg));
+    const auto rhs = core::prepare_spmm_rhs(vi, spmm_prec);
     spmm = core::spmm(lhs, rhs, spmm_cfg);
   }
 

@@ -57,6 +57,14 @@ int qkv_bits(AttentionScheme s);
 /// distinct (op, precision, shape) plans the traffic touches while
 /// plan_replays grows with every further call.
 ///
+/// Operand preparations route through the same cache: the four prepared
+/// operands of the schedule (SDDMM Q/K^T, SpMM attention-weights/V) are
+/// keyed by a content probe of their integer values, so repeated calls
+/// over unchanged activations (evaluation sweeps re-scoring one sample,
+/// encoder K/V reused across decode steps) skip the O(M·K) re-prepare.
+/// operand_preps counts cache misses (preparations actually run),
+/// operand_hits the calls served from cache.
+///
 /// The cache may be shared across layers/contexts (plans are keyed by
 /// pattern fingerprint x config); the context itself is not thread-safe.
 struct AttentionPlanContext {
@@ -65,8 +73,10 @@ struct AttentionPlanContext {
 
   std::shared_ptr<serve::OperandCache> cache;
   std::shared_ptr<const sparse::BlockPattern> mask;
-  std::uint64_t plan_builds = 0;   // cache misses: plans actually built
-  std::uint64_t plan_replays = 0;  // cache hits: plans served and replayed
+  std::uint64_t plan_builds = 0;    // cache misses: plans actually built
+  std::uint64_t plan_replays = 0;   // cache hits: plans served and replayed
+  std::uint64_t operand_preps = 0;  // cache misses: operands prepared
+  std::uint64_t operand_hits = 0;   // cache hits: preparations skipped
 };
 
 /// Functional single-head attention under `scheme`; Q, K, V are L x dk

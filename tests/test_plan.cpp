@@ -10,6 +10,7 @@
 #include <string>
 
 #include "core/api.hpp"
+#include "dlmc/dlmc.hpp"
 
 namespace magicube::core {
 namespace {
@@ -900,6 +901,250 @@ TEST(ExecModeTest, ConfigModeOverridesProcessDefault) {
 
   EXPECT_EQ(fast.c, sim.c);
   EXPECT_EQ(fast.run.counters, sim.run.counters);
+}
+
+// ---- bucketed replay: toggle equivalence across pattern families ----------
+//
+// Plans always *record* the per-row / per-block kernel ids; the
+// MAGICUBE_PANEL_BUCKETS toggle only selects replay dispatch. So flipping
+// the toggle around one plan must be invisible in the results — the
+// specialized bucket kernels are bit-exact mod 2^32 with the generic panel
+// body on every pattern family (uniform, banded, DLMC-style) — and the
+// analytic estimators must report the same bucket census the builder
+// recorded (the SLA layer prices from either interchangeably).
+
+/// RAII toggle guard: tests must not leak a flipped process default.
+struct PanelBucketsGuard {
+  bool original = default_panel_buckets();
+  ~PanelBucketsGuard() { set_default_panel_buckets(original); }
+};
+
+enum class PatternFamilyCase { uniform, banded, dlmc };
+
+struct BucketEquivCase {
+  PatternFamilyCase family = PatternFamilyCase::uniform;
+  PrecisionPair precision;
+  int v = 8;
+  double sparsity = 0.7;
+};
+
+std::string bucket_case_name(
+    const ::testing::TestParamInfo<BucketEquivCase>& info) {
+  const auto& p = info.param;
+  const char* fam = p.family == PatternFamilyCase::uniform   ? "uniform"
+                    : p.family == PatternFamilyCase::banded ? "banded"
+                                                            : "dlmc";
+  std::string s = std::string(fam) + "_" + to_string(p.precision) + "_v" +
+                  std::to_string(p.v);
+  for (auto& ch : s) {
+    if (ch == '-' || ch == '+' || ch == '.') ch = '_';
+  }
+  return s;
+}
+
+sparse::BlockPattern bucket_case_pattern(const BucketEquivCase& tc,
+                                         std::size_t rows, std::size_t cols,
+                                         Rng& rng) {
+  switch (tc.family) {
+    case PatternFamilyCase::uniform:
+      return sparse::make_uniform_pattern(rows, cols, tc.v, tc.sparsity, rng);
+    case PatternFamilyCase::banded:
+      return sparse::make_banded_pattern(rows, cols, tc.v, tc.sparsity, 0.15,
+                                         rng);
+    case PatternFamilyCase::dlmc: {
+      dlmc::MatrixSpec spec;
+      spec.rows = rows / static_cast<std::size_t>(tc.v);
+      spec.cols = cols;
+      spec.sparsity = tc.sparsity;
+      spec.kind = dlmc::PatternKind::banded;
+      spec.seed = rng.next_u64();
+      return dlmc::instantiate(spec, tc.v);
+    }
+  }
+  return sparse::make_uniform_pattern(rows, cols, tc.v, tc.sparsity, rng);
+}
+
+class BucketEquivalenceTest : public ::testing::TestWithParam<BucketEquivCase> {
+};
+
+TEST_P(BucketEquivalenceTest, SpmmToggleBitExactAndEstimatorCensusMatches) {
+  const BucketEquivCase& tc = GetParam();
+  constexpr std::size_t kK = 96;
+  constexpr std::size_t kN = 128;  // bsn 64: two fixed-width column blocks
+  Rng rng(0xb0c4e7 + static_cast<std::uint64_t>(tc.v) +
+          static_cast<std::uint64_t>(bits_of(tc.precision.lhs)));
+  const std::size_t rows = 6 * static_cast<std::size_t>(tc.v);
+  const auto pattern = bucket_case_pattern(tc, rows, kK, rng);
+  const auto a_vals = random_values(rows, kK, tc.precision.lhs, rng);
+  const auto b_vals = random_values(kK, kN, tc.precision.rhs, rng);
+
+  SpmmConfig cfg;
+  cfg.precision = tc.precision;
+  const auto a = prepare_spmm_lhs(pattern, a_vals, cfg.precision,
+                                  needs_shuffle(cfg));
+  const auto b = prepare_spmm_rhs(b_vals, cfg.precision);
+  const SpmmPlanHandle plan = build_spmm_plan(a, kN, cfg);
+  ASSERT_EQ(plan->row_kernel.size(), pattern.vector_rows());
+
+  cfg.mode = ExecMode::simulate;
+  const SpmmResult sim = spmm(a, b, cfg);
+
+  PanelBucketsGuard guard;
+  cfg.mode = ExecMode::fast;
+  set_default_panel_buckets(true);
+  const SpmmResult bucketed = spmm(a, b, cfg, *plan);
+  set_default_panel_buckets(false);
+  const SpmmResult generic = spmm(a, b, cfg, *plan);
+
+  EXPECT_EQ(bucketed.c, sim.c);
+  EXPECT_EQ(generic.c, sim.c);
+  EXPECT_EQ(bucketed.c, generic.c);
+
+  // Estimator census == builder census, bucket by bucket (operator== on
+  // KernelCounters compares hardware events only, so check explicitly).
+  const simt::KernelRun est = spmm_estimate(pattern, kN, cfg);
+  EXPECT_EQ(est.counters, plan->run.counters);
+  EXPECT_EQ(est.counters.spmm_bucket_blocks,
+            plan->run.counters.spmm_bucket_blocks);
+  std::uint64_t census = 0;
+  for (const std::uint64_t c : plan->run.counters.spmm_bucket_blocks) {
+    census += c;
+  }
+  EXPECT_EQ(census, plan->run.launch.grid_blocks);
+}
+
+TEST_P(BucketEquivalenceTest, SddmmToggleBitExactAndEstimatorCensusMatches) {
+  const BucketEquivCase& tc = GetParam();
+  constexpr std::size_t kK = 64;
+  constexpr std::size_t kNCols = 96;
+  Rng rng(0x5ddb0c + static_cast<std::uint64_t>(tc.v) +
+          static_cast<std::uint64_t>(bits_of(tc.precision.lhs)));
+  const std::size_t rows = 6 * static_cast<std::size_t>(tc.v);
+  const auto pattern = bucket_case_pattern(tc, rows, kNCols, rng);
+  const auto a_vals = random_values(rows, kK, tc.precision.lhs, rng);
+  const auto b_vals = random_values(kK, kNCols, tc.precision.rhs, rng);
+
+  SddmmConfig cfg;
+  cfg.precision = tc.precision;
+  const int chunk = rhs_chunk_bits(cfg.precision);
+  const auto a = prepare_dense(a_vals, cfg.precision.lhs, true, chunk);
+  const auto b = prepare_dense(b_vals, cfg.precision.rhs, false, chunk);
+  const SddmmPlanHandle plan = build_sddmm_plan(pattern, kK, cfg);
+  ASSERT_EQ(plan->block_kernel.size(), plan->map.row.size());
+
+  cfg.mode = ExecMode::simulate;
+  const SddmmResult sim = sddmm(a, b, pattern, cfg);
+
+  PanelBucketsGuard guard;
+  cfg.mode = ExecMode::fast;
+  set_default_panel_buckets(true);
+  const SddmmResult bucketed = sddmm(a, b, pattern, cfg, *plan);
+  set_default_panel_buckets(false);
+  const SddmmResult generic = sddmm(a, b, pattern, cfg, *plan);
+
+  EXPECT_EQ(bucketed.c.values, sim.c.values);
+  EXPECT_EQ(generic.c.values, sim.c.values);
+
+  const simt::KernelRun est = sddmm_estimate(pattern, kK, cfg);
+  EXPECT_EQ(est.counters, plan->run.counters);
+  EXPECT_EQ(est.counters.sddmm_bucket_blocks,
+            plan->run.counters.sddmm_bucket_blocks);
+  std::uint64_t census = 0;
+  for (const std::uint64_t c : plan->run.counters.sddmm_bucket_blocks) {
+    census += c;
+  }
+  EXPECT_EQ(census, plan->run.launch.grid_blocks);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PatternFamilies, BucketEquivalenceTest,
+    ::testing::Values(
+        // uniform: every precision datapath, full and narrow vectors.
+        BucketEquivCase{PatternFamilyCase::uniform, precision::L8R8, 8, 0.7},
+        BucketEquivCase{PatternFamilyCase::uniform, precision::L4R4, 8, 0.7},
+        BucketEquivCase{PatternFamilyCase::uniform, precision::L16R16, 8, 0.6},
+        BucketEquivCase{PatternFamilyCase::uniform, precision::L16R4, 2, 0.8},
+        BucketEquivCase{PatternFamilyCase::uniform, precision::L12R4, 8, 0.7},
+        // banded: clustered columns exercise tail/partial blocks.
+        BucketEquivCase{PatternFamilyCase::banded, precision::L8R8, 8, 0.7},
+        BucketEquivCase{PatternFamilyCase::banded, precision::L16R8, 4, 0.6},
+        BucketEquivCase{PatternFamilyCase::banded, precision::L4R4, 8, 0.8},
+        // DLMC-style dilated patterns (the Fig. 12 input family).
+        BucketEquivCase{PatternFamilyCase::dlmc, precision::L8R8, 8, 0.7},
+        BucketEquivCase{PatternFamilyCase::dlmc, precision::L8R4, 8, 0.8},
+        BucketEquivCase{PatternFamilyCase::dlmc, precision::L16R16, 8, 0.5}),
+    bucket_case_name);
+
+// Dense/empty edges: sparsity 0 (every row full) and 1 (every row empty —
+// the `empty` bucket) replay identically with buckets on and off.
+TEST(BucketEquivalence, SparsityEdgesToggleBitExact) {
+  for (const double sparsity : {0.0, 1.0}) {
+    Rng rng(0xed9e + static_cast<std::uint64_t>(sparsity * 10));
+    const auto pattern = sparse::make_uniform_pattern(32, 64, 8, sparsity, rng);
+    const auto a_vals = random_values(32, 64, Scalar::s8, rng);
+    const auto b_vals = random_values(64, 64, Scalar::s8, rng);
+    SpmmConfig cfg;
+    const auto a = prepare_spmm_lhs(pattern, a_vals, cfg.precision,
+                                    needs_shuffle(cfg));
+    const auto b = prepare_spmm_rhs(b_vals, cfg.precision);
+    const SpmmPlanHandle plan = build_spmm_plan(a, 64, cfg);
+
+    cfg.mode = ExecMode::simulate;
+    const SpmmResult sim = spmm(a, b, cfg);
+    PanelBucketsGuard guard;
+    cfg.mode = ExecMode::fast;
+    set_default_panel_buckets(true);
+    const SpmmResult bucketed = spmm(a, b, cfg, *plan);
+    set_default_panel_buckets(false);
+    const SpmmResult generic = spmm(a, b, cfg, *plan);
+    EXPECT_EQ(bucketed.c, sim.c) << "sparsity " << sparsity;
+    EXPECT_EQ(generic.c, sim.c) << "sparsity " << sparsity;
+  }
+}
+
+// Non-default column-block widths (bsn != 64) are rejected outright — the
+// execution engines implement the 64-wide tile only (2 warps x 32 output
+// columns); anything else used to overrun the C matrix silently.
+TEST(BucketEquivalence, NonDefaultBsnRejected) {
+  Rng rng(0xb539);
+  const auto pattern = sparse::make_uniform_pattern(32, 64, 8, 0.6, rng);
+  const auto a_vals = random_values(32, 64, Scalar::s8, rng);
+  const auto b_vals = random_values(64, 64, Scalar::s8, rng);
+  SpmmConfig cfg;
+  cfg.bsn = 32;
+  const auto a = prepare_spmm_lhs(pattern, a_vals, cfg.precision,
+                                  needs_shuffle(cfg));
+  const auto b = prepare_spmm_rhs(b_vals, cfg.precision);
+  EXPECT_THROW(build_spmm_plan(a, 64, cfg), Error);
+  EXPECT_THROW(spmm_estimate(pattern, 64, cfg), Error);
+  cfg.mode = ExecMode::simulate;
+  EXPECT_THROW(spmm(a, b, cfg), Error);
+  cfg.mode = ExecMode::fast;
+  EXPECT_THROW(spmm(a, b, cfg), Error);
+}
+
+// The classifier itself still demotes any future non-64 tile width to the
+// runtime-width generic kernel — the fixed-width buckets never see it.
+TEST(BucketEquivalence, NonDefaultBsnClassifiesGeneric) {
+  detail::SpmmGeom g;  // defaults: g=1, q=1, no bias correction
+  g.bsn = 64;
+  EXPECT_EQ(detail::classify_spmm_row(g, 4), PanelKernelId::fused);
+  g.bsn = 32;
+  EXPECT_EQ(detail::classify_spmm_row(g, 4), PanelKernelId::generic);
+  EXPECT_EQ(detail::classify_spmm_row(g, 0), PanelKernelId::empty);
+  g.q = 2;
+  g.bsn = 64;
+  EXPECT_EQ(detail::classify_spmm_row(g, 4), PanelKernelId::fixed64);
+  g.bsn = 128;
+  EXPECT_EQ(detail::classify_spmm_row(g, 4), PanelKernelId::generic);
+}
+
+TEST(PanelBucketsTest, DefaultSwitchRoundTrips) {
+  PanelBucketsGuard guard;
+  set_default_panel_buckets(false);
+  EXPECT_FALSE(default_panel_buckets());
+  set_default_panel_buckets(true);
+  EXPECT_TRUE(default_panel_buckets());
 }
 
 }  // namespace

@@ -267,5 +267,195 @@ TEST(DecodeSpan, BiasedIsSignedPlusExcess) {
   }
 }
 
+// ---- bucket-specialized panel kernels (plan-time replay dispatch) ---------
+//
+// The bucket kernels (mma_panel_n64, fused_decode_mma_n64, colsum_update,
+// epilogue_combine{,_biased}) must be bit-exact mod 2^32 with the generic
+// mma_panel / scalar references they specialize, from the same
+// wraparound-edge seeds. The public entry points dispatch at runtime
+// (AVX-512 -> AVX2 -> baseline on x86-64, NEON on AArch64), so one binary
+// exercises the widest flavor its host supports; CI's MAGICUBE_SIMD=OFF leg
+// pins the scalar fallback to the identical expectations.
+
+/// Fills a decoded fragment with wraparound-edge values; `k` picks the
+/// datapath depth the panel kernels see.
+DecodedFrag random_dec(Rng& rng, int k) {
+  DecodedFrag d;
+  d.k = k;
+  for (auto& row : d.v) {
+    for (auto& val : row) val = random_acc(rng);
+  }
+  return d;
+}
+
+// Fixed-width kernel vs the generic runtime-width panel: identical bits on
+// the first `rows` rows, untouched accumulators beyond them (partial
+// stacked plane groups rely on exactly that prefix contract).
+TEST_P(PanelPropertyTest, MmaPanelN64MatchesGenericPanel) {
+  const PanelCase& c = GetParam();
+  Rng rng(0xf1bed + (c.int4 ? 4 : 8) + 2 * c.a_signed + c.b_signed);
+  const int k = c.int4 ? 32 : 16;
+
+  for (int trial = 0; trial < 20; ++trial) {
+    const int rows = 1 + static_cast<int>(rng.next_below(8));
+    const DecodedFrag a = random_dec(rng, k);
+    std::vector<std::int32_t> b(static_cast<std::size_t>(k) * 64);
+    for (auto& v : b) v = random_acc(rng);
+
+    std::vector<std::uint32_t> want(8 * 64), got(8 * 64);
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      want[i] = got[i] = static_cast<std::uint32_t>(random_acc(rng));
+    }
+    const std::vector<std::uint32_t> init = got;
+    mma_panel(want.data(), a, b.data(), 64);
+    mma_panel_n64(got.data(), a, b.data(), rows);
+
+    for (int r = 0; r < 8; ++r) {
+      for (int col = 0; col < 64; ++col) {
+        const std::size_t i = static_cast<std::size_t>(r * 64 + col);
+        // Rows past the prefix must not be written.
+        EXPECT_EQ(got[i], r < rows ? want[i] : init[i])
+            << "trial " << trial << " rows=" << rows << " (" << r << ", "
+            << col << ")";
+      }
+    }
+  }
+}
+
+// Fused decode+mma vs decode_span followed by the generic panel kernel:
+// compacting padded (null) B rows away must be invisible mod 2^32.
+TEST_P(PanelPropertyTest, FusedDecodeMmaMatchesDecodeThenPanel) {
+  const PanelCase& c = GetParam();
+  Rng rng(0xf05ed + (c.int4 ? 4 : 8) + 2 * c.a_signed + c.b_signed);
+  const int k_count = c.int4 ? 32 : 16;
+  const Scalar b_type = c.int4 ? (c.b_signed ? Scalar::s4 : Scalar::u4)
+                              : (c.b_signed ? Scalar::s8 : Scalar::u8);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    const DecodedFrag a = random_dec(rng, k_count);
+
+    std::vector<PackedBuffer> storage;
+    std::array<const std::uint8_t*, 32> rows{};
+    rows.fill(nullptr);
+    storage.reserve(static_cast<std::size_t>(k_count));
+    for (int kk = 0; kk < k_count; ++kk) {
+      // ~1/4 of the rows padded away (trial 0: all padded — no-op call).
+      if (trial == 0 || rng.next_below(4) == 0) continue;
+      PackedBuffer buf(64, b_type);
+      for (std::size_t i = 0; i < buf.size(); ++i) {
+        buf.set_raw(i, static_cast<std::uint32_t>(rng.next_u64()) &
+                           (c.int4 ? 0xfu : 0xffu));
+      }
+      storage.push_back(std::move(buf));
+      rows[static_cast<std::size_t>(kk)] = storage.back().data();
+    }
+
+    std::vector<std::uint32_t> want(8 * 64), got(8 * 64);
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      want[i] = got[i] = static_cast<std::uint32_t>(random_acc(rng));
+    }
+
+    fused_decode_mma_n64(got.data(), a, rows.data(), k_count, c.int4,
+                         c.b_signed);
+
+    // Reference: decode every present row, zero-fill padded ones, generic
+    // accumulation over the full k_count.
+    std::vector<std::int32_t> panel(static_cast<std::size_t>(k_count) * 64, 0);
+    for (int kk = 0; kk < k_count; ++kk) {
+      if (rows[static_cast<std::size_t>(kk)] == nullptr) continue;
+      std::int32_t* dst = panel.data() + static_cast<std::size_t>(kk) * 64;
+      if (c.int4) {
+        decode_span_int4(rows[static_cast<std::size_t>(kk)], 64, c.b_signed,
+                         dst);
+      } else {
+        decode_span_int8(rows[static_cast<std::size_t>(kk)], 64, c.b_signed,
+                         dst);
+      }
+    }
+    for (int r = 0; r < 8; ++r) {
+      for (int kk = 0; kk < k_count; ++kk) {
+        const std::uint32_t av = static_cast<std::uint32_t>(
+            a.v[static_cast<std::size_t>(r)][static_cast<std::size_t>(kk)]);
+        if (rows[static_cast<std::size_t>(kk)] == nullptr) continue;
+        for (int col = 0; col < 64; ++col) {
+          want[static_cast<std::size_t>(r * 64 + col)] +=
+              av * static_cast<std::uint32_t>(
+                       panel[static_cast<std::size_t>(kk * 64 + col)]);
+        }
+      }
+    }
+    EXPECT_EQ(got, want) << "trial " << trial << " present rows "
+                         << storage.size();
+  }
+}
+
+TEST(PanelEpilogue, ColsumUpdateMatchesScalar) {
+  Rng rng(0xc015);
+  for (const std::size_t n :
+       {std::size_t{1}, std::size_t{3}, std::size_t{4}, std::size_t{7},
+        std::size_t{64}, std::size_t{65}}) {
+    std::vector<std::int32_t> row(n);
+    for (auto& v : row) v = random_acc(rng);
+    std::vector<std::int64_t> got(n), want(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      got[i] = want[i] = static_cast<std::int64_t>(rng.next_u64() >> 8) -
+                         (1ll << 54);
+    }
+    colsum_update(row.data(), got.data(), n);
+    for (std::size_t i = 0; i < n; ++i) want[i] += row[i];
+    EXPECT_EQ(got, want) << "n=" << n;
+  }
+}
+
+TEST(PanelEpilogue, CombineMatchesScalar) {
+  Rng rng(0xe919);
+  for (const std::size_t n :
+       {std::size_t{1}, std::size_t{4}, std::size_t{63}, std::size_t{64}}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      const std::int64_t weight =
+          trial == 0 ? 1 : rng.next_in(-(1 << 20), 1 << 20);
+      std::vector<std::uint32_t> acc(n);
+      for (auto& v : acc) v = static_cast<std::uint32_t>(random_acc(rng));
+      std::vector<std::int64_t> got(n), want(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        got[i] = want[i] = rng.next_in(-(1ll << 40), 1ll << 40);
+      }
+      epilogue_combine(got.data(), acc.data(), weight, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        want[i] += weight * static_cast<std::int64_t>(
+                                static_cast<std::int32_t>(acc[i]));
+      }
+      EXPECT_EQ(got, want) << "n=" << n << " trial " << trial;
+    }
+  }
+}
+
+TEST(PanelEpilogue, CombineBiasedMatchesScalar) {
+  Rng rng(0xb1a5e);
+  for (const std::size_t n :
+       {std::size_t{1}, std::size_t{4}, std::size_t{63}, std::size_t{64}}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      const std::int64_t weight = rng.next_in(-(1 << 20), 1 << 20);
+      const std::int64_t bias = trial % 2 == 0 ? 128 : 8;  // 2^(bits-1)
+      std::vector<std::uint32_t> acc(n);
+      for (auto& v : acc) v = static_cast<std::uint32_t>(random_acc(rng));
+      std::vector<std::int64_t> colsum(n);
+      for (auto& v : colsum) v = rng.next_in(-(1ll << 30), 1ll << 30);
+      std::vector<std::int64_t> got(n), want(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        got[i] = want[i] = rng.next_in(-(1ll << 40), 1ll << 40);
+      }
+      epilogue_combine_biased(got.data(), acc.data(), colsum.data(), bias,
+                              weight, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        want[i] += weight * (static_cast<std::int64_t>(
+                                 static_cast<std::int32_t>(acc[i])) -
+                             bias * colsum[i]);
+      }
+      EXPECT_EQ(got, want) << "n=" << n << " trial " << trial;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace magicube::simt

@@ -5,7 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <memory>
 
+#include "serve/operand_cache.hpp"
 #include "transformer/attention.hpp"
 #include "transformer/latency.hpp"
 #include "transformer/model.hpp"
@@ -143,6 +146,39 @@ TEST(AttentionScheme, PrecisionMonotonicallyImprovesFidelity) {
   const double e_16_8 = err_of(AttentionScheme::magicube_16b_8b);
   const double e_4_4 = err_of(AttentionScheme::magicube_4b_4b);
   EXPECT_LT(e_16_8, e_4_4);
+}
+
+// A reused AttentionPlanContext serves quantized operands from its cache:
+// the second identical call prepares nothing new, replays the cached
+// plans, and reproduces the first call's output exactly.
+TEST(AttentionScheme, PlanContextCachesOperandsAcrossCalls) {
+  Rng rng(11);
+  const std::size_t l = 64, dk = 64;
+  const auto mask = sparse::make_attention_mask_pattern(l, 8, 0.75, rng);
+  Matrix<float> q(l, dk), k(l, dk), v(l, dk);
+  fill_normal(q, rng, 0.4);
+  fill_normal(k, rng, 0.4);
+  fill_normal(v, rng, 0.4);
+  const auto scheme = AttentionScheme::magicube_8b_8b;
+  const Matrix<float> baseline = attention_forward(q, k, v, mask, scheme);
+
+  AttentionPlanContext plans(std::make_shared<serve::OperandCache>(), mask);
+  const Matrix<float> first =
+      attention_forward(q, k, v, mask, scheme, nullptr, &plans);
+  EXPECT_EQ(first, baseline);
+  const std::uint64_t preps = plans.operand_preps;
+  EXPECT_GT(preps, 0u);          // cold cache: everything prepared once
+  EXPECT_EQ(plans.operand_hits, 0u);
+  const std::uint64_t builds = plans.plan_builds;
+  EXPECT_GT(builds, 0u);
+
+  const Matrix<float> second =
+      attention_forward(q, k, v, mask, scheme, nullptr, &plans);
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(plans.operand_preps, preps);  // nothing re-prepared
+  EXPECT_GT(plans.operand_hits, 0u);      // served from the cache
+  EXPECT_EQ(plans.plan_builds, builds);   // plans replayed, not rebuilt
+  EXPECT_GT(plans.plan_replays, 0u);
 }
 
 TEST(Latency, DenseOomPatternMatchesPaper) {
