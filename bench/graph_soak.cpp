@@ -1,0 +1,419 @@
+// Fused attention-graph soak: 8 concurrent token sessions through a
+// 4-device DevicePool, fused GraphRequests vs per-stage submission, gated
+// against recorded bars.
+//
+// Both arms serve the same workload — every session's decode stream, each
+// step covering the stream's grown prefix under the full mask's block-row
+// re-slice:
+//   * fused: each step is ONE GraphRequest (serve/graph.hpp) — the
+//     SDDMM -> softmax+quantize -> SpMM DAG priced as one merged roofline
+//     with a single kernel launch (the softmax folds into the SDDMM
+//     epilogue per §IV-C), intermediates in an engine-owned arena;
+//   * staged: each step submits its SDDMM and SpMM as separate requests to
+//     an identically-configured pool, plus the interlude kernels fusion
+//     eliminates (quant-QKV elementwise, score copy-out, standalone
+//     softmax, attention-weight copy-in) charged analytically at perfect
+//     device parallelism — a deliberately charitable lower bound on the
+//     staged arm's cost, so the gated ratio under-reports the fusion win.
+//
+// Everything gated is *modeled* and deterministic: one dispatch round per
+// arm (long linger + queue bound), no faults, EDF arrival order. The gate:
+// staged_makespan / fused_makespan >= the recorded bar (the >= 1.3x fusion
+// throughput win at 8 concurrent sessions). Hard invariants
+// (MAGICUBE_CHECK, not bars): session-0 responses are bit-exact vs the
+// composed one-shot attention over the reconstructed prefix, every graph
+// places whole (never sharded), the session population is admitted exactly
+// and a ninth session is shed.
+//
+// Like the other perf benches: --smoke is peeled off argv, the rest
+// forwards to google-benchmark; gates compare against
+// bench/baselines/graph_soak.json (bars move by re-recording, never by
+// editing the gate); sanitizer builds report without enforcing.
+// --trace-out=PATH exports the fused pool's TraceLog JSON (stage_* spans
+// included — the CI artifact trace_report aggregates).
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/api.hpp"
+#include "transformer/attention.hpp"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define MAGICUBE_BENCH_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define MAGICUBE_BENCH_SANITIZED 1
+#endif
+#endif
+#ifndef MAGICUBE_BENCH_SANITIZED
+#define MAGICUBE_BENCH_SANITIZED 0
+#endif
+
+#ifndef MAGICUBE_BENCH_BASELINE_DIR
+#define MAGICUBE_BENCH_BASELINE_DIR "bench/baselines"
+#endif
+
+namespace {
+
+using namespace magicube;
+
+constexpr std::size_t kDevices = 4;
+constexpr std::size_t kSessions = 8;
+constexpr auto kScheme = transformer::AttentionScheme::magicube_8b_8b;
+
+struct SoakShape {
+  std::size_t steps = 4;
+  std::size_t grow = 64;  // token rows appended per step (multiple of V)
+  std::size_t dk = 64;
+  int v = 8;
+  std::size_t max_len() const { return steps * grow; }
+};
+
+SoakShape shape_for(bool smoke) {
+  SoakShape s;
+  if (smoke) {
+    s.steps = 3;
+    s.grow = 32;
+  }
+  return s;
+}
+
+/// One session's token feed, pre-generated so both arms and the reference
+/// replay the identical stream.
+struct Feed {
+  std::vector<Matrix<float>> q, k, v;  // per step: grow x dk row blocks
+};
+
+std::vector<Feed> make_feeds(const SoakShape& s) {
+  std::vector<Feed> feeds(kSessions);
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    Rng rng(0x6a0 + i);
+    for (std::size_t st = 0; st < s.steps; ++st) {
+      Matrix<float> q(s.grow, s.dk), k(s.grow, s.dk), v(s.grow, s.dk);
+      fill_normal(q, rng, 0.4);
+      fill_normal(k, rng, 0.4);
+      fill_normal(v, rng, 0.4);
+      feeds[i].q.push_back(std::move(q));
+      feeds[i].k.push_back(std::move(k));
+      feeds[i].v.push_back(std::move(v));
+    }
+  }
+  return feeds;
+}
+
+serve::DevicePoolConfig pool_config(std::size_t queue_depth) {
+  serve::DevicePoolConfig cfg;
+  cfg.device_count = kDevices;
+  // One deterministic dispatch round: long linger, the queue bound cuts it
+  // short the instant the last submit lands.
+  cfg.linger = std::chrono::seconds(2);
+  cfg.max_queue_depth = queue_depth;
+  cfg.trace_capacity = queue_depth + 16;
+  return cfg;
+}
+
+struct SoakMetrics {
+  double fused_makespan = 0.0;
+  double staged_pool_makespan = 0.0;
+  double interlude_seconds = 0.0;  // analytic, already divided by kDevices
+  double staged_makespan = 0.0;
+  double fusion_ratio = 0.0;       // staged / fused modeled throughput
+  double fused_steps_per_sec = 0.0;
+  std::uint64_t plan_hits = 0;     // fused arm's shared plan cache
+};
+
+/// The fused arm: kSessions token streams, every step one GraphRequest,
+/// steps submitted round-robin so concurrent sessions coalesce in the one
+/// dispatch round (continuous batching). Returns the modeled makespan and
+/// bit-exactness-checks session 0 against the composed one-shot reference.
+double run_fused(const SoakShape& s,
+                 const std::shared_ptr<const sparse::BlockPattern>& mask,
+                 const std::vector<Feed>& feeds, const char* trace_out,
+                 std::uint64_t* plan_hits) {
+  serve::DevicePoolConfig cfg = pool_config(kSessions * s.steps);
+  // Admission sized to the exact population: the ninth session sheds.
+  const double step_cost = serve::price_session_step_seconds(
+      *mask, s.dk, kScheme, cfg.device);
+  cfg.session_budget_seconds = (kSessions + 0.5) * step_cost;
+  serve::DevicePool pool(cfg);
+
+  std::vector<serve::TokenSession> sessions;
+  serve::SessionConfig sess;
+  sess.mask = mask;
+  sess.dk = s.dk;
+  sess.scheme = kScheme;
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    sessions.push_back(pool.open_session(sess));
+  }
+  bool ninth_shed = false;
+  try {
+    pool.open_session(sess);
+  } catch (const serve::ShedError&) {
+    ninth_shed = true;
+  }
+  MAGICUBE_CHECK_MSG(ninth_shed, "the admission budget did not shed the "
+                                 "ninth session");
+
+  // Round-robin submission: step r of every session lands in the same
+  // dispatch round — the continuous-batching shape.
+  std::vector<std::vector<std::future<serve::Response>>> futures(kSessions);
+  for (std::size_t st = 0; st < s.steps; ++st) {
+    for (std::size_t i = 0; i < kSessions; ++i) {
+      futures[i].push_back(
+          sessions[i].step(feeds[i].q[st], feeds[i].k[st], feeds[i].v[st]));
+    }
+  }
+
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    for (std::size_t st = 0; st < s.steps; ++st) {
+      const serve::Response resp = futures[i][st].get();
+      MAGICUBE_CHECK_MSG(resp.graph != nullptr, "a session step came back "
+                                                "without its graph result");
+      MAGICUBE_CHECK_MSG(resp.shards == 1, "a graph was sharded");
+      if (i != 0) continue;
+      // Session 0: every step bit-exact vs the composed one-shot attention
+      // over the reconstructed prefix under the re-sliced mask.
+      const std::size_t l = (st + 1) * s.grow;
+      Matrix<float> q(l, s.dk), k(l, s.dk), v(l, s.dk);
+      for (std::size_t b = 0; b <= st; ++b) {
+        for (std::size_t r = 0; r < s.grow; ++r) {
+          for (std::size_t c = 0; c < s.dk; ++c) {
+            q(b * s.grow + r, c) = feeds[0].q[b](r, c);
+            k(b * s.grow + r, c) = feeds[0].k[b](r, c);
+            v(b * s.grow + r, c) = feeds[0].v[b](r, c);
+          }
+        }
+      }
+      const auto sliced = serve::slice_session_mask(*mask, l);
+      const Matrix<float> ref =
+          transformer::attention_forward(q, k, v, *sliced, kScheme);
+      MAGICUBE_CHECK_MSG(resp.graph->out == ref,
+                         "a fused session step diverged from the composed "
+                         "reference");
+    }
+  }
+  pool.drain();
+
+  const serve::DevicePoolStats st = pool.stats();
+  MAGICUBE_CHECK(st.graph_requests == kSessions * s.steps);
+  MAGICUBE_CHECK(st.session_steps == kSessions * s.steps);
+  MAGICUBE_CHECK(st.sessions_opened == kSessions);
+  MAGICUBE_CHECK(st.sessions_shed == 1);
+  MAGICUBE_CHECK(st.failed == 0);
+  if (plan_hits != nullptr) *plan_hits = pool.plan_cache().stats().hits;
+
+  if (trace_out != nullptr) {
+    if (pool.traces().write_json(trace_out)) {
+      std::printf("per-request traces written to %s\n", trace_out);
+    } else {
+      std::printf("warning: could not write traces to %s\n", trace_out);
+    }
+  }
+  return st.modeled_makespan_seconds();
+}
+
+/// The staged arm: the same steps as separate SDDMM and SpMM requests
+/// through an identically-configured pool, plus the interlude kernels
+/// charged analytically at perfect parallelism (returned separately).
+std::pair<double, double> run_staged(
+    const SoakShape& s,
+    const std::shared_ptr<const sparse::BlockPattern>& mask) {
+  // Per step-index prototypes (operands shared across sessions — more
+  // cache reuse than the fused arm's distinct feeds get, keeping the
+  // comparison charitable to the staged arm).
+  struct StepProto {
+    serve::Request sddmm, spmm;
+    double interlude = 0.0;  // per submission, on the reference device
+  };
+  serve::OperandCache scratch(64ull << 20);
+  std::vector<StepProto> protos;
+  for (std::size_t st = 0; st < s.steps; ++st) {
+    const std::size_t l = (st + 1) * s.grow;
+    const auto sliced = serve::slice_session_mask(*mask, l);
+    Rng rng(0x57a + st);
+    StepProto p;
+    p.sddmm.op = serve::OpKind::sddmm;
+    p.sddmm.precision = precision::L8R8;
+    p.sddmm.pattern = sliced;
+    p.sddmm.lhs_values = std::make_shared<const Matrix<std::int32_t>>(
+        core::random_values(l, s.dk, Scalar::s8, rng));
+    p.sddmm.rhs_values = std::make_shared<const Matrix<std::int32_t>>(
+        core::random_values(s.dk, l, Scalar::s8, rng));
+    p.spmm.op = serve::OpKind::spmm;
+    p.spmm.precision = precision::L8R8;
+    p.spmm.pattern = sliced;
+    p.spmm.lhs_values = std::make_shared<const Matrix<std::int32_t>>(
+        core::random_values(l, l, Scalar::s8, rng));
+    p.spmm.rhs_values = std::make_shared<const Matrix<std::int32_t>>(
+        core::random_values(l, s.dk, Scalar::s8, rng));
+
+    // The interlude kernels fusion eliminates: price_staged_graph returns
+    // [quant-QKV, SDDMM, score copy-out, softmax, weight copy-in, SpMM];
+    // everything but the two kernel stages (indices 1 and 5) is interlude.
+    serve::GraphRequest g;
+    auto zeros = std::make_shared<const Matrix<float>>(l, s.dk);
+    g.q = zeros;
+    g.k = zeros;
+    g.v = zeros;
+    g.mask = sliced;
+    g.scheme = kScheme;
+    const std::vector<simt::KernelRun> runs =
+        serve::price_staged_graph(g, scratch);
+    MAGICUBE_CHECK(runs.size() == 6);
+    for (const std::size_t idx : {std::size_t{0}, std::size_t{2},
+                                  std::size_t{3}, std::size_t{4}}) {
+      p.interlude += simt::estimate_seconds(simt::a100(), runs[idx]);
+    }
+    protos.push_back(std::move(p));
+  }
+
+  serve::DevicePool pool(pool_config(2 * kSessions * s.steps));
+  std::vector<std::future<serve::Response>> futures;
+  double interlude_total = 0.0;
+  for (std::size_t st = 0; st < s.steps; ++st) {
+    for (std::size_t i = 0; i < kSessions; ++i) {
+      futures.push_back(pool.submit(serve::Request(protos[st].sddmm)));
+      futures.push_back(pool.submit(serve::Request(protos[st].spmm)));
+      interlude_total += protos[st].interlude;
+    }
+  }
+  for (auto& f : futures) f.get();
+  pool.drain();
+  // Interludes at perfect device parallelism: the charitable lower bound.
+  return {pool.stats().modeled_makespan_seconds(),
+          interlude_total / static_cast<double>(kDevices)};
+}
+
+SoakMetrics run_soak(const SoakShape& s, const char* trace_out) {
+  Rng rng(0x6a5);
+  const auto mask = std::make_shared<const sparse::BlockPattern>(
+      sparse::make_attention_mask_pattern(s.max_len(), s.v, 0.7, rng));
+  const std::vector<Feed> feeds = make_feeds(s);
+
+  SoakMetrics m;
+  m.fused_makespan = run_fused(s, mask, feeds, trace_out, &m.plan_hits);
+  const auto [staged_pool, interlude] = run_staged(s, mask);
+  m.staged_pool_makespan = staged_pool;
+  m.interlude_seconds = interlude;
+  m.staged_makespan = staged_pool + interlude;
+  MAGICUBE_CHECK(m.fused_makespan > 0.0 && m.staged_makespan > 0.0);
+  m.fusion_ratio = m.staged_makespan / m.fused_makespan;
+  m.fused_steps_per_sec =
+      static_cast<double>(kSessions * s.steps) / m.fused_makespan;
+  return m;
+}
+
+bool g_smoke = false;
+std::string g_trace_out;
+
+bool soak_and_gate(bool smoke, const char* trace_out) {
+  const SoakShape s = shape_for(smoke);
+  std::printf("== Fused attention-graph soak%s ==\n", smoke ? " [smoke]" : "");
+  std::printf("%zu sessions x %zu steps (L up to %zu, dk %zu) over %zu "
+              "devices; fused DAG vs per-stage submission\n\n",
+              kSessions, s.steps, s.max_len(), s.dk, kDevices);
+
+  const SoakMetrics m = run_soak(s, trace_out);
+
+  bench::Table table({"metric", "value"});
+  table.add_row({"fused modeled makespan (us)",
+                 bench::fmt(m.fused_makespan * 1e6, 2)});
+  table.add_row({"staged pool makespan (us)",
+                 bench::fmt(m.staged_pool_makespan * 1e6, 2)});
+  table.add_row({"staged interlude (us)",
+                 bench::fmt(m.interlude_seconds * 1e6, 2)});
+  table.add_row({"staged modeled makespan (us)",
+                 bench::fmt(m.staged_makespan * 1e6, 2)});
+  table.add_row({"fusion throughput ratio", bench::fmt(m.fusion_ratio, 3)});
+  table.add_row({"fused steps / modeled s",
+                 bench::fmt(m.fused_steps_per_sec, 1)});
+  table.add_row({"plan-cache hits (fused)", std::to_string(m.plan_hits)});
+  table.print();
+
+  const bench::Baselines bars = bench::load_baselines(
+      MAGICUBE_BENCH_BASELINE_DIR, "graph_soak.json");
+  const std::string prefix = smoke ? "smoke_" : "full_";
+  bool bars_ok = bars.loaded;
+  double ratio_min = 0;
+  if (bars.loaded) {
+    ratio_min = bars.get(prefix + "fusion_ratio_min", &bars_ok);
+  }
+
+  bool gate = true;
+  if (!bars_ok) {
+    std::printf("\ncannot read recorded baselines from %s — gate FAILED\n",
+                bars.path.c_str());
+    gate = false;
+  } else {
+    const bool ok = m.fusion_ratio >= ratio_min;
+    gate = ok;
+    std::printf("\nfusion throughput ratio: %.3f (recorded bar: >= %.3f) — "
+                "%s\n",
+                m.fusion_ratio, ratio_min, ok ? "PASS" : "FAIL");
+    std::printf("(bars recorded in %s; move them by re-recording, not by "
+                "editing the gate)%s\n\n",
+                bars.path.c_str(),
+                MAGICUBE_BENCH_SANITIZED
+                    ? " [sanitized build: gates reported, not enforced]"
+                    : "");
+  }
+  return gate || MAGICUBE_BENCH_SANITIZED;
+}
+
+// google-benchmark surface (the BENCH_graph_soak JSON artifact): wall clock
+// of the fused submit-to-drain soak, smoke-sized in CI.
+void BM_GraphSoak(benchmark::State& state) {
+  const SoakShape s = shape_for(g_smoke);
+  Rng rng(0x6a5);
+  const auto mask = std::make_shared<const sparse::BlockPattern>(
+      sparse::make_attention_mask_pattern(s.max_len(), s.v, 0.7, rng));
+  const std::vector<Feed> feeds = make_feeds(s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_fused(s, mask, feeds, nullptr, nullptr));
+  }
+}
+BENCHMARK(BM_GraphSoak)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<char*> fwd = {argv[0]};
+  bool help = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      g_smoke = true;
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      g_trace_out = argv[i] + 12;
+    } else {
+      if (std::strcmp(argv[i], "--help") == 0 ||
+          std::strcmp(argv[i], "-h") == 0) {
+        help = true;
+      }
+      fwd.push_back(argv[i]);
+    }
+  }
+  bool gate_passed = true;
+  if (help) {
+    std::printf("usage: %s [--smoke] [--trace-out=PATH] [--benchmark_* "
+                "flags]\n"
+                "  --smoke           small streams, a few seconds\n"
+                "  --trace-out=PATH  export per-request trace JSON\n"
+                "  other flags forward to google-benchmark (below)\n\n",
+                argv[0]);
+  } else {
+    gate_passed = soak_and_gate(
+        g_smoke, g_trace_out.empty() ? nullptr : g_trace_out.c_str());
+  }
+  int bench_argc = static_cast<int>(fwd.size());
+  benchmark::Initialize(&bench_argc, fwd.data());
+  benchmark::RunSpecifiedBenchmarks();
+  return gate_passed ? 0 : 1;
+}

@@ -44,8 +44,9 @@ using magicube::testjson::Parser;
 using magicube::testjson::Value;
 
 struct KindStats {
-  std::vector<double> durations_us;
-  std::size_t failed_spans = 0;  // spans with ok="false"
+  std::size_t spans = 0;             // every span of the kind
+  std::vector<double> completed_us;  // durations of spans without ok="false"
+  std::size_t failed_spans = 0;      // spans with ok="false"
 };
 
 struct Report {
@@ -82,13 +83,20 @@ void accumulate_document(const Value& doc, Report* report) {
       KindStats& ks = report->kinds[span.at("name").str];
       const double begin = span.at("begin").num;
       const double end = span.at("end").num;
-      ks.durations_us.push_back((end - begin) * 1e6);
+      ks.spans += 1;
+      bool failed = false;
       const Value* attrs = span.find("attrs");
       if (attrs != nullptr) {
         const Value* span_ok = attrs->find("ok");
-        if (span_ok != nullptr && span_ok->str == "false") {
-          ks.failed_spans += 1;
-        }
+        failed = span_ok != nullptr && span_ok->str == "false";
+      }
+      if (failed) {
+        // Failed spans count but never enter the percentile set: a faulted
+        // replay's rolled-back duration would skew the latency a reader
+        // takes as the completed-work profile.
+        ks.failed_spans += 1;
+      } else {
+        ks.completed_us.push_back((end - begin) * 1e6);
       }
     }
   }
@@ -121,15 +129,18 @@ void print_markdown(const Report& r) {
               "(us) |\n");
   std::printf("|---|---|---|---|---|---|\n");
   for (const auto& [kind, stats] : r.kinds) {
-    std::vector<double> sorted = stats.durations_us;
+    std::vector<double> sorted = stats.completed_us;
     std::sort(sorted.begin(), sorted.end());
+    // Percentiles cover completed spans only; a kind whose spans all
+    // failed still gets a clean zero row (count and failed carry the
+    // information), never an out-of-range read.
     std::printf("| %s | %zu | %zu | %.2f | %.2f | %.2f |\n", kind.c_str(),
-                sorted.size(), stats.failed_spans, percentile(sorted, 0.5),
+                stats.spans, stats.failed_spans, percentile(sorted, 0.5),
                 percentile(sorted, 0.99), sorted.empty() ? 0.0
                                                          : sorted.back());
   }
   std::printf("\nDurations are modeled microseconds on each request's own "
-              "timeline.\n");
+              "timeline; percentiles cover completed (non-failed) spans.\n");
 }
 
 bool write_json(const Report& r, const std::string& path) {
@@ -146,13 +157,13 @@ bool write_json(const Report& r, const std::string& path) {
   out << "  \"kinds\": {";
   bool first = true;
   for (const auto& [kind, stats] : r.kinds) {
-    std::vector<double> sorted = stats.durations_us;
+    std::vector<double> sorted = stats.completed_us;
     std::sort(sorted.begin(), sorted.end());
     char buf[256];
     std::snprintf(buf, sizeof(buf),
                   "\n    \"%s\": {\"count\": %zu, \"failed\": %zu, "
                   "\"p50_us\": %.6g, \"p99_us\": %.6g, \"max_us\": %.6g}",
-                  kind.c_str(), sorted.size(), stats.failed_spans,
+                  kind.c_str(), stats.spans, stats.failed_spans,
                   percentile(sorted, 0.5), percentile(sorted, 0.99),
                   sorted.empty() ? 0.0 : sorted.back());
     out << (first ? "" : ",") << buf;
@@ -222,18 +233,53 @@ int self_test() {
     return fail("span kinds");
   }
   const KindStats& replay = r.kinds.at("replay");
-  if (replay.durations_us.size() != 2 || replay.failed_spans != 1) {
+  if (replay.spans != 2 || replay.completed_us.size() != 1 ||
+      replay.failed_spans != 1) {
     return fail("replay aggregation");
   }
-  std::vector<double> sorted = replay.durations_us;
+  // Percentiles cover completed spans only: the failed 3us replay stays
+  // out of the set, so p50 is the lone completed span's 4us.
+  std::vector<double> sorted = replay.completed_us;
   std::sort(sorted.begin(), sorted.end());
-  if (std::abs(percentile(sorted, 0.5) - 3.5) > 1e-9 ||
+  if (std::abs(percentile(sorted, 0.5) - 4.0) > 1e-9 ||
       std::abs(sorted.back() - 4.0) > 1e-9) {
     return fail("replay percentiles");
   }
-  if (r.kinds.at("shed").durations_us.front() != 0.0) {
+  if (r.kinds.at("shed").completed_us.front() != 0.0) {
     return fail("zero-width shed span");
   }
+  // A kind whose spans ALL failed has an empty percentile set: the report
+  // must produce a clean zero row, not an out-of-range read.
+  const std::string all_failed_doc = R"({
+    "schema": "magicube.trace.v1", "engine": "device_pool",
+    "traces": [
+      {"ok": false, "spans": [
+        {"name": "merge", "begin": 0, "end": 2e-6, "attrs": {"ok": "false"}},
+        {"name": "merge", "begin": 2e-6, "end": 5e-6,
+         "attrs": {"ok": "false"}}]}
+    ]})";
+  Report af;
+  accumulate_document(Parser(all_failed_doc).parse(), &af);
+  const KindStats& af_merge = af.kinds.at("merge");
+  if (af_merge.spans != 2 || af_merge.failed_spans != 2 ||
+      !af_merge.completed_us.empty()) {
+    return fail("all-failed kind aggregation");
+  }
+  std::vector<double> af_sorted = af_merge.completed_us;
+  if (percentile(af_sorted, 0.5) != 0.0 || percentile(af_sorted, 0.99) != 0.0) {
+    return fail("all-failed kind percentiles must be a clean zero");
+  }
+  print_markdown(af);  // must not crash on the empty percentile set
+  // An empty TRACE document (no traces at all) aggregates to a report with
+  // no kinds and renders cleanly.
+  Report empty;
+  accumulate_document(
+      Parser(R"({"schema": "magicube.trace.v1", "traces": []})").parse(),
+      &empty);
+  if (empty.traces != 0 || !empty.kinds.empty()) {
+    return fail("empty trace document");
+  }
+  print_markdown(empty);
   // The self-healing span kinds aggregate like any other, and the
   // --fail-on-failed-spans gate fires on its listed kinds only: the
   // failed replay above must not trip the default (merge-only) gate, a
@@ -255,7 +301,7 @@ int self_test() {
     ]})";
   Report h;
   accumulate_document(Parser(healing_doc).parse(), &h);
-  if (h.kinds.at("hedge").durations_us.size() != 2 ||
+  if (h.kinds.at("hedge").completed_us.size() != 2 ||
       h.kinds.count("probe") == 0 || h.kinds.count("quarantine") == 0) {
     return fail("healing span kinds");
   }

@@ -393,4 +393,24 @@ using SddmmPlanHandle = std::shared_ptr<const SddmmPlan>;
 SddmmPlanHandle build_sddmm_plan(const sparse::BlockPattern& pattern,
                                  std::size_t k_depth, const SddmmConfig& cfg);
 
+/// Per-stage plan handles of one fused multi-stage schedule over a single
+/// sparse structure — the attention DAG's SDDMM and SpMM share the mask, so
+/// one context resolves the whole schedule's plans with one identity
+/// (serve::GraphRequest keys on exactly this pair plus the operand probes).
+/// Both handles alias cache-resident plans; holding the pair keeps a fused
+/// request's schedule coherent (either stage missing means the DAG has not
+/// been planned yet).
+struct StagePlanHandles {
+  SddmmPlanHandle sddmm;  // stage 1: sampled QK^T
+  SpmmPlanHandle spmm;    // stage 3: attention-weights x V
+  explicit operator bool() const {
+    return sddmm != nullptr && spmm != nullptr;
+  }
+  /// Aggregate plan footprint (cache accounting of the fused schedule).
+  std::size_t footprint_bytes() const {
+    return (sddmm ? sddmm->footprint_bytes() : 0) +
+           (spmm ? spmm->footprint_bytes() : 0);
+  }
+};
+
 }  // namespace magicube::core

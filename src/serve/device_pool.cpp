@@ -19,7 +19,9 @@
 #include "core/plan.hpp"
 #include "core/sddmm.hpp"
 #include "core/spmm.hpp"
+#include "serve/graph.hpp"
 #include "serve/scheduler.hpp"
+#include "serve/session.hpp"
 #include "serve/shard.hpp"
 #include "serve/submit_queue.hpp"
 #include "simt/cost_model.hpp"
@@ -92,6 +94,12 @@ struct DevicePool::Impl {
   /// only waits for promises. Guarded by `mutex`, signalled on claim.
   std::size_t hedge_tasks = 0;
   std::condition_variable hedge_cv;
+  /// Open token streams (serve/session.hpp): id -> modeled full-length
+  /// step cost. The summed load is what open_session admission compares
+  /// against cfg.session_budget_seconds.
+  std::unordered_map<std::uint64_t, double> session_cost;
+  double session_load = 0.0;
+  std::uint64_t next_session_id = 1;
 
   /// Blocks until every posted hedge task has claimed (and, for a loser,
   /// discarded) its ticket. Called after core.shutdown() — no new hedges
@@ -816,7 +824,7 @@ struct DevicePool::Impl {
         owner->plan_cache_.pattern_identity(req.pattern);
     const double est_ref = simt::estimate_seconds(cfg.device, run);
     if (p.trace) {
-      p.trace->op = to_string(req.op);
+      p.trace->op = req.graph ? "graph" : to_string(req.op);
       p.trace->precision = to_string(req.precision);
       p.trace->add_span(
           TraceSpan("price", 0.0, 0.0)
@@ -839,8 +847,14 @@ struct DevicePool::Impl {
           max_sm = static_cast<std::uint64_t>(specs[d].sm_count);
         }
       }
+      if (req.graph) stats.graph_requests += 1;
     }
-    if (active_devices > 1 && cfg.shard_threshold_seconds > 0 &&
+    // A fused graph never shards: its stages share one arena (the point of
+    // fusion is that the intermediates are never materialized for anyone
+    // else), so the DAG places whole — retries and hedges re-run it whole,
+    // bit-exactly.
+    if (!req.graph && active_devices > 1 &&
+        cfg.shard_threshold_seconds > 0 &&
         est_ref > cfg.shard_threshold_seconds) {
       const std::uint64_t wave_blocks =
           cfg.wave_floor_blocks != 0 ? cfg.wave_floor_blocks : max_sm;
@@ -974,6 +988,25 @@ struct DevicePool::Impl {
                 .attr("lhs_cache_hit", resp.lhs_cache_hit ? "true" : "false")
                 .attr("rhs_cache_hit",
                       resp.rhs_cache_hit ? "true" : "false"));
+        if (resp.graph) {
+          // One span per DAG stage under the same request trace, laid out
+          // back to back from the placement start on the device's modeled
+          // timeline (their sum exceeds the fused replay span — the
+          // difference is the modeled fusion win).
+          double at = pl.start;
+          for (const GraphStage& st : resp.graph->stages) {
+            item->trace->add_span(
+                TraceSpan("stage_" + st.name, at, at + st.modeled_seconds,
+                          static_cast<int>(dev))
+                    .attr("plan_cache_hit",
+                          st.plan_cache_hit ? "true" : "false")
+                    .attr("lhs_cache_hit",
+                          st.lhs_cache_hit ? "true" : "false")
+                    .attr("rhs_cache_hit",
+                          st.rhs_cache_hit ? "true" : "false"));
+            at += st.modeled_seconds;
+          }
+        }
         item->trace->ok = true;
         item->trace->device = static_cast<int>(dev);
         item->trace->shards = 1;
@@ -1770,6 +1803,62 @@ DevicePoolStats DevicePool::stats() const {
   }
   out.submitted = impl_->core.submitted();
   return out;
+}
+
+TokenSession DevicePool::open_session(SessionConfig cfg) {
+  MAGICUBE_CHECK_MSG(cfg.mask != nullptr, "open_session needs a mask");
+  MAGICUBE_CHECK_MSG(transformer::is_magicube(cfg.scheme),
+                     "token streams serve the Magicube schemes only");
+  MAGICUBE_CHECK_MSG(cfg.mask->rows == cfg.mask->cols,
+                     "session masks are square (L_max x L_max)");
+  MAGICUBE_CHECK_MSG(
+      cfg.mask->rows % static_cast<std::size_t>(cfg.mask->vector_length) ==
+          0,
+      "session mask rows must be a multiple of its vector length");
+  MAGICUBE_CHECK_MSG(cfg.dk > 0, "open_session needs the stream's dk");
+  // The admission currency: the stream's modeled *ceiling* — a full-length
+  // step on the reference device spec. Priced outside the lock (analytic,
+  // no caches touched).
+  const double cost = price_session_step_seconds(*cfg.mask, cfg.dk,
+                                                 cfg.scheme, cfg_.device);
+  std::uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (cfg_.session_budget_seconds > 0.0 &&
+        impl_->session_load + cost > cfg_.session_budget_seconds) {
+      impl_->stats.sessions_shed += 1;
+      throw ShedError(
+          "DevicePool: session admission shed — open-session modeled load " +
+          std::to_string(impl_->session_load + cost) +
+          "s would exceed the budget of " +
+          std::to_string(cfg_.session_budget_seconds) + "s");
+    }
+    id = impl_->next_session_id++;
+    impl_->session_cost[id] = cost;
+    impl_->session_load += cost;
+    impl_->stats.sessions_opened += 1;
+  }
+  return TokenSession(this, id, std::move(cfg));
+}
+
+double DevicePool::session_load_seconds() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->session_load;
+}
+
+void DevicePool::close_session(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->session_cost.find(id);
+  if (it == impl_->session_cost.end()) return;
+  impl_->session_load -= it->second;
+  if (impl_->session_load < 0.0) impl_->session_load = 0.0;
+  impl_->session_cost.erase(it);
+  impl_->stats.sessions_closed += 1;
+}
+
+void DevicePool::note_session_step() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->stats.session_steps += 1;
 }
 
 }  // namespace magicube::serve

@@ -104,6 +104,9 @@
 
 namespace magicube::serve {
 
+struct SessionConfig;  // serve/session.hpp
+class TokenSession;    // serve/session.hpp
+
 struct DevicePoolConfig {
   /// Initial per-device specs (heterogeneous fleet). When non-empty this
   /// wins over device_count/device; add_device() appends more at runtime.
@@ -161,6 +164,12 @@ struct DevicePoolConfig {
   /// hedged execution and poison isolation (serve/sla.hpp). Disabled by
   /// default — the pre-healing placement behavior is bit-identical.
   HealingConfig healing;
+  /// Token-stream admission budget (serve/session.hpp): the sum of modeled
+  /// full-length step costs (price_session_step_seconds on the reference
+  /// `device` spec) across open sessions may not exceed this. open_session
+  /// throws ShedError once the population would — deadline shedding's
+  /// admission-control analogue for streams. 0 = unlimited.
+  double session_budget_seconds = 0.0;
 };
 
 /// Per-device modeled telemetry.
@@ -220,6 +229,11 @@ struct DevicePoolStats {
   std::uint64_t hedges_placed = 0;     // hedge duplicates placed
   std::uint64_t hedges_won = 0;        // races the duplicate copy won
   std::uint64_t poison_failures = 0;   // PoisonError fast-fails (⊆ failed)
+  std::uint64_t graph_requests = 0;    // fused attention DAGs placed whole
+  std::uint64_t sessions_opened = 0;   // token streams admitted
+  std::uint64_t sessions_closed = 0;   // token streams released
+  std::uint64_t sessions_shed = 0;     // open_session budget rejections
+  std::uint64_t session_steps = 0;     // stream steps submitted
   std::vector<DeviceStats> devices;
 
   DevicePoolStats& operator+=(const DevicePoolStats& o) {
@@ -242,6 +256,11 @@ struct DevicePoolStats {
     hedges_placed += o.hedges_placed;
     hedges_won += o.hedges_won;
     poison_failures += o.poison_failures;
+    graph_requests += o.graph_requests;
+    sessions_opened += o.sessions_opened;
+    sessions_closed += o.sessions_closed;
+    sessions_shed += o.sessions_shed;
+    session_steps += o.session_steps;
     if (o.devices.size() > devices.size()) devices.resize(o.devices.size());
     for (std::size_t d = 0; d < o.devices.size(); ++d) {
       devices[d] += o.devices[d];
@@ -303,6 +322,20 @@ class DevicePool {
   /// pure-LRU cold starts. Idempotent; see serve/sla.hpp.
   WarmupReport warmup(const WarmupManifest& manifest);
 
+  /// Opens a per-client token stream over the fused attention graph
+  /// (serve/session.hpp): each TokenSession::step submits one GraphRequest
+  /// over the stream's grown prefix, coalesced with other active sessions
+  /// by the ordinary linger/EDF dispatch loop (continuous batching).
+  /// Admission is budgeted: when cfg.session_budget_seconds > 0 and the
+  /// open population's summed modeled step cost would exceed it, throws
+  /// ShedError (counted as sessions_shed). The session handle must not
+  /// outlive the pool.
+  TokenSession open_session(SessionConfig cfg);
+
+  /// Summed modeled full-length step cost of the currently open sessions —
+  /// what open_session admission compares against the budget.
+  double session_load_seconds() const;
+
   /// Devices ever added to the fleet (drained ones included).
   std::size_t device_count() const;
   /// Devices currently accepting placements.
@@ -331,6 +364,12 @@ class DevicePool {
   DevicePool& operator=(const DevicePool&) = delete;
 
  private:
+  friend class TokenSession;
+  /// Releases an open session's admission cost (TokenSession dtor/close).
+  void close_session(std::uint64_t id);
+  /// Counts one submitted stream step (TokenSession::step).
+  void note_session_step();
+
   struct Impl;
   DevicePoolConfig cfg_;
   OperandCache plan_cache_;

@@ -33,6 +33,14 @@ std::uint64_t content_probe(const Matrix<std::int32_t>& values) {
   return h.state;
 }
 
+std::uint64_t probe_identity(std::uint64_t probe) {
+  // splitmix64 is a bijection on 64 bits, so distinct probes keep distinct
+  // identities for every input — including 0, which must stay a legitimate
+  // identity here (it is only get_or_prepare_dense's bypass sentinel).
+  std::uint64_t state = probe ^ kGolden64;
+  return splitmix64(state);
+}
+
 OperandCache::OperandCache(std::size_t capacity_bytes)
     : capacity_bytes_(capacity_bytes) {}
 
@@ -236,6 +244,73 @@ core::DenseOperandHandle OperandCache::get_or_prepare_dense(
   entry.bytes = entry.dense->footprint_bytes();
   entry.content_probe = probe;
   return insert(key, std::move(entry)).dense;
+}
+
+core::DenseOperandHandle OperandCache::get_or_prepare_probed(
+    OperandKind kind, const Matrix<std::int32_t>& values,
+    PrecisionPair precision, bool* was_hit) {
+  return get_or_prepare_probed(kind, values, precision,
+                               content_probe(values), was_hit);
+}
+
+core::DenseOperandHandle OperandCache::get_or_prepare_probed(
+    OperandKind kind, const Matrix<std::int32_t>& values,
+    PrecisionPair precision, std::uint64_t probe, bool* was_hit) {
+  MAGICUBE_CHECK(kind != OperandKind::spmm_lhs);
+  const bool row_major = kind != OperandKind::sddmm_rhs;
+  const Scalar type =
+      kind == OperandKind::sddmm_lhs ? precision.lhs : precision.rhs;
+  const int chunk = core::rhs_chunk_bits(precision);
+
+  if (was_hit) *was_hit = false;
+  OperandKey key;
+  key.kind = kind;
+  key.content = probe_identity(probe);  // bijective: the probe IS the id
+  key.lhs = kind == OperandKind::sddmm_lhs ? precision.lhs : precision.rhs;
+  key.rhs = precision.rhs;
+
+  if (CachedOperand hit = find(key)) {
+    // key.content determines the probe bijectively, so this guard can only
+    // fire when a key-hash accident aliased two distinct probes — kept as
+    // defense in depth, unreachable by construction otherwise.
+    MAGICUBE_CHECK_MSG(hit.content_probe == probe,
+                       "operand cache probe-identity collision for probe "
+                           << probe << " — distinct contents aliased one key");
+    if (was_hit) *was_hit = true;
+    return hit.dense;
+  }
+
+  CachedOperand entry;
+  entry.dense = core::prepare_dense_shared(values, type, row_major, chunk);
+  entry.bytes = entry.dense->footprint_bytes();
+  entry.content_probe = probe;
+  return insert(key, std::move(entry)).dense;
+}
+
+core::SparseOperandHandle OperandCache::get_or_prepare_spmm_lhs_probed(
+    const std::shared_ptr<const sparse::BlockPattern>& pattern,
+    const Matrix<std::int32_t>& values, PrecisionPair precision, bool shuffle,
+    bool* was_hit) {
+  MAGICUBE_CHECK(pattern != nullptr);
+  const std::uint64_t probe = content_probe(values);
+  const OperandKey key =
+      spmm_lhs_key(probe_identity(probe), precision, shuffle);
+
+  if (was_hit) *was_hit = false;
+  if (CachedOperand hit = find(key)) {
+    MAGICUBE_CHECK_MSG(hit.content_probe == probe,
+                       "operand cache probe-identity collision for probe "
+                           << probe << " — distinct contents aliased one key");
+    if (was_hit) *was_hit = true;
+    return hit.sparse;
+  }
+
+  CachedOperand entry;
+  entry.sparse =
+      core::prepare_spmm_lhs_shared(*pattern, values, precision, shuffle);
+  entry.bytes = entry.sparse->footprint_bytes();
+  entry.content_probe = probe;
+  return insert(key, std::move(entry)).sparse;
 }
 
 OperandKey spmm_lhs_key(std::uint64_t content, PrecisionPair precision,

@@ -152,6 +152,18 @@ struct CachedOperand {
 /// The strided content sample used by the staleness guard (≤ 64 values).
 std::uint64_t content_probe(const Matrix<std::int32_t>& values);
 
+/// Cache identity derived from a content probe, for operands whose identity
+/// IS their contents (quantized attention activations, graph-request
+/// operands). A tagged *bijection* on 64 bits: distinct probes always map
+/// to distinct identities — no value is special-cased, so two distinct
+/// operands can never be remapped onto one id (the defect the old
+/// "probe 0 → 1" coercion had), and a genuine zero probe is an ordinary
+/// identity rather than the get_or_prepare_dense anonymous-bypass
+/// sentinel. The tag scrambles probe-derived ids away from small
+/// client-assigned ids (collision with those only by 64-bit accident,
+/// never structurally).
+std::uint64_t probe_identity(std::uint64_t probe);
+
 /// Thread-safe LRU cache of prepared operands, bounded by byte footprint.
 /// Preparation runs outside the lock; when two threads race to prepare the
 /// same key, the first insert wins and the loser adopts it (counted as
@@ -195,6 +207,33 @@ class OperandCache {
       OperandKind kind, const Matrix<std::int32_t>& values,
       PrecisionPair precision, std::uint64_t content_id,
       bool* was_hit = nullptr);
+
+  /// Probe-keyed dense prepare: samples the contents (content_probe) and
+  /// keys the entry on probe_identity(probe), so the operand's identity is
+  /// its values. Changed values produce a new probe and therefore a clean
+  /// miss — the staleness guard can never fire spuriously here — and a
+  /// genuine zero probe is an ordinary identity, not the anonymous-bypass
+  /// sentinel. This is the identity rule the attention/graph paths use for
+  /// quantized activations.
+  core::DenseOperandHandle get_or_prepare_probed(
+      OperandKind kind, const Matrix<std::int32_t>& values,
+      PrecisionPair precision, bool* was_hit = nullptr);
+
+  /// Explicit-probe seam of the probe-keyed prepare (tests force edge
+  /// probes — e.g. 0 — without searching for a matrix that hashes there).
+  /// `probe` must describe `values` for the staleness guard to hold across
+  /// calls; production code uses the sampling overload above.
+  core::DenseOperandHandle get_or_prepare_probed(
+      OperandKind kind, const Matrix<std::int32_t>& values,
+      PrecisionPair precision, std::uint64_t probe, bool* was_hit);
+
+  /// Probe-keyed SpMM LHS prepare: same identity rule over the sparse
+  /// weight slot (pattern fixed, values sampled). Used by the fused
+  /// attention graph for the per-call attention-weight operand.
+  core::SparseOperandHandle get_or_prepare_spmm_lhs_probed(
+      const std::shared_ptr<const sparse::BlockPattern>& pattern,
+      const Matrix<std::int32_t>& values, PrecisionPair precision,
+      bool shuffle, bool* was_hit = nullptr);
 
   /// Memoized execution-plan build for core::spmm. Plans depend only on the
   /// *structure*, so identity is the pattern (never a weight-version id):

@@ -20,7 +20,9 @@
 
 namespace magicube::serve {
 
-struct RequestTrace;  // serve/trace.hpp
+struct RequestTrace;   // serve/trace.hpp
+struct GraphRequest;   // serve/graph.hpp
+struct GraphResult;    // serve/graph.hpp
 
 enum class OpKind : std::uint8_t { spmm, sddmm };
 
@@ -64,6 +66,14 @@ struct Request {
   /// ShedError (serve/sla.hpp) instead of being served late or silently
   /// dropped. The BatchScheduler ignores it (no modeled device clock).
   double deadline_seconds = 0.0;
+
+  /// Fused attention DAG (serve/graph.hpp). When set, the request is the
+  /// whole {SDDMM, softmax+quantize, SpMM} graph submitted as one unit:
+  /// the engines price and place it whole (never sharded — the stages
+  /// share one arena), `pattern` carries the graph's mask for placement
+  /// identity, and lhs_values/rhs_values stay null. Build these with
+  /// make_graph_request, not by hand.
+  std::shared_ptr<const GraphRequest> graph;
 };
 
 struct Response {
@@ -107,6 +117,10 @@ struct Response {
   /// Structured per-request trace (serve/trace.hpp); set when the serving
   /// engine collects traces, null for direct serve_request calls.
   std::shared_ptr<const RequestTrace> trace;
+  /// Fused-graph output (serve/graph.hpp): the attention result plus the
+  /// per-stage runs/flags. Engaged iff the request carried a graph; the
+  /// spmm/sddmm optionals stay empty for graph responses.
+  std::shared_ptr<const GraphResult> graph;
 };
 
 }  // namespace magicube::serve

@@ -10,6 +10,7 @@
 
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
+#include "serve/graph.hpp"
 #include "serve/submit_queue.hpp"
 #include "simt/cost_model.hpp"
 #include "simt/device_spec.hpp"
@@ -22,6 +23,10 @@ Response serve_request(const Request& req, OperandCache& cache) {
 
 Response serve_request(const Request& req, OperandCache& operands,
                        OperandCache& plans, const simt::DeviceSpec& device) {
+  // A fused attention graph executes whole against an engine-owned arena;
+  // the wrapper's operand slots are intentionally null.
+  if (req.graph) return serve_graph_request(*req.graph, operands, plans,
+                                            device);
   MAGICUBE_CHECK_MSG(req.pattern && req.lhs_values && req.rhs_values,
                      "serve request is missing pattern or operand values");
   Response resp;
@@ -166,7 +171,7 @@ struct BatchScheduler::Impl {
   void run_one(detail::PendingRequest& item, std::uint64_t batch_id,
                std::size_t size) {
     if (item.trace) {
-      item.trace->op = to_string(item.req.op);
+      item.trace->op = item.req.graph ? "graph" : to_string(item.req.op);
       item.trace->precision = to_string(item.req.precision);
     }
     bool failed = false;
@@ -189,6 +194,22 @@ struct BatchScheduler::Impl {
                 .attr("lhs_cache_hit", resp.lhs_cache_hit ? "true" : "false")
                 .attr("rhs_cache_hit",
                       resp.rhs_cache_hit ? "true" : "false"));
+        if (resp.graph) {
+          // One span per DAG stage under the same request trace; stages
+          // are laid out back to back on the request's own timeline.
+          double at = 0.0;
+          for (const GraphStage& st : resp.graph->stages) {
+            item.trace->add_span(
+                TraceSpan("stage_" + st.name, at, at + st.modeled_seconds)
+                    .attr("plan_cache_hit",
+                          st.plan_cache_hit ? "true" : "false")
+                    .attr("lhs_cache_hit",
+                          st.lhs_cache_hit ? "true" : "false")
+                    .attr("rhs_cache_hit",
+                          st.rhs_cache_hit ? "true" : "false"));
+            at += st.modeled_seconds;
+          }
+        }
         item.trace->ok = true;
         resp.trace = item.trace;
         traces.add(item.trace);

@@ -39,12 +39,29 @@
 //   } catch (const serve::ShedError&) {
 //     // modeled completion exceeded the deadline on every active device
 //   }
-
+//
+// Fused attention graphs & token streams (see the "Graph serving & token
+// streams" README section):
+//
+//   auto g = std::make_shared<serve::GraphRequest>();    // whole DAG,
+//   g->q = q; g->k = k; g->v = v; g->mask = mask;        // one request
+//   g->scheme = transformer::AttentionScheme::magicube_8b_8b;
+//   auto resp = pool.submit(serve::make_graph_request(g)).get();
+//   // resp.graph->out is the attention output; resp.graph->stages the
+//   // per-stage breakdown (also traced as stage_* spans).
+//
+//   serve::SessionConfig sess;                    // continuous batching
+//   sess.mask = full_mask; sess.dk = 64;          // over token streams
+//   serve::TokenSession s = pool.open_session(sess);  // ShedError when the
+//   auto step = s.step(q_rows, k_rows, v_rows);   // session budget is full
+//
 #include "serve/device_pool.hpp"
 #include "serve/fault.hpp"
+#include "serve/graph.hpp"
 #include "serve/operand_cache.hpp"
 #include "serve/request.hpp"
 #include "serve/scheduler.hpp"
+#include "serve/session.hpp"
 #include "serve/shard.hpp"
 #include "serve/sla.hpp"
 #include "serve/trace.hpp"

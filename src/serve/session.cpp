@@ -1,0 +1,136 @@
+#include "serve/session.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "common/check.hpp"
+#include "serve/device_pool.hpp"
+
+namespace magicube::serve {
+
+std::shared_ptr<const sparse::BlockPattern> slice_session_mask(
+    const sparse::BlockPattern& full, std::size_t length) {
+  const std::size_t v = static_cast<std::size_t>(full.vector_length);
+  MAGICUBE_CHECK_MSG(full.rows == full.cols, "session masks are square");
+  MAGICUBE_CHECK_MSG(length > 0 && length <= full.rows,
+                     "session slice length out of range");
+  MAGICUBE_CHECK_MSG(length % v == 0,
+                     "session slice must land on an SR-BCRS block-row "
+                     "boundary (a multiple of the mask's vector length)");
+  // Rows: a plain block-row slice of the full mask.
+  const sparse::BlockPattern rows =
+      sparse::slice_vector_rows(full, 0, length / v);
+  // Columns: clamp to the visible prefix. col_idx is strictly increasing
+  // within a row, so each row keeps a prefix of its slots.
+  auto out = std::make_shared<sparse::BlockPattern>();
+  out->rows = length;
+  out->cols = length;
+  out->vector_length = full.vector_length;
+  out->row_ptr.reserve(rows.row_ptr.size());
+  out->row_ptr.push_back(0);
+  for (std::size_t r = 0; r + 1 < rows.row_ptr.size(); ++r) {
+    for (std::uint32_t i = rows.row_ptr[r]; i < rows.row_ptr[r + 1]; ++i) {
+      if (rows.col_idx[i] < length) out->col_idx.push_back(rows.col_idx[i]);
+    }
+    out->row_ptr.push_back(static_cast<std::uint32_t>(out->col_idx.size()));
+  }
+  return out;
+}
+
+TokenSession::TokenSession(DevicePool* pool, std::uint64_t id,
+                           SessionConfig cfg)
+    : pool_(pool), id_(id), cfg_(std::move(cfg)) {}
+
+TokenSession::TokenSession(TokenSession&& o) noexcept
+    : pool_(o.pool_),
+      id_(o.id_),
+      cfg_(std::move(o.cfg_)),
+      dk_(o.dk_),
+      length_(o.length_),
+      steps_(o.steps_),
+      q_(std::move(o.q_)),
+      k_(std::move(o.k_)),
+      v_(std::move(o.v_)) {
+  o.pool_ = nullptr;
+}
+
+TokenSession& TokenSession::operator=(TokenSession&& o) noexcept {
+  if (this != &o) {
+    close();
+    pool_ = o.pool_;
+    id_ = o.id_;
+    cfg_ = std::move(o.cfg_);
+    dk_ = o.dk_;
+    length_ = o.length_;
+    steps_ = o.steps_;
+    q_ = std::move(o.q_);
+    k_ = std::move(o.k_);
+    v_ = std::move(o.v_);
+    o.pool_ = nullptr;
+  }
+  return *this;
+}
+
+TokenSession::~TokenSession() { close(); }
+
+void TokenSession::close() {
+  if (pool_ != nullptr) {
+    pool_->close_session(id_);
+    pool_ = nullptr;
+  }
+}
+
+std::future<Response> TokenSession::step(const Matrix<float>& q_rows,
+                                         const Matrix<float>& k_rows,
+                                         const Matrix<float>& v_rows) {
+  MAGICUBE_CHECK_MSG(pool_ != nullptr, "step() on a closed session");
+  const std::size_t grow = q_rows.rows();
+  const std::size_t v = static_cast<std::size_t>(cfg_.mask->vector_length);
+  MAGICUBE_CHECK_MSG(grow > 0 && grow % v == 0,
+                     "token rows arrive in multiples of the mask's "
+                     "SR-BCRS vector length");
+  MAGICUBE_CHECK_MSG(k_rows.rows() == grow && v_rows.rows() == grow &&
+                         k_rows.cols() == q_rows.cols() &&
+                         v_rows.cols() == q_rows.cols(),
+                     "Q/K/V row blocks must agree in shape");
+  if (dk_ == 0) {
+    dk_ = q_rows.cols();
+    MAGICUBE_CHECK_MSG(dk_ == cfg_.dk,
+                       "session dk differs from the admitted SessionConfig "
+                       "(admission priced the wrong stream)");
+  }
+  MAGICUBE_CHECK_MSG(q_rows.cols() == dk_, "session dk changed mid-stream");
+  MAGICUBE_CHECK_MSG(length_ + grow <= cfg_.mask->rows,
+                     "token stream grew past its full-length mask");
+
+  q_.insert(q_.end(), q_rows.data(), q_rows.data() + q_rows.size());
+  k_.insert(k_.end(), k_rows.data(), k_rows.data() + k_rows.size());
+  v_.insert(v_.end(), v_rows.data(), v_rows.data() + v_rows.size());
+  length_ += grow;
+
+  // Materialize the prefix operands for this step. The copies are the
+  // request's own (the engine holds them past submit()).
+  auto q = std::make_shared<Matrix<float>>(length_, dk_);
+  auto k = std::make_shared<Matrix<float>>(length_, dk_);
+  auto vv = std::make_shared<Matrix<float>>(length_, dk_);
+  std::memcpy(q->data(), q_.data(), q_.size() * sizeof(float));
+  std::memcpy(k->data(), k_.data(), k_.size() * sizeof(float));
+  std::memcpy(vv->data(), v_.data(), v_.size() * sizeof(float));
+
+  auto graph = std::make_shared<GraphRequest>();
+  graph->q = std::move(q);
+  graph->k = std::move(k);
+  graph->v = std::move(vv);
+  graph->mask = slice_session_mask(*cfg_.mask, length_);
+  graph->scheme = cfg_.scheme;
+  graph->session_id = id_;
+  graph->step = steps_;
+  steps_ += 1;
+
+  Request req = make_graph_request(std::move(graph), cfg_.priority,
+                                   cfg_.step_deadline_seconds);
+  pool_->note_session_step();
+  return pool_->submit(std::move(req));
+}
+
+}  // namespace magicube::serve

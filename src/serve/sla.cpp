@@ -1,5 +1,7 @@
 #include "serve/sla.hpp"
 
+#include "serve/graph.hpp"
+
 namespace magicube::serve {
 
 void HealingConfig::validate() const {
@@ -17,6 +19,9 @@ void HealingConfig::validate() const {
 }
 
 simt::KernelRun price_request(const Request& req, OperandCache& plans) {
+  // A fused graph prices as one merged run over all its stages; the
+  // wrapper's operand slots are intentionally null.
+  if (req.graph) return price_graph_request(*req.graph, plans);
   MAGICUBE_CHECK_MSG(req.pattern && req.lhs_values && req.rhs_values,
                      "serve request is missing pattern or operand values");
   const std::uint64_t pattern_fp = plans.pattern_identity(req.pattern);

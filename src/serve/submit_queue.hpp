@@ -123,8 +123,12 @@ class SubmitQueueCore {
       }
       queue_.push_back(std::move(p));
       outstanding_ += 1;
+      // Notify under the lock (complete()'s discipline): shutdown() only
+      // waits for outstanding_ == 0, which the dispatcher can reach the
+      // instant we unlock — a notify issued after releasing the mutex
+      // would race the owner destroying this condition variable.
+      queue_changed_.notify_all();
     }
-    queue_changed_.notify_all();
     return out;
   }
 
@@ -149,9 +153,12 @@ class SubmitQueueCore {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       stopping_ = true;
+      // Notify under the lock: a concurrent shutdown() caller can observe
+      // the idle predicate and let the owner destroy these condition
+      // variables while a notify issued after the unlock is still running.
+      queue_changed_.notify_all();
+      queue_space_.notify_all();  // blocked submitters must observe stop
     }
-    queue_changed_.notify_all();
-    queue_space_.notify_all();  // blocked submitters must observe stop
     std::thread to_join;
     {
       std::lock_guard<std::mutex> lock(mutex_);

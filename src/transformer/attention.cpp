@@ -171,140 +171,213 @@ Matrix<float> magicube_attention(const Matrix<float>& q,
                                  AttentionScheme scheme,
                                  std::vector<simt::KernelRun>* runs,
                                  AttentionPlanContext* plans) {
+  AttentionArena arena;
+  arena.scheme = scheme;
+  // Without a plan context the mask stays caller-owned for the duration of
+  // the call: a non-owning alias keeps the stage bodies uniform.
+  arena.mask = plans ? plans->mask
+                     : std::shared_ptr<const sparse::BlockPattern>(
+                           std::shared_ptr<const void>(), &mask);
+  serve::OperandCache* cache = plans ? plans->cache.get() : nullptr;
+
+  AttentionStageFlags f1, f3;
+  attention_stage_sddmm(arena, q, k, v, cache, cache, &f1);
+  if (plans) {
+    (f1.lhs_cache_hit ? plans->operand_hits : plans->operand_preps) += 1;
+    (f1.rhs_cache_hit ? plans->operand_hits : plans->operand_preps) += 1;
+    (f1.plan_cache_hit ? plans->plan_replays : plans->plan_builds) += 1;
+  }
+  attention_stage_softmax_quantize(arena);
+  attention_stage_spmm(arena, cache, cache, /*cache_lhs=*/plans != nullptr,
+                       &f3);
+  if (plans) {
+    (f3.lhs_cache_hit ? plans->operand_hits : plans->operand_preps) += 1;
+    (f3.rhs_cache_hit ? plans->operand_hits : plans->operand_preps) += 1;
+    (f3.plan_cache_hit ? plans->plan_replays : plans->plan_builds) += 1;
+  }
+
+  if (runs) {
+    runs->push_back(
+        elementwise_kernel(3 * arena.l * arena.dk, 2.0, 5.0));  // quant QKV
+    runs->push_back(arena.sddmm.run);
+    runs->push_back(softmax_kernel(mask.nnz(), 2));
+    runs->push_back(arena.spmm.run);
+  }
+  return attention_stage_output(arena);
+}
+
+}  // namespace
+
+void attention_stage_sddmm(AttentionArena& arena, const Matrix<float>& q,
+                           const Matrix<float>& k, const Matrix<float>& v,
+                           serve::OperandCache* operands,
+                           serve::OperandCache* plans,
+                           AttentionStageFlags* flags) {
+  MAGICUBE_CHECK_MSG(arena.mask != nullptr,
+                     "attention arena needs its mask set before stage 1");
+  const sparse::BlockPattern& mask = *arena.mask;
   const std::size_t l = q.rows(), dk = q.cols();
-  const float scale = 1.0f / std::sqrt(static_cast<float>(dk));
-  const Scalar qkv_type = scalar_for_bits(qkv_bits(scheme));
-  const Scalar sm_type = scalar_for_bits(softmax_bits(scheme));
+  arena.l = l;
+  arena.dk = dk;
+  arena.scale = 1.0f / std::sqrt(static_cast<float>(dk));
+  const Scalar qkv_type = scalar_for_bits(qkv_bits(arena.scheme));
 
   // Quantize Q, K, V (fused with the projection epilogue on device).
   const auto pq = quant::choose_symmetric(q.data(), q.size(), qkv_type);
   const auto pk = quant::choose_symmetric(k.data(), k.size(), qkv_type);
   const auto pv = quant::choose_symmetric(v.data(), v.size(), qkv_type);
-  const auto qi = quantize_to_int(q, pq);
-  const auto ki = quantize_to_int(k, pk);
-  const auto vi = quantize_to_int(v, pv);
+  arena.pq = pq;
+  arena.pk = pk;
+  arena.pv = pv;
+  arena.qi = quantize_to_int(q, pq);
+  arena.ki = quantize_to_int(k, pk);
+  arena.vi = quantize_to_int(v, pv);
 
   // SDDMM at Ly-Ry, dequantize fused into the epilogue.
   const PrecisionPair sddmm_prec{qkv_type, qkv_type};
   const int chunk = bits_of(qkv_type) <= 4 ? 4 : 8;
-  Matrix<std::int32_t> kt(dk, l);
+  arena.kt = Matrix<std::int32_t>(dk, l);
   for (std::size_t i = 0; i < l; ++i) {
-    for (std::size_t d = 0; d < dk; ++d) kt(d, i) = ki(i, d);
+    for (std::size_t d = 0; d < dk; ++d) arena.kt(d, i) = arena.ki(i, d);
   }
   core::SddmmConfig sddmm_cfg;
   sddmm_cfg.precision = sddmm_prec;
-  core::SddmmResult sddmm;
-  if (plans) {
-    // Serve the prepared operands from the context's cache, keyed by a
-    // content probe of the quantized values: repeated calls over unchanged
-    // activations skip the O(L·dk) re-prepare entirely. The probe doubles
-    // as the staleness guard's sample, so changed values miss (new id)
-    // rather than trip the immutable-contents check. 0 would mean
-    // "anonymous, don't cache" — coerced to 1.
-    auto probe_id = [](const Matrix<std::int32_t>& m) {
-      const std::uint64_t id = serve::content_probe(m);
-      return id == 0 ? 1 : id;
-    };
-    bool hit = false;
-    const auto a_op = plans->cache->get_or_prepare_dense(
-        serve::OperandKind::sddmm_lhs, qi, sddmm_prec, probe_id(qi), &hit);
-    (hit ? plans->operand_hits : plans->operand_preps) += 1;
-    const auto b_op = plans->cache->get_or_prepare_dense(
-        serve::OperandKind::sddmm_rhs, kt, sddmm_prec, probe_id(kt), &hit);
-    (hit ? plans->operand_hits : plans->operand_preps) += 1;
-    // Build once per layer, replay per token: the plan is served from the
-    // context's cache and validated against the mask at replay time.
-    const core::SddmmPlanHandle plan = plans->cache->get_or_build_sddmm_plan(
-        plans->mask, dk, sddmm_cfg, 0, &hit);
-    (hit ? plans->plan_replays : plans->plan_builds) += 1;
-    sddmm = core::sddmm(a_op, b_op, mask, sddmm_cfg, plan);
-  } else {
-    const auto a_op = core::prepare_dense(qi, qkv_type, /*row_major=*/true,
-                                          chunk);
-    const auto b_op = core::prepare_dense(kt, qkv_type, /*row_major=*/false,
-                                          chunk);
-    sddmm = core::sddmm(a_op, b_op, mask, sddmm_cfg);
+  AttentionStageFlags local;
+  // Serve the prepared operands from the cache, keyed by a content probe of
+  // the quantized values: repeated calls over unchanged activations skip
+  // the O(L·dk) re-prepare entirely. The probe-keyed path uses the probe
+  // itself as identity (bijectively remapped), so changed values miss
+  // cleanly and no probe value — 0 included — can alias two distinct
+  // operands onto one id.
+  core::DenseOperandHandle a_op, b_op;
+  if (operands) {
+    a_op = operands->get_or_prepare_probed(serve::OperandKind::sddmm_lhs,
+                                           arena.qi, sddmm_prec,
+                                           &local.lhs_cache_hit);
+    b_op = operands->get_or_prepare_probed(serve::OperandKind::sddmm_rhs,
+                                           arena.kt, sddmm_prec,
+                                           &local.rhs_cache_hit);
   }
+  if (plans) {
+    // Build once per layer, replay per token: the plan is served from the
+    // cache and validated against the mask at replay time.
+    arena.stage_plans.sddmm = plans->get_or_build_sddmm_plan(
+        arena.mask, dk, sddmm_cfg, 0, &local.plan_cache_hit);
+    if (!a_op) {
+      a_op = core::prepare_dense_shared(arena.qi, qkv_type,
+                                        /*row_major=*/true, chunk);
+      b_op = core::prepare_dense_shared(arena.kt, qkv_type,
+                                        /*row_major=*/false, chunk);
+    }
+    arena.sddmm =
+        core::sddmm(a_op, b_op, mask, sddmm_cfg, arena.stage_plans.sddmm);
+  } else if (operands) {
+    arena.sddmm = core::sddmm(a_op, b_op, mask, sddmm_cfg);
+  } else {
+    const auto a_val = core::prepare_dense(arena.qi, qkv_type,
+                                           /*row_major=*/true, chunk);
+    const auto b_val = core::prepare_dense(arena.kt, qkv_type,
+                                           /*row_major=*/false, chunk);
+    arena.sddmm = core::sddmm(a_val, b_val, mask, sddmm_cfg);
+  }
+  if (flags) *flags = local;
+}
 
-  sparse::Bcrs<float> scores;
-  scores.rows = sddmm.c.rows;
-  scores.cols = sddmm.c.cols;
-  scores.vector_length = sddmm.c.vector_length;
-  scores.row_ptr = sddmm.c.row_ptr;
-  scores.col_idx = sddmm.c.col_idx;
-  scores.values.resize(sddmm.c.values.size());
-  const float deq = pq.scale * pk.scale * scale;
+void attention_stage_softmax_quantize(AttentionArena& arena) {
+  const Scalar sm_type = scalar_for_bits(softmax_bits(arena.scheme));
+  sparse::Bcrs<float>& scores = arena.scores;
+  scores.rows = arena.sddmm.c.rows;
+  scores.cols = arena.sddmm.c.cols;
+  scores.vector_length = arena.sddmm.c.vector_length;
+  scores.row_ptr = arena.sddmm.c.row_ptr;
+  scores.col_idx = arena.sddmm.c.col_idx;
+  scores.values.resize(arena.sddmm.c.values.size());
+  const float deq = arena.pq.scale * arena.pk.scale * arena.scale;
   for (std::size_t i = 0; i < scores.values.size(); ++i) {
-    scores.values[i] = static_cast<float>(sddmm.c.values[i]) * deq;
+    scores.values[i] = static_cast<float>(arena.sddmm.c.values[i]) * deq;
   }
   // fp16 softmax with fused x-bit quantization of the output.
   softmax_sparse_rows(scores, /*round_fp16=*/true);
-  const auto pa = quant::choose_symmetric(
-      scores.values.data(), scores.values.size(), sm_type);
+  arena.pa = quant::choose_symmetric(scores.values.data(),
+                                     scores.values.size(), sm_type);
 
   // Scatter the quantized attention weights back to a dense image of the
   // mask to build the SpMM LHS (host-side prep; on device the SDDMM writes
   // SR-BCRS directly, §IV-C).
-  Matrix<std::int32_t> attn_dense(l, l, 0);
+  arena.attn_dense = Matrix<std::int32_t>(arena.l, arena.l, 0);
   const std::size_t vl = static_cast<std::size_t>(scores.vector_length);
   for (std::size_t r = 0; r < scores.vector_rows(); ++r) {
     for (std::uint32_t i = scores.row_ptr[r]; i < scores.row_ptr[r + 1];
          ++i) {
       for (std::size_t rb = 0; rb < vl; ++rb) {
-        attn_dense(r * vl + rb, scores.col_idx[i]) =
-            quant::quantize_value(scores.values[i * vl + rb], pa);
+        arena.attn_dense(r * vl + rb, scores.col_idx[i]) =
+            quant::quantize_value(scores.values[i * vl + rb], arena.pa);
       }
     }
   }
+}
 
+void attention_stage_spmm(AttentionArena& arena,
+                          serve::OperandCache* operands,
+                          serve::OperandCache* plans, bool cache_lhs,
+                          AttentionStageFlags* flags) {
+  const Scalar qkv_type = scalar_for_bits(qkv_bits(arena.scheme));
+  const Scalar sm_type = scalar_for_bits(softmax_bits(arena.scheme));
   const PrecisionPair spmm_prec{sm_type, qkv_type};
   core::SpmmConfig spmm_cfg;
   spmm_cfg.precision = spmm_prec;
-  core::SpmmResult spmm;
-  if (plans) {
-    // Attention weights change per call (new id each time, softmax output),
-    // but V is stable across decode steps over a fixed context — the cache
-    // turns its re-prepare into a lookup. Content ids as on the SDDMM side.
-    auto probe_id = [](const Matrix<std::int32_t>& m) {
-      const std::uint64_t id = serve::content_probe(m);
-      return id == 0 ? 1 : id;
-    };
-    bool hit = false;
-    const auto lhs = plans->cache->get_or_prepare_spmm_lhs(
-        plans->mask, attn_dense, spmm_prec, core::needs_shuffle(spmm_cfg),
-        probe_id(attn_dense), &hit);
-    (hit ? plans->operand_hits : plans->operand_preps) += 1;
-    const auto rhs = plans->cache->get_or_prepare_dense(
-        serve::OperandKind::spmm_rhs, vi, spmm_prec, probe_id(vi), &hit);
-    (hit ? plans->operand_hits : plans->operand_preps) += 1;
-    const core::SpmmPlanHandle plan = plans->cache->get_or_build_spmm_plan(
-        plans->mask, dk, spmm_cfg, 0, &hit);
-    (hit ? plans->plan_replays : plans->plan_builds) += 1;
-    spmm = core::spmm(lhs, rhs, spmm_cfg, plan);
+  AttentionStageFlags local;
+  if (operands || plans) {
+    // Attention weights change per call (new probe each time, softmax
+    // output), but V is stable across decode steps over a fixed context —
+    // the cache turns its re-prepare into a lookup. The fused graph path
+    // sets cache_lhs=false: the per-call intermediate is prepared straight
+    // into the arena and never enters the cache.
+    core::SparseOperandHandle lhs;
+    if (operands && cache_lhs) {
+      lhs = operands->get_or_prepare_spmm_lhs_probed(
+          arena.mask, arena.attn_dense, spmm_prec,
+          core::needs_shuffle(spmm_cfg), &local.lhs_cache_hit);
+    } else {
+      lhs = core::prepare_spmm_lhs_shared(*arena.mask, arena.attn_dense,
+                                          spmm_prec,
+                                          core::needs_shuffle(spmm_cfg));
+    }
+    core::DenseOperandHandle rhs;
+    if (operands) {
+      rhs = operands->get_or_prepare_probed(serve::OperandKind::spmm_rhs,
+                                            arena.vi, spmm_prec,
+                                            &local.rhs_cache_hit);
+    } else {
+      rhs = core::prepare_spmm_rhs_shared(arena.vi, spmm_prec);
+    }
+    if (plans) {
+      arena.stage_plans.spmm = plans->get_or_build_spmm_plan(
+          arena.mask, arena.dk, spmm_cfg, 0, &local.plan_cache_hit);
+      arena.spmm = core::spmm(lhs, rhs, spmm_cfg, arena.stage_plans.spmm);
+    } else {
+      arena.spmm = core::spmm(lhs, rhs, spmm_cfg);
+    }
   } else {
-    const auto lhs = core::prepare_spmm_lhs(mask, attn_dense, spmm_prec,
-                                            core::needs_shuffle(spmm_cfg));
-    const auto rhs = core::prepare_spmm_rhs(vi, spmm_prec);
-    spmm = core::spmm(lhs, rhs, spmm_cfg);
+    const auto lhs =
+        core::prepare_spmm_lhs(*arena.mask, arena.attn_dense, spmm_prec,
+                               core::needs_shuffle(spmm_cfg));
+    const auto rhs = core::prepare_spmm_rhs(arena.vi, spmm_prec);
+    arena.spmm = core::spmm(lhs, rhs, spmm_cfg);
   }
+  if (flags) *flags = local;
+}
 
-  if (runs) {
-    runs->push_back(elementwise_kernel(3 * l * dk, 2.0, 5.0));  // quant QKV
-    runs->push_back(sddmm.run);
-    runs->push_back(softmax_kernel(mask.nnz(), 2));
-    runs->push_back(spmm.run);
-  }
-  Matrix<float> result(l, dk);
-  const float deq_out = pa.scale * pv.scale;
-  for (std::size_t i = 0; i < l; ++i) {
-    for (std::size_t d = 0; d < dk; ++d) {
-      result(i, d) = static_cast<float>(spmm.c(i, d)) * deq_out;
+Matrix<float> attention_stage_output(const AttentionArena& arena) {
+  Matrix<float> result(arena.l, arena.dk);
+  const float deq_out = arena.pa.scale * arena.pv.scale;
+  for (std::size_t i = 0; i < arena.l; ++i) {
+    for (std::size_t d = 0; d < arena.dk; ++d) {
+      result(i, d) = static_cast<float>(arena.spmm.c(i, d)) * deq_out;
     }
   }
   return result;
 }
-
-}  // namespace
 
 Matrix<float> attention_forward(const Matrix<float>& q,
                                 const Matrix<float>& k,

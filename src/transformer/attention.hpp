@@ -21,7 +21,12 @@
 #include <vector>
 
 #include "common/matrix.hpp"
+#include "core/plan.hpp"
+#include "core/sddmm.hpp"
+#include "core/spmm.hpp"
+#include "quant/quantizer.hpp"
 #include "simt/cost_model.hpp"
+#include "sparse/bcrs.hpp"
 #include "sparse/pattern.hpp"
 
 namespace magicube::serve {
@@ -78,6 +83,73 @@ struct AttentionPlanContext {
   std::uint64_t operand_preps = 0;  // cache misses: operands prepared
   std::uint64_t operand_hits = 0;   // cache hits: preparations skipped
 };
+
+/// Engine-owned arena of one staged Magicube attention evaluation.
+///
+/// Every intermediate of the SDDMM -> softmax+quantize -> SpMM schedule
+/// lives here: the quantized Q/K/V images, the sampled score matrix, the
+/// quantized attention weights, and the per-stage execution plans on one
+/// context. Nothing in the arena is ever inserted into an OperandCache and
+/// nothing is copied out between stages — the serving engine's fused
+/// GraphRequest executes the three stages against one arena and drops it
+/// with the response, while attention_forward drives the same stage bodies
+/// for the one-shot path.
+struct AttentionArena {
+  AttentionScheme scheme = AttentionScheme::magicube_8b_8b;
+  /// The L x L mask; shared so plan identity (the cache's per-live-pattern
+  /// fingerprint memo) applies across stages.
+  std::shared_ptr<const sparse::BlockPattern> mask;
+  std::size_t l = 0;
+  std::size_t dk = 0;
+  float scale = 0.0f;  // 1/sqrt(dk)
+  quant::QuantParams pq, pk, pv;  // Q/K/V quantization (y bits)
+  quant::QuantParams pa;          // attention-weight quantization (x bits)
+  Matrix<std::int32_t> qi, ki, vi;  // quantized activations
+  Matrix<std::int32_t> kt;          // K^T image (dk x L)
+  sparse::Bcrs<float> scores;       // SDDMM output; softmaxed in place
+  Matrix<std::int32_t> attn_dense;  // quantized attention weights (SpMM LHS)
+  core::SddmmResult sddmm;
+  core::SpmmResult spmm;
+  core::StagePlanHandles stage_plans;  // per-stage plans on one context
+};
+
+/// Cache interaction of one executed stage (mirrors the serving engines'
+/// per-request hit flags).
+struct AttentionStageFlags {
+  bool lhs_cache_hit = false;
+  bool rhs_cache_hit = false;
+  bool plan_cache_hit = false;
+};
+
+/// Stage 1 — quantize Q/K/V and run the sampled QK^T SDDMM into the arena.
+/// The arena's `scheme` and `mask` must be set by the caller. `operands`
+/// non-null routes the quantized Q and K^T images through the cache
+/// (probe-keyed); `plans` non-null serves the SDDMM execution plan from the
+/// cache and pins it on `arena.stage_plans.sddmm`; both null reproduces the
+/// plain one-shot path bit for bit.
+void attention_stage_sddmm(AttentionArena& arena, const Matrix<float>& q,
+                           const Matrix<float>& k, const Matrix<float>& v,
+                           serve::OperandCache* operands,
+                           serve::OperandCache* plans,
+                           AttentionStageFlags* flags = nullptr);
+
+/// Stage 2 — dequantize the sampled scores, fp16 sparse softmax with fused
+/// x-bit quantization, and scatter the quantized attention weights to the
+/// dense SpMM LHS image. Pure arena-to-arena: no cache interaction.
+void attention_stage_softmax_quantize(AttentionArena& arena);
+
+/// Stage 3 — attention-weights x V SpMM. `cache_lhs` controls whether the
+/// per-call attention-weight operand enters the cache: the legacy plan
+/// context does (its hit counters bill the re-prepare), the fused graph
+/// path never does — the intermediate is prepared straight into the arena
+/// and dropped with it.
+void attention_stage_spmm(AttentionArena& arena,
+                          serve::OperandCache* operands,
+                          serve::OperandCache* plans, bool cache_lhs,
+                          AttentionStageFlags* flags = nullptr);
+
+/// Dequantization epilogue: the fp32 L x dk output of the staged schedule.
+Matrix<float> attention_stage_output(const AttentionArena& arena);
 
 /// Functional single-head attention under `scheme`; Q, K, V are L x dk
 /// fp32 activations; the mask pattern is L x L (ignored for dense_fp16,

@@ -35,11 +35,24 @@ void softmax_sparse_rows(sparse::Bcrs<float>& m, bool round_fp16) {
       for (std::uint32_t i = begin; i < end; ++i) {
         mx = std::max(mx, m.values[i * v + rb]);
       }
+      if (!std::isfinite(mx)) {
+        // A sub-row with no finite mass (every slot -inf: a fully masked
+        // row at a streaming session's causal frontier) would turn into
+        // exp(-inf - -inf) = NaN below. The attention semantics of "no
+        // position is visible" is zero weight everywhere, so emit zeros.
+        for (std::uint32_t i = begin; i < end; ++i) m.values[i * v + rb] = 0.0f;
+        continue;
+      }
       float sum = 0.0f;
       for (std::uint32_t i = begin; i < end; ++i) {
         float& x = m.values[i * v + rb];
         x = std::exp(x - mx);
         sum += x;
+      }
+      if (!std::isfinite(sum) || sum <= 0.0f) {
+        // NaN inputs (sum poisoned) have no meaningful normalization either.
+        for (std::uint32_t i = begin; i < end; ++i) m.values[i * v + rb] = 0.0f;
+        continue;
       }
       const float inv = 1.0f / sum;
       for (std::uint32_t i = begin; i < end; ++i) {

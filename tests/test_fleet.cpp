@@ -623,5 +623,46 @@ TYPED_TEST(SharedCoreTest, ShutdownUnblocksBackpressuredSubmitters) {
   EXPECT_EQ(outcomes.load(), 4);
 }
 
+// Regression for the SubmitQueueCore notify-ordering defect: submit() and
+// shutdown() used to issue their condition-variable notifies *after*
+// releasing the queue mutex, so a submitter preempted between unlock and
+// notify could deliver that notify onto an engine whose shutdown() had
+// already returned and whose owner had begun destruction — a use of
+// destroyed synchronization state (TSan-visible). With notifies issued
+// under the lock, shutdown()'s final wait serializes against every
+// straggler, making "destroy immediately after shutdown() returns" safe
+// even while submitters are still unwinding out of their refusal. This
+// stress drives exactly that window, repeatedly and with no settling
+// sleep, so the race has many chances to fire under the sanitizers.
+TYPED_TEST(SharedCoreTest, RacingShutdownThenImmediateDestruction) {
+  const Problem p =
+      make_spmm_problem(64, 64, 64, 8, 0.6, precision::L8R8, 94);
+  for (int round = 0; round < 20; ++round) {
+    auto engine = make_engine<TypeParam>(/*max_queue_depth=*/1);
+    std::atomic<int> outcomes{0};
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 3; ++t) {
+      submitters.emplace_back([&] {
+        try {
+          auto f = engine->submit(to_request(p));
+          f.wait();
+        } catch (const Error&) {
+          // Refused at or after shutdown: the clean outcome.
+        }
+        outcomes.fetch_add(1);
+      });
+    }
+    // Spin until every submitter was *admitted* (submitted_ increments
+    // inside the core, before the unlock/notify tail the old code got
+    // wrong) — so all three are past their engine dereference, and the
+    // teardown below races exactly their exit paths out of submit().
+    while (engine->stats().submitted < 3u) std::this_thread::yield();
+    engine->shutdown();
+    engine.reset();  // owner tears down the instant shutdown returns
+    for (auto& t : submitters) t.join();
+    EXPECT_EQ(outcomes.load(), 3);
+  }
+}
+
 }  // namespace
 }  // namespace magicube::serve

@@ -209,6 +209,51 @@ TEST(OperandCache, AnonymousDenseOperandsBypassCache) {
   EXPECT_EQ(named.get(), again.get());
 }
 
+// Regression for the probe-identity collision: the old attention path
+// coerced a zero content probe to 1 before keying the cache, so an operand
+// that genuinely hashed to 0 shared an identity with any operand hashing to
+// 1 — a silent wrong-operand hit. probe_identity is now a bijection with no
+// special-cased value: probe 0 is an ordinary cached identity (never the
+// anonymous-bypass sentinel) and distinct probes can never alias.
+TEST(OperandCache, ZeroProbeIsAnOrdinaryCachedIdentity) {
+  const Problem p = make_problem(precision::L8R8, 21);
+  const Problem q = make_problem(precision::L8R8, 22);
+  OperandCache cache(64ull << 20);
+
+  // Force probe 0 through the explicit-probe seam: it must cache (not fall
+  // into the id=0 anonymous bypass)...
+  bool hit = true;
+  const auto zero = cache.get_or_prepare_probed(
+      OperandKind::spmm_rhs, *p.rhs, precision::L8R8, /*probe=*/0, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(cache.entry_count(), 1u);
+
+  // ...and stay distinct from the probe the old coercion folded it onto.
+  const auto one = cache.get_or_prepare_probed(
+      OperandKind::spmm_rhs, *q.rhs, precision::L8R8, /*probe=*/1, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(cache.entry_count(), 2u);
+  EXPECT_NE(zero.get(), one.get());
+
+  // Re-requesting probe 0 with the same values is a genuine hit on the
+  // same preparation.
+  const auto again = cache.get_or_prepare_probed(
+      OperandKind::spmm_rhs, *p.rhs, precision::L8R8, /*probe=*/0, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(again.get(), zero.get());
+  EXPECT_EQ(cache.entry_count(), 2u);
+
+  // The sampling overload round-trips too: same values, same identity.
+  bool first_hit = true, second_hit = false;
+  const auto sampled = cache.get_or_prepare_probed(
+      OperandKind::sddmm_lhs, *p.lhs, precision::L8R8, &first_hit);
+  const auto resampled = cache.get_or_prepare_probed(
+      OperandKind::sddmm_lhs, *p.lhs, precision::L8R8, &second_hit);
+  EXPECT_FALSE(first_hit);
+  EXPECT_TRUE(second_hit);
+  EXPECT_EQ(sampled.get(), resampled.get());
+}
+
 TEST(OperandCache, PinnedEntriesSurviveEvictionPressure) {
   // Pin semantics behind the sharded-request fix: a pinned entry is
   // skipped by LRU eviction (the insert may transiently exceed capacity),

@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <memory>
 
 #include "serve/operand_cache.hpp"
@@ -44,6 +45,49 @@ TEST(Ops, SparseSoftmaxMatchesDenseOnFullPattern) {
   for (std::size_t i = 0; i < dense.size(); ++i) {
     EXPECT_NEAR(back.data()[i], dense.data()[i], 1e-5f);
   }
+}
+
+// Regression: a scalar sub-row with no finite mass (every slot -inf — a
+// fully masked row, e.g. at a streaming session's causal frontier) used to
+// become exp(-inf - -inf) = NaN and poison the SpMM behind it. The
+// masked-softmax semantics of "no position is visible" is zero weight
+// everywhere.
+TEST(Ops, SparseSoftmaxZeroMassSubRowsEmitZeros) {
+  const float ninf = -std::numeric_limits<float>::infinity();
+  sparse::Bcrs<float> sp;
+  sp.rows = 2;
+  sp.cols = 4;
+  sp.vector_length = 2;
+  sp.row_ptr = {0, 2};
+  sp.col_idx = {0, 2};
+  // Vector-major values: scalar row 0 fully masked, scalar row 1 live.
+  sp.values = {ninf, 1.0f, ninf, 2.0f};
+  sp.validate();
+  softmax_sparse_rows(sp, false);
+  EXPECT_EQ(sp.values[0], 0.0f);
+  EXPECT_EQ(sp.values[2], 0.0f);
+  EXPECT_NEAR(sp.values[1] + sp.values[3], 1.0f, 1e-6f);
+  EXPECT_GT(sp.values[3], sp.values[1]);
+}
+
+// Regression: a NaN slot poisons the exp-sum even when the running max stays
+// finite; the normalization is meaningless, so the sub-row zeroes out
+// instead of dividing by NaN.
+TEST(Ops, SparseSoftmaxNanSumEmitsZeros) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  sparse::Bcrs<float> sp;
+  sp.rows = 2;
+  sp.cols = 4;
+  sp.vector_length = 2;
+  sp.row_ptr = {0, 2};
+  sp.col_idx = {0, 2};
+  // Scalar row 0: finite max (first slot), NaN second slot -> NaN sum.
+  sp.values = {1.0f, 0.5f, nan, -0.5f};
+  sp.validate();
+  softmax_sparse_rows(sp, false);
+  EXPECT_EQ(sp.values[0], 0.0f);
+  EXPECT_EQ(sp.values[2], 0.0f);
+  EXPECT_NEAR(sp.values[1] + sp.values[3], 1.0f, 1e-6f);
 }
 
 TEST(Ops, LayerNormNormalizesRows) {
@@ -106,6 +150,43 @@ TEST_P(AttentionSchemeTest, ApproximatesFp32Reference) {
                      : scheme == AttentionScheme::magicube_8b_4b ? 0.25
                                                                  : 0.08;
   EXPECT_LT(rel, tol) << to_string(scheme);
+}
+
+// Regression companion to SparseSoftmaxZeroMassSubRowsEmitZeros at the
+// pipeline level: masks with zero-nnz vector rows (token positions that see
+// nothing — sliced session masks produce these at the causal frontier) must
+// flow through every scheme without NaNs. Sparse schemes attach no weight
+// to an empty row, so its output row is exactly zero; the dense baseline
+// uses a finite mask value and stays finite by construction.
+TEST_P(AttentionSchemeTest, EmptyMaskRowsProduceFiniteZeroOutput) {
+  const AttentionScheme scheme = GetParam();
+  Rng rng(12);
+  const std::size_t l = 32, dk = 64;
+  sparse::BlockPattern mask;
+  mask.rows = l;
+  mask.cols = l;
+  mask.vector_length = 8;
+  mask.row_ptr = {0, 3, 3, 6, 6};  // vector rows 1 and 3 fully masked
+  mask.col_idx = {0, 9, 17, 2, 11, 30};
+  mask.validate();
+  Matrix<float> q(l, dk), k(l, dk), v(l, dk);
+  fill_normal(q, rng, 0.4);
+  fill_normal(k, rng, 0.4);
+  fill_normal(v, rng, 0.4);
+
+  const Matrix<float> out = attention_forward(q, k, v, mask, scheme);
+  ASSERT_EQ(out.rows(), l);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(out.data()[i])) << "elem " << i;
+  }
+  if (scheme != AttentionScheme::dense_fp16) {
+    for (std::size_t i = 8; i < 16; ++i) {
+      for (std::size_t d = 0; d < dk; ++d) {
+        EXPECT_EQ(out(i, d), 0.0f) << "row " << i << " col " << d;
+        EXPECT_EQ(out(i + 16, d), 0.0f) << "row " << i + 16 << " col " << d;
+      }
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
